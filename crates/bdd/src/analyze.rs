@@ -1,0 +1,223 @@
+//! Read-only analyses of BDDs: evaluation, support, counting, witnesses.
+
+use crate::manager::BddManager;
+use crate::node::{Bdd, BddVar, TERMINAL_VAR};
+use std::collections::{HashMap, HashSet};
+
+impl BddManager {
+    /// Evaluates `f` under a complete assignment indexed by variable id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is shorter than the highest variable id on
+    /// the path taken.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        loop {
+            let n = &self.nodes[cur.index()];
+            if n.var == TERMINAL_VAR {
+                return !cur.is_complemented();
+            }
+            let (hi, lo) = (n.high, n.low);
+            let c = cur.is_complemented();
+            cur = if assignment[n.var as usize] {
+                hi.complement_if(c)
+            } else {
+                lo.complement_if(c)
+            };
+        }
+    }
+
+    /// The set of variables `f` depends on, sorted by current level.
+    pub fn support(&self, f: Bdd) -> Vec<BddVar> {
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut vars: HashSet<u32> = HashSet::new();
+        let mut stack = vec![f.index() as u32];
+        while let Some(i) = stack.pop() {
+            if !seen.insert(i) {
+                continue;
+            }
+            let n = &self.nodes[i as usize];
+            if n.var == TERMINAL_VAR {
+                continue;
+            }
+            vars.insert(n.var);
+            stack.push(n.high.index() as u32);
+            stack.push(n.low.index() as u32);
+        }
+        let mut out: Vec<BddVar> = vars.into_iter().map(BddVar).collect();
+        out.sort_by_key(|v| self.level_of(*v));
+        out
+    }
+
+    /// The number of distinct internal nodes reachable from `f`
+    /// (the conventional "BDD size"; constants have size 0).
+    pub fn node_count(&self, f: Bdd) -> usize {
+        self.node_count_many(&[f])
+    }
+
+    /// The number of distinct internal nodes reachable from a set of
+    /// functions (shared nodes counted once).
+    pub fn node_count_many(&self, fs: &[Bdd]) -> usize {
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut stack: Vec<u32> = fs.iter().map(|f| f.index() as u32).collect();
+        let mut count = 0;
+        while let Some(i) = stack.pop() {
+            if !seen.insert(i) {
+                continue;
+            }
+            let n = &self.nodes[i as usize];
+            if n.var == TERMINAL_VAR {
+                continue;
+            }
+            count += 1;
+            stack.push(n.high.index() as u32);
+            stack.push(n.low.index() as u32);
+        }
+        count
+    }
+
+    /// The number of satisfying assignments of `f` over `num_vars`
+    /// variables (as `f64`; exact for small counts).
+    pub fn sat_count(&self, f: Bdd, num_vars: usize) -> f64 {
+        let mut memo: HashMap<Bdd, f64> = HashMap::new();
+        self.sat_count_rec(f, &mut memo) * (num_vars as f64).exp2()
+    }
+
+    /// Fraction of assignments satisfying `f` (density in [0, 1]).
+    fn sat_count_rec(&self, f: Bdd, memo: &mut HashMap<Bdd, f64>) -> f64 {
+        if f == Bdd::ONE {
+            return 1.0;
+        }
+        if f == Bdd::ZERO {
+            return 0.0;
+        }
+        let reg = f.regular();
+        let d = match memo.get(&reg) {
+            Some(&d) => d,
+            None => {
+                let (hi, lo) = self.cofactors(reg);
+                let d = 0.5 * self.sat_count_rec(hi, memo) + 0.5 * self.sat_count_rec(lo, memo);
+                memo.insert(reg, d);
+                d
+            }
+        };
+        if f.is_complemented() {
+            1.0 - d
+        } else {
+            d
+        }
+    }
+
+    /// A satisfying assignment of `f`, if one exists. Entries are `None`
+    /// for variables the witness does not constrain.
+    ///
+    /// The result vector is indexed by variable id and has
+    /// [`BddManager::num_vars`] entries.
+    pub fn satisfy_one(&self, f: Bdd) -> Option<Vec<Option<bool>>> {
+        if f == Bdd::ZERO {
+            return None;
+        }
+        let mut asg = vec![None; self.num_vars()];
+        let mut cur = f;
+        while cur != Bdd::ONE {
+            debug_assert_ne!(cur, Bdd::ZERO);
+            let var = self.top_var(cur.regular());
+            let (hi, lo) = self.cofactors(cur);
+            if hi != Bdd::ZERO {
+                asg[var.id()] = Some(true);
+                cur = hi;
+            } else {
+                asg[var.id()] = Some(false);
+                cur = lo;
+            }
+        }
+        Some(asg)
+    }
+
+    /// Like [`BddManager::satisfy_one`] but with unconstrained variables
+    /// filled in as `false`.
+    pub fn satisfy_one_total(&self, f: Bdd) -> Option<Vec<bool>> {
+        self.satisfy_one(f)
+            .map(|asg| asg.into_iter().map(|b| b.unwrap_or(false)).collect())
+    }
+
+    /// Verifies the complement-edge canonical-form invariants over the
+    /// whole node table (testing aid).
+    pub fn check_canonical(&self) -> bool {
+        self.nodes.iter().enumerate().all(|(i, n)| {
+            i == 0
+                || n.var == TERMINAL_VAR // freed slot, contents arbitrary
+                || (!n.high.is_complemented() && n.high != n.low)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BddManager, Vec<BddVar>, Bdd) {
+        let mut m = BddManager::new();
+        let v = m.add_vars(3);
+        let x = m.var(v[0]);
+        let y = m.var(v[1]);
+        let z = m.var(v[2]);
+        let xy = m.and(x, y).unwrap();
+        let f = m.or(xy, z).unwrap();
+        (m, v, f)
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let (m, _, f) = setup();
+        assert!(m.eval(f, &[true, true, false]));
+        assert!(m.eval(f, &[false, false, true]));
+        assert!(!m.eval(f, &[true, false, false]));
+        assert!(m.eval(Bdd::ONE, &[]));
+        assert!(!m.eval(Bdd::ZERO, &[]));
+    }
+
+    #[test]
+    fn support_is_exact() {
+        let (mut m, v, f) = setup();
+        assert_eq!(m.support(f), vec![v[0], v[1], v[2]]);
+        let g = m.exists(f, &[v[1]]).unwrap();
+        assert_eq!(m.support(g), vec![v[0], v[2]]);
+        assert!(m.support(Bdd::ONE).is_empty());
+    }
+
+    #[test]
+    fn sat_count_small() {
+        let (m, _, f) = setup();
+        // xy + z over 3 vars: satisfied by z=1 (4) plus xy=1,z=0 (1) = 5.
+        assert_eq!(m.sat_count(f, 3), 5.0);
+        assert_eq!(m.sat_count(!f, 3), 3.0);
+        assert_eq!(m.sat_count(Bdd::ONE, 3), 8.0);
+    }
+
+    #[test]
+    fn satisfy_one_is_satisfying() {
+        let (m, _, f) = setup();
+        let asg = m.satisfy_one_total(f).unwrap();
+        assert!(m.eval(f, &asg));
+        let asg2 = m.satisfy_one_total(!f).unwrap();
+        assert!(!m.eval(f, &asg2));
+        assert!(m.satisfy_one(Bdd::ZERO).is_none());
+    }
+
+    #[test]
+    fn node_count_shared() {
+        let (m, _, f) = setup();
+        let single = m.node_count(f);
+        assert!(single >= 2);
+        assert_eq!(m.node_count_many(&[f, f]), single);
+        assert_eq!(m.node_count(Bdd::ONE), 0);
+    }
+
+    #[test]
+    fn canonical_invariant_holds() {
+        let (m, ..) = setup();
+        assert!(m.check_canonical());
+    }
+}

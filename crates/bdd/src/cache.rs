@@ -1,0 +1,113 @@
+//! The computed-table cache: a direct-mapped table of operation results.
+
+use crate::node::Bdd;
+
+pub(crate) const OP_ITE: u32 = 1;
+pub(crate) const OP_EXISTS: u32 = 2;
+pub(crate) const OP_AND_EXISTS: u32 = 3;
+
+#[derive(Copy, Clone)]
+struct Entry {
+    op: u32,
+    f: u32,
+    g: u32,
+    h: u32,
+    r: u32,
+}
+
+const EMPTY: Entry = Entry {
+    op: 0,
+    f: 0,
+    g: 0,
+    h: 0,
+    r: 0,
+};
+
+pub(crate) struct Cache {
+    entries: Vec<Entry>,
+    mask: usize,
+    hits: u64,
+    misses: u64,
+}
+
+#[inline]
+fn mix(op: u32, f: u32, g: u32, h: u32) -> u64 {
+    let mut x = (f as u64) | ((g as u64) << 32);
+    x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= (h as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ (op as u64).rotate_left(17);
+    x ^= x >> 31;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 29)
+}
+
+impl Cache {
+    /// Creates a cache with `2^log2_size` entries.
+    pub(crate) fn new(log2_size: u32) -> Cache {
+        let size = 1usize << log2_size;
+        Cache {
+            entries: vec![EMPTY; size],
+            mask: size - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&mut self, op: u32, f: Bdd, g: Bdd, h: Bdd) -> Option<Bdd> {
+        let i = (mix(op, f.0, g.0, h.0) as usize) & self.mask;
+        let e = &self.entries[i];
+        if e.op == op && e.f == f.0 && e.g == g.0 && e.h == h.0 {
+            self.hits += 1;
+            Some(Bdd(e.r))
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn put(&mut self, op: u32, f: Bdd, g: Bdd, h: Bdd, r: Bdd) {
+        let i = (mix(op, f.0, g.0, h.0) as usize) & self.mask;
+        self.entries[i] = Entry {
+            op,
+            f: f.0,
+            g: g.0,
+            h: h.0,
+            r: r.0,
+        };
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.fill(EMPTY);
+    }
+
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut c = Cache::new(8);
+        let f = Bdd(10);
+        let g = Bdd(12);
+        let h = Bdd(14);
+        assert_eq!(c.get(OP_ITE, f, g, h), None);
+        c.put(OP_ITE, f, g, h, Bdd(99));
+        assert_eq!(c.get(OP_ITE, f, g, h), Some(Bdd(99)));
+        // Different op must miss.
+        assert_eq!(c.get(OP_EXISTS, f, g, h), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = Cache::new(4);
+        c.put(OP_AND_EXISTS, Bdd(2), Bdd(4), Bdd(6), Bdd(8));
+        c.clear();
+        assert_eq!(c.get(OP_AND_EXISTS, Bdd(2), Bdd(4), Bdd(6)), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Graphviz DOT export of BDDs, for debugging and documentation.
+
+use crate::manager::BddManager;
+use crate::node::Bdd;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+impl BddManager {
+    /// Renders the BDDs reachable from `roots` as a Graphviz digraph.
+    /// Solid edges are *then*, dotted edges are *else*; a dot on an edge
+    /// label marks a complemented edge (the root handles are annotated
+    /// too).
+    pub fn to_dot(&self, roots: &[(Bdd, &str)]) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph bdd {{");
+        let _ = writeln!(out, "  terminal [label=\"1\", shape=box];");
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, &(r, name)) in roots.iter().enumerate() {
+            let neg = if r.is_complemented() { " (neg)" } else { "" };
+            let _ = writeln!(out, "  root{i} [label=\"{name}{neg}\", shape=plaintext];");
+            let _ = writeln!(out, "  root{i} -> {};", self.dot_id(r));
+            stack.push(r.index());
+        }
+        while let Some(idx) = stack.pop() {
+            if idx == 0 || !seen.insert(idx) {
+                continue;
+            }
+            let n = &self.nodes[idx];
+            let _ = writeln!(out, "  n{idx} [label=\"x{}\", shape=circle];", n.var);
+            let _ = writeln!(out, "  n{idx} -> {};", self.dot_id(n.high));
+            let estyle = if n.low.is_complemented() {
+                "style=dotted, label=\"¬\""
+            } else {
+                "style=dotted"
+            };
+            let _ = writeln!(out, "  n{idx} -> {} [{estyle}];", self.dot_id(n.low));
+            stack.push(n.high.index());
+            stack.push(n.low.index());
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    fn dot_id(&self, e: Bdd) -> String {
+        if e.index() == 0 {
+            "terminal".to_string()
+        } else {
+            format!("n{}", e.index())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_renders_structure() {
+        let mut m = BddManager::new();
+        let v = m.add_vars(2);
+        let x = m.var(v[0]);
+        let y = m.var(v[1]);
+        let f = m.and(x, !y).unwrap();
+        let dot = m.to_dot(&[(f, "f"), (!f, "not_f")]);
+        assert!(dot.contains("digraph bdd"));
+        assert!(dot.contains("terminal [label=\"1\""));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("(neg)"));
+        assert!(dot.contains("style=dotted"));
+    }
+
+    #[test]
+    fn constants_render() {
+        let m = BddManager::new();
+        let dot = m.to_dot(&[(crate::Bdd::ONE, "one")]);
+        assert!(dot.contains("root0 -> terminal"));
+    }
+}

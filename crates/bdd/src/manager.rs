@@ -1,0 +1,577 @@
+//! The BDD manager: node storage, unique subtables, `mk`, garbage
+//! collection and accounting.
+
+use crate::cache::Cache;
+use crate::node::{Bdd, BddVar, NodeData, NIL, TERMINAL_VAR};
+use std::fmt;
+
+/// Error returned when an operation would exceed the manager's node limit.
+///
+/// The original experiments imposed a 100 MB memory cap on the BDD package;
+/// the node limit plays the same role here. After an overflow the manager
+/// is still usable: garbage-collect and retry, or give up on the instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BddOverflow {
+    /// The configured live-node limit that was hit.
+    pub limit: usize,
+}
+
+impl fmt::Display for BddOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BDD node limit of {} exceeded", self.limit)
+    }
+}
+
+impl std::error::Error for BddOverflow {}
+
+/// Shorthand for results of BDD operations.
+pub type BddResult = Result<Bdd, BddOverflow>;
+
+pub(crate) struct Subtable {
+    buckets: Vec<u32>,
+    count: usize,
+}
+
+#[inline]
+fn hash_pair(a: u32, b: u32) -> u64 {
+    let x = (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let y = (b as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    let mut h = x ^ y.rotate_left(31);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 32;
+    h
+}
+
+impl Subtable {
+    fn new() -> Subtable {
+        Subtable {
+            buckets: vec![NIL; 16],
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, high: Bdd, low: Bdd) -> usize {
+        (hash_pair(high.0, low.0) as usize) & (self.buckets.len() - 1)
+    }
+
+    #[inline]
+    pub(crate) fn count(&self) -> usize {
+        self.count
+    }
+
+    #[inline]
+    pub(crate) fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    pub(crate) fn bucket_head(&self, b: usize) -> u32 {
+        self.buckets[b]
+    }
+}
+
+/// An ROBDD manager with complement edges, per-variable unique subtables,
+/// a computed-table cache, explicit mark-and-sweep garbage collection and
+/// sifting-based dynamic reordering.
+///
+/// Garbage collection and reordering are *explicit*: the owner calls
+/// [`BddManager::gc`] / [`BddManager::sift`] with the set of root functions
+/// it needs preserved. Nothing runs behind the caller's back, so handles
+/// never dangle mid-operation.
+///
+/// # Examples
+///
+/// ```
+/// use sec_bdd::BddManager;
+/// let mut m = BddManager::new();
+/// let x = m.add_var();
+/// let y = m.add_var();
+/// let f = m.and(m.var(x), m.var(y))?;
+/// let g = m.or(!m.var(x), !m.var(y))?;
+/// assert_eq!(f, !g); // complement edges make this a pointer check
+/// # Ok::<(), sec_bdd::BddOverflow>(())
+/// ```
+pub struct BddManager {
+    pub(crate) nodes: Vec<NodeData>,
+    free: Vec<u32>,
+    pub(crate) subtables: Vec<Subtable>,
+    /// level -> var id
+    pub(crate) var_at_level: Vec<u32>,
+    /// var id -> level
+    pub(crate) level_of_var: Vec<u32>,
+    /// var id -> projection function
+    proj: Vec<Bdd>,
+    pub(crate) cache: Cache,
+    node_limit: usize,
+    peak_live: usize,
+    /// Live count right after the last GC; used to estimate garbage.
+    pub(crate) last_gc_live: usize,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates a manager with a generous default node limit (16 M nodes).
+    pub fn new() -> BddManager {
+        BddManager::with_node_limit(16 << 20)
+    }
+
+    /// Creates a manager that refuses to grow beyond `node_limit` live
+    /// nodes (operations then return [`BddOverflow`]).
+    pub fn with_node_limit(node_limit: usize) -> BddManager {
+        BddManager {
+            nodes: vec![NodeData {
+                var: TERMINAL_VAR,
+                high: Bdd::ONE,
+                low: Bdd::ONE,
+                next: NIL,
+            }],
+            free: Vec::new(),
+            subtables: Vec::new(),
+            var_at_level: Vec::new(),
+            level_of_var: Vec::new(),
+            proj: Vec::new(),
+            cache: Cache::new(16),
+            node_limit,
+            peak_live: 1,
+            last_gc_live: 1,
+        }
+    }
+
+    /// Appends a new variable at the bottom of the current order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node limit is too small to hold the projection node
+    /// (which would make the manager useless anyway).
+    pub fn add_var(&mut self) -> BddVar {
+        let id = self.subtables.len() as u32;
+        self.subtables.push(Subtable::new());
+        self.var_at_level.push(id);
+        self.level_of_var.push(id);
+        let p = self
+            .mk(id, Bdd::ONE, Bdd::ZERO)
+            .expect("node limit too small for variable projections");
+        self.proj.push(p);
+        BddVar(id)
+    }
+
+    /// Adds `n` variables and returns their handles.
+    pub fn add_vars(&mut self, n: usize) -> Vec<BddVar> {
+        (0..n).map(|_| self.add_var()).collect()
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.subtables.len()
+    }
+
+    /// The projection function of a variable.
+    #[inline]
+    pub fn var(&self, v: BddVar) -> Bdd {
+        self.proj[v.id()]
+    }
+
+    /// The negated projection function of a variable.
+    #[inline]
+    pub fn nvar(&self, v: BddVar) -> Bdd {
+        !self.proj[v.id()]
+    }
+
+    /// A literal: the projection or its complement.
+    #[inline]
+    pub fn literal(&self, v: BddVar, positive: bool) -> Bdd {
+        self.proj[v.id()].complement_if(!positive)
+    }
+
+    /// The current level (order position) of a variable.
+    #[inline]
+    pub fn level_of(&self, v: BddVar) -> usize {
+        self.level_of_var[v.id()] as usize
+    }
+
+    /// The variable at a given order position.
+    #[inline]
+    pub fn var_at(&self, level: usize) -> BddVar {
+        BddVar(self.var_at_level[level])
+    }
+
+    /// The level of a function's top node (`usize::MAX` for constants).
+    #[inline]
+    pub(crate) fn level(&self, f: Bdd) -> usize {
+        let v = self.nodes[f.index()].var;
+        if v == TERMINAL_VAR {
+            usize::MAX
+        } else {
+            self.level_of_var[v as usize] as usize
+        }
+    }
+
+    /// The variable labelling a function's top node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is constant.
+    pub fn top_var(&self, f: Bdd) -> BddVar {
+        let v = self.nodes[f.index()].var;
+        assert_ne!(v, TERMINAL_VAR, "top_var of a constant");
+        BddVar(v)
+    }
+
+    /// The cofactors `(f_high, f_low)` of `f` with respect to its own top
+    /// variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is constant.
+    pub fn cofactors(&self, f: Bdd) -> (Bdd, Bdd) {
+        let n = &self.nodes[f.index()];
+        assert_ne!(n.var, TERMINAL_VAR, "cofactors of a constant");
+        let c = f.is_complemented();
+        (n.high.complement_if(c), n.low.complement_if(c))
+    }
+
+    /// Cofactors of `f` with respect to the variable at `level`, which must
+    /// not be below `f`'s top level.
+    #[inline]
+    pub(crate) fn cofactors_at(&self, f: Bdd, level: usize) -> (Bdd, Bdd) {
+        if self.level(f) == level {
+            self.cofactors(f)
+        } else {
+            debug_assert!(self.level(f) > level);
+            (f, f)
+        }
+    }
+
+    /// Number of live (allocated, non-freed) nodes, including the terminal.
+    #[inline]
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// High-water mark of [`BddManager::live_nodes`] since creation.
+    #[inline]
+    pub fn peak_live_nodes(&self) -> usize {
+        self.peak_live
+    }
+
+    /// The configured node limit.
+    #[inline]
+    pub fn node_limit(&self) -> usize {
+        self.node_limit
+    }
+
+    /// Finds or creates the node `var · high + ¬var · low`, enforcing the
+    /// complement-edge canonical form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] when a new node would exceed the limit.
+    pub(crate) fn mk(&mut self, var: u32, high: Bdd, low: Bdd) -> BddResult {
+        if high == low {
+            return Ok(high);
+        }
+        if high.is_complemented() {
+            return self.mk_regular(var, !high, !low, true).map(|b| !b);
+        }
+        self.mk_regular(var, high, low, true)
+    }
+
+    /// `mk` without the node limit; used by reordering, where a mid-swap
+    /// failure would leave the unique tables inconsistent.
+    pub(crate) fn mk_unbounded(&mut self, var: u32, high: Bdd, low: Bdd) -> BddResult {
+        if high == low {
+            return Ok(high);
+        }
+        if high.is_complemented() {
+            return self.mk_regular(var, !high, !low, false).map(|b| !b);
+        }
+        self.mk_regular(var, high, low, false)
+    }
+
+    fn mk_regular(&mut self, var: u32, high: Bdd, low: Bdd, bounded: bool) -> BddResult {
+        debug_assert!(!high.is_complemented());
+        debug_assert!(self.level(high) > self.level_of_var[var as usize] as usize);
+        debug_assert!(self.level(low) > self.level_of_var[var as usize] as usize);
+        let st = &self.subtables[var as usize];
+        let b = st.bucket(high, low);
+        let mut cur = st.buckets[b];
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            if n.high == high && n.low == low && n.var == var {
+                return Ok(Bdd::new(cur, false));
+            }
+            cur = n.next;
+        }
+        if bounded && self.live_nodes() >= self.node_limit {
+            return Err(BddOverflow {
+                limit: self.node_limit,
+            });
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = NodeData {
+                    var,
+                    high,
+                    low,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                let i = self.nodes.len() as u32;
+                self.nodes.push(NodeData {
+                    var,
+                    high,
+                    low,
+                    next: NIL,
+                });
+                i
+            }
+        };
+        let st = &mut self.subtables[var as usize];
+        self.nodes[idx as usize].next = st.buckets[b];
+        st.buckets[b] = idx;
+        st.count += 1;
+        if st.count > st.buckets.len() * 3 / 4 {
+            self.grow_subtable(var as usize);
+        }
+        let live = self.live_nodes();
+        if live > self.peak_live {
+            self.peak_live = live;
+        }
+        Ok(Bdd::new(idx, false))
+    }
+
+    /// Empties a subtable's buckets without freeing its nodes (the caller
+    /// takes responsibility for reinserting or rebuilding every node).
+    pub(crate) fn clear_subtable(&mut self, var: u32) {
+        let st = &mut self.subtables[var as usize];
+        st.buckets.fill(NIL);
+        st.count = 0;
+    }
+
+    /// Inserts an existing node slot into `var`'s subtable (used by
+    /// reordering). The node's `var`, `high` and `low` fields must already
+    /// be final.
+    pub(crate) fn reinsert(&mut self, var: u32, idx: u32) {
+        let node = self.nodes[idx as usize];
+        debug_assert_eq!(node.var, var);
+        let st = &mut self.subtables[var as usize];
+        let b = st.bucket(node.high, node.low);
+        self.nodes[idx as usize].next = st.buckets[b];
+        st.buckets[b] = idx;
+        st.count += 1;
+        if st.count > st.buckets.len() * 3 / 4 {
+            self.grow_subtable(var as usize);
+        }
+    }
+
+    fn grow_subtable(&mut self, var: usize) {
+        let new_len = self.subtables[var].buckets.len() * 2;
+        let old = std::mem::replace(&mut self.subtables[var].buckets, vec![NIL; new_len]);
+        for head in old {
+            let mut cur = head;
+            while cur != NIL {
+                let node = self.nodes[cur as usize];
+                let next = node.next;
+                let b = self.subtables[var].bucket(node.high, node.low);
+                self.nodes[cur as usize].next = self.subtables[var].buckets[b];
+                self.subtables[var].buckets[b] = cur;
+                cur = next;
+            }
+        }
+    }
+
+    /// Marks everything reachable from `roots` (plus projections) and
+    /// sweeps the rest; clears the computed table. Returns the number of
+    /// live nodes afterwards.
+    pub fn gc(&mut self, roots: &[Bdd]) -> usize {
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        let mut stack: Vec<u32> = Vec::with_capacity(256);
+        for r in roots.iter().map(|r| r.index() as u32).chain(
+            self.proj.iter().map(|p| p.index() as u32),
+        ) {
+            stack.push(r);
+        }
+        while let Some(i) = stack.pop() {
+            if marked[i as usize] {
+                continue;
+            }
+            marked[i as usize] = true;
+            let n = &self.nodes[i as usize];
+            stack.push(n.high.index() as u32);
+            stack.push(n.low.index() as u32);
+        }
+        // Rebuild the free list from scratch (dead nodes' `next` fields are
+        // repurposed as chain links in subtables, so we can't trust them).
+        self.free.clear();
+        for st in &mut self.subtables {
+            st.count = 0;
+        }
+        let num_vars = self.subtables.len();
+        for var in 0..num_vars {
+            let buckets = self.subtables[var].buckets.len();
+            for b in 0..buckets {
+                let mut cur = self.subtables[var].buckets[b];
+                let mut prev = NIL;
+                while cur != NIL {
+                    let next = self.nodes[cur as usize].next;
+                    if marked[cur as usize] {
+                        if prev == NIL {
+                            self.subtables[var].buckets[b] = cur;
+                        } else {
+                            self.nodes[prev as usize].next = cur;
+                        }
+                        prev = cur;
+                        self.subtables[var].count += 1;
+                    } else {
+                        self.free.push(cur);
+                        // Mark the slot as free for invariant checks.
+                        self.nodes[cur as usize].var = TERMINAL_VAR;
+                    }
+                    cur = next;
+                }
+                if prev == NIL {
+                    self.subtables[var].buckets[b] = NIL;
+                } else {
+                    self.nodes[prev as usize].next = NIL;
+                }
+            }
+        }
+        self.cache.clear();
+        self.last_gc_live = self.live_nodes();
+        self.last_gc_live
+    }
+
+    /// Clears the computed table (for measurement or determinism).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Computed-table hit/miss counters `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BddManager {{ vars: {}, live: {}, peak: {} }}",
+            self.num_vars(),
+            self.live_nodes(),
+            self.peak_live_nodes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_identities() {
+        assert_eq!(!Bdd::ONE, Bdd::ZERO);
+        assert!(Bdd::ONE.is_const());
+        assert!(Bdd::ZERO.is_complemented());
+    }
+
+    #[test]
+    fn mk_is_canonical() {
+        let mut m = BddManager::new();
+        let x = m.add_var();
+        let a = m.var(x);
+        let b = m.var(x);
+        assert_eq!(a, b);
+        assert_eq!(m.nvar(x), !a);
+        // high edge of every node is regular
+        for n in &m.nodes[1..] {
+            assert!(!n.high.is_complemented());
+        }
+    }
+
+    #[test]
+    fn mk_collapses_equal_children() {
+        let mut m = BddManager::new();
+        let _x = m.add_var();
+        let r = m.mk(0, Bdd::ONE, Bdd::ONE).unwrap();
+        assert_eq!(r, Bdd::ONE);
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let mut m = BddManager::with_node_limit(3); // terminal + 2 projections
+        let x = m.add_var();
+        let y = m.add_var();
+        assert_eq!(m.live_nodes(), 3);
+        let e = m.mk(x.0, m.var(y), Bdd::ZERO).unwrap_err();
+        assert_eq!(e.limit, 3);
+    }
+
+    #[test]
+    fn gc_reclaims_dead() {
+        let mut m = BddManager::new();
+        let x = m.add_var();
+        let y = m.add_var();
+        let f = m.mk(x.0, m.var(y), Bdd::ZERO).unwrap();
+        let before = m.live_nodes();
+        let live = m.gc(&[]);
+        assert_eq!(live, before - 1);
+        // Recreating the node works and projections survived.
+        let f2 = m.mk(x.0, m.var(y), Bdd::ZERO).unwrap();
+        assert_eq!(m.live_nodes(), before);
+        let _ = (f, f2);
+    }
+
+    #[test]
+    fn gc_keeps_roots() {
+        let mut m = BddManager::new();
+        let x = m.add_var();
+        let y = m.add_var();
+        let f = m.mk(x.0, m.var(y), Bdd::ZERO).unwrap();
+        let before = m.live_nodes();
+        m.gc(&[f]);
+        assert_eq!(m.live_nodes(), before);
+        // The node is found again rather than duplicated.
+        let f2 = m.mk(x.0, m.var(y), Bdd::ZERO).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut m = BddManager::new();
+        let x = m.add_var();
+        let y = m.add_var();
+        let _f = m.mk(x.0, m.var(y), Bdd::ZERO).unwrap();
+        let p = m.peak_live_nodes();
+        m.gc(&[]);
+        assert_eq!(m.peak_live_nodes(), p);
+        assert!(m.live_nodes() < p);
+    }
+
+    #[test]
+    fn subtable_growth_preserves_uniqueness() {
+        let mut m = BddManager::new();
+        let vars = m.add_vars(40);
+        // Build a chain x0 & x1 & ... forcing many nodes in low subtables.
+        let mut f = Bdd::ONE;
+        for &v in vars.iter().rev() {
+            f = m.mk(v.0, f, Bdd::ZERO).unwrap();
+        }
+        let mut g = Bdd::ONE;
+        for &v in vars.iter().rev() {
+            g = m.mk(v.0, g, Bdd::ZERO).unwrap();
+        }
+        assert_eq!(f, g);
+    }
+}

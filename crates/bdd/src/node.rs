@@ -1,0 +1,125 @@
+//! BDD handles and node storage.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A handle to a BDD function: a node index plus a complement bit.
+///
+/// Complement edges halve the node count and make negation free, at the
+/// price of the canonical-form rule that a node's *high* edge is never
+/// complemented. [`Bdd::ONE`] and [`Bdd::ZERO`] are the two polarities of
+/// the single terminal node.
+///
+/// Handles are only meaningful together with the [`BddManager`] that
+/// created them.
+///
+/// [`BddManager`]: crate::BddManager
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-true function.
+    pub const ONE: Bdd = Bdd(0);
+    /// The constant-false function.
+    pub const ZERO: Bdd = Bdd(1);
+
+    #[inline]
+    pub(crate) fn new(index: u32, complement: bool) -> Bdd {
+        Bdd((index << 1) | complement as u32)
+    }
+
+    /// The node index this handle points at.
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the edge carries a complement.
+    #[inline]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether this handle is one of the two constants.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.index() == 0
+    }
+
+    /// Complements the handle iff `c` is true.
+    #[inline]
+    pub fn complement_if(self, c: bool) -> Bdd {
+        Bdd(self.0 ^ c as u32)
+    }
+
+    /// Strips the complement bit (the "regular" version of the edge).
+    #[inline]
+    pub(crate) fn regular(self) -> Bdd {
+        Bdd(self.0 & !1)
+    }
+}
+
+impl Not for Bdd {
+    type Output = Bdd;
+    #[inline]
+    fn not(self) -> Bdd {
+        Bdd(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Bdd::ONE {
+            write!(f, "⊤")
+        } else if *self == Bdd::ZERO {
+            write!(f, "⊥")
+        } else if self.is_complemented() {
+            write!(f, "!n{}", self.index())
+        } else {
+            write!(f, "n{}", self.index())
+        }
+    }
+}
+
+/// A BDD variable identifier. Variable ids are stable; their *position* in
+/// the order may change under dynamic reordering.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddVar(pub(crate) u32);
+
+impl BddVar {
+    /// The raw id of this variable.
+    #[inline]
+    pub fn id(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a variable handle from a raw id. The id must have been
+    /// produced by [`BddManager::add_var`](crate::BddManager::add_var).
+    #[inline]
+    pub fn from_id(id: usize) -> BddVar {
+        BddVar(id as u32)
+    }
+}
+
+impl fmt::Debug for BddVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Variable id stored in the terminal node.
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+/// End-of-chain marker in unique-table buckets.
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// A stored BDD node: `f = var · high + ¬var · low`, `high` never
+/// complemented.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct NodeData {
+    pub var: u32,
+    pub high: Bdd,
+    pub low: Bdd,
+    /// Next node in the unique-table bucket chain (NIL-terminated), or the
+    /// next slot in the free list for dead nodes.
+    pub next: u32,
+}

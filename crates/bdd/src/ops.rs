@@ -1,0 +1,253 @@
+//! Boolean operations: `ite` and the operators derived from it.
+
+use crate::cache::OP_ITE;
+use crate::manager::{BddManager, BddResult};
+use crate::node::Bdd;
+
+impl BddManager {
+    /// If-then-else: `f·g + ¬f·h`. The universal BDD operation; all binary
+    /// operators are thin wrappers around it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`](crate::BddOverflow) if the node limit is
+    /// exceeded.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> BddResult {
+        // Terminal and absorption rules.
+        if f == Bdd::ONE {
+            return Ok(g);
+        }
+        if f == Bdd::ZERO {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == Bdd::ONE && h == Bdd::ZERO {
+            return Ok(f);
+        }
+        if g == Bdd::ZERO && h == Bdd::ONE {
+            return Ok(!f);
+        }
+        let (f, g, h) = if f == g {
+            (f, Bdd::ONE, h)
+        } else if f == !g {
+            (f, Bdd::ZERO, h)
+        } else if f == h {
+            (f, g, Bdd::ZERO)
+        } else if f == !h {
+            (f, g, Bdd::ONE)
+        } else {
+            (f, g, h)
+        };
+        // Re-check terminal forms exposed by the rewrite.
+        if g == Bdd::ONE && h == Bdd::ZERO {
+            return Ok(f);
+        }
+        if g == Bdd::ZERO && h == Bdd::ONE {
+            return Ok(!f);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        // Canonicalize complements for better cache utilization:
+        // ite(!f, g, h) = ite(f, h, g); ite(f, !g, !h) = !ite(f, g, h).
+        let (f, g, h) = if f.is_complemented() { (!f, h, g) } else { (f, g, h) };
+        let (g, h, flip) = if g.is_complemented() {
+            (!g, !h, true)
+        } else {
+            (g, h, false)
+        };
+        if let Some(r) = self.cache.get(OP_ITE, f, g, h) {
+            return Ok(r.complement_if(flip));
+        }
+        let level = self.level(f).min(self.level(g)).min(self.level(h));
+        let var = self.var_at_level[level];
+        let (f1, f0) = self.cofactors_at(f, level);
+        let (g1, g0) = self.cofactors_at(g, level);
+        let (h1, h0) = self.cofactors_at(h, level);
+        let t = self.ite(f1, g1, h1)?;
+        let e = self.ite(f0, g0, h0)?;
+        let r = self.mk(var, t, e)?;
+        self.cache.put(OP_ITE, f, g, h, r);
+        Ok(r.complement_if(flip))
+    }
+
+    /// Conjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`](crate::BddOverflow) on node-limit overflow
+    /// (as do all the operators below).
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> BddResult {
+        self.ite(f, g, Bdd::ZERO)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> BddResult {
+        self.ite(f, Bdd::ONE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> BddResult {
+        self.ite(f, !g, g)
+    }
+
+    /// Equivalence (biconditional).
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> BddResult {
+        self.ite(f, g, !g)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> BddResult {
+        self.ite(f, g, Bdd::ONE)
+    }
+
+    /// Balanced conjunction of a slice.
+    pub fn and_many(&mut self, fs: &[Bdd]) -> BddResult {
+        match fs {
+            [] => Ok(Bdd::ONE),
+            [f] => Ok(*f),
+            _ => {
+                let (lo, hi) = fs.split_at(fs.len() / 2);
+                let a = self.and_many(lo)?;
+                if a == Bdd::ZERO {
+                    return Ok(Bdd::ZERO);
+                }
+                let b = self.and_many(hi)?;
+                self.and(a, b)
+            }
+        }
+    }
+
+    /// Balanced disjunction of a slice.
+    pub fn or_many(&mut self, fs: &[Bdd]) -> BddResult {
+        match fs {
+            [] => Ok(Bdd::ZERO),
+            [f] => Ok(*f),
+            _ => {
+                let (lo, hi) = fs.split_at(fs.len() / 2);
+                let a = self.or_many(lo)?;
+                if a == Bdd::ONE {
+                    return Ok(Bdd::ONE);
+                }
+                let b = self.or_many(hi)?;
+                self.or(a, b)
+            }
+        }
+    }
+
+    /// Whether `f → g` is a tautology (checked without building the
+    /// implication: `f ∧ ¬g = ⊥`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`](crate::BddOverflow) on node-limit overflow.
+    pub fn leq(&mut self, f: Bdd, g: Bdd) -> Result<bool, crate::BddOverflow> {
+        Ok(self.and(f, !g)? == Bdd::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BddVar;
+
+    fn setup(n: usize) -> (BddManager, Vec<BddVar>) {
+        let mut m = BddManager::new();
+        let vars = m.add_vars(n);
+        (m, vars)
+    }
+
+    /// Exhaustively compares a BDD against a truth-table oracle.
+    fn check_tt(m: &BddManager, f: Bdd, n: usize, oracle: impl Fn(&[bool]) -> bool) {
+        for bits in 0..1u32 << n {
+            let asg: Vec<bool> = (0..n).map(|i| bits >> i & 1 != 0).collect();
+            assert_eq!(m.eval(f, &asg), oracle(&asg), "assignment {asg:?}");
+        }
+    }
+
+    #[test]
+    fn ite_basic_identities() {
+        let (mut m, v) = setup(2);
+        let x = m.var(v[0]);
+        let y = m.var(v[1]);
+        assert_eq!(m.ite(Bdd::ONE, x, y).unwrap(), x);
+        assert_eq!(m.ite(Bdd::ZERO, x, y).unwrap(), y);
+        assert_eq!(m.ite(x, Bdd::ONE, Bdd::ZERO).unwrap(), x);
+        assert_eq!(m.ite(x, Bdd::ZERO, Bdd::ONE).unwrap(), !x);
+        assert_eq!(m.ite(x, y, y).unwrap(), y);
+    }
+
+    #[test]
+    fn demorgan_is_pointer_equality() {
+        let (mut m, v) = setup(2);
+        let x = m.var(v[0]);
+        let y = m.var(v[1]);
+        let a = m.and(x, y).unwrap();
+        let o = m.or(!x, !y).unwrap();
+        assert_eq!(a, !o);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let (mut m, v) = setup(3);
+        let x = m.var(v[0]);
+        let y = m.var(v[1]);
+        let z = m.var(v[2]);
+        let xy = m.xor(x, y).unwrap();
+        let f = m.xor(xy, z).unwrap();
+        check_tt(&m, f, 3, |a| a[0] ^ a[1] ^ a[2]);
+    }
+
+    #[test]
+    fn majority_truth_table() {
+        let (mut m, v) = setup(3);
+        let x = m.var(v[0]);
+        let y = m.var(v[1]);
+        let z = m.var(v[2]);
+        let xy = m.and(x, y).unwrap();
+        let xz = m.and(x, z).unwrap();
+        let yz = m.and(y, z).unwrap();
+        let t = m.or(xy, xz).unwrap();
+        let f = m.or(t, yz).unwrap();
+        check_tt(&m, f, 3, |a| {
+            (a[0] & a[1]) | (a[0] & a[2]) | (a[1] & a[2])
+        });
+    }
+
+    #[test]
+    fn and_or_many() {
+        let (mut m, v) = setup(5);
+        let lits: Vec<Bdd> = v.iter().map(|&x| m.var(x)).collect();
+        let f = m.and_many(&lits).unwrap();
+        check_tt(&m, f, 5, |a| a.iter().all(|&b| b));
+        let g = m.or_many(&lits).unwrap();
+        check_tt(&m, g, 5, |a| a.iter().any(|&b| b));
+        assert_eq!(m.and_many(&[]).unwrap(), Bdd::ONE);
+        assert_eq!(m.or_many(&[]).unwrap(), Bdd::ZERO);
+    }
+
+    #[test]
+    fn leq_detects_implication() {
+        let (mut m, v) = setup(2);
+        let x = m.var(v[0]);
+        let y = m.var(v[1]);
+        let a = m.and(x, y).unwrap();
+        assert!(m.leq(a, x).unwrap());
+        assert!(!m.leq(x, a).unwrap());
+        assert!(m.leq(Bdd::ZERO, a).unwrap());
+        assert!(m.leq(a, Bdd::ONE).unwrap());
+    }
+
+    #[test]
+    fn cache_effectiveness() {
+        let (mut m, v) = setup(10);
+        let lits: Vec<Bdd> = v.iter().map(|&x| m.var(x)).collect();
+        let f = m.and_many(&lits).unwrap();
+        let g = m.and_many(&lits).unwrap();
+        assert_eq!(f, g);
+        let (hits, _) = m.cache_stats();
+        assert!(hits > 0 || m.live_nodes() > 0);
+    }
+}

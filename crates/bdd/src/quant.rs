@@ -1,0 +1,200 @@
+//! Quantification: `exists`, `forall`, and the fused relational product
+//! `and_exists` used by image computation.
+
+use crate::cache::{OP_AND_EXISTS, OP_EXISTS};
+use crate::manager::{BddManager, BddResult};
+use crate::node::{Bdd, BddVar};
+
+impl BddManager {
+    /// Builds the positive cube `v₁ ∧ v₂ ∧ …` over a set of variables,
+    /// the canonical representation of a quantification set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`](crate::BddOverflow) on node-limit overflow
+    /// (as do all quantification operations).
+    pub fn cube(&mut self, vars: &[BddVar]) -> BddResult {
+        let mut sorted: Vec<BddVar> = vars.to_vec();
+        sorted.sort_by_key(|v| std::cmp::Reverse(self.level_of(*v)));
+        let mut c = Bdd::ONE;
+        for v in sorted {
+            c = self.mk(v.0, c, Bdd::ZERO)?;
+        }
+        Ok(c)
+    }
+
+    /// Existential quantification: `∃ vars . f`.
+    pub fn exists(&mut self, f: Bdd, vars: &[BddVar]) -> BddResult {
+        let cube = self.cube(vars)?;
+        self.exists_cube(f, cube)
+    }
+
+    /// Universal quantification: `∀ vars . f`.
+    pub fn forall(&mut self, f: Bdd, vars: &[BddVar]) -> BddResult {
+        let cube = self.cube(vars)?;
+        Ok(!self.exists_cube(!f, cube)?)
+    }
+
+    /// Existential quantification with a pre-built positive cube.
+    pub fn exists_cube(&mut self, f: Bdd, cube: Bdd) -> BddResult {
+        if f.is_const() || cube == Bdd::ONE {
+            return Ok(f);
+        }
+        // Skip cube variables above f's top variable.
+        let lf = self.level(f);
+        let mut c = cube;
+        while c != Bdd::ONE && self.level(c) < lf {
+            c = self.cofactors(c).0;
+        }
+        if c == Bdd::ONE {
+            return Ok(f);
+        }
+        if let Some(r) = self.cache.get(OP_EXISTS, f, c, Bdd::ONE) {
+            return Ok(r);
+        }
+        let (f1, f0) = self.cofactors(f);
+        let r = if self.level(c) == lf {
+            let rest = self.cofactors(c).0;
+            let r0 = self.exists_cube(f0, rest)?;
+            if r0 == Bdd::ONE {
+                Bdd::ONE
+            } else {
+                let r1 = self.exists_cube(f1, rest)?;
+                self.or(r0, r1)?
+            }
+        } else {
+            let var = self.top_var(f);
+            let r1 = self.exists_cube(f1, c)?;
+            let r0 = self.exists_cube(f0, c)?;
+            self.mk(var.0, r1, r0)?
+        };
+        self.cache.put(OP_EXISTS, f, c, Bdd::ONE, r);
+        Ok(r)
+    }
+
+    /// The relational product `∃ cube . f ∧ g`, computed without building
+    /// the full conjunction — the key primitive of symbolic image
+    /// computation.
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> BddResult {
+        if f == Bdd::ZERO || g == Bdd::ZERO || f == !g {
+            return Ok(Bdd::ZERO);
+        }
+        if f == Bdd::ONE || f == g {
+            return self.exists_cube(g, cube);
+        }
+        if g == Bdd::ONE {
+            return self.exists_cube(f, cube);
+        }
+        let top = self.level(f).min(self.level(g));
+        let mut c = cube;
+        while c != Bdd::ONE && self.level(c) < top {
+            c = self.cofactors(c).0;
+        }
+        if c == Bdd::ONE {
+            return self.and(f, g);
+        }
+        // Normalize operand order for the cache.
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        if let Some(r) = self.cache.get(OP_AND_EXISTS, f, g, c) {
+            return Ok(r);
+        }
+        let (f1, f0) = self.cofactors_at(f, top);
+        let (g1, g0) = self.cofactors_at(g, top);
+        let r = if self.level(c) == top {
+            let rest = self.cofactors(c).0;
+            let r0 = self.and_exists(f0, g0, rest)?;
+            if r0 == Bdd::ONE {
+                Bdd::ONE
+            } else {
+                let r1 = self.and_exists(f1, g1, rest)?;
+                self.or(r0, r1)?
+            }
+        } else {
+            let var = self.var_at_level[top];
+            let r1 = self.and_exists(f1, g1, c)?;
+            let r0 = self.and_exists(f0, g0, c)?;
+            self.mk(var, r1, r0)?
+        };
+        self.cache.put(OP_AND_EXISTS, f, g, c, r);
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exists_removes_support() {
+        let mut m = BddManager::new();
+        let v = m.add_vars(3);
+        let x = m.var(v[0]);
+        let y = m.var(v[1]);
+        let z = m.var(v[2]);
+        let xy = m.and(x, y).unwrap();
+        let f = m.or(xy, z).unwrap();
+        let e = m.exists(f, &[v[1]]).unwrap();
+        // ∃y. xy + z = x + z
+        let expect = m.or(x, z).unwrap();
+        assert_eq!(e, expect);
+        assert!(m.support(e).iter().all(|&s| s != v[1]));
+    }
+
+    #[test]
+    fn forall_is_dual() {
+        let mut m = BddManager::new();
+        let v = m.add_vars(2);
+        let x = m.var(v[0]);
+        let y = m.var(v[1]);
+        let f = m.or(x, y).unwrap();
+        // ∀y. x + y = x
+        assert_eq!(m.forall(f, &[v[1]]).unwrap(), x);
+        // ∀y. x·y = 0
+        let g = m.and(x, y).unwrap();
+        assert_eq!(m.forall(g, &[v[1]]).unwrap(), Bdd::ZERO);
+    }
+
+    #[test]
+    fn exists_multiple_vars() {
+        let mut m = BddManager::new();
+        let v = m.add_vars(4);
+        let lits: Vec<Bdd> = v.iter().map(|&x| m.var(x)).collect();
+        let f = m.and_many(&lits).unwrap();
+        let e = m.exists(f, &v[1..3]).unwrap();
+        let expect = m.and(lits[0], lits[3]).unwrap();
+        assert_eq!(e, expect);
+        // Quantifying everything in a satisfiable function yields ONE.
+        assert_eq!(m.exists(f, &v).unwrap(), Bdd::ONE);
+        assert_eq!(m.exists(Bdd::ZERO, &v).unwrap(), Bdd::ZERO);
+    }
+
+    #[test]
+    fn and_exists_matches_composition() {
+        let mut m = BddManager::new();
+        let v = m.add_vars(5);
+        // f = (x0 ^ x1) | x2 ; g = (x1 & x3) | x4 ; quantify {x1, x3}
+        let x: Vec<Bdd> = v.iter().map(|&w| m.var(w)).collect();
+        let t = m.xor(x[0], x[1]).unwrap();
+        let f = m.or(t, x[2]).unwrap();
+        let u = m.and(x[1], x[3]).unwrap();
+        let g = m.or(u, x[4]).unwrap();
+        let cube = m.cube(&[v[1], v[3]]).unwrap();
+        let fused = m.and_exists(f, g, cube).unwrap();
+        let conj = m.and(f, g).unwrap();
+        let split = m.exists(conj, &[v[1], v[3]]).unwrap();
+        assert_eq!(fused, split);
+    }
+
+    #[test]
+    fn cube_is_sorted_conjunction() {
+        let mut m = BddManager::new();
+        let v = m.add_vars(3);
+        let c1 = m.cube(&[v[2], v[0]]).unwrap();
+        let c2 = m.cube(&[v[0], v[2]]).unwrap();
+        assert_eq!(c1, c2);
+        let x0 = m.var(v[0]);
+        let x2 = m.var(v[2]);
+        let expect = m.and(x0, x2).unwrap();
+        assert_eq!(c1, expect);
+    }
+}

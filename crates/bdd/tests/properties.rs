@@ -1,0 +1,249 @@
+//! Property-based tests: every BDD operation must agree with a
+//! truth-table oracle on random boolean expressions, and GC/reordering
+//! must never change the function of a live root.
+
+use proptest::prelude::*;
+use sec_bdd::{Bdd, BddManager, BddVar};
+
+const NVARS: usize = 5;
+
+/// A random boolean expression over `NVARS` variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Const(bool),
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, asg: &[bool]) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Var(i) => asg[*i],
+            Expr::Not(e) => !e.eval(asg),
+            Expr::And(a, b) => a.eval(asg) && b.eval(asg),
+            Expr::Or(a, b) => a.eval(asg) || b.eval(asg),
+            Expr::Xor(a, b) => a.eval(asg) ^ b.eval(asg),
+            Expr::Ite(c, t, e) => {
+                if c.eval(asg) {
+                    t.eval(asg)
+                } else {
+                    e.eval(asg)
+                }
+            }
+        }
+    }
+
+    fn build(&self, m: &mut BddManager, vars: &[BddVar]) -> Bdd {
+        match self {
+            Expr::Const(true) => Bdd::ONE,
+            Expr::Const(false) => Bdd::ZERO,
+            Expr::Var(i) => m.var(vars[*i]),
+            Expr::Not(e) => !e.build(m, vars),
+            Expr::And(a, b) => {
+                let x = a.build(m, vars);
+                let y = b.build(m, vars);
+                m.and(x, y).unwrap()
+            }
+            Expr::Or(a, b) => {
+                let x = a.build(m, vars);
+                let y = b.build(m, vars);
+                m.or(x, y).unwrap()
+            }
+            Expr::Xor(a, b) => {
+                let x = a.build(m, vars);
+                let y = b.build(m, vars);
+                m.xor(x, y).unwrap()
+            }
+            Expr::Ite(c, t, e) => {
+                let x = c.build(m, vars);
+                let y = t.build(m, vars);
+                let z = e.build(m, vars);
+                m.ite(x, y, z).unwrap()
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (0..NVARS).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..1u32 << NVARS).map(|bits| (0..NVARS).map(|i| bits >> i & 1 != 0).collect())
+}
+
+proptest! {
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let vars = m.add_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        for asg in assignments() {
+            prop_assert_eq!(m.eval(f, &asg), e.eval(&asg));
+        }
+        prop_assert!(m.check_canonical());
+    }
+
+    #[test]
+    fn gc_preserves_live_roots(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut m = BddManager::new();
+        let vars = m.add_vars(NVARS);
+        let f = e1.build(&mut m, &vars);
+        let _dead = e2.build(&mut m, &vars);
+        let expect: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
+        m.gc(&[f]);
+        let got: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
+        prop_assert_eq!(got, expect);
+        // The manager stays fully functional after GC.
+        let g = m.and(f, m.var(vars[0])).unwrap();
+        for a in assignments() {
+            prop_assert_eq!(m.eval(g, &a), m.eval(f, &a) && a[0]);
+        }
+    }
+
+    #[test]
+    fn sift_preserves_functions(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut m = BddManager::new();
+        let vars = m.add_vars(NVARS);
+        let f = e1.build(&mut m, &vars);
+        let g = e2.build(&mut m, &vars);
+        let ef: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
+        let eg: Vec<bool> = assignments().map(|a| m.eval(g, &a)).collect();
+        m.sift(&[f, g], 2.0);
+        prop_assert!(m.check_canonical());
+        let gf: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
+        let gg: Vec<bool> = assignments().map(|a| m.eval(g, &a)).collect();
+        prop_assert_eq!(gf, ef);
+        prop_assert_eq!(gg, eg);
+    }
+
+    #[test]
+    fn random_swaps_preserve_functions(e in arb_expr(), swaps in proptest::collection::vec(0..NVARS - 1, 0..12)) {
+        let mut m = BddManager::new();
+        let vars = m.add_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        let expect: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
+        for s in swaps {
+            m.swap_levels(s);
+            prop_assert!(m.check_canonical());
+        }
+        let got: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn exists_quantifies(e in arb_expr(), v in 0..NVARS) {
+        let mut m = BddManager::new();
+        let vars = m.add_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        let ex = m.exists(f, &[vars[v]]).unwrap();
+        let fa = m.forall(f, &[vars[v]]).unwrap();
+        for mut asg in assignments() {
+            asg[v] = false;
+            let lo = e.eval(&asg);
+            asg[v] = true;
+            let hi = e.eval(&asg);
+            prop_assert_eq!(m.eval(ex, &asg), lo || hi);
+            prop_assert_eq!(m.eval(fa, &asg), lo && hi);
+        }
+    }
+
+    #[test]
+    fn compose_substitutes(e in arb_expr(), g in arb_expr(), v in 0..NVARS) {
+        let mut m = BddManager::new();
+        let vars = m.add_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        let gb = g.build(&mut m, &vars);
+        let mut s = sec_bdd::Substitution::new();
+        s.set(vars[v], gb);
+        let fc = m.compose(f, &s).unwrap();
+        for mut asg in assignments() {
+            let gv = g.eval(&asg);
+            let orig = asg[v];
+            asg[v] = gv;
+            let expect = e.eval(&asg);
+            asg[v] = orig;
+            prop_assert_eq!(m.eval(fc, &asg), expect);
+        }
+    }
+
+    #[test]
+    fn sat_count_matches_enumeration(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let vars = m.add_vars(NVARS);
+        let f = e.build(&mut m, &vars);
+        let expect = assignments().filter(|a| e.eval(a)).count();
+        prop_assert_eq!(m.sat_count(f, NVARS) as usize, expect);
+        if expect > 0 {
+            let w = m.satisfy_one_total(f).unwrap();
+            prop_assert!(m.eval(f, &w));
+        } else {
+            prop_assert!(m.satisfy_one(f).is_none());
+        }
+    }
+
+    #[test]
+    fn and_exists_fused_equals_split(e1 in arb_expr(), e2 in arb_expr(), v1 in 0..NVARS, v2 in 0..NVARS) {
+        let mut m = BddManager::new();
+        let vars = m.add_vars(NVARS);
+        let f = e1.build(&mut m, &vars);
+        let g = e2.build(&mut m, &vars);
+        let qs = if v1 == v2 { vec![vars[v1]] } else { vec![vars[v1], vars[v2]] };
+        let cube = m.cube(&qs).unwrap();
+        let fused = m.and_exists(f, g, cube).unwrap();
+        let conj = m.and(f, g).unwrap();
+        let split = m.exists(conj, &qs).unwrap();
+        prop_assert_eq!(fused, split);
+    }
+}
+
+/// The manager must remain consistent after an overflow: collect and
+/// continue.
+#[test]
+fn overflow_recovery() {
+    use sec_bdd::BddManager;
+    let mut m = BddManager::with_node_limit(40);
+    let vars = m.add_vars(12);
+    // Build until something overflows.
+    let mut f = m.var(vars[0]);
+    let mut overflowed = false;
+    for &v in &vars[1..] {
+        match m.xor(f, m.var(v)) {
+            Ok(g) => f = g,
+            Err(_) => {
+                overflowed = true;
+                break;
+            }
+        }
+    }
+    assert!(overflowed, "limit of 40 nodes must be hit");
+    // GC with the last good root; the manager stays usable.
+    m.gc(&[f]);
+    assert!(m.check_canonical());
+    let g = m.and(f, m.var(vars[1])).unwrap();
+    let mut asg = vec![false; 12];
+    asg[0] = true;
+    asg[1] = true;
+    assert_eq!(m.eval(g, &asg), m.eval(f, &asg));
+}

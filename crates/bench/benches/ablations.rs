@@ -1,0 +1,106 @@
+//! Ablation benchmarks of the verification engine itself:
+//!
+//! * **A** — random-simulation seeding on/off (paper Sec. 4);
+//! * **B** — BDD vs SAT backend (paper Sec. 6 outlook);
+//! * **C** — functional-dependency substitution on/off (paper Sec. 4);
+//! * state-depth independence — counter width sweep (the property that
+//!   gives the paper its title).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sec_core::{Backend, Checker, Options, Verdict};
+use sec_gen::{counter, mixed, CounterKind};
+use sec_netlist::Aig;
+use sec_synth::{pipeline, PipelineOptions};
+
+fn check(spec: &Aig, imp: &Aig, opts: Options) {
+    let r = Checker::new(spec, imp, opts).unwrap().run();
+    assert_eq!(r.verdict, Verdict::Equivalent);
+}
+
+fn bench_state_depth_independence(c: &mut Criterion) {
+    // The run time of the proposed method must stay flat as the state
+    // space deepens exponentially (2^8 → 2^24 states).
+    let mut g = c.benchmark_group("engine_counter_width");
+    for w in [8usize, 16, 24] {
+        let spec = counter(w, CounterKind::Binary);
+        let imp = pipeline(&spec, &PipelineOptions::retime_only(), 5);
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| check(&spec, &imp, Options::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let spec = mixed(40, 9);
+    let imp = pipeline(&spec, &PipelineOptions::default(), 11);
+    let mut g = c.benchmark_group("engine_backend");
+    for backend in [Backend::Bdd, Backend::Sat] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{backend:?}")),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    check(
+                        &spec,
+                        &imp,
+                        Options {
+                            backend,
+                            ..Options::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_sim_seeding(c: &mut Criterion) {
+    let spec = mixed(40, 9);
+    let imp = pipeline(&spec, &PipelineOptions::retime_only(), 13);
+    let mut g = c.benchmark_group("engine_sim_seeding");
+    for (name, cycles) in [("on", 16usize), ("off", 0)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cycles, |b, &cycles| {
+            b.iter(|| {
+                check(
+                    &spec,
+                    &imp,
+                    Options {
+                        sim_cycles: cycles,
+                        ..Options::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_functional_deps(c: &mut Criterion) {
+    let spec = mixed(40, 9);
+    let imp = pipeline(&spec, &PipelineOptions::default(), 17);
+    let mut g = c.benchmark_group("engine_funcdep");
+    for (name, fd) in [("on", true), ("off", false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &fd, |b, &fd| {
+            b.iter(|| {
+                check(
+                    &spec,
+                    &imp,
+                    Options {
+                        functional_deps: fd,
+                        ..Options::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_state_depth_independence, bench_backends, bench_sim_seeding, bench_functional_deps
+}
+criterion_main!(benches);

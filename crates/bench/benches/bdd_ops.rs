@@ -1,0 +1,125 @@
+//! Microbenchmarks of the BDD substrate: construction, quantification,
+//! composition and reordering — the primitive costs behind every number
+//! in Table 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sec_bdd::{Bdd, BddManager, BddVar, Substitution};
+
+/// Builds the equality function over 2k variables with an interleaved
+/// order (linear-size BDD).
+fn equality(m: &mut BddManager, k: usize) -> (Bdd, Vec<BddVar>, Vec<BddVar>) {
+    let mut xs = Vec::with_capacity(k);
+    let mut ys = Vec::with_capacity(k);
+    for _ in 0..k {
+        xs.push(m.add_var());
+        ys.push(m.add_var());
+    }
+    let mut f = Bdd::ONE;
+    for i in 0..k {
+        let e = m.xnor(m.var(xs[i]), m.var(ys[i])).unwrap();
+        f = m.and(f, e).unwrap();
+    }
+    (f, xs, ys)
+}
+
+/// The same function under the worst (separated) order — exponential
+/// size; used to give sifting something to chew on.
+fn equality_separated(m: &mut BddManager, k: usize) -> Bdd {
+    let xs = m.add_vars(k);
+    let ys = m.add_vars(k);
+    let mut f = Bdd::ONE;
+    for i in 0..k {
+        let e = m.xnor(m.var(xs[i]), m.var(ys[i])).unwrap();
+        f = m.and(f, e).unwrap();
+    }
+    f
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bdd_build_equality");
+    for k in [8usize, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut m = BddManager::new();
+                let (f, ..) = equality(&mut m, k);
+                std::hint::black_box(f);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_exists(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bdd_exists");
+    for k in [8usize, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut m = BddManager::new();
+            let (f, xs, _) = equality(&mut m, k);
+            b.iter(|| {
+                m.clear_cache();
+                std::hint::black_box(m.exists(f, &xs[..k / 2]).unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bdd_compose");
+    for k in [8usize, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut m = BddManager::new();
+            let (f, xs, ys) = equality(&mut m, k);
+            // Substitute each x_i by x_i ^ y_i.
+            let mut s = Substitution::new();
+            for i in 0..k {
+                let x = m.var(xs[i]);
+                let y = m.var(ys[i]);
+                let g = m.xor(x, y).unwrap();
+                s.set(xs[i], g);
+            }
+            b.iter(|| std::hint::black_box(m.compose(f, &s).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sift(c: &mut Criterion) {
+    c.bench_function("bdd_sift_separated_equality_8", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            // Worst order: all xs before all ys.
+            let f = equality_separated(&mut m, 8);
+            std::hint::black_box(m.sift(&[f], 2.0));
+        })
+    });
+}
+
+fn bench_and_exists(c: &mut Criterion) {
+    c.bench_function("bdd_and_exists_16", |b| {
+        let mut m = BddManager::new();
+        let (f, xs, ys) = equality(&mut m, 16);
+        let g2 = {
+            let mut acc = Bdd::ZERO;
+            for i in 0..16 {
+                let x = m.var(xs[i]);
+                let y = m.var(ys[(i + 1) % 16]);
+                let t = m.and(x, y).unwrap();
+                acc = m.or(acc, t).unwrap();
+            }
+            acc
+        };
+        let cube = m.cube(&xs).unwrap();
+        b.iter(|| {
+            m.clear_cache();
+            std::hint::black_box(m.and_exists(f, g2, cube).unwrap());
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build, bench_exists, bench_compose, bench_sift, bench_and_exists
+}
+criterion_main!(benches);

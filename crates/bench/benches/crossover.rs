@@ -1,0 +1,41 @@
+//! The crossover between exact traversal and signal correspondence: on
+//! shallow state spaces the complete method is competitive; as the
+//! counter widens the traversal cost explodes with the state depth while
+//! the proposed method stays flat — Table 1's qualitative story as a
+//! parameter sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sec_core::{Checker, Options, Verdict};
+use sec_gen::{counter, CounterKind};
+use sec_synth::{pipeline, PipelineOptions};
+use sec_traversal::{check_equivalence, TraversalOptions, TraversalOutcome};
+use std::time::Duration;
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crossover_counter");
+    g.sample_size(10);
+    for w in [4usize, 6, 8, 10] {
+        let spec = counter(w, CounterKind::Binary);
+        let imp = pipeline(&spec, &PipelineOptions::retime_only(), 3);
+        g.bench_with_input(BenchmarkId::new("traversal", w), &w, |b, _| {
+            let opts = TraversalOptions {
+                timeout: Some(Duration::from_secs(60)),
+                ..TraversalOptions::default()
+            };
+            b.iter(|| {
+                let (out, _) = check_equivalence(&spec, &imp, &opts).unwrap();
+                assert!(matches!(out, TraversalOutcome::Equivalent));
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("proposed", w), &w, |b, _| {
+            b.iter(|| {
+                let r = Checker::new(&spec, &imp, Options::default()).unwrap().run();
+                assert_eq!(r.verdict, Verdict::Equivalent);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Microbenchmarks of the SAT solver and the bit-parallel simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sec_gen::{mixed, CounterKind};
+use sec_netlist::Aig;
+use sec_sat::{AigCnf, SatLit, SatResult, Solver};
+use sec_sim::{BitSim, Signatures};
+
+#[allow(clippy::needless_range_loop)] // j indexes across two rows
+fn pigeonhole(n: usize) -> Solver {
+    // n pigeons, n-1 holes: classic hard UNSAT family.
+    let mut s = Solver::new();
+    let p: Vec<Vec<SatLit>> = (0..n)
+        .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for row in &p {
+        s.add_clause(row);
+    }
+    for j in 0..n - 1usize {
+        for a in 0..n {
+            for b in a + 1..n {
+                let (ca, cb) = (p[a][j], p[b][j]);
+                s.add_clause(&[!ca, !cb]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_pigeonhole");
+    for n in [6usize, 7, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole(n);
+                assert_eq!(s.solve(), SatResult::Unsat);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_miter_queries(c: &mut Criterion) {
+    // Equivalence queries on a restructured circuit: the workload of the
+    // SAT backend's per-pair checks.
+    c.bench_function("sat_miter_unsat_queries", |b| {
+        let spec = mixed(20, 3);
+        let imp = sec_synth::reassociate(&spec, 0.8, 7);
+        let pm = sec_netlist::ProductMachine::build(&spec, &imp).unwrap();
+        b.iter(|| {
+            let mut solver = Solver::new();
+            let cnf = AigCnf::encode(&mut solver, &pm.aig);
+            for &(s, i) in &pm.output_pairs {
+                let d = cnf.make_diff(&mut solver, s, i);
+                // Combinationally the outputs differ for *some* state, so
+                // just exercise the query path.
+                let _ = solver.solve_with_assumptions(&[d]);
+            }
+        })
+    });
+}
+
+fn bench_bitsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    for regs in [50usize, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(regs), &regs, |b, &regs| {
+            let aig: Aig = mixed(regs, 1);
+            let mut sim = BitSim::new(&aig, 4);
+            sim.reset(&aig);
+            b.iter(|| {
+                sim.eval(&aig);
+                sim.latch_step(&aig);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    c.bench_function("sim_signatures_mixed100", |b| {
+        let aig = mixed(100, 5);
+        b.iter(|| {
+            let sigs = Signatures::collect(&aig, 16, 2, 1);
+            std::hint::black_box(sigs.partition(aig.vars()));
+        })
+    });
+    c.bench_function("sim_signatures_counter16", |b| {
+        let aig = sec_gen::counter(16, CounterKind::Binary);
+        b.iter(|| Signatures::collect(&aig, 16, 2, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pigeonhole, bench_miter_queries, bench_bitsim, bench_signatures
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Reproduces the paper's **Table 1**: every benchmark verified against
+//! its retimed-and-optimized version by (a) symbolic traversal of the
+//! product machine with register-correspondence collapsing, and (b) the
+//! proposed signal-correspondence method. Reports run time, peak BDD
+//! nodes, iteration counts (with retiming invocations in parentheses)
+//! and the percentage of matched specification signals.
+//!
+//! ```sh
+//! cargo run --release -p sec-bench --bin table1 -- [options]
+//!   --max-regs N        skip rows with more than N registers
+//!   --backend sat       SAT backend instead of BDDs (ablation B)
+//!   --no-sim-seed       disable simulation seeding (ablation A)
+//!   --no-funcdep        disable functional dependencies (ablation C)
+//!   --approx-reach      strengthen Q with approximate reachability
+//!   --skip-traversal    only run the proposed method
+//!   --timeout SECS      per-row budget for the proposed method
+//!   --trav-timeout SECS per-row budget for the baseline
+//!   --retime-only       instances without combinational optimization
+//! ```
+
+use sec_bench::{print_table, run_row, RunConfig};
+use sec_core::Backend;
+use sec_gen::iscas_alike_suite;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = RunConfig::default();
+    let mut max_regs = usize::MAX;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regs" => {
+                i += 1;
+                max_regs = args[i].parse().expect("--max-regs N");
+            }
+            "--backend" => {
+                i += 1;
+                cfg.backend = match args[i].as_str() {
+                    "sat" => Backend::Sat,
+                    "bdd" => Backend::Bdd,
+                    other => panic!("unknown backend `{other}`"),
+                };
+            }
+            "--no-sim-seed" => cfg.sim_seed = false,
+            "--no-funcdep" => cfg.functional_deps = false,
+            "--approx-reach" => cfg.approx_reach = true,
+            "--skip-traversal" => cfg.run_traversal = false,
+            "--retime-only" => cfg.optimize = false,
+            "--timeout" => {
+                i += 1;
+                cfg.timeout = Duration::from_secs(args[i].parse().expect("--timeout SECS"));
+            }
+            "--trav-timeout" => {
+                i += 1;
+                cfg.traversal_timeout =
+                    Duration::from_secs(args[i].parse().expect("--trav-timeout SECS"));
+            }
+            other => {
+                eprintln!("unknown option `{other}` (see the doc comment)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!(
+        "Table 1 reproduction — backend={:?} sim_seed={} funcdep={} optimize={}\n",
+        cfg.backend, cfg.sim_seed, cfg.functional_deps, cfg.optimize
+    );
+    let suite = iscas_alike_suite(max_regs);
+    let mut rows = Vec::with_capacity(suite.len());
+    for entry in &suite {
+        eprintln!("running {} ({} regs)...", entry.name, entry.aig.num_latches());
+        rows.push(run_row(entry, &cfg));
+    }
+    println!();
+    print_table(&rows);
+    println!(
+        "\nExpected shape (paper): traversal fails on deep/large rows (s838-style\n\
+         counters, wide mixed circuits); the proposed method proves everything\n\
+         except the multiplier-core rows s3384/s6669, which exhaust the BDD\n\
+         node budget exactly as in the original experiments."
+    );
+}

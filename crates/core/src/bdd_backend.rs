@@ -1,0 +1,454 @@
+//! The paper-faithful BDD backend of the greatest fixed-point iteration.
+//!
+//! Current-state functions `f_v(s, x_t)` and next-state functions
+//! `ν_v(s, x_t, x_{t+1}) = f_v(δ(s, x_t), x_{t+1})` are built as BDDs;
+//! each refinement round constructs the correspondence condition
+//! `Q_{T_i}` and splits classes whose members' next-state functions can
+//! disagree on a `Q`-satisfying point. Splitting is counterexample-guided:
+//! one satisfying assignment is simulated over two time frames and every
+//! class is refined by the resulting value vector.
+
+use crate::context::{Abort, Deadline};
+use crate::options::Options;
+use crate::partition::Partition;
+use sec_bdd::{Bdd, BddManager, BddVar, Substitution};
+use sec_netlist::{Aig, Node, Var};
+use sec_sim::{eval_single, next_state_single};
+
+/// Statistics of one fixed-point invocation.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct BddRunStats {
+    pub iterations: usize,
+    pub peak_nodes: usize,
+    /// Theorem-1 result: does `Q_msc ⇒ λ` hold at the fixed point?
+    pub outputs_ok: bool,
+}
+
+struct BddContext {
+    mgr: BddManager,
+    state_vars: Vec<BddVar>,
+    xt_vars: Vec<BddVar>,
+    xt1_vars: Vec<BddVar>,
+    /// Normalized current-state function per node (`f̂_v`).
+    fhat: Vec<Bdd>,
+    /// Normalized next-state function per node (`ν̂_v`).
+    nuhat: Vec<Bdd>,
+    /// δ_i(s, x_t) per latch.
+    delta: Vec<Bdd>,
+}
+
+impl BddContext {
+    fn build(
+        aig: &Aig,
+        partition: &Partition,
+        opts: &Options,
+        deadline: &Deadline,
+    ) -> Result<BddContext, Abort> {
+        let mut mgr = BddManager::with_node_limit(opts.node_limit);
+        // Order the state variables so that candidate-equivalent latches
+        // (same simulation class) are adjacent — the analogue of the
+        // corresponding-register interleaving every BDD-based checker
+        // relies on. Input variables follow, x_t/x_{t+1} interleaved.
+        let mut latch_order: Vec<usize> = (0..aig.num_latches()).collect();
+        latch_order.sort_by_key(|&i| {
+            let v = aig.latches()[i];
+            (partition.class_of(v).unwrap_or(usize::MAX), i)
+        });
+        let mut state_vars: Vec<BddVar> = vec![BddVar::from_id(0); aig.num_latches()];
+        for &i in &latch_order {
+            state_vars[i] = mgr.add_var();
+        }
+        let mut xt_vars = Vec::with_capacity(aig.num_inputs());
+        let mut xt1_vars = Vec::with_capacity(aig.num_inputs());
+        for _ in 0..aig.num_inputs() {
+            xt_vars.push(mgr.add_var());
+            xt1_vars.push(mgr.add_var());
+        }
+        // Current-state functions.
+        let mut f: Vec<Bdd> = vec![Bdd::ZERO; aig.num_nodes()];
+        for v in aig.vars() {
+            if v.index() % 1024 == 0 {
+                deadline.check()?;
+            }
+            f[v.index()] = match aig.node(v) {
+                Node::Const => Bdd::ZERO,
+                Node::Input { index } => mgr.var(xt_vars[*index as usize]),
+                Node::Latch { index, .. } => mgr.var(state_vars[*index as usize]),
+                Node::And { a, b } => {
+                    let fa = f[a.var().index()].complement_if(a.is_complemented());
+                    let fb = f[b.var().index()].complement_if(b.is_complemented());
+                    mgr.and(fa, fb)?
+                }
+            };
+        }
+        // Next-state functions: substitute δ for s and x_{t+1} for x_t.
+        let mut subst = Substitution::new();
+        let mut delta = Vec::with_capacity(aig.num_latches());
+        for (i, &l) in aig.latches().iter().enumerate() {
+            let next = aig.latch_next(l).expect("driven latch");
+            let d = f[next.var().index()].complement_if(next.is_complemented());
+            subst.set(state_vars[i], d);
+            delta.push(d);
+        }
+        for (j, &xv) in xt_vars.iter().enumerate() {
+            subst.set(xv, mgr.var(xt1_vars[j]));
+        }
+        // Compose in chunks with garbage collection in between: the bulk
+        // composition generates intermediate nodes far in excess of the
+        // live results, and nothing roots them while a single huge
+        // compose runs.
+        let mut nu: Vec<Bdd> = Vec::with_capacity(f.len());
+        for chunk in f.chunks(256) {
+            deadline.check()?;
+            nu.extend(mgr.compose_many(chunk, &subst)?);
+            if mgr.live_nodes() > opts.node_limit / 2 {
+                let mut roots: Vec<Bdd> = f.clone();
+                roots.extend_from_slice(&nu);
+                for (_, g) in subst.iter() {
+                    roots.push(g);
+                }
+                mgr.gc(&roots);
+            }
+        }
+
+        // Normalize by the reference-point phase.
+        let fhat: Vec<Bdd> = f
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b.complement_if(!partition.phase(Var::from_index(i))))
+            .collect();
+        let nuhat: Vec<Bdd> = nu
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b.complement_if(!partition.phase(Var::from_index(i))))
+            .collect();
+        Ok(BddContext {
+            mgr,
+            state_vars,
+            xt_vars,
+            xt1_vars,
+            fhat,
+            nuhat,
+            delta,
+        })
+    }
+
+    fn roots(&self) -> Vec<Bdd> {
+        self.fhat
+            .iter()
+            .chain(self.nuhat.iter())
+            .chain(self.delta.iter())
+            .copied()
+            .collect()
+    }
+
+    /// Reads the (state, x_t, x_{t+1}) vectors out of a BDD assignment.
+    fn split_assignment(&self, asg: &[bool]) -> (Vec<bool>, Vec<bool>, Vec<bool>) {
+        let s = self.state_vars.iter().map(|v| asg[v.id()]).collect();
+        let xt = self.xt_vars.iter().map(|v| asg[v.id()]).collect();
+        let xt1 = self.xt1_vars.iter().map(|v| asg[v.id()]).collect();
+        (s, xt, xt1)
+    }
+}
+
+/// Exact `T0` (paper Eq. 2): group class members by their function
+/// cofactored at the initial state — two signals stay together iff they
+/// agree *for every input* at `s0`.
+fn refine_t0(
+    ctx: &mut BddContext,
+    aig: &Aig,
+    partition: &mut Partition,
+) -> Result<bool, Abort> {
+    let mut subst = Substitution::new();
+    for (i, &l) in aig.latches().iter().enumerate() {
+        let init = aig.latch_init(l);
+        subst.set(
+            ctx.state_vars[i],
+            if init { Bdd::ONE } else { Bdd::ZERO },
+        );
+    }
+    let at_init = ctx.mgr.compose_many(&ctx.fhat, &subst)?;
+    let mut changed = false;
+    let class_ids: Vec<usize> = partition.multi_classes().collect();
+    for ci in class_ids {
+        changed |= partition.split_class_by_key(ci, |v| at_init[v.index()]);
+    }
+    Ok(changed)
+}
+
+/// Derives the functional-dependency substitution (paper Sec. 4): a state
+/// variable whose latch sits in a class represented by another signal is
+/// replaced by the representative's function, provided no circularity
+/// arises.
+fn funcdep_subst(
+    ctx: &BddContext,
+    aig: &Aig,
+    partition: &Partition,
+) -> (Substitution, Vec<(BddVar, Bdd)>) {
+    use std::collections::HashSet;
+    let mut subst = Substitution::new();
+    let mut ordered: Vec<(BddVar, Bdd)> = Vec::new();
+    let mut substituted: HashSet<BddVar> = HashSet::new();
+    let mut used_in_images: HashSet<BddVar> = HashSet::new();
+    for (i, &lv) in aig.latches().iter().enumerate() {
+        let Some(ci) = partition.class_of(lv) else {
+            continue;
+        };
+        let repr = partition.class(ci)[0];
+        if repr == lv {
+            continue;
+        }
+        let sv = ctx.state_vars[i];
+        if used_in_images.contains(&sv) {
+            continue;
+        }
+        // f̂_lv ≡ f̂_repr and f̂_lv = s_i ⊕ ¬phase, so s_i = f̂_repr ⊕ ¬phase.
+        let g = ctx.fhat[repr.index()].complement_if(!partition.phase(lv));
+        let sup = ctx.mgr.support(g);
+        if sup.contains(&sv) || sup.iter().any(|v| substituted.contains(v)) {
+            continue;
+        }
+        substituted.insert(sv);
+        used_in_images.extend(sup);
+        subst.set(sv, g);
+        ordered.push((sv, g));
+    }
+    (subst, ordered)
+}
+
+/// Runs the greatest fixed-point iteration with the BDD engine, refining
+/// `partition` in place to the maximum signal correspondence relation
+/// (over the current signal set).
+pub(crate) fn run_fixed_point(
+    aig: &Aig,
+    partition: &mut Partition,
+    opts: &Options,
+    deadline: &Deadline,
+    approx_spec_latches: Option<&[usize]>,
+    output_pairs: &[(sec_netlist::Lit, sec_netlist::Lit)],
+) -> Result<BddRunStats, Abort> {
+    let mut ctx = BddContext::build(aig, partition, opts, deadline)?;
+    let mut stats = BddRunStats::default();
+
+    refine_t0(&mut ctx, aig, partition)?;
+
+    // Optional reachability over-approximation (computed once; it is an
+    // inductive invariant independent of the partition).
+    let s_over = match approx_spec_latches {
+        Some(latches) => approx_reach(&mut ctx, aig, latches, opts.approx_group, deadline)?,
+        None => Bdd::ONE,
+    };
+
+    if opts.sift {
+        let mut roots = ctx.roots();
+        roots.push(s_over);
+        ctx.mgr.sift(&roots, 2.0);
+    }
+
+    loop {
+        deadline.check()?;
+        stats.iterations += 1;
+
+        // Functional-dependency substitution for this round.
+        let (subst, ordered) = if opts.functional_deps {
+            funcdep_subst(&ctx, aig, partition)
+        } else {
+            (Substitution::new(), Vec::new())
+        };
+        let (fc, nc) = if subst.is_empty() {
+            (ctx.fhat.clone(), ctx.nuhat.clone())
+        } else {
+            (
+                ctx.mgr.compose_many(&ctx.fhat, &subst)?,
+                ctx.mgr.compose_many(&ctx.nuhat, &subst)?,
+            )
+        };
+
+        // Correspondence condition Q_{T_i}(s, x_t).
+        let mut q = if subst.is_empty() {
+            s_over
+        } else {
+            ctx.mgr.compose(s_over, &subst)?
+        };
+        let class_ids: Vec<usize> = partition.multi_classes().collect();
+        for &ci in &class_ids {
+            let members = partition.class(ci);
+            let r = fc[members[0].index()];
+            for &m in &members[1..] {
+                let eq = ctx.mgr.xnor(fc[m.index()], r)?;
+                q = ctx.mgr.and(q, eq)?;
+            }
+        }
+
+        // Intermediate garbage from the compositions and the Q build can
+        // dwarf the live structures; collect before the check loop and
+        // periodically inside it.
+        let gc_roots = |ctx: &BddContext, fc: &[Bdd], nc: &[Bdd], q: Bdd| -> Vec<Bdd> {
+            let mut roots = ctx.roots();
+            roots.extend_from_slice(fc);
+            roots.extend_from_slice(nc);
+            roots.push(s_over);
+            roots.push(q);
+            roots
+        };
+        if ctx.mgr.live_nodes() > opts.node_limit / 4 {
+            let roots = gc_roots(&ctx, &fc, &nc, q);
+            ctx.mgr.gc(&roots);
+        }
+
+        // Check condition 2 for every (member, representative) pair;
+        // split on counterexamples. Classes created by splits are
+        // appended and get scanned in this same round (still against
+        // Q_{T_i} — a sound, possibly coarser-than-T_{i+1} refinement).
+        let mut changed = false;
+        let mut ci = 0;
+        while ci < partition.num_classes() {
+            deadline.check()?;
+            if ctx.mgr.live_nodes() > opts.node_limit / 2 {
+                let roots = gc_roots(&ctx, &fc, &nc, q);
+                ctx.mgr.gc(&roots);
+            }
+            let members: Vec<Var> = partition.class(ci).to_vec();
+            if members.len() >= 2 {
+                let r = members[0];
+                for &m in &members[1..] {
+                    if partition.class_of(m) != Some(ci) {
+                        continue; // moved by an earlier split this round
+                    }
+                    let diff = ctx.mgr.xor(nc[m.index()], nc[r.index()])?;
+                    let viol = ctx.mgr.and(q, diff)?;
+                    if viol == Bdd::ZERO {
+                        continue;
+                    }
+                    // Counterexample: a Q-satisfying (s, x_t, x_{t+1})
+                    // where the next-state functions differ. Reconstruct
+                    // substituted state variables from their images so
+                    // the point genuinely satisfies Q.
+                    let mut asg = ctx
+                        .mgr
+                        .satisfy_one_total(viol)
+                        .expect("viol is satisfiable");
+                    for &(sv, g) in &ordered {
+                        asg[sv.id()] = ctx.mgr.eval(g, &asg);
+                    }
+                    let (s, xt, xt1) = ctx.split_assignment(&asg);
+                    let s2 = next_state_single(aig, &xt, &s);
+                    let frame2 = eval_single(aig, &xt1, &s2);
+                    let split = partition.refine_by_values(&frame2);
+                    if !split {
+                        // A counterexample that fails to split would loop
+                        // forever; it can only mean an engine defect.
+                        return Err(Abort::Resource(
+                            "internal inconsistency: counterexample did not split".into(),
+                        ));
+                    }
+                    changed = true;
+                }
+            }
+            ci += 1;
+        }
+
+        // Housekeeping between rounds.
+        stats.peak_nodes = stats.peak_nodes.max(ctx.mgr.peak_live_nodes());
+        if ctx.mgr.live_nodes() > opts.node_limit / 2 {
+            let mut roots = ctx.roots();
+            roots.push(s_over);
+            ctx.mgr.gc(&roots);
+        }
+        if !changed {
+            // Fixed point reached: `q` is Q_msc (for the current signal
+            // set). Theorem 1: the circuits are equivalent if Q ⇒ λ,
+            // i.e. every output pair's current-state functions agree on
+            // all Q-satisfying points. (The substitution is sound here:
+            // real violating points survive composition, as in the
+            // refinement checks.)
+            stats.outputs_ok = partition.outputs_equiv(output_pairs) || {
+                let mut ok = true;
+                for &(a, b) in output_pairs {
+                    let fa =
+                        fc[a.var().index()].complement_if(partition.sign(a));
+                    let fb =
+                        fc[b.var().index()].complement_if(partition.sign(b));
+                    let diff = ctx.mgr.xor(fa, fb)?;
+                    let viol = ctx.mgr.and(q, diff)?;
+                    if viol != Bdd::ZERO {
+                        ok = false;
+                        break;
+                    }
+                }
+                ok
+            };
+            break;
+        }
+    }
+    stats.peak_nodes = stats.peak_nodes.max(ctx.mgr.peak_live_nodes());
+    Ok(stats)
+}
+
+/// Builds the machine-by-machine over-approximation of the reachable
+/// state space over the given latch indices (paper Sec. 3 end, after Cho
+/// et al.): each group of at most `group_size` latches is traversed
+/// exactly with every other variable left free, so each per-group set is
+/// closed under the transition function and their conjunction is an
+/// inductive invariant containing the reachable states — safe to conjoin
+/// into the correspondence condition.
+fn approx_reach(
+    ctx: &mut BddContext,
+    aig: &Aig,
+    latch_indices: &[usize],
+    group_size: usize,
+    deadline: &Deadline,
+) -> Result<Bdd, Abort> {
+    let group_size = group_size.max(1);
+    // Auxiliary next-state variables, one per group slot, reused across
+    // groups (appended at the bottom of the order).
+    let aux: Vec<BddVar> = (0..group_size.min(latch_indices.len().max(1)))
+        .map(|_| ctx.mgr.add_var())
+        .collect();
+    let quant: Vec<BddVar> = ctx
+        .state_vars
+        .iter()
+        .chain(ctx.xt_vars.iter())
+        .copied()
+        .collect();
+    let quant_cube = ctx.mgr.cube(&quant)?;
+
+    let mut invariant = Bdd::ONE;
+    for group in latch_indices.chunks(group_size) {
+        deadline.check()?;
+        // Transition relation of the group over (s, x, aux).
+        let mut t = Bdd::ONE;
+        for (k, &i) in group.iter().enumerate() {
+            let av = ctx.mgr.var(aux[k]);
+            let rel = ctx.mgr.xnor(av, ctx.delta[i])?;
+            t = ctx.mgr.and(t, rel)?;
+        }
+        // Exact reachability of the group, others free.
+        let mut reached = {
+            let mut c = Bdd::ONE;
+            for &i in group {
+                let init = aig.latch_init(aig.latches()[i]);
+                let lit = ctx.mgr.literal(ctx.state_vars[i], init);
+                c = ctx.mgr.and(c, lit)?;
+            }
+            c
+        };
+        loop {
+            deadline.check()?;
+            let img_aux = ctx.mgr.and_exists(reached, t, quant_cube)?;
+            // Rename aux back to the group's state variables.
+            let mut rename = Substitution::new();
+            for (k, &i) in group.iter().enumerate() {
+                rename.set(aux[k], ctx.mgr.var(ctx.state_vars[i]));
+            }
+            let img = ctx.mgr.compose(img_aux, &rename)?;
+            let next = ctx.mgr.or(reached, img)?;
+            if next == reached {
+                break;
+            }
+            reached = next;
+        }
+        invariant = ctx.mgr.and(invariant, reached)?;
+    }
+    Ok(invariant)
+}

@@ -1,0 +1,67 @@
+//! Small shared runtime plumbing: deadlines and aborts.
+
+use std::time::{Duration, Instant};
+
+/// Reason a backend gave up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Abort {
+    /// Resource budget exceeded (BDD nodes).
+    Resource(String),
+    /// Wall-clock budget exceeded.
+    Timeout,
+}
+
+impl Abort {
+    pub(crate) fn reason(&self) -> String {
+        match self {
+            Abort::Resource(s) => s.clone(),
+            Abort::Timeout => "timeout".to_string(),
+        }
+    }
+}
+
+impl From<sec_bdd::BddOverflow> for Abort {
+    fn from(e: sec_bdd::BddOverflow) -> Abort {
+        Abort::Resource(format!("BDD overflow: {e}"))
+    }
+}
+
+/// Wall-clock deadline shared across all phases of a run.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct Deadline {
+    end: Option<Instant>,
+}
+
+impl Deadline {
+    pub(crate) fn new(budget: Option<Duration>) -> Deadline {
+        Deadline {
+            end: budget.map(|d| Instant::now() + d),
+        }
+    }
+
+    pub(crate) fn check(&self) -> Result<(), Abort> {
+        match self.end {
+            Some(end) if Instant::now() > end => Err(Abort::Timeout),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let d = Deadline::new(None);
+        assert!(d.check().is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_reports_timeout() {
+        let d = Deadline::new(Some(Duration::from_secs(0)));
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(d.check(), Err(Abort::Timeout));
+        assert_eq!(Abort::Timeout.reason(), "timeout");
+    }
+}

@@ -1,0 +1,144 @@
+//! Safety-property checking on top of signal correspondence.
+//!
+//! A safety property "output `o` is 1 in every reachable state" is
+//! sequential equivalence against the constant-true circuit — so the
+//! whole machine built for equivalence checking (simulation refutation,
+//! the strengthened-induction fixed point, Theorem 1's `Q ⇒ λ` check,
+//! BMC fallback) doubles as a sound-but-incomplete model checker for
+//! invariants. This is exactly the lineage through which the paper's
+//! technique entered modern model checkers (`ssw`-strengthened
+//! induction).
+
+use crate::engine::{BuildError, Checker};
+use crate::options::Options;
+use crate::result::CheckResult;
+use sec_netlist::{Aig, Lit};
+
+/// Proves (or refutes) that **every output** of `aig` is constantly true
+/// on all reachable states.
+///
+/// * `Equivalent` ⇒ every output is an invariant.
+/// * `Inequivalent(trace)` ⇒ the trace drives some output to 0.
+/// * `Unknown` ⇒ the induction (strengthened by the discovered internal
+///   equivalences) was not strong enough, and BMC found no
+///   counterexample within its depth.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if the circuit is malformed.
+///
+/// # Examples
+///
+/// ```
+/// use sec_core::{prove_invariants, Options, Verdict};
+/// use sec_netlist::Aig;
+///
+/// // q toggles; the invariant "q or !q" trivially holds, while "q" does
+/// // not.
+/// let mut aig = Aig::new();
+/// let q = aig.add_latch(false);
+/// aig.set_latch_next(q, !q.lit());
+/// aig.add_output(sec_netlist::Lit::TRUE, "tautology");
+/// let r = prove_invariants(&aig, Options::default())?;
+/// assert_eq!(r.verdict, Verdict::Equivalent);
+/// # Ok::<(), sec_core::BuildError>(())
+/// ```
+pub fn prove_invariants(aig: &Aig, opts: Options) -> Result<CheckResult, BuildError> {
+    // The constant-true twin: same interface, outputs tied to 1.
+    let mut twin = Aig::new();
+    for &v in aig.inputs() {
+        twin.add_input(aig.name(v).unwrap_or("i").to_string());
+    }
+    for o in aig.outputs() {
+        twin.add_output(Lit::TRUE, o.name.clone().unwrap_or_default());
+    }
+    Ok(Checker::new(aig, &twin, opts)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Verdict;
+    use sec_gen::{counter, CounterKind};
+    use sec_netlist::Lit;
+
+    /// Ring counter plus a checker circuit asserting one-hotness.
+    fn onehot_invariant(broken: bool) -> Aig {
+        let mut aig = Aig::new();
+        let n = 4;
+        let regs: Vec<_> = (0..n)
+            .map(|i| aig.add_latch(i == 0 || (broken && i == 2)))
+            .collect();
+        for i in 0..n {
+            let prev = regs[(i + n - 1) % n].lit();
+            aig.set_latch_next(regs[i], prev);
+        }
+        // one-hot: exactly one register set.
+        let mut terms = Vec::new();
+        for i in 0..n {
+            let mut cube: Vec<Lit> = Vec::new();
+            for (j, r) in regs.iter().enumerate() {
+                cube.push(r.lit().complement_if(j != i));
+            }
+            terms.push(aig.and_many(&cube));
+        }
+        let onehot = aig.or_many(&terms);
+        aig.add_output(onehot, "onehot");
+        aig
+    }
+
+    #[test]
+    fn onehot_ring_is_invariant() {
+        let aig = onehot_invariant(false);
+        let r = prove_invariants(&aig, Options::default()).unwrap();
+        assert_eq!(r.verdict, Verdict::Equivalent);
+    }
+
+    #[test]
+    fn two_hot_ring_is_refuted() {
+        let aig = onehot_invariant(true);
+        let r = prove_invariants(&aig, Options::default()).unwrap();
+        match r.verdict {
+            Verdict::Inequivalent(trace) => {
+                // Replaying the trace must show the output at 0 somewhere.
+                let outs = trace.replay(&aig);
+                assert!(outs.iter().any(|f| !f[0]));
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counter_tc_is_not_invariant() {
+        // The counter's terminal-count output is 0 most of the time.
+        let aig = counter(4, CounterKind::Binary);
+        let r = prove_invariants(&aig, Options::default()).unwrap();
+        assert!(matches!(r.verdict, Verdict::Inequivalent(_)));
+    }
+
+    #[test]
+    fn incomplete_invariants_report_unknown() {
+        // "The 3-bit counter bits are never all-ones-and-then-some":
+        // an invariant needing reachability information the equivalences
+        // do not capture: q0 | q1 | !q0 is trivially true; instead use
+        // a property that holds only by reachability: a one-hot ring's
+        // "not (r0 & r2)" — with signal correspondence this needs the
+        // reachable-state structure and typically lands on Unknown, but
+        // BMC must not produce a bogus counterexample either way.
+        let mut aig = Aig::new();
+        let n = 4;
+        let regs: Vec<_> = (0..n).map(|i| aig.add_latch(i == 0)).collect();
+        for i in 0..n {
+            let prev = regs[(i + n - 1) % n].lit();
+            aig.set_latch_next(regs[i], prev);
+        }
+        let both = aig.and(regs[0].lit(), regs[2].lit());
+        aig.add_output(!both, "never_both");
+        let r = prove_invariants(&aig, Options::default()).unwrap();
+        assert!(
+            !matches!(r.verdict, Verdict::Inequivalent(_)),
+            "property holds; must not be refuted: {:?}",
+            r.verdict
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! The set `F` of polarity-normalized signal functions and its partition
+//! into candidate equivalence classes.
+//!
+//! Every signal `v` of the product machine is normalized against the
+//! reference point `(s0, x0)`: if `f_v(s0, x0) = 1` the set contains
+//! `f_v`, otherwise `¬f_v` (paper Sec. 3). This makes the partition
+//! detect antivalent signals for free. The partition is refined only —
+//! classes split, never merge — so the fixed point terminates after at
+//! most `|F| + 1` rounds.
+
+use sec_netlist::{Lit, Var};
+
+/// A partition of the signal set `F` into candidate classes.
+///
+/// The first member of each class acts as the representative.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Class index per node, `u32::MAX` for untracked nodes.
+    class_of: Vec<u32>,
+    classes: Vec<Vec<Var>>,
+    /// `phase[v]`: value of `v` at the reference point; the normalized
+    /// function is `f_v` when true, `¬f_v` when false.
+    phase: Vec<bool>,
+}
+
+const UNTRACKED: u32 = u32::MAX;
+
+impl Partition {
+    /// Builds a partition from explicit classes. `num_nodes` sizes the
+    /// node-indexed tables; `phase[v]` must hold each node's
+    /// reference-point value.
+    pub fn new(num_nodes: usize, classes: Vec<Vec<Var>>, phase: Vec<bool>) -> Partition {
+        assert_eq!(phase.len(), num_nodes);
+        let mut class_of = vec![UNTRACKED; num_nodes];
+        for (ci, class) in classes.iter().enumerate() {
+            assert!(!class.is_empty(), "empty class");
+            for v in class {
+                class_of[v.index()] = ci as u32;
+            }
+        }
+        Partition {
+            class_of,
+            classes,
+            phase,
+        }
+    }
+
+    /// All signals in one initial class (used when simulation seeding is
+    /// disabled).
+    pub fn single_class(num_nodes: usize, signals: Vec<Var>, phase: Vec<bool>) -> Partition {
+        Partition::new(num_nodes, vec![signals], phase)
+    }
+
+    /// Number of classes (including singletons).
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of tracked signals.
+    pub fn num_signals(&self) -> usize {
+        self.classes.iter().map(|c| c.len()).sum()
+    }
+
+    /// The members of class `ci`; the first element is the
+    /// representative.
+    pub fn class(&self, ci: usize) -> &[Var] {
+        &self.classes[ci]
+    }
+
+    /// The class of a node, if tracked.
+    pub fn class_of(&self, v: Var) -> Option<usize> {
+        let c = self.class_of[v.index()];
+        (c != UNTRACKED).then_some(c as usize)
+    }
+
+    /// The reference-point value of a node.
+    pub fn phase(&self, v: Var) -> bool {
+        self.phase[v.index()]
+    }
+
+    /// The normalized sign of a literal: the complement that turns the
+    /// normalized class function into this literal's function. Two
+    /// literals denote (candidate-)equal functions iff their classes and
+    /// signs agree.
+    pub fn sign(&self, l: Lit) -> bool {
+        l.is_complemented() ^ !self.phase[l.var().index()]
+    }
+
+    /// Whether two literals are equivalent according to the current
+    /// partition (same class, compatible polarity). Identical literals
+    /// are always equivalent.
+    pub fn lit_equiv(&self, a: Lit, b: Lit) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.class_of(a.var()), self.class_of(b.var())) {
+            (Some(ca), Some(cb)) => ca == cb && self.sign(a) == self.sign(b),
+            _ => false,
+        }
+    }
+
+    /// The normalized value of a node under a concrete evaluation of all
+    /// nodes (`values[v]` = value of node `v`).
+    #[inline]
+    fn normalized_value(&self, values: &[bool], v: Var) -> bool {
+        values[v.index()] ^ !self.phase[v.index()]
+    }
+
+    /// Globally refines the partition by one evaluation vector: members
+    /// of a class whose normalized values differ are separated. Returns
+    /// `true` if anything split.
+    ///
+    /// This is the counterexample-guided splitting step: the evaluation
+    /// must come from a state/input point satisfying the current
+    /// correspondence condition (or from the initial state), so signals
+    /// with different values there can never share a class in any finer
+    /// correspondence relation.
+    pub fn refine_by_values(&mut self, values: &[bool]) -> bool {
+        let mut changed = false;
+        let num = self.classes.len();
+        for ci in 0..num {
+            if self.classes[ci].len() < 2 {
+                continue;
+            }
+            // Partition members by normalized value; keep the group of
+            // the representative in place.
+            let repr_val = self.normalized_value(values, self.classes[ci][0]);
+            let (keep, split): (Vec<Var>, Vec<Var>) = self.classes[ci]
+                .iter()
+                .partition(|&&v| self.normalized_value(values, v) == repr_val);
+            if !split.is_empty() {
+                changed = true;
+                let new_ci = self.classes.len() as u32;
+                for v in &split {
+                    self.class_of[v.index()] = new_ci;
+                }
+                self.classes[ci] = keep;
+                self.classes.push(split);
+            }
+        }
+        changed
+    }
+
+    /// Splits one class by an arbitrary grouping key. Used for the exact
+    /// `T0` computation of the BDD backend (grouping by cofactored BDD).
+    /// Returns `true` if the class split.
+    pub fn split_class_by_key<K: Eq + std::hash::Hash + Clone>(
+        &mut self,
+        ci: usize,
+        mut key: impl FnMut(Var) -> K,
+    ) -> bool {
+        if self.classes[ci].len() < 2 {
+            return false;
+        }
+        use std::collections::HashMap;
+        let members = std::mem::take(&mut self.classes[ci]);
+        let mut groups: HashMap<K, Vec<Var>> = HashMap::new();
+        let mut order: Vec<K> = Vec::new();
+        for &v in &members {
+            let k = key(v);
+            match groups.entry(k) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(e.key().clone());
+                    e.insert(vec![v]);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(v),
+            }
+        }
+        let changed = groups.len() > 1;
+        let mut first = true;
+        for k in order {
+            let group = groups.remove(&k).expect("key order tracks groups");
+            if first {
+                for v in &group {
+                    self.class_of[v.index()] = ci as u32;
+                }
+                self.classes[ci] = group;
+                first = false;
+            } else {
+                let new_ci = self.classes.len() as u32;
+                for v in &group {
+                    self.class_of[v.index()] = new_ci;
+                }
+                self.classes.push(group);
+            }
+        }
+        changed
+    }
+
+    /// Adds freshly created signals as one new class each (used after the
+    /// retiming extension before re-seeding).
+    pub fn grow(&mut self, num_nodes: usize, new_signals: &[(Var, bool)]) {
+        if self.class_of.len() < num_nodes {
+            self.class_of.resize(num_nodes, UNTRACKED);
+            self.phase.resize(num_nodes, false);
+        }
+        for &(v, phase) in new_signals {
+            self.phase[v.index()] = phase;
+            let ci = self.classes.len() as u32;
+            self.class_of[v.index()] = ci;
+            self.classes.push(vec![v]);
+        }
+    }
+
+    /// Iterates over class indices with at least two members.
+    pub fn multi_classes(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.classes.len()).filter(|&ci| self.classes[ci].len() >= 2)
+    }
+
+    /// Whether every output pair is already equivalent by class
+    /// membership (the cheap sufficient check; Theorem 1's full
+    /// `Q ⇒ λ` check subsumes it).
+    pub fn outputs_equiv(&self, pairs: &[(Lit, Lit)]) -> bool {
+        pairs.iter().all(|&(a, b)| self.lit_equiv(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Var {
+        Var::from_index(i)
+    }
+
+    fn sample() -> Partition {
+        // nodes 0..6; classes {0}, {1,2,3}, {4,5}; phases: node 2 inverted
+        Partition::new(
+            6,
+            vec![vec![v(0)], vec![v(1), v(2), v(3)], vec![v(4), v(5)]],
+            vec![true, true, false, true, true, true],
+        )
+    }
+
+    #[test]
+    fn class_lookup() {
+        let p = sample();
+        assert_eq!(p.num_classes(), 3);
+        assert_eq!(p.num_signals(), 6);
+        assert_eq!(p.class_of(v(2)), Some(1));
+        assert_eq!(p.class(1), &[v(1), v(2), v(3)]);
+    }
+
+    #[test]
+    fn lit_equiv_respects_phase() {
+        let p = sample();
+        let l1 = v(1).lit();
+        let l2 = v(2).lit();
+        // Node 2 has phase=false: its positive literal equals the
+        // *complement* of the normalized class function, so v1 ≡ ¬v2.
+        assert!(p.lit_equiv(l1, !l2));
+        assert!(!p.lit_equiv(l1, l2));
+        assert!(p.lit_equiv(l1, v(3).lit()));
+        assert!(p.lit_equiv(!l1, l2));
+        assert!(p.lit_equiv(l1, l1));
+        // Different classes never match.
+        assert!(!p.lit_equiv(l1, v(4).lit()));
+    }
+
+    #[test]
+    fn refine_splits_by_normalized_value() {
+        let mut p = sample();
+        // Values: node1=1, node2=0 (normalized: 1^¬false… phase false -> !0=1), node3=0.
+        // normalized: n1: 1, n2: !0 = 1, n3: 0 -> class {1,2,3} splits into {1,2} | {3}.
+        let values = vec![false, true, false, false, true, true];
+        assert!(p.refine_by_values(&values));
+        assert_eq!(p.num_classes(), 4);
+        assert_eq!(p.class_of(v(1)), p.class_of(v(2)));
+        assert_ne!(p.class_of(v(1)), p.class_of(v(3)));
+        // Idempotent on the same vector.
+        assert!(!p.refine_by_values(&values));
+    }
+
+    #[test]
+    fn split_by_key() {
+        let mut p = sample();
+        assert!(p.split_class_by_key(1, |v| v.index() % 2));
+        assert_ne!(p.class_of(v(1)), p.class_of(v(2)));
+        assert_eq!(p.class_of(v(1)), p.class_of(v(3)));
+        assert!(!p.split_class_by_key(0, |_| 0));
+    }
+
+    #[test]
+    fn grow_appends_singletons() {
+        let mut p = sample();
+        p.grow(8, &[(v(6), true), (v(7), false)]);
+        assert_eq!(p.num_classes(), 5);
+        assert_eq!(p.class_of(v(7)), Some(4));
+        assert!(!p.phase(v(7)));
+        assert!(p.lit_equiv(v(6).lit(), v(6).lit()));
+    }
+
+    #[test]
+    fn multi_classes_iterator() {
+        let p = sample();
+        let multis: Vec<usize> = p.multi_classes().collect();
+        assert_eq!(multis, vec![1, 2]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Verdicts and statistics.
+
+use sec_sim::Trace;
+use std::time::Duration;
+
+/// The verdict of a sequential equivalence check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Equivalence proven: a signal correspondence relation covering all
+    /// output pairs was found (sound — Theorem 1 of the paper).
+    Equivalent,
+    /// A concrete input trace distinguishes the circuits.
+    Inequivalent(Trace),
+    /// The method could not decide: it is sound but incomplete, and can
+    /// also run out of resources (BDD nodes / time). The string says why.
+    Unknown(String),
+}
+
+impl Verdict {
+    /// Whether the verdict is [`Verdict::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Verdict::Equivalent)
+    }
+}
+
+/// Statistics of a [`Checker`](crate::Checker) run, mirroring the columns
+/// of the paper's Table 1.
+#[derive(Clone, Debug, Default)]
+pub struct CheckStats {
+    /// Fixed-point refinement iterations, summed over retiming rounds
+    /// (the paper's `#its`).
+    pub iterations: usize,
+    /// Times the retiming extension added logic (the parenthesized number
+    /// in the paper's `#its` column).
+    pub retime_invocations: usize,
+    /// Peak live BDD nodes (0 for the SAT backend).
+    pub peak_bdd_nodes: usize,
+    /// SAT conflicts (0 for the BDD backend).
+    pub sat_conflicts: u64,
+    /// Percentage of specification signals (gates and registers) whose
+    /// final class contains an implementation signal (the paper's
+    /// `eqs (%)`).
+    pub eqs_percent: f64,
+    /// Number of equivalence classes at the fixed point.
+    pub classes: usize,
+    /// Number of signals in the final set `F`.
+    pub signals: usize,
+    /// Wall-clock time.
+    pub time: Duration,
+}
+
+/// Result of a run: verdict plus statistics.
+#[derive(Clone, Debug)]
+pub struct CheckResult {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Run statistics.
+    pub stats: CheckStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_predicates() {
+        assert!(Verdict::Equivalent.is_equivalent());
+        assert!(!Verdict::Unknown("x".into()).is_equivalent());
+        assert!(!Verdict::Inequivalent(Trace::default()).is_equivalent());
+    }
+}

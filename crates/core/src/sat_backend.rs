@@ -1,0 +1,228 @@
+//! The SAT backend: the same greatest fixed-point iteration, with the
+//! combinational checks run by a CDCL solver over a two-frame Tseitin
+//! unrolling instead of BDDs. This realizes the scaling route the paper's
+//! conclusion sketches ("techniques based on the introduction of extra
+//! variables representing intermediate signals").
+//!
+//! Per refinement round a fresh unrolling is encoded:
+//!
+//! * **frame 0** over free state inputs `s` and inputs `x₀`, with the
+//!   current classes asserted as equalities (the correspondence
+//!   condition `Q_{T_i}`);
+//! * **frame 1** fed by frame 0's next-state functions and inputs `x₁`
+//!   (where condition 2 is queried per class pair);
+//! * an **initial frame** over its own inputs `x_I` with the registers
+//!   tied to their initial values (condition 1 of Definition 2).
+//!
+//! Satisfiable queries yield assignments that are simulated and used to
+//! split every class at once (counterexample-guided refinement).
+
+use crate::context::{Abort, Deadline};
+use crate::partition::Partition;
+use sec_netlist::{Aig, Lit, Var};
+use sec_sat::{AigCnf, SatResult, Solver};
+use sec_sim::{eval_single, next_state_single};
+use std::collections::HashMap;
+
+/// Statistics of one fixed-point invocation.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SatRunStats {
+    pub iterations: usize,
+    pub conflicts: u64,
+    /// Theorem-1 result: does `Q_msc ⇒ λ` hold at the fixed point?
+    pub outputs_ok: bool,
+}
+
+/// The two-frame (+ initial frame) unrolling of the product machine,
+/// encoded in a fresh solver.
+struct Unrolling {
+    solver: Solver,
+    cnf: AigCnf,
+    /// Unrolled-circuit literal of each product node in frame 0 / 1 /
+    /// the initial frame.
+    frame0: Vec<Lit>,
+    frame1: Vec<Lit>,
+    frame_init: Vec<Lit>,
+    /// Unrolled-circuit input variables for s, x₀, x₁, x_I.
+    s_in: Vec<Var>,
+    x0_in: Vec<Var>,
+    x1_in: Vec<Var>,
+    xi_in: Vec<Var>,
+}
+
+impl Unrolling {
+    fn build(aig: &Aig) -> Unrolling {
+        let mut u = Aig::new();
+        let s_in: Vec<Var> = (0..aig.num_latches())
+            .map(|i| u.add_input(format!("s{i}")))
+            .collect();
+        let x0_in: Vec<Var> = (0..aig.num_inputs())
+            .map(|i| u.add_input(format!("x0_{i}")))
+            .collect();
+        let x1_in: Vec<Var> = (0..aig.num_inputs())
+            .map(|i| u.add_input(format!("x1_{i}")))
+            .collect();
+        let xi_in: Vec<Var> = (0..aig.num_inputs())
+            .map(|i| u.add_input(format!("xi_{i}")))
+            .collect();
+
+        let all_roots: Vec<Lit> = aig.vars().map(|v| v.lit()).collect();
+        let unroll = |u: &mut Aig,
+                      state_of: &dyn Fn(usize) -> Lit,
+                      inputs: &[Var]|
+         -> Vec<Lit> {
+            let mut map: HashMap<Var, Lit> = HashMap::new();
+            for (k, &v) in aig.inputs().iter().enumerate() {
+                map.insert(v, inputs[k].lit());
+            }
+            for (i, &v) in aig.latches().iter().enumerate() {
+                map.insert(v, state_of(i));
+            }
+            u.import_cone(aig, &all_roots, &mut map)
+        };
+
+        let frame0 = unroll(&mut u, &|i| s_in[i].lit(), &x0_in);
+        // Frame 1 state = frame 0 next-state values.
+        let nexts: Vec<Lit> = aig
+            .latches()
+            .iter()
+            .map(|&l| {
+                let n = aig.latch_next(l).expect("driven latch");
+                frame0[n.var().index()].complement_if(n.is_complemented())
+            })
+            .collect();
+        let frame1 = unroll(&mut u, &|i| nexts[i], &x1_in);
+        let inits: Vec<Lit> = aig
+            .latches()
+            .iter()
+            .map(|&l| Lit::FALSE.complement_if(aig.latch_init(l)))
+            .collect();
+        let frame_init = unroll(&mut u, &|i| inits[i], &xi_in);
+
+        let mut solver = Solver::new();
+        let cnf = AigCnf::encode(&mut solver, &u);
+        Unrolling {
+            solver,
+            cnf,
+            frame0,
+            frame1,
+            frame_init,
+            s_in,
+            x0_in,
+            x1_in,
+            xi_in,
+        }
+    }
+
+    /// Normalized literal of a node in a frame.
+    fn norm(frame: &[Lit], partition: &Partition, v: Var) -> Lit {
+        frame[v.index()].complement_if(!partition.phase(v))
+    }
+
+    fn read_inputs(&self, vars: &[Var]) -> Vec<bool> {
+        vars.iter()
+            .map(|&v| self.cnf.model_value(&self.solver, v.lit()))
+            .collect()
+    }
+}
+
+/// Runs the greatest fixed-point iteration with the SAT engine.
+pub(crate) fn run_fixed_point(
+    aig: &Aig,
+    partition: &mut Partition,
+    deadline: &Deadline,
+    output_pairs: &[(Lit, Lit)],
+) -> Result<SatRunStats, Abort> {
+    let mut stats = SatRunStats::default();
+    loop {
+        deadline.check()?;
+        stats.iterations += 1;
+        let mut u = Unrolling::build(aig);
+
+        // Assert the correspondence condition Q_{T_i} on frame 0.
+        let class_ids: Vec<usize> = partition.multi_classes().collect();
+        for &ci in &class_ids {
+            let members = partition.class(ci);
+            let r = Unrolling::norm(&u.frame0, partition, members[0]);
+            for &m in &members[1..] {
+                let lm = Unrolling::norm(&u.frame0, partition, m);
+                u.cnf.assert_equal(&mut u.solver, lm, r);
+            }
+        }
+
+        let mut changed = false;
+        let mut ci = 0;
+        while ci < partition.num_classes() {
+            deadline.check()?;
+            let members: Vec<Var> = partition.class(ci).to_vec();
+            if members.len() >= 2 {
+                let r = members[0];
+                for &m in &members[1..] {
+                    if partition.class_of(m) != Some(ci) {
+                        continue;
+                    }
+                    // Condition 2: next-frame disagreement under Q?
+                    let d1 = u.cnf.make_diff(
+                        &mut u.solver,
+                        Unrolling::norm(&u.frame1, partition, m),
+                        Unrolling::norm(&u.frame1, partition, r),
+                    );
+                    if u.solver.solve_with_assumptions(&[d1]) == SatResult::Sat {
+                        let s = u.read_inputs(&u.s_in);
+                        let xt = u.read_inputs(&u.x0_in);
+                        let xt1 = u.read_inputs(&u.x1_in);
+                        let s2 = next_state_single(aig, &xt, &s);
+                        let frame2 = eval_single(aig, &xt1, &s2);
+                        if !partition.refine_by_values(&frame2) {
+                            return Err(Abort::Resource(
+                                "internal inconsistency: SAT counterexample did not split"
+                                    .into(),
+                            ));
+                        }
+                        changed = true;
+                        continue;
+                    }
+                    // Condition 1: disagreement at the initial state?
+                    let d0 = u.cnf.make_diff(
+                        &mut u.solver,
+                        Unrolling::norm(&u.frame_init, partition, m),
+                        Unrolling::norm(&u.frame_init, partition, r),
+                    );
+                    if u.solver.solve_with_assumptions(&[d0]) == SatResult::Sat {
+                        let xi = u.read_inputs(&u.xi_in);
+                        let vals = eval_single(aig, &xi, &aig.initial_state());
+                        if !partition.refine_by_values(&vals) {
+                            return Err(Abort::Resource(
+                                "internal inconsistency: init counterexample did not split"
+                                    .into(),
+                            ));
+                        }
+                        changed = true;
+                    }
+                }
+            }
+            ci += 1;
+        }
+        if !changed {
+            // Fixed point: the solver still carries Q_{T_fix} as hard
+            // clauses on frame 0, so Theorem 1's `Q ⇒ λ` check is one
+            // more query per output pair on the *current* frame.
+            stats.outputs_ok = partition.outputs_equiv(output_pairs) || {
+                let mut ok = true;
+                for &(a, b) in output_pairs {
+                    let la = u.frame0[a.var().index()].complement_if(a.is_complemented());
+                    let lb = u.frame0[b.var().index()].complement_if(b.is_complemented());
+                    let d = u.cnf.make_diff(&mut u.solver, la, lb);
+                    if u.solver.solve_with_assumptions(&[d]) == SatResult::Sat {
+                        ok = false;
+                        break;
+                    }
+                }
+                ok
+            };
+            stats.conflicts += u.solver.stats().conflicts;
+            return Ok(stats);
+        }
+        stats.conflicts += u.solver.stats().conflicts;
+    }
+}

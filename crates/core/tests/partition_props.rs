@@ -1,0 +1,154 @@
+//! Property tests of the partition of `F` — the data structure the whole
+//! fixed point rests on. Splits must preserve membership, keep the
+//! `class_of` index consistent, be monotone (never merge), and respect
+//! polarity normalization.
+
+use proptest::prelude::*;
+use sec_core::Partition;
+use sec_netlist::Var;
+
+const N: usize = 24;
+
+fn arb_partition() -> impl Strategy<Value = (Partition, Vec<usize>)> {
+    // Random class assignment for N nodes plus random phases.
+    (
+        proptest::collection::vec(0usize..6, N),
+        proptest::collection::vec(any::<bool>(), N),
+    )
+        .prop_map(|(assign, phases)| {
+            let mut classes: Vec<Vec<Var>> = Vec::new();
+            let mut ids: Vec<usize> = Vec::new();
+            let mut remap: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
+            for (i, &c) in assign.iter().enumerate() {
+                let next_id = remap.len();
+                let ci = *remap.entry(c).or_insert(next_id);
+                if ci == classes.len() {
+                    classes.push(Vec::new());
+                }
+                classes[ci].push(Var::from_index(i));
+                ids.push(ci);
+            }
+            (Partition::new(N, classes, phases), ids)
+        })
+}
+
+fn consistent(p: &Partition) -> bool {
+    // Every member's class_of points back at the class containing it,
+    // and every node appears exactly once.
+    let mut seen = vec![0usize; N];
+    for ci in 0..p.num_classes() {
+        for &v in p.class(ci) {
+            if p.class_of(v) != Some(ci) {
+                return false;
+            }
+            seen[v.index()] += 1;
+        }
+    }
+    seen.iter().all(|&c| c == 1)
+}
+
+proptest! {
+    #[test]
+    fn construction_is_consistent((p, _) in arb_partition()) {
+        prop_assert!(consistent(&p));
+        prop_assert_eq!(p.num_signals(), N);
+    }
+
+    #[test]
+    fn refine_preserves_consistency_and_monotonicity(
+        (mut p, _) in arb_partition(),
+        values in proptest::collection::vec(proptest::collection::vec(any::<bool>(), N), 0..6),
+    ) {
+        let mut last = p.num_classes();
+        for vals in &values {
+            let before: Vec<Option<usize>> =
+                (0..N).map(|i| p.class_of(Var::from_index(i))).collect();
+            let changed = p.refine_by_values(vals);
+            prop_assert!(consistent(&p));
+            prop_assert_eq!(p.num_signals(), N);
+            // Monotone: classes only grow in count, never merge.
+            prop_assert!(p.num_classes() >= last);
+            prop_assert_eq!(changed, p.num_classes() > last);
+            last = p.num_classes();
+            // Refinement: nodes in different classes stay in different
+            // classes.
+            for i in 0..N {
+                for j in 0..N {
+                    if before[i] != before[j] {
+                        prop_assert_ne!(
+                            p.class_of(Var::from_index(i)),
+                            p.class_of(Var::from_index(j))
+                        );
+                    }
+                }
+            }
+        }
+        // Applying the same vectors again changes nothing (idempotence).
+        for vals in &values {
+            prop_assert!(!p.refine_by_values(vals));
+        }
+    }
+
+    #[test]
+    fn refine_separates_exactly_by_normalized_value(
+        (mut p, _) in arb_partition(),
+        vals in proptest::collection::vec(any::<bool>(), N),
+    ) {
+        let before: Vec<Option<usize>> =
+            (0..N).map(|i| p.class_of(Var::from_index(i))).collect();
+        p.refine_by_values(&vals);
+        for i in 0..N {
+            for j in 0..N {
+                let (vi, vj) = (Var::from_index(i), Var::from_index(j));
+                if before[i] == before[j] {
+                    let ni = vals[i] ^ !p.phase(vi);
+                    let nj = vals[j] ^ !p.phase(vj);
+                    prop_assert_eq!(
+                        p.class_of(vi) == p.class_of(vj),
+                        ni == nj,
+                        "same-class pair must split iff normalized values differ"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lit_equiv_is_an_equivalence_compatible_with_complement(
+        (p, _) in arb_partition(),
+        a in 0..N, b in 0..N, c in 0..N,
+    ) {
+        let (la, lb, lc) = (
+            Var::from_index(a).lit(),
+            Var::from_index(b).lit(),
+            Var::from_index(c).lit(),
+        );
+        // Reflexive, symmetric, transitive.
+        prop_assert!(p.lit_equiv(la, la));
+        prop_assert_eq!(p.lit_equiv(la, lb), p.lit_equiv(lb, la));
+        if p.lit_equiv(la, lb) && p.lit_equiv(lb, lc) {
+            prop_assert!(p.lit_equiv(la, lc));
+        }
+        // Complement-compatible: a ≡ b ⟺ ¬a ≡ ¬b, and never a ≡ ¬a.
+        prop_assert_eq!(p.lit_equiv(la, lb), p.lit_equiv(!la, !lb));
+        prop_assert!(!p.lit_equiv(la, !la));
+    }
+
+    #[test]
+    fn grow_adds_fresh_singletons((mut p, _) in arb_partition(), phases in proptest::collection::vec(any::<bool>(), 1..4)) {
+        let before = p.num_classes();
+        let new: Vec<(Var, bool)> = phases
+            .iter()
+            .enumerate()
+            .map(|(k, &ph)| (Var::from_index(N + k), ph))
+            .collect();
+        p.grow(N + new.len(), &new);
+        prop_assert_eq!(p.num_classes(), before + new.len());
+        for (v, ph) in new {
+            prop_assert!(p.class_of(v).is_some());
+            prop_assert_eq!(p.phase(v), ph);
+            prop_assert_eq!(p.class(p.class_of(v).unwrap()), &[v]);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Word-level combinational building blocks used by the generators.
+
+use sec_netlist::{Aig, Lit};
+
+/// Ripple-carry addition of two equal-width words; returns `(sum, carry)`.
+///
+/// # Panics
+///
+/// Panics if the words have different widths.
+pub fn ripple_add(aig: &mut Aig, a: &[Lit], b: &[Lit], cin: Lit) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), b.len(), "adder operands must have equal width");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let xy = aig.xor(x, y);
+        sum.push(aig.xor(xy, carry));
+        // carry = xy ? carry : x  (majority of x, y, carry)
+        carry = aig.mux(xy, carry, x);
+    }
+    (sum, carry)
+}
+
+/// Increments a word by one (wrapping); returns `(value + 1, carry-out)`.
+pub fn increment(aig: &mut Aig, a: &[Lit]) -> (Vec<Lit>, Lit) {
+    let mut carry = Lit::TRUE;
+    let mut out = Vec::with_capacity(a.len());
+    for &x in a {
+        out.push(aig.xor(x, carry));
+        carry = aig.and(x, carry);
+    }
+    (out, carry)
+}
+
+/// Tests a word for equality with a constant.
+pub fn equals_const(aig: &mut Aig, a: &[Lit], k: u64) -> Lit {
+    let lits: Vec<Lit> = a
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| x.complement_if(k >> i & 1 == 0))
+        .collect();
+    aig.and_many(&lits)
+}
+
+/// Bitwise word multiplexer: `s ? t : e`.
+///
+/// # Panics
+///
+/// Panics if the words have different widths.
+pub fn mux_word(aig: &mut Aig, s: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
+    assert_eq!(t.len(), e.len(), "mux operands must have equal width");
+    t.iter()
+        .zip(e)
+        .map(|(&x, &y)| aig.mux(s, x, y))
+        .collect()
+}
+
+/// Bitwise XOR of two words.
+pub fn xor_word(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| aig.xor(x, y)).collect()
+}
+
+/// The word constant `k` over `width` bits.
+pub fn const_word(width: usize, k: u64) -> Vec<Lit> {
+    (0..width)
+        .map(|i| if k >> i & 1 != 0 { Lit::TRUE } else { Lit::FALSE })
+        .collect()
+}
+
+/// An unsigned array multiplier (`a.len() + b.len()` output bits), built
+/// from AND partial products and ripple adders. Deliberately BDD-hostile:
+/// the middle product bits have exponential BDDs in any variable order —
+/// this is what makes the `s3384`/`s6669` suite analogues fail on the
+/// proposed method exactly as in the paper.
+pub fn multiply(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let w = a.len() + b.len();
+    let mut acc = const_word(w, 0);
+    for (i, &bi) in b.iter().enumerate() {
+        // partial product row shifted by i
+        let mut row = const_word(w, 0);
+        for (j, &aj) in a.iter().enumerate() {
+            row[i + j] = aig.and(aj, bi);
+        }
+        let (sum, _) = ripple_add(aig, &acc, &row, Lit::FALSE);
+        acc = sum;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_sim::eval_single;
+
+    fn word_inputs(aig: &mut Aig, w: usize, tag: &str) -> Vec<Lit> {
+        (0..w).map(|i| aig.add_input(format!("{tag}{i}")).lit()).collect()
+    }
+
+    fn eval_word(aig: &Aig, lits: &[Lit], inputs: &[bool]) -> u64 {
+        let vals = eval_single(aig, inputs, &[]);
+        lits.iter()
+            .enumerate()
+            .map(|(i, l)| ((vals[l.var().index()] ^ l.is_complemented()) as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        let mut aig = Aig::new();
+        let a = word_inputs(&mut aig, 4, "a");
+        let b = word_inputs(&mut aig, 4, "b");
+        let (sum, cout) = ripple_add(&mut aig, &a, &b, Lit::FALSE);
+        let mut all = sum.clone();
+        all.push(cout);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut inputs = Vec::new();
+                for i in 0..4 {
+                    inputs.push(x >> i & 1 != 0);
+                }
+                for i in 0..4 {
+                    inputs.push(y >> i & 1 != 0);
+                }
+                assert_eq!(eval_word(&aig, &all, &inputs), x + y);
+            }
+        }
+    }
+
+    #[test]
+    fn increment_wraps() {
+        let mut aig = Aig::new();
+        let a = word_inputs(&mut aig, 3, "a");
+        let (inc, cout) = increment(&mut aig, &a);
+        for x in 0..8u64 {
+            let inputs: Vec<bool> = (0..3).map(|i| x >> i & 1 != 0).collect();
+            assert_eq!(eval_word(&aig, &inc, &inputs), (x + 1) % 8);
+            let vals = eval_single(&aig, &inputs, &[]);
+            let c = vals[cout.var().index()] ^ cout.is_complemented();
+            assert_eq!(c, x == 7);
+        }
+    }
+
+    #[test]
+    fn equals_const_exhaustive() {
+        let mut aig = Aig::new();
+        let a = word_inputs(&mut aig, 4, "a");
+        let eq = equals_const(&mut aig, &a, 9);
+        for x in 0..16u64 {
+            let inputs: Vec<bool> = (0..4).map(|i| x >> i & 1 != 0).collect();
+            let vals = eval_single(&aig, &inputs, &[]);
+            assert_eq!(vals[eq.var().index()] ^ eq.is_complemented(), x == 9);
+        }
+    }
+
+    #[test]
+    fn multiplier_exhaustive_3x3() {
+        let mut aig = Aig::new();
+        let a = word_inputs(&mut aig, 3, "a");
+        let b = word_inputs(&mut aig, 3, "b");
+        let p = multiply(&mut aig, &a, &b);
+        assert_eq!(p.len(), 6);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let mut inputs = Vec::new();
+                for i in 0..3 {
+                    inputs.push(x >> i & 1 != 0);
+                }
+                for i in 0..3 {
+                    inputs.push(y >> i & 1 != 0);
+                }
+                assert_eq!(eval_word(&aig, &p, &inputs), x * y, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_and_const_word() {
+        let mut aig = Aig::new();
+        let s = aig.add_input("s").lit();
+        let t = const_word(4, 0b1010);
+        let e = const_word(4, 0b0101);
+        let m = mux_word(&mut aig, s, &t, &e);
+        assert_eq!(eval_word(&aig, &m, &[true]), 0b1010);
+        assert_eq!(eval_word(&aig, &m, &[false]), 0b0101);
+    }
+}

@@ -1,0 +1,703 @@
+//! The individual sequential circuit families.
+
+use crate::arith;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sec_netlist::{Aig, Lit, Var};
+
+/// Allocates a word of registers with the given initial values.
+pub fn reg_word(aig: &mut Aig, width: usize, init: u64) -> Vec<Var> {
+    (0..width)
+        .map(|i| aig.add_latch(i < 64 && init >> i & 1 != 0))
+        .collect()
+}
+
+/// Drives a word of registers from next-state literals.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn drive(aig: &mut Aig, regs: &[Var], nexts: &[Lit]) {
+    assert_eq!(regs.len(), nexts.len());
+    for (&r, &n) in regs.iter().zip(nexts) {
+        aig.set_latch_next(r, n);
+    }
+}
+
+/// The current-state literals of a register word.
+pub fn word_lits(regs: &[Var]) -> Vec<Lit> {
+    regs.iter().map(|r| r.lit()).collect()
+}
+
+/// The counter families offered by [`counter`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CounterKind {
+    /// Plain binary up-counter.
+    Binary,
+    /// Binary core with Gray-coded outputs.
+    Gray,
+    /// Johnson (twisted-ring) counter.
+    Johnson,
+    /// One-hot ring counter.
+    Ring,
+}
+
+/// An enabled, synchronously-cleared counter of the given kind and width.
+/// Inputs: `en`, `clr`; outputs: every state bit (Gray-coded for
+/// [`CounterKind::Gray`]) plus the terminal-count flag.
+///
+/// A wide binary counter is the canonical "very deep state space" circuit
+/// (the paper's s208/s420/s838 family are exactly cascadable counters).
+pub fn counter(width: usize, kind: CounterKind) -> Aig {
+    assert!(width >= 2, "counter width must be at least 2");
+    let mut aig = Aig::new();
+    let en = aig.add_input("en").lit();
+    let clr = aig.add_input("clr").lit();
+    let init = if kind == CounterKind::Ring { 1 } else { 0 };
+    let regs = reg_word(&mut aig, width, init);
+    let q = word_lits(&regs);
+    let stepped: Vec<Lit> = match kind {
+        CounterKind::Binary | CounterKind::Gray => arith::increment(&mut aig, &q).0,
+        CounterKind::Johnson => {
+            let mut v = vec![!q[width - 1]];
+            v.extend_from_slice(&q[..width - 1]);
+            v
+        }
+        CounterKind::Ring => {
+            let mut v = vec![q[width - 1]];
+            v.extend_from_slice(&q[..width - 1]);
+            v
+        }
+    };
+    let held = arith::mux_word(&mut aig, en, &stepped, &q);
+    let reset_val = arith::const_word(width, init);
+    let next = arith::mux_word(&mut aig, clr, &reset_val, &held);
+    drive(&mut aig, &regs, &next);
+    for (i, &bit) in q.iter().enumerate() {
+        let out = match kind {
+            CounterKind::Gray => {
+                if i + 1 < width {
+                    aig.xor(q[i], q[i + 1])
+                } else {
+                    bit
+                }
+            }
+            _ => bit,
+        };
+        aig.add_output(out, format!("q{i}"));
+    }
+    let tc = match kind {
+        CounterKind::Binary | CounterKind::Gray => {
+            arith::equals_const(&mut aig, &q, (1u64 << width.min(63)) - 1)
+        }
+        CounterKind::Johnson => arith::equals_const(&mut aig, &q, 0),
+        CounterKind::Ring => q[width - 1],
+    };
+    aig.add_output(tc, "tc");
+    aig
+}
+
+/// A Fibonacci LFSR with an enable input; taps derived from `seed` (the
+/// top bit is always tapped so the register actually shifts feedback).
+/// Outputs the serial bit and the zero-detect flag.
+pub fn lfsr(width: usize, seed: u64) -> Aig {
+    assert!(width >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aig = Aig::new();
+    let en = aig.add_input("en").lit();
+    // Nonzero init so the LFSR cycles.
+    let regs = reg_word(&mut aig, width, 1);
+    let q = word_lits(&regs);
+    let mut fb = q[width - 1];
+    for (i, &bit) in q.iter().enumerate().take(width - 1) {
+        if rng.gen_bool(0.4) {
+            fb = aig.xor(fb, bit);
+            let _ = i;
+        }
+    }
+    let mut shifted = vec![fb];
+    shifted.extend_from_slice(&q[..width - 1]);
+    let next = arith::mux_word(&mut aig, en, &shifted, &q);
+    drive(&mut aig, &regs, &next);
+    aig.add_output(q[width - 1], "serial");
+    let zero = arith::equals_const(&mut aig, &q, 0);
+    aig.add_output(zero, "stuck");
+    aig
+}
+
+/// A Galois CRC register consuming one data bit per cycle. `poly` selects
+/// the feedback taps. Outputs every CRC bit.
+pub fn crc(width: usize, poly: u64) -> Aig {
+    assert!(width >= 2);
+    let mut aig = Aig::new();
+    let d = aig.add_input("d").lit();
+    let en = aig.add_input("en").lit();
+    let regs = reg_word(&mut aig, width, 0);
+    let q = word_lits(&regs);
+    let fb = aig.xor(q[width - 1], d);
+    let mut next = Vec::with_capacity(width);
+    for i in 0..width {
+        let shifted = if i == 0 { fb } else { q[i - 1] };
+        let val = if i > 0 && poly >> i & 1 != 0 {
+            aig.xor(shifted, fb)
+        } else {
+            shifted
+        };
+        next.push(val);
+    }
+    let held = arith::mux_word(&mut aig, en, &next, &q);
+    drive(&mut aig, &regs, &held);
+    for (i, &bit) in q.iter().enumerate() {
+        aig.add_output(bit, format!("crc{i}"));
+    }
+    aig
+}
+
+/// A random Mealy FSM over `num_states` states (binary state encoding),
+/// `num_inputs` inputs and `num_outputs` outputs, with dense random
+/// transition and output tables. This is the "control logic" family
+/// (the paper's s386/s510/s820 rows are exactly such controllers).
+///
+/// # Panics
+///
+/// Panics if `num_states < 2` or the tables would be unreasonably large
+/// (`num_states * 2^num_inputs > 4096`).
+pub fn random_fsm(num_states: usize, num_inputs: usize, num_outputs: usize, seed: u64) -> Aig {
+    assert!(num_states >= 2);
+    assert!(
+        num_states << num_inputs <= 4096,
+        "FSM table too large to tabulate"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nbits = usize::BITS as usize - (num_states - 1).leading_zeros() as usize;
+    let mut aig = Aig::new();
+    let inputs: Vec<Lit> = (0..num_inputs)
+        .map(|i| aig.add_input(format!("in{i}")).lit())
+        .collect();
+    let regs = reg_word(&mut aig, nbits, 0);
+    let q = word_lits(&regs);
+
+    // Indicator terms for every (state, input-vector) pair.
+    let mut next_terms: Vec<Vec<Lit>> = vec![Vec::new(); nbits];
+    let mut out_terms: Vec<Vec<Lit>> = vec![Vec::new(); num_outputs];
+    for s in 0..num_states {
+        let in_state = arith::equals_const(&mut aig, &q, s as u64);
+        for x in 0..1usize << num_inputs {
+            let cube: Vec<Lit> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| l.complement_if(x >> i & 1 == 0))
+                .collect();
+            let mut cond = aig.and_many(&cube);
+            cond = aig.and(cond, in_state);
+            let target = rng.gen_range(0..num_states);
+            for (j, terms) in next_terms.iter_mut().enumerate() {
+                if target >> j & 1 != 0 {
+                    terms.push(cond);
+                }
+            }
+            for terms in out_terms.iter_mut() {
+                if rng.gen_bool(0.5) {
+                    terms.push(cond);
+                }
+            }
+        }
+    }
+    let next: Vec<Lit> = next_terms
+        .iter()
+        .map(|t| aig.or_many(t))
+        .collect();
+    drive(&mut aig, &regs, &next);
+    for (k, terms) in out_terms.iter().enumerate() {
+        let o = aig.or_many(terms);
+        aig.add_output(o, format!("out{k}"));
+    }
+    aig
+}
+
+/// A pair of sequentially equivalent FSMs over the *same* random
+/// transition/output tables but with **different state encodings** (the
+/// second uses a random code permutation). There are no internal signal
+/// equivalences between them, so the signal-correspondence method cannot
+/// prove the pair even though exact traversal can — the paper's
+/// incompleteness case (Sec. 6).
+///
+/// # Panics
+///
+/// Same limits as [`random_fsm`].
+pub fn fsm_pair_reencoded(
+    num_states: usize,
+    num_inputs: usize,
+    num_outputs: usize,
+    seed: u64,
+) -> (Aig, Aig) {
+    assert!(num_states >= 2);
+    assert!(num_states << num_inputs <= 4096);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nbits = usize::BITS as usize - (num_states - 1).leading_zeros() as usize;
+    // Shared tables.
+    let transitions: Vec<Vec<usize>> = (0..num_states)
+        .map(|_| (0..1usize << num_inputs).map(|_| rng.gen_range(0..num_states)).collect())
+        .collect();
+    let outputs: Vec<Vec<u64>> = (0..num_states)
+        .map(|_| (0..1usize << num_inputs).map(|_| rng.gen::<u64>() & ((1 << num_outputs) - 1)).collect())
+        .collect();
+    // Encoding 1: identity. Encoding 2: random permutation of codes over
+    // the full 2^nbits code space (so unused codes also move).
+    let mut perm: Vec<usize> = (0..1usize << nbits).collect();
+    for i in (1..perm.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+
+    let build = |encode: &dyn Fn(usize) -> usize| -> Aig {
+        let mut aig = Aig::new();
+        let inputs: Vec<Lit> = (0..num_inputs)
+            .map(|i| aig.add_input(format!("in{i}")).lit())
+            .collect();
+        let init_code = encode(0);
+        let regs: Vec<Var> = (0..nbits)
+            .map(|j| aig.add_latch(init_code >> j & 1 != 0))
+            .collect();
+        let q = word_lits(&regs);
+        let mut next_terms: Vec<Vec<Lit>> = vec![Vec::new(); nbits];
+        let mut out_terms: Vec<Vec<Lit>> = vec![Vec::new(); num_outputs];
+        for s in 0..num_states {
+            let in_state = arith::equals_const(&mut aig, &q, encode(s) as u64);
+            for x in 0..1usize << num_inputs {
+                let cube: Vec<Lit> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| l.complement_if(x >> i & 1 == 0))
+                    .collect();
+                let mut cond = aig.and_many(&cube);
+                cond = aig.and(cond, in_state);
+                let target = encode(transitions[s][x]);
+                for (j, terms) in next_terms.iter_mut().enumerate() {
+                    if target >> j & 1 != 0 {
+                        terms.push(cond);
+                    }
+                }
+                for (k, terms) in out_terms.iter_mut().enumerate() {
+                    if outputs[s][x] >> k & 1 != 0 {
+                        terms.push(cond);
+                    }
+                }
+            }
+        }
+        let next: Vec<Lit> = next_terms.iter().map(|t| aig.or_many(t)).collect();
+        drive(&mut aig, &regs, &next);
+        for (k, terms) in out_terms.iter().enumerate() {
+            let o = aig.or_many(terms);
+            aig.add_output(o, format!("out{k}"));
+        }
+        aig
+    };
+    let a = build(&|s| s);
+    let b = build(&|s| perm[s]);
+    (a, b)
+}
+
+/// A pair of equivalent free-running counters with **incompatible state
+/// representations**: a binary counter asserting its output every
+/// `2^nbits` cycles, and a one-hot ring counter of length `2^nbits` doing
+/// the same. No internal signal of one circuit is sequentially equivalent
+/// to any signal of the other (apart from the outputs, whose equivalence
+/// is not 1-inductive), so the signal-correspondence method cannot prove
+/// this pair — the genuinely incomplete case of the paper's Sec. 6 —
+/// while exact traversal can.
+pub fn counter_pair_onehot(nbits: usize) -> (Aig, Aig) {
+    assert!((1..=6).contains(&nbits), "keep the ring length sane");
+    let mut bin = Aig::new();
+    {
+        let regs = reg_word(&mut bin, nbits, 0);
+        let q = word_lits(&regs);
+        let (inc, _) = arith::increment(&mut bin, &q);
+        drive(&mut bin, &regs, &inc);
+        let tc = bin.and_many(&q);
+        bin.add_output(tc, "tc");
+    }
+    let n = 1usize << nbits;
+    let mut ring = Aig::new();
+    {
+        let regs = reg_word(&mut ring, n, 1);
+        for i in 0..n {
+            let prev = regs[(i + n - 1) % n].lit();
+            ring.set_latch_next(regs[i], prev);
+        }
+        ring.add_output(regs[n - 1].lit(), "tc");
+    }
+    (bin, ring)
+}
+
+/// A round-robin arbiter over `n` requesters: a one-hot pointer register
+/// rotates priority; at most one grant is asserted per cycle.
+pub fn arbiter(n: usize) -> Aig {
+    assert!(n >= 2);
+    let mut aig = Aig::new();
+    let reqs: Vec<Lit> = (0..n)
+        .map(|i| aig.add_input(format!("req{i}")).lit())
+        .collect();
+    let regs = reg_word(&mut aig, n, 1); // pointer starts at position 0
+    let ptr = word_lits(&regs);
+    // grant[i] = OR over pointer positions p of:
+    //   ptr[p] & req[i] & none of req[p..i) (circular order from p).
+    let mut grants: Vec<Lit> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut terms = Vec::with_capacity(n);
+        for (p, &ptr_p) in ptr.iter().enumerate() {
+            let mut cond = vec![ptr_p, reqs[i]];
+            let mut k = p;
+            while k != i {
+                cond.push(!reqs[k]);
+                k = (k + 1) % n;
+            }
+            terms.push(aig.and_many(&cond));
+        }
+        grants.push(aig.or_many(&terms));
+    }
+    // Pointer moves to the position after the grant; holds otherwise.
+    let any_grant = aig.or_many(&grants);
+    let mut next_ptr = Vec::with_capacity(n);
+    for i in 0..n {
+        let after_grant = grants[(i + n - 1) % n];
+        next_ptr.push(aig.mux(any_grant, after_grant, ptr[i]));
+    }
+    drive(&mut aig, &regs, &next_ptr);
+    for (i, &g) in grants.iter().enumerate() {
+        aig.add_output(g, format!("gnt{i}"));
+    }
+    aig
+}
+
+/// A shift-add sequential multiplier: `start` latches operands `a` and
+/// `b`; `w` cycles later `done` pulses with the product on `p`.
+/// Register count: `2w` (product/multiplier) + `w` (multiplicand) +
+/// `ceil(log2 w)` (cycle counter) + 1 (busy).
+pub fn seq_multiplier(w: usize) -> Aig {
+    assert!(w >= 2 && w.is_power_of_two(), "width must be a power of two");
+    let cnt_bits = w.trailing_zeros() as usize;
+    let mut aig = Aig::new();
+    let start = aig.add_input("start").lit();
+    let a_in: Vec<Lit> = (0..w).map(|i| aig.add_input(format!("a{i}")).lit()).collect();
+    let b_in: Vec<Lit> = (0..w).map(|i| aig.add_input(format!("b{i}")).lit()).collect();
+
+    let p_regs = reg_word(&mut aig, 2 * w, 0); // high: accumulator, low: multiplier
+    let a_regs = reg_word(&mut aig, w, 0);
+    let cnt_regs = reg_word(&mut aig, cnt_bits, 0);
+    let busy_reg = aig.add_latch(false);
+
+    let p = word_lits(&p_regs);
+    let a = word_lits(&a_regs);
+    let cnt = word_lits(&cnt_regs);
+    let busy = busy_reg.lit();
+
+    // One multiply step: if p[0], add `a` into the high half, then shift
+    // the whole 2w register right by one.
+    let high = &p[w..];
+    let (summed, carry) = arith::ripple_add(&mut aig, high, &a, Lit::FALSE);
+    let added_high: Vec<Lit> = summed;
+    let use_add = p[0];
+    let mut stepped = Vec::with_capacity(2 * w);
+    // After shift: bit i takes bit i+1 of the (conditionally added) value.
+    let mut wide: Vec<Lit> = p[..w].to_vec();
+    for i in 0..w {
+        wide.push(aig.mux(use_add, added_high[i], p[w + i]));
+    }
+    let top = aig.and(use_add, carry);
+    stepped.extend_from_slice(&wide[1..]);
+    stepped.push(top);
+
+    let (cnt_inc, _) = arith::increment(&mut aig, &cnt);
+    let last_cycle = arith::equals_const(&mut aig, &cnt, (w - 1) as u64);
+
+    let load = aig.and(start, !busy);
+    // p next: load -> {0, b}; busy -> stepped; else hold.
+    let mut loaded: Vec<Lit> = b_in.clone();
+    loaded.extend(arith::const_word(w, 0));
+    let p_busy = arith::mux_word(&mut aig, busy, &stepped, &p);
+    let p_next = arith::mux_word(&mut aig, load, &loaded, &p_busy);
+    drive(&mut aig, &p_regs, &p_next);
+
+    let a_hold = arith::mux_word(&mut aig, load, &a_in, &a);
+    drive(&mut aig, &a_regs, &a_hold);
+
+    let zero = arith::const_word(cnt_bits, 0);
+    let cnt_busy = arith::mux_word(&mut aig, busy, &cnt_inc, &cnt);
+    let cnt_next = arith::mux_word(&mut aig, load, &zero, &cnt_busy);
+    drive(&mut aig, &cnt_regs, &cnt_next);
+
+    let finish = aig.and(busy, last_cycle);
+    let busy_next = {
+        let stay = aig.and(busy, !finish);
+        aig.or(stay, load)
+    };
+    aig.set_latch_next(busy_reg, busy_next);
+
+    let done = finish;
+    aig.add_output(done, "done");
+    for (i, &bit) in p.iter().enumerate() {
+        aig.add_output(bit, format!("p{i}"));
+    }
+    aig
+}
+
+/// A registered datapath pipeline: `width`-bit data flows through `depth`
+/// stages; each stage XORs with a rotation of itself and conditionally
+/// ANDs with the stage enable.
+pub fn pipeline(width: usize, depth: usize, seed: u64) -> Aig {
+    assert!(width >= 2 && depth >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aig = Aig::new();
+    let data: Vec<Lit> = (0..width)
+        .map(|i| aig.add_input(format!("d{i}")).lit())
+        .collect();
+    let en = aig.add_input("en").lit();
+    let mut stage_in = data;
+    let mut all_regs = Vec::new();
+    for s in 0..depth {
+        let rot = rng.gen_range(1..width);
+        let invert = rng.gen_bool(0.5);
+        let mut logic = Vec::with_capacity(width);
+        for i in 0..width {
+            let other = stage_in[(i + rot) % width];
+            let x = aig.xor(stage_in[i], other.complement_if(invert));
+            logic.push(aig.and(x, en).complement_if(s % 2 == 1));
+        }
+        let regs = reg_word(&mut aig, width, 0);
+        let q = word_lits(&regs);
+        drive(&mut aig, &regs, &logic);
+        all_regs.push(regs);
+        stage_in = q;
+    }
+    for (i, &bit) in stage_in.iter().enumerate() {
+        aig.add_output(bit, format!("o{i}"));
+    }
+    aig
+}
+
+/// A register-bounded combinational multiplier: operands are latched from
+/// the inputs, the array product is computed combinationally and
+/// registered. The product logic has exponentially large BDDs, making
+/// this the suite's stand-in for the circuits the paper could *not*
+/// verify (s3384, s6669).
+pub fn registered_multiplier(w: usize, extra_regs: usize) -> Aig {
+    let mut aig = Aig::new();
+    let load = aig.add_input("load").lit();
+    let a_in: Vec<Lit> = (0..w).map(|i| aig.add_input(format!("a{i}")).lit()).collect();
+    let b_in: Vec<Lit> = (0..w).map(|i| aig.add_input(format!("b{i}")).lit()).collect();
+    let a_regs = reg_word(&mut aig, w, 0);
+    let b_regs = reg_word(&mut aig, w, 0);
+    let a = word_lits(&a_regs);
+    let b = word_lits(&b_regs);
+    let a_next = arith::mux_word(&mut aig, load, &a_in, &a);
+    let b_next = arith::mux_word(&mut aig, load, &b_in, &b);
+    drive(&mut aig, &a_regs, &a_next);
+    drive(&mut aig, &b_regs, &b_next);
+    let product = arith::multiply(&mut aig, &a, &b);
+    let p_regs = reg_word(&mut aig, 2 * w, 0);
+    drive(&mut aig, &p_regs, &product);
+    for (i, r) in p_regs.iter().enumerate() {
+        aig.add_output(r.lit(), format!("p{i}"));
+    }
+    // Pad with a shift chain fed by the product parity to reach the
+    // target register count.
+    if extra_regs > 0 {
+        let mut parity = Lit::FALSE;
+        for &bit in &product {
+            parity = aig.xor(parity, bit);
+        }
+        let chain = reg_word(&mut aig, extra_regs, 0);
+        let mut prev = parity;
+        for &r in &chain {
+            aig.set_latch_next(r, prev);
+            prev = r.lit();
+        }
+        aig.add_output(prev, "chain_out");
+    }
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_netlist::check;
+    use sec_sim::Trace;
+
+    #[test]
+    fn counters_are_well_formed() {
+        for kind in [
+            CounterKind::Binary,
+            CounterKind::Gray,
+            CounterKind::Johnson,
+            CounterKind::Ring,
+        ] {
+            let aig = counter(6, kind);
+            check(&aig).unwrap();
+            assert_eq!(aig.num_latches(), 6);
+            assert_eq!(aig.num_inputs(), 2);
+        }
+    }
+
+    #[test]
+    fn binary_counter_counts() {
+        let aig = counter(4, CounterKind::Binary);
+        // en=1, clr=0 for 5 cycles.
+        let trace = Trace::new(vec![vec![true, false]; 5]);
+        let outs = trace.replay(&aig);
+        // After k cycles the outputs show value k (outputs are pre-clock).
+        for (k, o) in outs.iter().enumerate() {
+            let val: usize = (0..4).map(|i| (o[i] as usize) << i).sum();
+            assert_eq!(val, k);
+        }
+    }
+
+    #[test]
+    fn ring_counter_one_hot() {
+        let aig = counter(5, CounterKind::Ring);
+        let trace = Trace::new(vec![vec![true, false]; 7]);
+        let outs = trace.replay(&aig);
+        for o in outs {
+            let hot = (0..5).filter(|&i| o[i]).count();
+            assert_eq!(hot, 1);
+        }
+    }
+
+    #[test]
+    fn lfsr_cycles_without_sticking() {
+        let aig = lfsr(5, 3);
+        check(&aig).unwrap();
+        let trace = Trace::new(vec![vec![true]; 40]);
+        let outs = trace.replay(&aig);
+        // The stuck flag (all-zero state) must never rise.
+        assert!(outs.iter().all(|o| !o[1]));
+        // The serial stream is not constant.
+        assert!(outs.iter().any(|o| o[0]) && outs.iter().any(|o| !o[0]));
+    }
+
+    #[test]
+    fn crc_is_linear_in_data() {
+        let aig = crc(8, 0x1D);
+        check(&aig).unwrap();
+        assert_eq!(aig.num_latches(), 8);
+        let t0 = Trace::new(vec![vec![false, true]; 16]);
+        let t1 = Trace::new(vec![vec![true, true]; 16]);
+        assert_ne!(t0.replay(&aig), t1.replay(&aig));
+    }
+
+    #[test]
+    fn fsm_shape() {
+        let aig = random_fsm(13, 2, 4, 7);
+        check(&aig).unwrap();
+        assert_eq!(aig.num_latches(), 4); // ceil(log2 13)
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_outputs(), 4);
+    }
+
+    #[test]
+    fn arbiter_grants_at_most_one() {
+        let aig = arbiter(4);
+        check(&aig).unwrap();
+        let trace = Trace::random(4, 50, 11);
+        for (f, outs) in trace.replay(&aig).iter().enumerate() {
+            let grants = outs.iter().filter(|&&g| g).count();
+            assert!(grants <= 1, "frame {f}: multiple grants");
+            // A grant implies the corresponding request.
+            for (i, &granted) in outs.iter().enumerate().take(4) {
+                if granted {
+                    assert!(trace.inputs[f][i], "grant without request");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seq_multiplier_multiplies() {
+        let w = 4;
+        let aig = seq_multiplier(w);
+        check(&aig).unwrap();
+        assert_eq!(aig.num_latches(), 2 * w + w + 2 + 1);
+        for (a, b) in [(3u64, 5u64), (7, 9), (15, 15), (0, 12)] {
+            // start pulse with operands, then w idle cycles.
+            let mut frames = Vec::new();
+            let mut first = vec![true];
+            for i in 0..w {
+                first.push(a >> i & 1 != 0);
+            }
+            for i in 0..w {
+                first.push(b >> i & 1 != 0);
+            }
+            frames.push(first);
+            for _ in 0..w + 1 {
+                frames.push(vec![false; 1 + 2 * w]);
+            }
+            let outs = Trace::new(frames).replay(&aig);
+            // Find the done pulse and read the product.
+            let done_frame = outs.iter().position(|o| o[0]).expect("done must pulse");
+            let after = &outs[done_frame + 1];
+            let p: u64 = (0..2 * w).map(|i| (after[1 + i] as u64) << i).sum();
+            assert_eq!(p, a * b, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn pipeline_shape() {
+        let aig = pipeline(8, 3, 5);
+        check(&aig).unwrap();
+        assert_eq!(aig.num_latches(), 24);
+        assert_eq!(aig.num_outputs(), 8);
+    }
+
+    #[test]
+    fn registered_multiplier_shape() {
+        let aig = registered_multiplier(4, 10);
+        check(&aig).unwrap();
+        assert_eq!(aig.num_latches(), 4 + 4 + 8 + 10);
+    }
+}
+
+#[cfg(test)]
+mod reencode_tests {
+    use super::*;
+    use sec_sim::{first_output_mismatch, Trace};
+
+    #[test]
+    fn reencoded_pair_is_behaviourally_equal() {
+        let (a, b) = fsm_pair_reencoded(10, 2, 3, 5);
+        assert_eq!(a.num_latches(), b.num_latches());
+        let t = Trace::random(2, 200, 9);
+        assert_eq!(first_output_mismatch(&a, &b, &t), None);
+    }
+
+    #[test]
+    fn reencoded_pair_differs_structurally() {
+        let (a, b) = fsm_pair_reencoded(10, 2, 3, 5);
+        // Initial states differ under the permutation with overwhelming
+        // probability for this seed.
+        assert_ne!(a.initial_state(), b.initial_state());
+    }
+}
+
+#[cfg(test)]
+mod onehot_tests {
+    use super::*;
+    use sec_sim::Trace;
+
+    #[test]
+    fn pair_outputs_agree() {
+        let (bin, ring) = counter_pair_onehot(3);
+        assert_eq!(bin.num_latches(), 3);
+        assert_eq!(ring.num_latches(), 8);
+        let t = Trace::new(vec![vec![]; 40]);
+        assert_eq!(t.replay(&bin), t.replay(&ring));
+    }
+
+    #[test]
+    fn output_pulses_every_period() {
+        let (bin, _) = counter_pair_onehot(2);
+        let t = Trace::new(vec![vec![]; 9]);
+        let outs = t.replay(&bin);
+        let tc: Vec<bool> = outs.iter().map(|o| o[0]).collect();
+        assert_eq!(tc, vec![false, false, false, true, false, false, false, true, false]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # sec-gen
+//!
+//! Parameterized generators for sequential benchmark circuits: counters,
+//! LFSRs, CRC units, random control FSMs, arbiters, shift-add multipliers,
+//! pipelines, mixed control/datapath compositions — plus the 26-row
+//! ISCAS'89-alike suite used to reproduce the paper's Table 1 (see
+//! [`iscas_alike_suite`]).
+//!
+//! All generators are deterministic in their seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use sec_gen::{counter, CounterKind};
+//!
+//! let aig = counter(8, CounterKind::Binary);
+//! assert_eq!(aig.num_latches(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arith;
+mod blocks;
+mod mixed;
+mod suite;
+
+pub use blocks::{
+    arbiter, counter, counter_pair_onehot, crc, fsm_pair_reencoded, lfsr, pipeline, random_fsm,
+    registered_multiplier, seq_multiplier, CounterKind,
+};
+pub use mixed::{mixed, random_aig, random_logic};
+pub use suite::{iscas_alike_suite, SuiteEntry};

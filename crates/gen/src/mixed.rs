@@ -1,0 +1,222 @@
+//! Mixed control/datapath circuits with an exact register count, used to
+//! stand in for the medium and large ISCAS'89 circuits.
+
+use crate::arith;
+use crate::blocks::{drive, reg_word, word_lits};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sec_netlist::{Aig, Lit};
+
+/// A random combinational function over the given leaves: a tree of
+/// AND/OR/XOR/MUX nodes of roughly `2^depth` leaves.
+pub fn random_logic(aig: &mut Aig, rng: &mut StdRng, leaves: &[Lit], depth: usize) -> Lit {
+    let pick = |rng: &mut StdRng| {
+        let l = leaves[rng.gen_range(0..leaves.len())];
+        l.complement_if(rng.gen_bool(0.3))
+    };
+    if depth == 0 || leaves.is_empty() {
+        return pick(rng);
+    }
+    let a = random_logic(aig, rng, leaves, depth - 1);
+    let b = random_logic(aig, rng, leaves, depth - 1);
+    match rng.gen_range(0..4) {
+        0 => aig.and(a, b),
+        1 => aig.or(a, b),
+        2 => aig.xor(a, b),
+        _ => {
+            let c = pick(rng);
+            aig.mux(c, a, b)
+        }
+    }
+}
+
+/// A fully random sequential circuit: `n_gates` random AND/OR/XOR/MUX
+/// gates over `n_inputs` inputs and `n_latches` registers (random
+/// initial values, random feedback), with every sink exposed as an
+/// output. Used by the property-based test suites as the unbiased
+/// workload; deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if there is nothing to build on (`n_inputs + n_latches == 0`).
+pub fn random_aig(n_inputs: usize, n_latches: usize, n_gates: usize, seed: u64) -> Aig {
+    assert!(n_inputs + n_latches > 0, "need at least one leaf");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aig = Aig::new();
+    let mut pool: Vec<Lit> = Vec::new();
+    for i in 0..n_inputs {
+        pool.push(aig.add_input(format!("i{i}")).lit());
+    }
+    let latches: Vec<_> = (0..n_latches).map(|_| aig.add_latch(rng.gen())).collect();
+    pool.extend(latches.iter().map(|l| l.lit()));
+    for _ in 0..n_gates {
+        let pick = |rng: &mut StdRng, pool: &[Lit]| {
+            pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.4))
+        };
+        let a = pick(&mut rng, &pool);
+        let b = pick(&mut rng, &pool);
+        let g = match rng.gen_range(0..4) {
+            0 => aig.and(a, b),
+            1 => aig.or(a, b),
+            2 => aig.xor(a, b),
+            _ => {
+                let c = pick(&mut rng, &pool);
+                aig.mux(c, a, b)
+            }
+        };
+        pool.push(g);
+    }
+    for &l in &latches {
+        let next = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.3));
+        aig.set_latch_next(l, next);
+    }
+    // Expose a handful of signals (always including the last gate) so the
+    // circuit is observable.
+    let n_outputs = rng.gen_range(1..=3.min(pool.len()));
+    for k in 0..n_outputs {
+        let l = if k == 0 {
+            *pool.last().expect("pool is non-empty")
+        } else {
+            pool[rng.gen_range(0..pool.len())]
+        };
+        aig.add_output(l, format!("o{k}"));
+    }
+    aig
+}
+
+/// A mixed circuit with exactly `target_regs` registers: a small random
+/// control FSM, an enabled counter, an LFSR and a long shift chain, all
+/// cross-coupled. The shift chain absorbs whatever register budget the
+/// structured blocks do not use, so any count ≥ 4 is achievable.
+///
+/// # Panics
+///
+/// Panics if `target_regs < 4`.
+pub fn mixed(target_regs: usize, seed: u64) -> Aig {
+    assert!(target_regs >= 4, "mixed circuits need at least 4 registers");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aig = Aig::new();
+    let en = aig.add_input("en").lit();
+    let d0 = aig.add_input("d0").lit();
+    let d1 = aig.add_input("d1").lit();
+
+    let fsm_bits = (target_regs / 6).clamp(1, 4);
+    let mut rest = target_regs - fsm_bits;
+    let cnt_bits = (rest / 3).clamp(1, 24);
+    rest -= cnt_bits;
+    let lfsr_bits = (rest / 2).clamp(1, 24);
+    rest -= lfsr_bits;
+    let chain_bits = rest;
+
+    // Counter block.
+    let cnt_regs = reg_word(&mut aig, cnt_bits, 0);
+    let cnt = word_lits(&cnt_regs);
+    let (cnt_inc, carry) = arith::increment(&mut aig, &cnt);
+
+    // FSM block: random next-state logic over its own bits and the
+    // surrounding signals.
+    let fsm_regs = reg_word(&mut aig, fsm_bits, 0);
+    let fsm = word_lits(&fsm_regs);
+    let mut ctrl_leaves = fsm.clone();
+    ctrl_leaves.extend([d1, carry, cnt[cnt_bits - 1]]);
+    let fsm_next: Vec<Lit> = (0..fsm_bits)
+        .map(|_| random_logic(&mut aig, &mut rng, &ctrl_leaves, 2))
+        .collect();
+    drive(&mut aig, &fsm_regs, &fsm_next);
+
+    // Counter enabled by `en` gated with an FSM bit.
+    let cnt_en = aig.or(en, fsm[0]);
+    let cnt_next = arith::mux_word(&mut aig, cnt_en, &cnt_inc, &cnt);
+    drive(&mut aig, &cnt_regs, &cnt_next);
+
+    // LFSR block, perturbed by the FSM.
+    let lfsr_regs = reg_word(&mut aig, lfsr_bits, 1);
+    let q = word_lits(&lfsr_regs);
+    let mut fb = q[lfsr_bits - 1];
+    for &bit in q.iter().take(lfsr_bits - 1) {
+        if rng.gen_bool(0.35) {
+            fb = aig.xor(fb, bit);
+        }
+    }
+    fb = aig.xor(fb, fsm[fsm_bits - 1]);
+    let mut shifted = vec![fb];
+    shifted.extend_from_slice(&q[..lfsr_bits - 1]);
+    drive(&mut aig, &lfsr_regs, &shifted);
+
+    // Shift chain absorbing the remaining register budget.
+    let serial = {
+        let leaves = [q[lfsr_bits - 1], carry, d0, fsm[0]];
+        random_logic(&mut aig, &mut rng, &leaves, 2)
+    };
+    let mut tail = serial;
+    if chain_bits > 0 {
+        let chain = reg_word(&mut aig, chain_bits, 0);
+        let mut prev = serial;
+        for (k, &r) in chain.iter().enumerate() {
+            // Sprinkle light logic along the chain so it is not pure wiring.
+            let nxt = if k % 7 == 3 {
+                aig.xor(prev, carry)
+            } else {
+                prev
+            };
+            aig.set_latch_next(r, nxt);
+            prev = r.lit();
+        }
+        tail = prev;
+    }
+
+    aig.add_output(cnt[cnt_bits - 1], "cnt_msb");
+    aig.add_output(carry, "carry");
+    for (i, &f) in fsm.iter().enumerate() {
+        aig.add_output(f, format!("fsm{i}"));
+    }
+    aig.add_output(q[lfsr_bits - 1], "lfsr_out");
+    aig.add_output(tail, "chain_out");
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_netlist::check;
+    use sec_sim::Trace;
+
+    #[test]
+    fn exact_register_counts() {
+        for target in [4, 5, 14, 21, 29, 57, 74, 164, 490] {
+            let aig = mixed(target, 42);
+            check(&aig).unwrap();
+            assert_eq!(aig.num_latches(), target, "target {target}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = mixed(21, 7);
+        let b = mixed(21, 7);
+        let t = Trace::random(3, 20, 1);
+        assert_eq!(t.replay(&a), t.replay(&b));
+        let c = mixed(21, 8);
+        assert_eq!(c.num_latches(), 21);
+    }
+
+    #[test]
+    fn outputs_are_alive() {
+        let aig = mixed(30, 3);
+        let t = Trace::random(3, 64, 2);
+        let outs = t.replay(&aig);
+        // At least one output toggles over time.
+        let toggles = (0..aig.num_outputs())
+            .any(|o| outs.iter().any(|f| f[o]) && outs.iter().any(|f| !f[o]));
+        assert!(toggles);
+    }
+
+    #[test]
+    fn random_logic_depth_zero_is_leaf() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = random_logic(&mut aig, &mut rng, &[a], 0);
+        assert_eq!(l.var(), a.var());
+    }
+}

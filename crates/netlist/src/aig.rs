@@ -1,0 +1,576 @@
+//! The and-inverter graph itself.
+
+use crate::{Lit, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One node of an [`Aig`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// The constant-false node; always node 0.
+    Const,
+    /// A primary input; `index` is its position in [`Aig::inputs`].
+    Input {
+        /// Position in the input list.
+        index: u32,
+    },
+    /// A register (D flip-flop) with a specified initial value.
+    ///
+    /// The sequential circuit model is a deterministic Mealy machine with a
+    /// specified initial state, as required by the verification method.
+    Latch {
+        /// Position in the latch list.
+        index: u32,
+        /// Initial value at time 0.
+        init: bool,
+        /// Next-state function input; `None` until assigned.
+        next: Option<Lit>,
+    },
+    /// A two-input AND gate. Fanins are ordered `a <= b` and always refer to
+    /// nodes with smaller indices, so index order is a topological order of
+    /// the combinational logic.
+    And {
+        /// First fanin (smaller literal code).
+        a: Lit,
+        /// Second fanin.
+        b: Lit,
+    },
+}
+
+/// A primary output: a literal plus an optional name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Output {
+    /// The driving literal.
+    pub lit: Lit,
+    /// Optional port name.
+    pub name: Option<String>,
+}
+
+/// A sequential and-inverter graph: two-input AND gates, inverters encoded
+/// on edges, registers with specified initial values.
+///
+/// Structural hashing is performed on construction: [`Aig::and`] returns an
+/// existing node when an identical gate already exists and applies the usual
+/// constant/unit/idempotence/complement simplification rules.
+///
+/// # Examples
+///
+/// ```
+/// use sec_netlist::Aig;
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a").lit();
+/// let b = aig.add_input("b").lit();
+/// let f = aig.xor(a, b);
+/// aig.add_output(f, "f");
+/// assert_eq!(aig.num_inputs(), 2);
+/// assert_eq!(aig.num_outputs(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    names: Vec<Option<String>>,
+    inputs: Vec<Var>,
+    latches: Vec<Var>,
+    outputs: Vec<Output>,
+    strash: HashMap<(Lit, Lit), Var>,
+}
+
+impl Aig {
+    /// Creates an empty graph containing only the constant node.
+    pub fn new() -> Aig {
+        Aig {
+            nodes: vec![Node::Const],
+            names: vec![Some("const0".to_string())],
+            inputs: Vec::new(),
+            latches: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    fn push_node(&mut self, node: Node) -> Var {
+        let var = Var(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.names.push(None);
+        var
+    }
+
+    /// Adds a primary input with the given name and returns its variable.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Var {
+        let index = self.inputs.len() as u32;
+        let var = self.push_node(Node::Input { index });
+        self.inputs.push(var);
+        self.names[var.index()] = Some(name.into());
+        var
+    }
+
+    /// Adds an unnamed primary input.
+    pub fn add_input_anon(&mut self) -> Var {
+        let n = self.inputs.len();
+        self.add_input(format!("i{n}"))
+    }
+
+    /// Adds a register with initial value `init`. Its next-state input must
+    /// later be assigned with [`Aig::set_latch_next`].
+    pub fn add_latch(&mut self, init: bool) -> Var {
+        let index = self.latches.len() as u32;
+        let var = self.push_node(Node::Latch {
+            index,
+            init,
+            next: None,
+        });
+        self.latches.push(var);
+        var
+    }
+
+    /// Assigns the next-state input of a latch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is not a latch node.
+    pub fn set_latch_next(&mut self, latch: Var, next: Lit) {
+        match &mut self.nodes[latch.index()] {
+            Node::Latch { next: slot, .. } => *slot = Some(next),
+            other => panic!("set_latch_next on non-latch node {latch:?}: {other:?}"),
+        }
+    }
+
+    /// Creates (or finds) the AND of two literals.
+    ///
+    /// Applies constant folding and the trivial simplification rules
+    /// (`a∧a = a`, `a∧¬a = 0`, `a∧1 = a`, `a∧0 = 0`), then consults the
+    /// structural-hashing table.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let (a, b) = if a.code() <= b.code() { (a, b) } else { (b, a) };
+        if a == Lit::FALSE {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return Lit::FALSE;
+        }
+        if let Some(&var) = self.strash.get(&(a, b)) {
+            return var.lit();
+        }
+        debug_assert!(a.var().index() < self.nodes.len());
+        debug_assert!(b.var().index() < self.nodes.len());
+        let var = self.push_node(Node::And { a, b });
+        self.strash.insert((a, b), var);
+        var.lit()
+    }
+
+    /// The OR of two literals.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// The XOR of two literals (three AND nodes worst case).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let n1 = self.and(a, !b);
+        let n2 = self.and(!a, b);
+        self.or(n1, n2)
+    }
+
+    /// The XNOR (equivalence) of two literals.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// `if s then t else e`.
+    pub fn mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        let n1 = self.and(s, t);
+        let n2 = self.and(!s, e);
+        self.or(n1, n2)
+    }
+
+    /// Logical implication `a → b`.
+    pub fn implies(&mut self, a: Lit, b: Lit) -> Lit {
+        self.or(!a, b)
+    }
+
+    /// Balanced AND over a slice of literals. Returns [`Lit::TRUE`] for an
+    /// empty slice.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => Lit::TRUE,
+            [l] => *l,
+            _ => {
+                let (lo, hi) = lits.split_at(lits.len() / 2);
+                let a = self.and_many(lo);
+                let b = self.and_many(hi);
+                self.and(a, b)
+            }
+        }
+    }
+
+    /// Balanced OR over a slice of literals. Returns [`Lit::FALSE`] for an
+    /// empty slice.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => Lit::FALSE,
+            [l] => *l,
+            _ => {
+                let (lo, hi) = lits.split_at(lits.len() / 2);
+                let a = self.or_many(lo);
+                let b = self.or_many(hi);
+                self.or(a, b)
+            }
+        }
+    }
+
+    /// Adds a primary output driven by `lit`.
+    pub fn add_output(&mut self, lit: Lit, name: impl Into<String>) -> usize {
+        let idx = self.outputs.len();
+        self.outputs.push(Output {
+            lit,
+            name: Some(name.into()),
+        });
+        idx
+    }
+
+    /// Adds an unnamed primary output.
+    pub fn add_output_anon(&mut self, lit: Lit) -> usize {
+        let n = self.outputs.len();
+        self.add_output(lit, format!("o{n}"))
+    }
+
+    /// Replaces the driver of output `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_output(&mut self, index: usize, lit: Lit) {
+        self.outputs[index].lit = lit;
+    }
+
+    /// Renames output `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn rename_output(&mut self, index: usize, name: impl Into<String>) {
+        self.outputs[index].name = Some(name.into());
+    }
+
+    /// The node behind a variable.
+    #[inline]
+    pub fn node(&self, var: Var) -> &Node {
+        &self.nodes[var.index()]
+    }
+
+    /// Total number of nodes, including the constant node.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of registers.
+    #[inline]
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Number of primary outputs.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of AND gates.
+    pub fn num_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::And { .. }))
+            .count()
+    }
+
+    /// Primary input variables, in input order.
+    #[inline]
+    pub fn inputs(&self) -> &[Var] {
+        &self.inputs
+    }
+
+    /// Register variables, in latch order.
+    #[inline]
+    pub fn latches(&self) -> &[Var] {
+        &self.latches
+    }
+
+    /// Primary outputs.
+    #[inline]
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// Iterates over all variables in index (= topological) order,
+    /// including the constant node.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.nodes.len() as u32).map(Var)
+    }
+
+    /// Iterates over the AND-gate variables in topological order.
+    pub fn and_vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.vars()
+            .filter(move |v| matches!(self.node(*v), Node::And { .. }))
+    }
+
+    /// Whether `var` is an AND gate.
+    pub fn is_and(&self, var: Var) -> bool {
+        matches!(self.node(var), Node::And { .. })
+    }
+
+    /// Whether `var` is a latch.
+    pub fn is_latch(&self, var: Var) -> bool {
+        matches!(self.node(var), Node::Latch { .. })
+    }
+
+    /// Whether `var` is a primary input.
+    pub fn is_input(&self, var: Var) -> bool {
+        matches!(self.node(var), Node::Input { .. })
+    }
+
+    /// Fanins of an AND gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not an AND gate.
+    pub fn and_fanins(&self, var: Var) -> (Lit, Lit) {
+        match self.node(var) {
+            Node::And { a, b } => (*a, *b),
+            other => panic!("and_fanins on non-AND node {var:?}: {other:?}"),
+        }
+    }
+
+    /// Initial value of a latch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not a latch.
+    pub fn latch_init(&self, var: Var) -> bool {
+        match self.node(var) {
+            Node::Latch { init, .. } => *init,
+            other => panic!("latch_init on non-latch node {var:?}: {other:?}"),
+        }
+    }
+
+    /// Next-state input of a latch, if assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not a latch.
+    pub fn latch_next(&self, var: Var) -> Option<Lit> {
+        match self.node(var) {
+            Node::Latch { next, .. } => *next,
+            other => panic!("latch_next on non-latch node {var:?}: {other:?}"),
+        }
+    }
+
+    /// Sets the name of a node.
+    pub fn set_name(&mut self, var: Var, name: impl Into<String>) {
+        self.names[var.index()] = Some(name.into());
+    }
+
+    /// The name of a node, if any.
+    pub fn name(&self, var: Var) -> Option<&str> {
+        self.names[var.index()].as_deref()
+    }
+
+    /// Looks up a primary input by name.
+    pub fn find_input(&self, name: &str) -> Option<Var> {
+        self.inputs
+            .iter()
+            .copied()
+            .find(|v| self.name(*v) == Some(name))
+    }
+
+    /// The initial state as a vector of latch values, in latch order.
+    pub fn initial_state(&self) -> Vec<bool> {
+        self.latches.iter().map(|&l| self.latch_init(l)).collect()
+    }
+
+    /// Copies the transitive fanin cone of `roots` from `other` into `self`,
+    /// mapping inputs and latches through `map` (which must already contain
+    /// entries for every input/latch var reachable from `roots`). Returns
+    /// the mapped literals of `roots` and extends `map` with the copied AND
+    /// gates.
+    ///
+    /// This is the workhorse used to build product machines and unrollings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reachable input or latch of `other` is missing in `map`.
+    pub fn import_cone(
+        &mut self,
+        other: &Aig,
+        roots: &[Lit],
+        map: &mut HashMap<Var, Lit>,
+    ) -> Vec<Lit> {
+        map.insert(Var::CONST, Lit::FALSE);
+        // Nodes of `other` are in topological order, so one forward sweep
+        // over the cone suffices. First mark the cone.
+        let mut in_cone = vec![false; other.num_nodes()];
+        let mut stack: Vec<Var> = roots.iter().map(|l| l.var()).collect();
+        while let Some(v) = stack.pop() {
+            if in_cone[v.index()] {
+                continue;
+            }
+            in_cone[v.index()] = true;
+            if let Node::And { a, b } = other.node(v) {
+                stack.push(a.var());
+                stack.push(b.var());
+            }
+        }
+        for v in other.vars() {
+            if !in_cone[v.index()] || map.contains_key(&v) {
+                continue;
+            }
+            match other.node(v) {
+                Node::And { a, b } => {
+                    let fa = map[&a.var()].complement_if(a.is_complemented());
+                    let fb = map[&b.var()].complement_if(b.is_complemented());
+                    let lit = self.and(fa, fb);
+                    map.insert(v, lit);
+                }
+                other_node => {
+                    panic!("import_cone: leaf {v:?} ({other_node:?}) not mapped")
+                }
+            }
+        }
+        roots
+            .iter()
+            .map(|l| map[&l.var()].complement_if(l.is_complemented()))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Aig {{ inputs: {}, latches: {}, ands: {}, outputs: {} }}",
+            self.num_inputs(),
+            self.num_latches(),
+            self.num_ands(),
+            self.num_outputs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strash_dedup() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let b = aig.add_input("b").lit();
+        let f1 = aig.and(a, b);
+        let f2 = aig.and(b, a);
+        assert_eq!(f1, f2);
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn and_simplification_rules() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(a, Lit::TRUE), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), Lit::FALSE);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn or_demorgan() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let b = aig.add_input("b").lit();
+        let f = aig.or(a, b);
+        assert!(f.is_complemented());
+        assert_eq!(aig.or(a, Lit::TRUE), Lit::TRUE);
+        assert_eq!(aig.or(a, Lit::FALSE), a);
+    }
+
+    #[test]
+    fn xor_of_equal_is_false() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        assert_eq!(aig.xor(a, a), Lit::FALSE);
+        assert_eq!(aig.xor(a, !a), Lit::TRUE);
+        assert_eq!(aig.xnor(a, a), Lit::TRUE);
+    }
+
+    #[test]
+    fn mux_constant_select() {
+        let mut aig = Aig::new();
+        let t = aig.add_input("t").lit();
+        let e = aig.add_input("e").lit();
+        assert_eq!(aig.mux(Lit::TRUE, t, e), t);
+        assert_eq!(aig.mux(Lit::FALSE, t, e), e);
+    }
+
+    #[test]
+    fn and_many_balanced() {
+        let mut aig = Aig::new();
+        let lits: Vec<Lit> = (0..7).map(|i| aig.add_input(format!("i{i}")).lit()).collect();
+        let f = aig.and_many(&lits);
+        assert_ne!(f, Lit::TRUE);
+        assert_eq!(aig.and_many(&[]), Lit::TRUE);
+        assert_eq!(aig.or_many(&[]), Lit::FALSE);
+        assert_eq!(aig.and_many(&lits[..1]), lits[0]);
+        assert_eq!(aig.num_ands(), 6);
+    }
+
+    #[test]
+    fn latch_roundtrip() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(true);
+        let a = aig.add_input("a").lit();
+        aig.set_latch_next(l, !a);
+        assert!(aig.latch_init(l));
+        assert_eq!(aig.latch_next(l), Some(!a));
+        assert!(aig.is_latch(l));
+        assert_eq!(aig.initial_state(), vec![true]);
+    }
+
+    #[test]
+    fn names_and_lookup() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("clk_en");
+        assert_eq!(aig.name(a), Some("clk_en"));
+        assert_eq!(aig.find_input("clk_en"), Some(a));
+        assert_eq!(aig.find_input("nope"), None);
+    }
+
+    #[test]
+    fn import_cone_copies_logic() {
+        let mut src = Aig::new();
+        let a = src.add_input("a").lit();
+        let b = src.add_input("b").lit();
+        let f = src.xor(a, b);
+
+        let mut dst = Aig::new();
+        let x = dst.add_input("x").lit();
+        let y = dst.add_input("y").lit();
+        let mut map = HashMap::new();
+        map.insert(a.var(), x);
+        map.insert(b.var(), y);
+        let roots = dst.import_cone(&src, &[f, !f], &mut map);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0], !roots[1]);
+        assert_eq!(dst.num_ands(), 3);
+    }
+}

@@ -1,0 +1,251 @@
+//! Structural analyses: levels, supports, cones, well-formedness.
+
+use crate::{Aig, Lit, Node, Var};
+
+/// Logic level of every node: inputs, latches and the constant are level 0;
+/// an AND gate is one more than the maximum of its fanins.
+pub fn levels(aig: &Aig) -> Vec<u32> {
+    let mut lv = vec![0u32; aig.num_nodes()];
+    for v in aig.vars() {
+        if let Node::And { a, b } = aig.node(v) {
+            lv[v.index()] = 1 + lv[a.var().index()].max(lv[b.var().index()]);
+        }
+    }
+    lv
+}
+
+/// Maximum logic level over all outputs and latch next-state functions
+/// (the combinational depth of the circuit).
+pub fn depth(aig: &Aig) -> u32 {
+    let lv = levels(aig);
+    let mut d = 0;
+    for o in aig.outputs() {
+        d = d.max(lv[o.lit.var().index()]);
+    }
+    for &l in aig.latches() {
+        if let Some(n) = aig.latch_next(l) {
+            d = d.max(lv[n.var().index()]);
+        }
+    }
+    d
+}
+
+/// The combinational support of a set of root literals: which inputs and
+/// latches are reachable without passing through a register boundary.
+///
+/// Returned vectors are sorted by node index.
+pub fn support(aig: &Aig, roots: &[Lit]) -> (Vec<Var>, Vec<Var>) {
+    let mut seen = vec![false; aig.num_nodes()];
+    let mut stack: Vec<Var> = roots.iter().map(|l| l.var()).collect();
+    let mut inputs = Vec::new();
+    let mut latches = Vec::new();
+    while let Some(v) = stack.pop() {
+        if seen[v.index()] {
+            continue;
+        }
+        seen[v.index()] = true;
+        match aig.node(v) {
+            Node::And { a, b } => {
+                stack.push(a.var());
+                stack.push(b.var());
+            }
+            Node::Input { .. } => inputs.push(v),
+            Node::Latch { .. } => latches.push(v),
+            Node::Const => {}
+        }
+    }
+    inputs.sort();
+    latches.sort();
+    (inputs, latches)
+}
+
+/// All node variables in the combinational cone of `roots` (excluding the
+/// constant node), sorted in topological order.
+pub fn cone_nodes(aig: &Aig, roots: &[Lit]) -> Vec<Var> {
+    let mut seen = vec![false; aig.num_nodes()];
+    let mut stack: Vec<Var> = roots.iter().map(|l| l.var()).collect();
+    while let Some(v) = stack.pop() {
+        if seen[v.index()] {
+            continue;
+        }
+        seen[v.index()] = true;
+        if let Node::And { a, b } = aig.node(v) {
+            stack.push(a.var());
+            stack.push(b.var());
+        }
+    }
+    aig.vars()
+        .filter(|v| *v != Var::CONST && seen[v.index()])
+        .collect()
+}
+
+/// An error found by [`check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// A latch has no next-state input assigned.
+    UnassignedLatch(Var),
+    /// An AND gate references a node with a larger or equal index
+    /// (topological-order violation).
+    OrderViolation(Var),
+    /// An output references a node out of range.
+    DanglingOutput(usize),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::UnassignedLatch(v) => write!(f, "latch {v} has no next-state input"),
+            CheckError::OrderViolation(v) => write!(f, "AND gate {v} breaks topological order"),
+            CheckError::DanglingOutput(i) => write!(f, "output {i} references an invalid node"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Validates the structural invariants of a finished circuit: every latch
+/// driven, AND fanins strictly below their gate, outputs in range.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check(aig: &Aig) -> Result<(), CheckError> {
+    for v in aig.vars() {
+        match aig.node(v) {
+            Node::And { a, b }
+                if (a.var() >= v || b.var() >= v) => {
+                    return Err(CheckError::OrderViolation(v));
+                }
+            Node::Latch { next, .. } => {
+                match next {
+                    None => return Err(CheckError::UnassignedLatch(v)),
+                    Some(n) => {
+                        if n.var().index() >= aig.num_nodes() {
+                            return Err(CheckError::UnassignedLatch(v));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (i, o) in aig.outputs().iter().enumerate() {
+        if o.lit.var().index() >= aig.num_nodes() {
+            return Err(CheckError::DanglingOutput(i));
+        }
+    }
+    Ok(())
+}
+
+/// Summary statistics of a circuit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AigStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of registers.
+    pub latches: usize,
+    /// Number of AND gates.
+    pub ands: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Combinational depth.
+    pub depth: u32,
+}
+
+impl std::fmt::Display for AigStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "i={} l={} a={} o={} depth={}",
+            self.inputs, self.latches, self.ands, self.outputs, self.depth
+        )
+    }
+}
+
+/// Computes [`AigStats`] for a circuit.
+pub fn stats(aig: &Aig) -> AigStats {
+    AigStats {
+        inputs: aig.num_inputs(),
+        latches: aig.num_latches(),
+        ands: aig.num_ands(),
+        outputs: aig.num_outputs(),
+        depth: depth(aig),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let b = aig.add_input("b").lit();
+        let l = aig.add_latch(false);
+        let f = aig.and(a, b);
+        let g = aig.xor(f, l.lit());
+        aig.set_latch_next(l, g);
+        aig.add_output(g, "g");
+        aig
+    }
+
+    #[test]
+    fn levels_monotone() {
+        let aig = sample();
+        let lv = levels(&aig);
+        for v in aig.vars() {
+            if let Node::And { a, b } = aig.node(v) {
+                assert!(lv[v.index()] > lv[a.var().index()]);
+                assert!(lv[v.index()] > lv[b.var().index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_of_sample() {
+        let aig = sample();
+        // xor = or(and, and) -> depth 3 from inputs.
+        assert_eq!(depth(&aig), 3);
+    }
+
+    #[test]
+    fn support_finds_leaves() {
+        let aig = sample();
+        let root = aig.outputs()[0].lit;
+        let (ins, lats) = support(&aig, &[root]);
+        assert_eq!(ins.len(), 2);
+        assert_eq!(lats.len(), 1);
+    }
+
+    #[test]
+    fn cone_is_topological() {
+        let aig = sample();
+        let root = aig.outputs()[0].lit;
+        let cone = cone_nodes(&aig, &[root]);
+        for w in cone.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(cone.len() >= 4);
+    }
+
+    #[test]
+    fn check_accepts_valid() {
+        assert_eq!(check(&sample()), Ok(()));
+    }
+
+    #[test]
+    fn check_rejects_unassigned_latch() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(false);
+        assert_eq!(check(&aig), Err(CheckError::UnassignedLatch(l)));
+    }
+
+    #[test]
+    fn stats_sample() {
+        let s = stats(&sample());
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.latches, 1);
+        assert_eq!(s.outputs, 1);
+        assert!(s.ands >= 4);
+    }
+}

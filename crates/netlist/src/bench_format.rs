@@ -1,0 +1,470 @@
+//! Reader and writer for the ISCAS'89 `.bench` netlist format.
+//!
+//! This is the format the original experiments' circuits (s208, s298, …)
+//! are distributed in, so real ISCAS benchmarks can be dropped into the
+//! harness. Gate types: `AND`, `OR`, `NAND`, `NOR`, `XOR`, `XNOR`, `NOT`,
+//! `BUFF` and `DFF`. Multi-input gates are decomposed into balanced trees
+//! of two-input ANDs.
+//!
+//! Flip-flops initialize to `0` unless a `#init <name> 1` directive is
+//! present (an extension emitted by [`write_bench`] so that round trips
+//! preserve initial values).
+
+use crate::{Aig, Lit, Var};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// An error produced while parsing a `.bench` file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBenchError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bench parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBenchError {}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum GateKind {
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
+    Not,
+    Buff,
+    Dff,
+}
+
+impl GateKind {
+    fn parse(s: &str) -> Option<GateKind> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Some(GateKind::And),
+            "OR" => Some(GateKind::Or),
+            "NAND" => Some(GateKind::Nand),
+            "NOR" => Some(GateKind::Nor),
+            "XOR" => Some(GateKind::Xor),
+            "XNOR" => Some(GateKind::Xnor),
+            "NOT" => Some(GateKind::Not),
+            "BUFF" | "BUF" => Some(GateKind::Buff),
+            "DFF" => Some(GateKind::Dff),
+            _ => None,
+        }
+    }
+}
+
+struct Def {
+    kind: GateKind,
+    args: Vec<String>,
+    line: usize,
+}
+
+/// Parses a circuit in ISCAS'89 `.bench` format.
+///
+/// # Errors
+///
+/// Returns a [`ParseBenchError`] on malformed lines, unknown gate types,
+/// undefined signals or combinational cycles.
+///
+/// # Examples
+///
+/// ```
+/// use sec_netlist::parse_bench;
+/// let aig = parse_bench(
+///     "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nq = DFF(f)\nf = AND(a, b)\n",
+/// )?;
+/// assert_eq!(aig.num_inputs(), 2);
+/// assert_eq!(aig.num_latches(), 1);
+/// # Ok::<(), sec_netlist::ParseBenchError>(())
+/// ```
+pub fn parse_bench(text: &str) -> Result<Aig, ParseBenchError> {
+    let mut inputs: Vec<(String, usize)> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+    let mut defs: HashMap<String, Def> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut init_ones: Vec<String> = Vec::new();
+
+    let err = |line: usize, message: &str| ParseBenchError {
+        line,
+        message: message.to_string(),
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if let Some(rest) = trimmed.strip_prefix("#init") {
+            let mut it = rest.split_whitespace();
+            let name = it
+                .next()
+                .ok_or_else(|| err(line, "missing name in #init directive"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| err(line, "missing value in #init directive"))?;
+            if value == "1" {
+                init_ones.push(name.to_string());
+            }
+            continue;
+        }
+        let content = match trimmed.find('#') {
+            Some(pos) => trimmed[..pos].trim(),
+            None => trimmed,
+        };
+        if content.is_empty() {
+            continue;
+        }
+        let parse_call = |s: &str| -> Option<(String, Vec<String>)> {
+            let open = s.find('(')?;
+            let close = s.rfind(')')?;
+            if close < open {
+                return None;
+            }
+            let head = s[..open].trim().to_string();
+            let args = s[open + 1..close]
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            Some((head, args))
+        };
+        if let Some(eq) = content.find('=') {
+            let name = content[..eq].trim().to_string();
+            let rhs = content[eq + 1..].trim();
+            let (head, args) =
+                parse_call(rhs).ok_or_else(|| err(line, "malformed gate definition"))?;
+            let kind = GateKind::parse(&head)
+                .ok_or_else(|| err(line, &format!("unknown gate type `{head}`")))?;
+            if args.is_empty() {
+                return Err(err(line, "gate with no operands"));
+            }
+            match kind {
+                GateKind::Not | GateKind::Buff | GateKind::Dff if args.len() != 1 => {
+                    return Err(err(line, &format!("{head} takes exactly one operand")));
+                }
+                _ => {}
+            }
+            if defs.insert(name.clone(), Def { kind, args, line }).is_some() {
+                return Err(err(line, &format!("signal `{name}` defined twice")));
+            }
+            order.push(name);
+        } else {
+            let (head, args) =
+                parse_call(content).ok_or_else(|| err(line, "malformed declaration"))?;
+            if args.len() != 1 {
+                return Err(err(line, "INPUT/OUTPUT take exactly one name"));
+            }
+            match head.to_ascii_uppercase().as_str() {
+                "INPUT" => inputs.push((args[0].clone(), line)),
+                "OUTPUT" => outputs.push((args[0].clone(), line)),
+                _ => return Err(err(line, &format!("unknown declaration `{head}`"))),
+            }
+        }
+    }
+
+    let mut aig = Aig::new();
+    let mut resolved: HashMap<String, Lit> = HashMap::new();
+    for (name, line) in &inputs {
+        if resolved.contains_key(name) {
+            return Err(err(*line, &format!("input `{name}` declared twice")));
+        }
+        let v = aig.add_input(name.clone());
+        resolved.insert(name.clone(), v.lit());
+    }
+    // Create latches up front so feedback through registers resolves.
+    let mut latch_of: HashMap<String, Var> = HashMap::new();
+    for name in &order {
+        let def = &defs[name];
+        if def.kind == GateKind::Dff {
+            if resolved.contains_key(name) {
+                return Err(err(def.line, &format!("signal `{name}` already defined")));
+            }
+            let init = init_ones.iter().any(|n| n == name);
+            let v = aig.add_latch(init);
+            aig.set_name(v, name.clone());
+            resolved.insert(name.clone(), v.lit());
+            latch_of.insert(name.clone(), v);
+        }
+    }
+
+    // Iterative DFS resolution of combinational definitions.
+    fn resolve(
+        name: &str,
+        at_line: usize,
+        defs: &HashMap<String, Def>,
+        resolved: &mut HashMap<String, Lit>,
+        visiting: &mut Vec<String>,
+        aig: &mut Aig,
+    ) -> Result<Lit, ParseBenchError> {
+        if let Some(&l) = resolved.get(name) {
+            return Ok(l);
+        }
+        if visiting.iter().any(|n| n == name) {
+            return Err(ParseBenchError {
+                line: at_line,
+                message: format!("combinational cycle through `{name}`"),
+            });
+        }
+        let def = defs.get(name).ok_or_else(|| ParseBenchError {
+            line: at_line,
+            message: format!("undefined signal `{name}`"),
+        })?;
+        visiting.push(name.to_string());
+        let mut args = Vec::with_capacity(def.args.len());
+        for a in &def.args {
+            args.push(resolve(a, def.line, defs, resolved, visiting, aig)?);
+        }
+        visiting.pop();
+        let lit = match def.kind {
+            GateKind::And => aig.and_many(&args),
+            GateKind::Nand => !aig.and_many(&args),
+            GateKind::Or => aig.or_many(&args),
+            GateKind::Nor => !aig.or_many(&args),
+            GateKind::Xor => args[1..].iter().fold(args[0], |acc, &a| aig.xor(acc, a)),
+            GateKind::Xnor => {
+                let x = args[1..].iter().fold(args[0], |acc, &a| aig.xor(acc, a));
+                !x
+            }
+            GateKind::Not => !args[0],
+            GateKind::Buff => args[0],
+            GateKind::Dff => unreachable!("DFFs are pre-resolved"),
+        };
+        if !lit.is_const() && aig.name(lit.var()).is_none() && !lit.is_complemented() {
+            aig.set_name(lit.var(), name.to_string());
+        }
+        resolved.insert(name.to_string(), lit);
+        Ok(lit)
+    }
+
+    let mut visiting = Vec::new();
+    for name in &order {
+        let line = defs[name].line;
+        if let Some(&latch) = latch_of.get(name) {
+            let d = defs[name].args[0].clone();
+            let lit = resolve(&d, line, &defs, &mut resolved, &mut visiting, &mut aig)?;
+            aig.set_latch_next(latch, lit);
+        } else {
+            resolve(name, line, &defs, &mut resolved, &mut visiting, &mut aig)?;
+        }
+    }
+    for (name, line) in &outputs {
+        let lit = resolve(name, *line, &defs, &mut resolved, &mut visiting, &mut aig)?;
+        aig.add_output(lit, name.clone());
+    }
+    Ok(aig)
+}
+
+/// Writes a circuit in ISCAS'89 `.bench` format.
+///
+/// Latches with initial value 1 are recorded with `#init <name> 1`
+/// directives understood by [`parse_bench`]. A constant-false signal, if
+/// referenced, is expressed as `XOR(x, x)` of the first input (an input
+/// named `__const_seed` is created when the circuit has none).
+pub fn write_bench(aig: &Aig) -> String {
+    let mut out = String::new();
+    let mut names: Vec<String> = (0..aig.num_nodes()).map(|i| format!("n{i}")).collect();
+    for v in aig.vars() {
+        if let Some(n) = aig.name(v) {
+            if v != Var::CONST {
+                names[v.index()] = n.to_string();
+            }
+        }
+    }
+    for &i in aig.inputs() {
+        let _ = writeln!(out, "INPUT({})", names[i.index()]);
+    }
+    let mut const_needed = false;
+    let uses_const = |l: Lit| l.is_const();
+    for &l in aig.latches() {
+        if aig.latch_next(l).map(uses_const).unwrap_or(false) {
+            const_needed = true;
+        }
+    }
+    for o in aig.outputs() {
+        if uses_const(o.lit) {
+            const_needed = true;
+        }
+    }
+    for v in aig.and_vars() {
+        let (a, b) = aig.and_fanins(v);
+        if uses_const(a) || uses_const(b) {
+            const_needed = true;
+        }
+    }
+
+    let mut body = String::new();
+    let mut inverted: Vec<bool> = vec![false; aig.num_nodes()];
+    let mut const_seed_line = String::new();
+    if const_needed {
+        // `x XOR x` expresses constant 0 from any existing signal; only a
+        // completely empty circuit needs a dummy input.
+        let seed = match aig.inputs().first().or_else(|| aig.latches().first()) {
+            Some(&v) => names[v.index()].clone(),
+            None => {
+                let _ = writeln!(out, "INPUT(__const_seed)");
+                "__const_seed".to_string()
+            }
+        };
+        let _ = writeln!(const_seed_line, "__const0 = XOR({seed}, {seed})");
+        let _ = writeln!(const_seed_line, "__const1 = NOT(__const0)");
+    }
+
+    // Returns the signal name for a literal, creating `NOT` aliases lazily.
+    let refname = |l: Lit, body: &mut String, inverted: &mut Vec<bool>| -> String {
+        if l == Lit::FALSE {
+            return "__const0".to_string();
+        }
+        if l == Lit::TRUE {
+            return "__const1".to_string();
+        }
+        let base = names[l.var().index()].clone();
+        if !l.is_complemented() {
+            base
+        } else {
+            if !inverted[l.var().index()] {
+                let _ = writeln!(body, "{base}__not = NOT({base})");
+                inverted[l.var().index()] = true;
+            }
+            format!("{base}__not")
+        }
+    };
+
+    let used_names: std::collections::HashSet<&str> =
+        names.iter().map(|s| s.as_str()).collect();
+    let mut output_lines = Vec::new();
+    for (i, o) in aig.outputs().iter().enumerate() {
+        let oname = o.name.clone().unwrap_or_else(|| format!("po{i}"));
+        // When the port name is exactly the (positive) driving signal, the
+        // signal's own definition serves as the output; otherwise emit a
+        // BUFF under a non-clashing port name.
+        if !o.lit.is_complemented()
+            && !o.lit.is_const()
+            && names[o.lit.var().index()] == oname
+        {
+            let _ = writeln!(out, "OUTPUT({oname})");
+            continue;
+        }
+        let port = if used_names.contains(oname.as_str()) {
+            format!("{oname}__po")
+        } else {
+            oname
+        };
+        let _ = writeln!(out, "OUTPUT({port})");
+        let sig = refname(o.lit, &mut body, &mut inverted);
+        output_lines.push(format!("{port} = BUFF({sig})"));
+    }
+    for &l in aig.latches() {
+        let d = aig
+            .latch_next(l)
+            .expect("write_bench requires fully driven latches");
+        let sig = refname(d, &mut body, &mut inverted);
+        let _ = writeln!(body, "{} = DFF({sig})", names[l.index()]);
+        if aig.latch_init(l) {
+            let _ = writeln!(body, "#init {} 1", names[l.index()]);
+        }
+    }
+    for v in aig.and_vars() {
+        let (a, b) = aig.and_fanins(v);
+        let an = refname(a, &mut body, &mut inverted);
+        let bn = refname(b, &mut body, &mut inverted);
+        let _ = writeln!(body, "{} = AND({an}, {bn})", names[v.index()]);
+    }
+    out.push_str(&const_seed_line);
+    out.push_str(&body);
+    for l in output_lines {
+        let _ = writeln!(out, "{l}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let aig = parse_bench(
+            "# a comment\nINPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = NAND(a, b)\n",
+        )
+        .unwrap();
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_outputs(), 1);
+        assert_eq!(aig.num_ands(), 1);
+        assert!(aig.outputs()[0].lit.is_complemented());
+    }
+
+    #[test]
+    fn parse_feedback_through_dff() {
+        let aig = parse_bench(
+            "INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(q, en)\n",
+        )
+        .unwrap();
+        assert_eq!(aig.num_latches(), 1);
+        let l = aig.latches()[0];
+        assert!(!aig.latch_init(l));
+        assert!(aig.latch_next(l).is_some());
+    }
+
+    #[test]
+    fn parse_init_directive() {
+        let aig = parse_bench("INPUT(a)\nOUTPUT(q)\n#init q 1\nq = DFF(a)\n").unwrap();
+        assert!(aig.latch_init(aig.latches()[0]));
+    }
+
+    #[test]
+    fn parse_rejects_cycle() {
+        let e = parse_bench("INPUT(a)\nOUTPUT(x)\nx = AND(y, a)\ny = AND(x, a)\n").unwrap_err();
+        assert!(e.message.contains("cycle"), "{e}");
+    }
+
+    #[test]
+    fn parse_rejects_undefined() {
+        let e = parse_bench("OUTPUT(x)\nx = AND(p, q)\n").unwrap_err();
+        assert!(e.message.contains("undefined"), "{e}");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_gate() {
+        let e = parse_bench("INPUT(a)\nx = FROB(a)\n").unwrap_err();
+        assert!(e.message.contains("unknown gate"), "{e}");
+    }
+
+    #[test]
+    fn multi_input_gates_decompose() {
+        let aig = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(f)\nf = NOR(a, b, c, d)\n",
+        )
+        .unwrap();
+        assert_eq!(aig.num_ands(), 3);
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip_structure() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nq = DFF(d)\n#init q 1\nd = XOR(a, q)\nf = AND(q, b)\n";
+        let aig = parse_bench(src).unwrap();
+        let text = write_bench(&aig);
+        let back = parse_bench(&text).unwrap();
+        assert_eq!(back.num_inputs(), aig.num_inputs());
+        assert_eq!(back.num_latches(), aig.num_latches());
+        assert_eq!(back.num_outputs(), aig.num_outputs());
+        assert!(back.latch_init(back.latches()[0]));
+    }
+
+    #[test]
+    fn write_handles_const_output() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let f = aig.and(a, !a); // constant false
+        aig.add_output(f, "f");
+        let text = write_bench(&aig);
+        let back = parse_bench(&text).unwrap();
+        assert_eq!(back.outputs()[0].lit, Lit::FALSE);
+    }
+}

@@ -1,0 +1,105 @@
+//! Graphviz DOT export of circuits, for debugging and documentation.
+
+use crate::{Aig, Lit, Node, Var};
+use std::fmt::Write as _;
+
+fn node_id(v: Var) -> String {
+    format!("n{}", v.index())
+}
+
+fn edge(out: &mut String, from: Lit, to: &str) {
+    let style = if from.is_complemented() {
+        " [style=dashed, label=\"¬\"]"
+    } else {
+        ""
+    };
+    let _ = writeln!(out, "  {} -> {}{};", node_id(from.var()), to, style);
+}
+
+/// Renders the circuit as a Graphviz digraph. Inverted edges are dashed;
+/// registers are boxes, inputs are diamonds, outputs are double circles.
+pub fn to_dot(aig: &Aig, graph_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {graph_name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for v in aig.vars() {
+        let label = aig.name(v).unwrap_or("").to_string();
+        match aig.node(v) {
+            Node::Const => {
+                let _ = writeln!(out, "  {} [label=\"0\", shape=plaintext];", node_id(v));
+            }
+            Node::Input { .. } => {
+                let _ = writeln!(
+                    out,
+                    "  {} [label=\"{label}\", shape=diamond];",
+                    node_id(v)
+                );
+            }
+            Node::Latch { init, .. } => {
+                let _ = writeln!(
+                    out,
+                    "  {} [label=\"{label}\\ninit={}\", shape=box];",
+                    node_id(v),
+                    u8::from(*init)
+                );
+            }
+            Node::And { .. } => {
+                let _ = writeln!(out, "  {} [label=\"∧\", shape=ellipse];", node_id(v));
+            }
+        }
+    }
+    for v in aig.vars() {
+        match aig.node(v) {
+            Node::And { a, b } => {
+                edge(&mut out, *a, &node_id(v));
+                edge(&mut out, *b, &node_id(v));
+            }
+            Node::Latch {
+                next: Some(n), ..
+            } => {
+                edge(&mut out, *n, &node_id(v));
+            }
+            _ => {}
+        }
+    }
+    for (i, o) in aig.outputs().iter().enumerate() {
+        let name = o.name.clone().unwrap_or_else(|| format!("o{i}"));
+        let _ = writeln!(out, "  out{i} [label=\"{name}\", shape=doublecircle];");
+        edge(&mut out, o.lit, &format!("out{i}"));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let l = aig.add_latch(true);
+        let f = aig.and(a, !l.lit());
+        aig.set_latch_next(l, f);
+        aig.add_output(f, "f");
+        let dot = to_dot(&aig, "g");
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.contains("shape=diamond")); // input
+        assert!(dot.contains("init=1")); // latch
+        assert!(dot.contains("shape=ellipse")); // and
+        assert!(dot.contains("doublecircle")); // output
+        assert!(dot.contains("style=dashed")); // complemented edge
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let b = aig.add_input("b").lit();
+        let f = aig.and(a, b);
+        aig.add_output(f, "o");
+        assert_eq!(to_dot(&aig, "g"), to_dot(&aig, "g"));
+    }
+}

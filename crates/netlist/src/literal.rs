@@ -1,0 +1,223 @@
+//! Variables and literals of an and-inverter graph.
+//!
+//! A [`Var`] is an index into the node table of an [`Aig`](crate::Aig); a
+//! [`Lit`] is a variable together with a polarity bit, encoded in a single
+//! `u32` exactly like the AIGER format encodes literals (`2*var + neg`).
+
+use std::fmt;
+use std::ops::Not;
+
+/// A node index in an [`Aig`](crate::Aig).
+///
+/// `Var(0)` is always the constant-false node.
+///
+/// # Examples
+///
+/// ```
+/// use sec_netlist::{Aig, Var};
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// assert_ne!(a, Var::CONST);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The constant node. Its positive literal is constant false.
+    pub const CONST: Var = Var(0);
+
+    /// Creates a variable from a raw node index.
+    ///
+    /// Mostly useful when iterating node tables; `index` must be a valid
+    /// node index of the graph the variable is used with.
+    #[inline]
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// The node index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive-polarity literal of this variable.
+    #[inline]
+    pub fn lit(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A possibly-complemented reference to an AIG node.
+///
+/// The encoding is `2 * var + complement`, so [`Lit::FALSE`] is `0` and
+/// [`Lit::TRUE`] is `1`, matching AIGER.
+///
+/// # Examples
+///
+/// ```
+/// use sec_netlist::Lit;
+/// let t = Lit::TRUE;
+/// assert_eq!(!t, Lit::FALSE);
+/// assert!(Lit::FALSE.is_const());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// Constant false (the positive literal of [`Var::CONST`]).
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Creates a literal from a variable and a complement flag.
+    #[inline]
+    pub fn new(var: Var, complement: bool) -> Lit {
+        Lit((var.0 << 1) | complement as u32)
+    }
+
+    /// Creates a literal from its raw AIGER-style encoding (`2*var + neg`).
+    #[inline]
+    pub fn from_code(code: u32) -> Lit {
+        Lit(code)
+    }
+
+    /// The raw AIGER-style encoding of this literal.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// The variable this literal refers to.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is complemented.
+    #[inline]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether the literal refers to the constant node.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.var() == Var::CONST
+    }
+
+    /// Complements the literal iff `c` is true.
+    #[inline]
+    pub fn complement_if(self, c: bool) -> Lit {
+        Lit(self.0 ^ c as u32)
+    }
+
+    /// Applies a boolean value through this literal's polarity:
+    /// the value of the literal given the value of its variable.
+    #[inline]
+    pub fn apply(self, var_value: bool) -> bool {
+        var_value ^ self.is_complemented()
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<Var> for Lit {
+    #[inline]
+    fn from(v: Var) -> Lit {
+        v.lit()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Lit::FALSE {
+            write!(f, "0")
+        } else if *self == Lit::TRUE {
+            write!(f, "1")
+        } else if self.is_complemented() {
+            write!(f, "!v{}", self.var().0)
+        } else {
+            write!(f, "v{}", self.var().0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_matches_aiger() {
+        assert_eq!(Lit::FALSE.code(), 0);
+        assert_eq!(Lit::TRUE.code(), 1);
+        let v = Var::from_index(3);
+        assert_eq!(v.lit().code(), 6);
+        assert_eq!((!v.lit()).code(), 7);
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let l = Lit::new(Var(5), false);
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+        assert!((!l).is_complemented());
+    }
+
+    #[test]
+    fn complement_if() {
+        let l = Var(2).lit();
+        assert_eq!(l.complement_if(false), l);
+        assert_eq!(l.complement_if(true), !l);
+    }
+
+    #[test]
+    fn apply_polarity() {
+        let l = Var(2).lit();
+        assert!(l.apply(true));
+        assert!(!l.apply(false));
+        assert!((!l).apply(false));
+        assert!(!(!l).apply(true));
+    }
+
+    #[test]
+    fn const_lits() {
+        assert!(Lit::FALSE.is_const());
+        assert!(Lit::TRUE.is_const());
+        assert!(!Var(1).lit().is_const());
+        assert_eq!(!Lit::FALSE, Lit::TRUE);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Lit::FALSE.to_string(), "0");
+        assert_eq!(Lit::TRUE.to_string(), "1");
+        assert_eq!(Var(4).lit().to_string(), "v4");
+        assert_eq!((!Var(4).lit()).to_string(), "!v4");
+    }
+}

@@ -1,0 +1,374 @@
+//! Product machine construction.
+//!
+//! Two circuits with matching interfaces are combined into one machine
+//! that feeds both from the same primary inputs; their output pairs are
+//! recorded so a verifier can ask whether all pairs always agree (the
+//! output function λ of the paper's product machine).
+
+use crate::{Aig, Lit, Var};
+use std::fmt;
+
+/// Error building a product machine: interface mismatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProductError {
+    /// The circuits have different numbers of primary inputs.
+    InputCountMismatch(usize, usize),
+    /// The circuits have different numbers of primary outputs.
+    OutputCountMismatch(usize, usize),
+}
+
+impl fmt::Display for ProductError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProductError::InputCountMismatch(a, b) => {
+                write!(f, "input count mismatch: {a} vs {b}")
+            }
+            ProductError::OutputCountMismatch(a, b) => {
+                write!(f, "output count mismatch: {a} vs {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProductError {}
+
+/// Which side of the product machine a signal came from.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Side {
+    /// The specification (first circuit).
+    Spec,
+    /// The implementation (second circuit).
+    Impl,
+}
+
+/// The product of two circuits: one [`Aig`] containing both, driven by
+/// shared inputs, plus the bookkeeping to map signals back to their side.
+#[derive(Clone, Debug)]
+pub struct ProductMachine {
+    /// The combined circuit. Its outputs are the interleaved pairs
+    /// (spec output i, impl output i).
+    pub aig: Aig,
+    /// For each spec node, its literal in the product machine.
+    pub spec_map: Vec<Lit>,
+    /// For each impl node, its literal in the product machine.
+    pub impl_map: Vec<Lit>,
+    /// Output pairs (spec literal, impl literal) in the product machine.
+    pub output_pairs: Vec<(Lit, Lit)>,
+    /// Origin of each product-machine node (None for shared/constant).
+    pub side_of: Vec<Option<Side>>,
+}
+
+impl ProductMachine {
+    /// Builds the product machine of `spec` and `impl_`. Inputs are
+    /// paired by position; names are taken from the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProductError`] if the interfaces do not match.
+    pub fn build(spec: &Aig, impl_: &Aig) -> Result<ProductMachine, ProductError> {
+        if spec.num_inputs() != impl_.num_inputs() {
+            return Err(ProductError::InputCountMismatch(
+                spec.num_inputs(),
+                impl_.num_inputs(),
+            ));
+        }
+        if spec.num_outputs() != impl_.num_outputs() {
+            return Err(ProductError::OutputCountMismatch(
+                spec.num_outputs(),
+                impl_.num_outputs(),
+            ));
+        }
+        let mut aig = Aig::new();
+        let shared_inputs: Vec<Lit> = spec
+            .inputs()
+            .iter()
+            .map(|&v| {
+                aig.add_input(spec.name(v).unwrap_or("i").to_string())
+                    .lit()
+            })
+            .collect();
+
+        let mut side_of: Vec<Option<Side>> = vec![None; 1 + shared_inputs.len()];
+        let copy = |old: &Aig, side: Side, aig: &mut Aig, side_of: &mut Vec<Option<Side>>| {
+            let mut map: Vec<Lit> = vec![Lit::FALSE; old.num_nodes()];
+            for (k, &v) in old.inputs().iter().enumerate() {
+                map[v.index()] = shared_inputs[k];
+            }
+            let mut new_latches = Vec::new();
+            for &v in old.latches() {
+                let nv = aig.add_latch(old.latch_init(v));
+                while side_of.len() <= nv.index() {
+                    side_of.push(None);
+                }
+                side_of[nv.index()] = Some(side);
+                map[v.index()] = nv.lit();
+                new_latches.push(nv);
+            }
+            for v in old.and_vars() {
+                let (a, b) = old.and_fanins(v);
+                let na = map[a.var().index()].complement_if(a.is_complemented());
+                let nb = map[b.var().index()].complement_if(b.is_complemented());
+                let l = aig.and(na, nb);
+                while side_of.len() <= l.var().index() {
+                    side_of.push(None);
+                }
+                // A strash hit across sides stays attributed to its first
+                // creator; attribution is advisory only.
+                if side_of[l.var().index()].is_none() {
+                    side_of[l.var().index()] = Some(side);
+                }
+                map[v.index()] = l;
+            }
+            for (i, &v) in old.latches().iter().enumerate() {
+                let next = old.latch_next(v).expect("product of driven circuits only");
+                let n = map[next.var().index()].complement_if(next.is_complemented());
+                aig.set_latch_next(new_latches[i], n);
+            }
+            map
+        };
+
+        let spec_map = copy(spec, Side::Spec, &mut aig, &mut side_of);
+        let impl_map = copy(impl_, Side::Impl, &mut aig, &mut side_of);
+
+        let mut output_pairs = Vec::with_capacity(spec.num_outputs());
+        for (so, io) in spec.outputs().iter().zip(impl_.outputs()) {
+            let sl = spec_map[so.lit.var().index()].complement_if(so.lit.is_complemented());
+            let il = impl_map[io.lit.var().index()].complement_if(io.lit.is_complemented());
+            let name = so.name.clone().unwrap_or_default();
+            aig.add_output(sl, format!("spec_{name}"));
+            aig.add_output(il, format!("impl_{name}"));
+            output_pairs.push((sl, il));
+        }
+        while side_of.len() < aig.num_nodes() {
+            side_of.push(None);
+        }
+        Ok(ProductMachine {
+            aig,
+            spec_map,
+            impl_map,
+            output_pairs,
+            side_of,
+        })
+    }
+
+    /// The latches of the product machine that came from the given side.
+    pub fn latches_of(&self, side: Side) -> Vec<Var> {
+        self.aig
+            .latches()
+            .iter()
+            .copied()
+            .filter(|v| self.side_of[v.index()] == Some(side))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle(init: bool) -> Aig {
+        let mut aig = Aig::new();
+        let en = aig.add_input("en").lit();
+        let q = aig.add_latch(init);
+        let n = aig.xor(q.lit(), en);
+        aig.set_latch_next(q, n);
+        aig.add_output(q.lit(), "q");
+        aig
+    }
+
+    #[test]
+    fn builds_shared_inputs() {
+        let a = toggle(false);
+        let b = toggle(true);
+        let p = ProductMachine::build(&a, &b).unwrap();
+        assert_eq!(p.aig.num_inputs(), 1);
+        assert_eq!(p.aig.num_latches(), 2);
+        assert_eq!(p.output_pairs.len(), 1);
+        assert_eq!(p.aig.num_outputs(), 2);
+    }
+
+    #[test]
+    fn rejects_interface_mismatch() {
+        let a = toggle(false);
+        let mut b = toggle(false);
+        b.add_input("extra");
+        assert!(matches!(
+            ProductMachine::build(&a, &b),
+            Err(ProductError::InputCountMismatch(1, 2))
+        ));
+        let mut c = toggle(false);
+        c.add_output(Lit::TRUE, "t");
+        assert!(matches!(
+            ProductMachine::build(&a, &c),
+            Err(ProductError::OutputCountMismatch(1, 2))
+        ));
+    }
+
+    #[test]
+    fn identical_circuits_share_logic() {
+        let a = toggle(false);
+        let p = ProductMachine::build(&a, &a).unwrap();
+        // Latches are duplicated but combinational logic strashes: the
+        // XOR cones differ only in which latch they read, so AND count is
+        // exactly doubled, no more.
+        assert_eq!(p.aig.num_latches(), 2);
+        assert!(p.aig.num_ands() <= 2 * a.num_ands());
+    }
+
+    #[test]
+    fn sides_attributed() {
+        let a = toggle(false);
+        let b = toggle(true);
+        let p = ProductMachine::build(&a, &b).unwrap();
+        assert_eq!(p.latches_of(Side::Spec).len(), 1);
+        assert_eq!(p.latches_of(Side::Impl).len(), 1);
+    }
+
+    #[test]
+    fn output_pairs_track_polarity() {
+        let a = toggle(false);
+        let mut b = toggle(false);
+        let lit = b.outputs()[0].lit;
+        b.set_output(0, !lit);
+        let p = ProductMachine::build(&a, &b).unwrap();
+        let (s, i) = p.output_pairs[0];
+        // Both outputs read their own latch; only the impl side is
+        // complemented.
+        assert!(!s.is_complemented());
+        assert!(i.is_complemented());
+    }
+}
+
+/// Rebuilds `target` with its inputs and outputs permuted to match the
+/// *names* of `reference`'s ports — the practical front end for checking
+/// netlists whose port orders differ (position-based pairing is what
+/// [`ProductMachine::build`] uses).
+///
+/// Returns `None` when the port names do not form a bijection (missing,
+/// duplicate or extra names on either side).
+pub fn align_interface_by_name(reference: &Aig, target: &Aig) -> Option<Aig> {
+    use std::collections::HashMap;
+    if reference.num_inputs() != target.num_inputs()
+        || reference.num_outputs() != target.num_outputs()
+    {
+        return None;
+    }
+    // Input permutation: reference order -> target var.
+    let mut t_inputs: HashMap<&str, Var> = HashMap::new();
+    for &v in target.inputs() {
+        if t_inputs.insert(target.name(v)?, v).is_some() {
+            return None;
+        }
+    }
+    let mut input_order = Vec::with_capacity(reference.num_inputs());
+    for &v in reference.inputs() {
+        input_order.push(*t_inputs.get(reference.name(v)?)?);
+    }
+    // Output permutation.
+    let mut t_outputs: HashMap<&str, usize> = HashMap::new();
+    for (i, o) in target.outputs().iter().enumerate() {
+        if t_outputs.insert(o.name.as_deref()?, i).is_some() {
+            return None;
+        }
+    }
+    let mut output_order = Vec::with_capacity(reference.num_outputs());
+    for o in reference.outputs() {
+        output_order.push(*t_outputs.get(o.name.as_deref()?)?);
+    }
+
+    // Rebuild target with the permuted interface.
+    let mut aig = Aig::new();
+    let mut map: Vec<Lit> = vec![Lit::FALSE; target.num_nodes()];
+    for &v in &input_order {
+        let nv = aig.add_input(target.name(v).unwrap_or("i").to_string());
+        map[v.index()] = nv.lit();
+    }
+    let mut new_latches = Vec::new();
+    for &v in target.latches() {
+        let nv = aig.add_latch(target.latch_init(v));
+        if let Some(n) = target.name(v) {
+            aig.set_name(nv, n.to_string());
+        }
+        map[v.index()] = nv.lit();
+        new_latches.push((v, nv));
+    }
+    for v in target.and_vars() {
+        let (a, b) = target.and_fanins(v);
+        let na = map[a.var().index()].complement_if(a.is_complemented());
+        let nb = map[b.var().index()].complement_if(b.is_complemented());
+        map[v.index()] = aig.and(na, nb);
+    }
+    for (v, nv) in new_latches {
+        let next = target.latch_next(v)?;
+        let n = map[next.var().index()].complement_if(next.is_complemented());
+        aig.set_latch_next(nv, n);
+    }
+    for &oi in &output_order {
+        let o = &target.outputs()[oi];
+        let l = map[o.lit.var().index()].complement_if(o.lit.is_complemented());
+        aig.add_output(l, o.name.clone().unwrap_or_default());
+    }
+    Some(aig)
+}
+
+#[cfg(test)]
+mod align_tests {
+    use super::*;
+
+    fn two_port(order_swapped: bool) -> Aig {
+        let mut aig = Aig::new();
+        let (first, second) = if order_swapped { ("b", "a") } else { ("a", "b") };
+        let x = aig.add_input(first).lit();
+        let y = aig.add_input(second).lit();
+        // f(a, b) = a & !b regardless of port declaration order.
+        let (a, b) = if order_swapped { (y, x) } else { (x, y) };
+        let f = aig.and(a, !b);
+        let g = aig.or(a, b);
+        if order_swapped {
+            aig.add_output(g, "g");
+            aig.add_output(f, "f");
+        } else {
+            aig.add_output(f, "f");
+            aig.add_output(g, "g");
+        }
+        aig
+    }
+
+    #[test]
+    fn aligns_swapped_ports() {
+        let r = two_port(false);
+        let t = two_port(true);
+        // Positionally they disagree...
+        let pm = ProductMachine::build(&r, &t).unwrap();
+        assert!(pm.output_pairs[0].0 != pm.output_pairs[0].1);
+        // ...but name alignment fixes both input and output order.
+        let aligned = align_interface_by_name(&r, &t).expect("names form a bijection");
+        for (i, &v) in aligned.inputs().iter().enumerate() {
+            assert_eq!(aligned.name(v), r.name(r.inputs()[i]));
+        }
+        for (i, o) in aligned.outputs().iter().enumerate() {
+            assert_eq!(o.name, r.outputs()[i].name);
+        }
+        // And the aligned pair is structurally identical after strash.
+        let pm = ProductMachine::build(&r, &aligned).unwrap();
+        for &(a, b) in &pm.output_pairs {
+            assert_eq!(a, b, "aligned outputs must strash together");
+        }
+    }
+
+    #[test]
+    fn rejects_non_bijective_names() {
+        let r = two_port(false);
+        let mut t = two_port(false);
+        t.set_name(t.inputs()[0], "zzz");
+        assert!(align_interface_by_name(&r, &t).is_none());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let r = two_port(false);
+        let mut t = two_port(false);
+        t.add_input("extra");
+        assert!(align_interface_by_name(&r, &t).is_none());
+    }
+}

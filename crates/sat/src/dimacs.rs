@@ -1,0 +1,192 @@
+//! DIMACS CNF interchange: read problems into a [`Solver`], write
+//! solver-independent CNF out. Makes the solver usable as a standalone
+//! tool and lets the Tseitin output be cross-checked against external
+//! solvers.
+
+use crate::{SatLit, SatResult, SatVar, Solver};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// An error produced while parsing DIMACS text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// A parsed DIMACS problem: a solver pre-loaded with the clauses plus the
+/// variable handles (index `i` holds DIMACS variable `i + 1`).
+#[derive(Debug)]
+pub struct DimacsProblem {
+    /// The solver with all clauses added.
+    pub solver: Solver,
+    /// Variables in DIMACS numbering order.
+    pub vars: Vec<SatVar>,
+}
+
+impl DimacsProblem {
+    /// The literal for a (possibly negative) DIMACS literal code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is zero or out of range.
+    pub fn lit(&self, code: i64) -> SatLit {
+        assert_ne!(code, 0, "DIMACS literal 0 is the clause terminator");
+        let v = self.vars[(code.unsigned_abs() as usize) - 1];
+        v.lit(code > 0)
+    }
+
+    /// Solves and formats the result in the conventional
+    /// `s SATISFIABLE` / `v ...` output format.
+    pub fn solve_report(&mut self) -> String {
+        match self.solver.solve() {
+            SatResult::Unsat => "s UNSATISFIABLE\n".to_string(),
+            SatResult::Sat => {
+                let mut out = String::from("s SATISFIABLE\nv");
+                for (i, &v) in self.vars.iter().enumerate() {
+                    let val = self.solver.model_value(v.positive());
+                    let code = (i + 1) as i64;
+                    let _ = write!(out, " {}", if val { code } else { -code });
+                }
+                out.push_str(" 0\n");
+                out
+            }
+        }
+    }
+}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers or literals; the
+/// header is optional (variables grow on demand), clause counts are not
+/// enforced (matching common solver behaviour).
+pub fn parse_dimacs(text: &str) -> Result<DimacsProblem, ParseDimacsError> {
+    let mut solver = Solver::new();
+    let mut vars: Vec<SatVar> = Vec::new();
+    let mut clause: Vec<SatLit> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let t = raw.trim();
+        if t.is_empty() || t.starts_with('c') || t.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix('p') {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.first() != Some(&"cnf") || fields.len() != 3 {
+                return Err(ParseDimacsError {
+                    line,
+                    message: "expected `p cnf <vars> <clauses>`".to_string(),
+                });
+            }
+            let n: usize = fields[1].parse().map_err(|_| ParseDimacsError {
+                line,
+                message: format!("bad variable count `{}`", fields[1]),
+            })?;
+            while vars.len() < n {
+                vars.push(solver.new_var());
+            }
+            continue;
+        }
+        for tok in t.split_whitespace() {
+            let code: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line,
+                message: format!("bad literal `{tok}`"),
+            })?;
+            if code == 0 {
+                solver.add_clause(&clause);
+                clause.clear();
+            } else {
+                let idx = code.unsigned_abs() as usize;
+                while vars.len() < idx {
+                    vars.push(solver.new_var());
+                }
+                clause.push(vars[idx - 1].lit(code > 0));
+            }
+        }
+    }
+    if !clause.is_empty() {
+        solver.add_clause(&clause);
+    }
+    Ok(DimacsProblem { solver, vars })
+}
+
+/// Writes a clause list in DIMACS CNF format. `num_vars` sizes the
+/// header; literals use `var index + 1` numbering.
+pub fn write_dimacs(num_vars: usize, clauses: &[Vec<SatLit>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", num_vars, clauses.len());
+    for c in clauses {
+        for &l in c {
+            let code = (l.var().index() + 1) as i64;
+            let _ = write!(out, "{} ", if l.is_negative() { -code } else { code });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_solve_sat() {
+        let mut p = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(p.vars.len(), 3);
+        assert_eq!(p.solver.solve(), SatResult::Sat);
+        let report = p.solve_report();
+        assert!(report.starts_with("s SATISFIABLE\nv "));
+        assert!(report.trim_end().ends_with(" 0"));
+    }
+
+    #[test]
+    fn parse_and_solve_unsat() {
+        let mut p = parse_dimacs("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert_eq!(p.solve_report(), "s UNSATISFIABLE\n");
+    }
+
+    #[test]
+    fn variables_grow_on_demand() {
+        let p = parse_dimacs("1 2 0\n-7 0\n").unwrap();
+        assert_eq!(p.vars.len(), 7);
+        assert_eq!(p.lit(-7), !p.vars[6].positive());
+    }
+
+    #[test]
+    fn unterminated_clause_is_flushed() {
+        let mut p = parse_dimacs("p cnf 2 1\n1 2\n").unwrap();
+        assert_eq!(p.solver.solve(), SatResult::Sat);
+        assert!(p.solver.model_value(p.lit(1)) || p.solver.model_value(p.lit(2)));
+    }
+
+    #[test]
+    fn rejects_bad_header_and_literals() {
+        assert!(parse_dimacs("p dnf 1 1\n").is_err());
+        assert!(parse_dimacs("1 x 0\n").is_err());
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let clauses = vec![vec![a.positive(), !b.positive()], vec![b.positive()]];
+        let text = write_dimacs(2, &clauses);
+        let mut p = parse_dimacs(&text).unwrap();
+        assert_eq!(p.solver.solve(), SatResult::Sat);
+        assert!(p.solver.model_value(p.lit(1)));
+        assert!(p.solver.model_value(p.lit(2)));
+    }
+}

@@ -1,0 +1,138 @@
+//! A max-heap over variables ordered by VSIDS activity.
+
+/// Binary max-heap with a position index, keyed by an external activity
+/// array (passed into every operation so the heap holds no float state).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VarHeap {
+    heap: Vec<u32>,
+    /// position of var in `heap`, or `usize::MAX` if absent
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    pub(crate) fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    pub(crate) fn grow(&mut self, nvars: usize) {
+        if self.pos.len() < nvars {
+            self.pos.resize(nvars, ABSENT);
+        }
+    }
+
+    pub(crate) fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != ABSENT
+    }
+
+    pub(crate) fn insert(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    pub(crate) fn pop_max(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().unwrap();
+        self.pos[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub(crate) fn update(&mut self, v: u32, act: &[f64]) {
+        if let Some(&p) = self.pos.get(v as usize) {
+            if p != ABSENT {
+                self.sift_up(p, act);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a;
+        self.pos[self.heap[b] as usize] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow(4);
+        for v in 0..4 {
+            h.insert(v, &act);
+        }
+        assert_eq!(h.pop_max(&act), Some(1));
+        assert_eq!(h.pop_max(&act), Some(3));
+        assert_eq!(h.pop_max(&act), Some(2));
+        assert_eq!(h.pop_max(&act), Some(0));
+        assert_eq!(h.pop_max(&act), None);
+    }
+
+    #[test]
+    fn update_reorders() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        h.grow(3);
+        for v in 0..3 {
+            h.insert(v, &act);
+        }
+        act[0] = 10.0;
+        h.update(0, &act);
+        assert_eq!(h.pop_max(&act), Some(0));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let act = vec![1.0];
+        let mut h = VarHeap::new();
+        h.grow(1);
+        h.insert(0, &act);
+        h.insert(0, &act);
+        assert_eq!(h.pop_max(&act), Some(0));
+        assert_eq!(h.pop_max(&act), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! Tseitin encoding of and-inverter graphs into CNF.
+
+use crate::{SatLit, Solver};
+use sec_netlist::{Aig, Lit, Node, Var};
+
+/// The CNF image of a circuit: one SAT variable per AIG node.
+///
+/// Inputs and latches become free variables (a latch variable stands for
+/// the *current-state* value; constrain it to model a specific state).
+/// The constant node is a variable forced to false.
+///
+/// # Examples
+///
+/// ```
+/// use sec_netlist::Aig;
+/// use sec_sat::{AigCnf, SatResult, Solver};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a").lit();
+/// let b = aig.add_input("b").lit();
+/// let f = aig.xor(a, b);
+///
+/// let mut solver = Solver::new();
+/// let cnf = AigCnf::encode(&mut solver, &aig);
+/// // XOR is satisfiable with a = 1, b = 0.
+/// let r = solver.solve_with_assumptions(&[cnf.lit(f), cnf.lit(a), cnf.lit(!b)]);
+/// assert_eq!(r, SatResult::Sat);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AigCnf {
+    node_lit: Vec<SatLit>,
+}
+
+impl AigCnf {
+    /// Encodes every node of `aig` into `solver`.
+    pub fn encode(solver: &mut Solver, aig: &Aig) -> AigCnf {
+        let mut cnf = AigCnf {
+            node_lit: Vec::with_capacity(aig.num_nodes()),
+        };
+        cnf.extend(solver, aig);
+        cnf
+    }
+
+    /// Encodes the nodes added to `aig` since the last `encode`/`extend`
+    /// call (incremental encoding for unrolling loops such as BMC).
+    pub fn extend(&mut self, solver: &mut Solver, aig: &Aig) {
+        for idx in self.node_lit.len()..aig.num_nodes() {
+            let v = Var::from_index(idx);
+            let sv = solver.new_var().positive();
+            self.node_lit.push(sv);
+            match aig.node(v) {
+                Node::Const => {
+                    solver.add_clause(&[!sv]);
+                }
+                Node::Input { .. } | Node::Latch { .. } => {}
+                Node::And { a, b } => {
+                    let la = self.node_lit[a.var().index()].negate_if(a.is_complemented());
+                    let lb = self.node_lit[b.var().index()].negate_if(b.is_complemented());
+                    // sv ↔ la ∧ lb
+                    solver.add_clause(&[!sv, la]);
+                    solver.add_clause(&[!sv, lb]);
+                    solver.add_clause(&[sv, !la, !lb]);
+                }
+            }
+        }
+    }
+
+    /// The SAT literal corresponding to an AIG literal.
+    pub fn lit(&self, l: Lit) -> SatLit {
+        self.node_lit[l.var().index()].negate_if(l.is_complemented())
+    }
+
+    /// The SAT literal of an AIG node variable (positive polarity).
+    pub fn var_lit(&self, v: Var) -> SatLit {
+        self.node_lit[v.index()]
+    }
+
+    /// Adds clauses forcing `a = b` (used for correspondence-condition
+    /// constraints).
+    pub fn assert_equal(&self, solver: &mut Solver, a: Lit, b: Lit) {
+        let la = self.lit(a);
+        let lb = self.lit(b);
+        solver.add_clause(&[!la, lb]);
+        solver.add_clause(&[la, !lb]);
+    }
+
+    /// Creates a fresh literal `d` with `d → (a ≠ b)`, suitable as a solve
+    /// assumption asking for a witness distinguishing `a` from `b`.
+    pub fn make_diff(&self, solver: &mut Solver, a: Lit, b: Lit) -> SatLit {
+        let d = solver.new_var().positive();
+        let la = self.lit(a);
+        let lb = self.lit(b);
+        // d → (a ∨ b) and d → (¬a ∨ ¬b): together d → a ⊕ b.
+        solver.add_clause(&[!d, la, lb]);
+        solver.add_clause(&[!d, !la, !lb]);
+        d
+    }
+
+    /// Reads back the value of an AIG literal from the solver model.
+    pub fn model_value(&self, solver: &Solver, l: Lit) -> bool {
+        solver.model_value(self.lit(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SatResult;
+    use sec_sim::eval_single;
+
+    fn sample() -> (Aig, Lit) {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let b = aig.add_input("b").lit();
+        let c = aig.add_input("c").lit();
+        let ab = aig.and(a, b);
+        let f = aig.mux(c, ab, !a);
+        aig.add_output(f, "f");
+        (aig, f)
+    }
+
+    #[test]
+    fn cnf_agrees_with_simulation() {
+        let (aig, f) = sample();
+        // For every input assignment, force it in SAT and compare.
+        for bits in 0..8u32 {
+            let inputs: Vec<bool> = (0..3).map(|i| bits >> i & 1 != 0).collect();
+            let vals = eval_single(&aig, &inputs, &[]);
+            let expect = vals[f.var().index()] ^ f.is_complemented();
+            let mut solver = Solver::new();
+            let cnf = AigCnf::encode(&mut solver, &aig);
+            let mut assumptions: Vec<SatLit> = aig
+                .inputs()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| cnf.var_lit(v).negate_if(!inputs[i]))
+                .collect();
+            assumptions.push(cnf.lit(f).negate_if(!expect));
+            assert_eq!(solver.solve_with_assumptions(&assumptions), SatResult::Sat);
+            // And the opposite polarity must be Unsat.
+            *assumptions.last_mut().unwrap() = cnf.lit(f).negate_if(expect);
+            assert_eq!(solver.solve_with_assumptions(&assumptions), SatResult::Unsat);
+        }
+    }
+
+    #[test]
+    fn const_node_is_false() {
+        let mut aig = Aig::new();
+        aig.add_output(Lit::TRUE, "t");
+        let mut solver = Solver::new();
+        let cnf = AigCnf::encode(&mut solver, &aig);
+        assert_eq!(
+            solver.solve_with_assumptions(&[cnf.lit(Lit::FALSE)]),
+            SatResult::Unsat
+        );
+        assert_eq!(
+            solver.solve_with_assumptions(&[cnf.lit(Lit::TRUE)]),
+            SatResult::Sat
+        );
+    }
+
+    #[test]
+    fn assert_equal_constrains() {
+        let (aig, _) = sample();
+        let a = aig.inputs()[0].lit();
+        let b = aig.inputs()[1].lit();
+        let mut solver = Solver::new();
+        let cnf = AigCnf::encode(&mut solver, &aig);
+        cnf.assert_equal(&mut solver, a, !b);
+        let r = solver.solve_with_assumptions(&[cnf.lit(a), cnf.lit(b)]);
+        assert_eq!(r, SatResult::Unsat);
+        let r = solver.solve_with_assumptions(&[cnf.lit(a), cnf.lit(!b)]);
+        assert_eq!(r, SatResult::Sat);
+    }
+
+    #[test]
+    fn make_diff_finds_distinguishing_input() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let b = aig.add_input("b").lit();
+        let f = aig.and(a, b);
+        let g = aig.or(a, b);
+        let mut solver = Solver::new();
+        let cnf = AigCnf::encode(&mut solver, &aig);
+        let d = cnf.make_diff(&mut solver, f, g);
+        assert_eq!(solver.solve_with_assumptions(&[d]), SatResult::Sat);
+        // The witness must indeed distinguish AND from OR.
+        let va = cnf.model_value(&solver, a);
+        let vb = cnf.model_value(&solver, b);
+        assert_ne!(va && vb, va || vb);
+        // AND vs itself: no distinguishing input.
+        let d2 = cnf.make_diff(&mut solver, f, f);
+        assert_eq!(solver.solve_with_assumptions(&[d2]), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests: the CDCL solver must agree with brute-force
+//! enumeration on random CNFs, with and without assumptions.
+
+use proptest::prelude::*;
+use sec_sat::{SatLit, SatResult, Solver};
+
+const NVARS: usize = 8;
+
+type Cnf = Vec<Vec<(usize, bool)>>; // (var, positive)
+
+fn arb_cnf() -> impl Strategy<Value = Cnf> {
+    let clause = proptest::collection::vec((0..NVARS, any::<bool>()), 1..5);
+    proptest::collection::vec(clause, 0..40)
+}
+
+fn brute_force(cnf: &Cnf, fixed: &[(usize, bool)]) -> bool {
+    'outer: for bits in 0..1u32 << NVARS {
+        let val = |v: usize| bits >> v & 1 != 0;
+        for &(v, b) in fixed {
+            if val(v) != b {
+                continue 'outer;
+            }
+        }
+        if cnf
+            .iter()
+            .all(|c| c.iter().any(|&(v, pos)| val(v) == pos))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn build(cnf: &Cnf) -> (Solver, Vec<SatLit>) {
+    let mut s = Solver::new();
+    let lits: Vec<SatLit> = (0..NVARS).map(|_| s.new_var().positive()).collect();
+    for c in cnf {
+        let clause: Vec<SatLit> = c.iter().map(|&(v, pos)| lits[v].negate_if(!pos)).collect();
+        s.add_clause(&clause);
+    }
+    (s, lits)
+}
+
+proptest! {
+    #[test]
+    fn agrees_with_brute_force(cnf in arb_cnf()) {
+        let (mut s, lits) = build(&cnf);
+        let expect = brute_force(&cnf, &[]);
+        let got = s.solve() == SatResult::Sat;
+        prop_assert_eq!(got, expect);
+        if got {
+            // The model must satisfy every clause.
+            for c in &cnf {
+                prop_assert!(c.iter().any(|&(v, pos)| s.model_value(lits[v]) == pos));
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_agree_with_brute_force(cnf in arb_cnf(), fixed in proptest::collection::vec((0..NVARS, any::<bool>()), 0..4)) {
+        // Drop contradictory duplicate assumptions on the same variable.
+        let mut seen = std::collections::HashMap::new();
+        let mut consistent = true;
+        for &(v, b) in &fixed {
+            if *seen.entry(v).or_insert(b) != b {
+                consistent = false;
+            }
+        }
+        prop_assume!(consistent);
+        let (mut s, lits) = build(&cnf);
+        let assumptions: Vec<SatLit> = fixed.iter().map(|&(v, b)| lits[v].negate_if(!b)).collect();
+        let expect = brute_force(&cnf, &fixed);
+        let got = s.solve_with_assumptions(&assumptions) == SatResult::Sat;
+        prop_assert_eq!(got, expect);
+        if got {
+            for &(v, b) in &fixed {
+                prop_assert_eq!(s.model_value(lits[v]), b);
+            }
+        }
+        // Incremental reuse: solving again without assumptions must match.
+        let plain = s.solve() == SatResult::Sat;
+        prop_assert_eq!(plain, brute_force(&cnf, &[]));
+    }
+
+    #[test]
+    fn solver_is_reusable_across_many_queries(cnf in arb_cnf(), queries in proptest::collection::vec((0..NVARS, any::<bool>()), 0..6)) {
+        let (mut s, lits) = build(&cnf);
+        for (v, b) in queries {
+            let expect = brute_force(&cnf, &[(v, b)]);
+            let got = s.solve_with_assumptions(&[lits[v].negate_if(!b)]) == SatResult::Sat;
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! 64-way bit-parallel combinational simulation.
+
+use sec_netlist::{Aig, Lit, Node, Var};
+
+/// A bit-parallel simulator: evaluates every node of an [`Aig`] for
+/// `64 * num_words` input patterns at once.
+///
+/// Values are stored per *variable* (positive polarity); literal values are
+/// derived by complementing on read.
+///
+/// # Examples
+///
+/// ```
+/// use sec_netlist::Aig;
+/// use sec_sim::BitSim;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a").lit();
+/// let b = aig.add_input("b").lit();
+/// let f = aig.and(a, b);
+///
+/// let mut sim = BitSim::new(&aig, 1);
+/// sim.set_input(&aig, 0, &[0b1100]);
+/// sim.set_input(&aig, 1, &[0b1010]);
+/// sim.eval(&aig);
+/// assert_eq!(sim.lit_word(f, 0) & 0b1111, 0b1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BitSim {
+    num_words: usize,
+    values: Vec<u64>,
+}
+
+impl BitSim {
+    /// Creates a simulator for `aig` holding `num_words` 64-bit pattern
+    /// words per node. All values start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_words` is zero.
+    pub fn new(aig: &Aig, num_words: usize) -> BitSim {
+        assert!(num_words > 0, "BitSim requires at least one word");
+        BitSim {
+            num_words,
+            values: vec![0; aig.num_nodes() * num_words],
+        }
+    }
+
+    /// Number of 64-bit words per node.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.num_words
+    }
+
+    /// Number of patterns simulated in parallel.
+    #[inline]
+    pub fn num_patterns(&self) -> usize {
+        self.num_words * 64
+    }
+
+    /// Grows the value table to cover newly added nodes (e.g. after the
+    /// retiming extension added gates); existing values are preserved.
+    pub fn resize(&mut self, aig: &Aig) {
+        self.values.resize(aig.num_nodes() * self.num_words, 0);
+    }
+
+    #[inline]
+    fn range(&self, var: Var) -> std::ops::Range<usize> {
+        let s = var.index() * self.num_words;
+        s..s + self.num_words
+    }
+
+    /// The value words of a variable (positive polarity).
+    #[inline]
+    pub fn var_words(&self, var: Var) -> &[u64] {
+        &self.values[self.range(var)]
+    }
+
+    /// One value word of a literal (complement applied).
+    #[inline]
+    pub fn lit_word(&self, lit: Lit, word: usize) -> u64 {
+        let w = self.values[lit.var().index() * self.num_words + word];
+        if lit.is_complemented() {
+            !w
+        } else {
+            w
+        }
+    }
+
+    /// The value of a literal in a single pattern.
+    #[inline]
+    pub fn lit_bit(&self, lit: Lit, pattern: usize) -> bool {
+        (self.lit_word(lit, pattern / 64) >> (pattern % 64)) & 1 != 0
+    }
+
+    /// Sets the pattern words of primary input `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` has the wrong length.
+    pub fn set_input(&mut self, aig: &Aig, index: usize, words: &[u64]) {
+        assert_eq!(words.len(), self.num_words);
+        let var = aig.inputs()[index];
+        let r = self.range(var);
+        self.values[r].copy_from_slice(words);
+    }
+
+    /// Sets the pattern words of latch `index` (its current-state value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` has the wrong length.
+    pub fn set_latch(&mut self, aig: &Aig, index: usize, words: &[u64]) {
+        assert_eq!(words.len(), self.num_words);
+        let var = aig.latches()[index];
+        let r = self.range(var);
+        self.values[r].copy_from_slice(words);
+    }
+
+    /// Broadcasts a single boolean to all patterns of latch `index`.
+    pub fn set_latch_uniform(&mut self, aig: &Aig, index: usize, value: bool) {
+        let var = aig.latches()[index];
+        let fill = if value { !0u64 } else { 0 };
+        let r = self.range(var);
+        self.values[r].fill(fill);
+    }
+
+    /// Evaluates all AND gates in topological order. Input and latch words
+    /// must have been set beforehand; the constant node is always zero.
+    pub fn eval(&mut self, aig: &Aig) {
+        let w = self.num_words;
+        for v in aig.vars() {
+            if let Node::And { a, b } = aig.node(v) {
+                let (a, b) = (*a, *b);
+                let ai = a.var().index() * w;
+                let bi = b.var().index() * w;
+                let oi = v.index() * w;
+                let am = if a.is_complemented() { !0u64 } else { 0 };
+                let bm = if b.is_complemented() { !0u64 } else { 0 };
+                for k in 0..w {
+                    let av = self.values[ai + k] ^ am;
+                    let bv = self.values[bi + k] ^ bm;
+                    self.values[oi + k] = av & bv;
+                }
+            }
+        }
+    }
+
+    /// Copies each latch's next-state literal value into the latch itself,
+    /// advancing the sequential state by one clock cycle. Call after
+    /// [`BitSim::eval`].
+    pub fn latch_step(&mut self, aig: &Aig) {
+        let w = self.num_words;
+        let mut next_vals: Vec<u64> = Vec::with_capacity(aig.num_latches() * w);
+        for &l in aig.latches() {
+            let next = aig
+                .latch_next(l)
+                .expect("latch_step requires driven latches");
+            for k in 0..w {
+                next_vals.push(self.lit_word(next, k));
+            }
+        }
+        for (i, &l) in aig.latches().iter().enumerate() {
+            let r = self.range(l);
+            self.values[r].copy_from_slice(&next_vals[i * w..(i + 1) * w]);
+        }
+    }
+
+    /// Initializes every latch to its specified initial value (broadcast to
+    /// all patterns).
+    pub fn reset(&mut self, aig: &Aig) {
+        for i in 0..aig.num_latches() {
+            let init = aig.latch_init(aig.latches()[i]);
+            self.set_latch_uniform(aig, i, init);
+        }
+    }
+}
+
+/// Evaluates a circuit for a single pattern, returning one boolean per node
+/// (positive polarity).
+///
+/// `inputs` and `state` are indexed like [`Aig::inputs`] / [`Aig::latches`].
+///
+/// # Panics
+///
+/// Panics if the slices have the wrong lengths.
+pub fn eval_single(aig: &Aig, inputs: &[bool], state: &[bool]) -> Vec<bool> {
+    assert_eq!(inputs.len(), aig.num_inputs());
+    assert_eq!(state.len(), aig.num_latches());
+    let mut vals = vec![false; aig.num_nodes()];
+    for v in aig.vars() {
+        vals[v.index()] = match aig.node(v) {
+            Node::Const => false,
+            Node::Input { index } => inputs[*index as usize],
+            Node::Latch { index, .. } => state[*index as usize],
+            Node::And { a, b } => {
+                let av = vals[a.var().index()] ^ a.is_complemented();
+                let bv = vals[b.var().index()] ^ b.is_complemented();
+                av && bv
+            }
+        };
+    }
+    vals
+}
+
+/// The next state reached from `state` under `inputs` (single pattern).
+pub fn next_state_single(aig: &Aig, inputs: &[bool], state: &[bool]) -> Vec<bool> {
+    let vals = eval_single(aig, inputs, state);
+    aig.latches()
+        .iter()
+        .map(|&l| {
+            let n = aig.latch_next(l).expect("driven latch");
+            vals[n.var().index()] ^ n.is_complemented()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle() -> Aig {
+        let mut aig = Aig::new();
+        let en = aig.add_input("en").lit();
+        let q = aig.add_latch(false);
+        let next = aig.xor(q.lit(), en);
+        aig.set_latch_next(q, next);
+        aig.add_output(q.lit(), "q");
+        aig
+    }
+
+    #[test]
+    fn and_truth_table() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let b = aig.add_input("b").lit();
+        let f = aig.and(a, b);
+        let g = aig.or(a, b);
+        let h = aig.xor(a, b);
+        let mut sim = BitSim::new(&aig, 1);
+        sim.set_input(&aig, 0, &[0b1100]);
+        sim.set_input(&aig, 1, &[0b1010]);
+        sim.eval(&aig);
+        assert_eq!(sim.lit_word(f, 0) & 0b1111, 0b1000);
+        assert_eq!(sim.lit_word(g, 0) & 0b1111, 0b1110);
+        assert_eq!(sim.lit_word(h, 0) & 0b1111, 0b0110);
+    }
+
+    #[test]
+    fn toggle_counts() {
+        let aig = toggle();
+        let mut sim = BitSim::new(&aig, 1);
+        sim.reset(&aig);
+        // Pattern 0: en=1 every cycle -> q toggles 0,1,0,1...
+        // Pattern 1: en=0 every cycle -> q stays 0.
+        sim.set_input(&aig, 0, &[0b01]);
+        let q = aig.latches()[0].lit();
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            sim.eval(&aig);
+            seen.push(sim.lit_word(q, 0) & 0b11);
+            sim.latch_step(&aig);
+        }
+        assert_eq!(seen, vec![0b00, 0b01, 0b00, 0b01]);
+    }
+
+    #[test]
+    fn eval_single_matches_bitsim() {
+        let aig = toggle();
+        let vals = eval_single(&aig, &[true], &[true]);
+        let next = aig.latch_next(aig.latches()[0]).unwrap();
+        assert!(!(vals[next.var().index()] ^ next.is_complemented()));
+        let ns = next_state_single(&aig, &[true], &[true]);
+        assert_eq!(ns, vec![false]);
+        let ns2 = next_state_single(&aig, &[true], &[false]);
+        assert_eq!(ns2, vec![true]);
+    }
+
+    #[test]
+    fn lit_bit_indexing() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let mut sim = BitSim::new(&aig, 2);
+        sim.set_input(&aig, 0, &[1u64 << 63, 1]);
+        sim.eval(&aig);
+        assert!(sim.lit_bit(a, 63));
+        assert!(sim.lit_bit(a, 64));
+        assert!(!sim.lit_bit(a, 0));
+        assert!(sim.lit_bit(!a, 0));
+    }
+
+    #[test]
+    fn resize_preserves() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let mut sim = BitSim::new(&aig, 1);
+        sim.set_input(&aig, 0, &[42]);
+        let b = aig.add_input("b").lit();
+        let f = aig.and(a, b);
+        sim.resize(&aig);
+        sim.set_input(&aig, 1, &[!0]);
+        sim.eval(&aig);
+        assert_eq!(sim.lit_word(f, 0), 42);
+    }
+}

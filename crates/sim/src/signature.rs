@@ -1,0 +1,189 @@
+//! Sequential random simulation and signature-based candidate partitioning.
+//!
+//! The paper (Sec. 4) suggests partitioning the set `F` of signal functions
+//! by sequential simulation with random input vectors before starting the
+//! fixed-point iteration: signals that differ on some simulated reachable
+//! state are certainly not sequentially equivalent, so the refinement loop
+//! starts from a much better initial approximation.
+//!
+//! Signatures are *polarity-normalized* against the reference point
+//! `(s0, x0)` (pattern 0 of cycle 0), so antivalent signals receive equal
+//! signatures — matching the paper's normalization of `F`.
+
+use crate::BitSim;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sec_netlist::{Aig, Lit, Var};
+use std::collections::HashMap;
+
+/// Per-node simulation signatures collected over a sequential run.
+#[derive(Clone, Debug)]
+pub struct Signatures {
+    /// Words per node: `cycles * num_words`.
+    words_per_node: usize,
+    /// Signature words, node-major.
+    sigs: Vec<u64>,
+    /// Value of each node at the reference point `(s0, x0)`.
+    ref_value: Vec<bool>,
+}
+
+impl Signatures {
+    /// Runs `cycles` clock cycles of `64 * num_words` parallel random
+    /// executions from the initial state and records every node's values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` or `num_words` is zero, or if a latch is
+    /// undriven.
+    pub fn collect(aig: &Aig, cycles: usize, num_words: usize, seed: u64) -> Signatures {
+        assert!(cycles > 0 && num_words > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = BitSim::new(aig, num_words);
+        sim.reset(aig);
+        let n = aig.num_nodes();
+        let words_per_node = cycles * num_words;
+        let mut sigs = vec![0u64; n * words_per_node];
+        let mut ref_value = vec![false; n];
+        for c in 0..cycles {
+            for i in 0..aig.num_inputs() {
+                let words: Vec<u64> = (0..num_words).map(|_| rng.gen()).collect();
+                sim.set_input(aig, i, &words);
+            }
+            sim.eval(aig);
+            for v in aig.vars() {
+                let base = v.index() * words_per_node + c * num_words;
+                let src = sim.var_words(v);
+                sigs[base..base + num_words].copy_from_slice(src);
+                if c == 0 {
+                    ref_value[v.index()] = src[0] & 1 != 0;
+                }
+            }
+            sim.latch_step(aig);
+        }
+        Signatures {
+            words_per_node,
+            sigs,
+            ref_value,
+        }
+    }
+
+    /// The raw (un-normalized) signature of a variable.
+    pub fn raw(&self, var: Var) -> &[u64] {
+        let s = var.index() * self.words_per_node;
+        &self.sigs[s..s + self.words_per_node]
+    }
+
+    /// The value of a node at the reference point `(s0, x0)`; this is the
+    /// polarity used to normalize the node's function in the set `F`.
+    pub fn ref_value(&self, var: Var) -> bool {
+        self.ref_value[var.index()]
+    }
+
+    /// The normalized signature: complemented so that the reference-point
+    /// value is 1, as in the paper's construction of `F`.
+    pub fn normalized(&self, var: Var) -> Vec<u64> {
+        let mask = if self.ref_value(var) { 0u64 } else { !0u64 };
+        self.raw(var).iter().map(|&w| w ^ mask).collect()
+    }
+
+    /// Whether two literals have identical simulated behaviour.
+    pub fn lits_agree(&self, a: Lit, b: Lit) -> bool {
+        let mask = if a.is_complemented() != b.is_complemented() {
+            !0u64
+        } else {
+            0
+        };
+        self.raw(a.var())
+            .iter()
+            .zip(self.raw(b.var()))
+            .all(|(&x, &y)| x == (y ^ mask))
+    }
+
+    /// Partitions `vars` into candidate equivalence classes by normalized
+    /// signature. Singleton classes are retained (the fixed-point engine
+    /// filters them as it sees fit); class order follows first appearance.
+    pub fn partition(&self, vars: impl IntoIterator<Item = Var>) -> Vec<Vec<Var>> {
+        let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut classes: Vec<Vec<Var>> = Vec::new();
+        for v in vars {
+            let key = self.normalized(v);
+            match index.get(&key) {
+                Some(&i) => classes[i].push(v),
+                None => {
+                    index.insert(key, classes.len());
+                    classes.push(vec![v]);
+                }
+            }
+        }
+        classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two latches implementing the same toggle; plus an antivalent copy.
+    fn twin_toggle() -> (Aig, Var, Var, Var) {
+        let mut aig = Aig::new();
+        let en = aig.add_input("en").lit();
+        let q1 = aig.add_latch(false);
+        let q2 = aig.add_latch(false);
+        // q3 starts inverted and applies the same toggle function, so it
+        // stays the complement of q1 forever (antivalent).
+        let q3 = aig.add_latch(true);
+        let n1 = aig.xor(q1.lit(), en);
+        let n2 = aig.xor(q2.lit(), en);
+        let n3 = aig.xor(q3.lit(), en);
+        aig.set_latch_next(q1, n1);
+        aig.set_latch_next(q2, n2);
+        aig.set_latch_next(q3, n3);
+        aig.add_output(q1.lit(), "q");
+        (aig, q1, q2, q3)
+    }
+
+    #[test]
+    fn equivalent_latches_share_class() {
+        let (aig, q1, q2, q3) = twin_toggle();
+        let sigs = Signatures::collect(&aig, 8, 2, 1);
+        let classes = sigs.partition([q1, q2, q3]);
+        assert_eq!(classes.len(), 1, "normalization must merge antivalent q3");
+        assert_eq!(classes[0].len(), 3);
+    }
+
+    #[test]
+    fn ref_values_differ_for_antivalent() {
+        let (aig, q1, _, q3) = twin_toggle();
+        let sigs = Signatures::collect(&aig, 4, 1, 7);
+        assert_ne!(sigs.ref_value(q1), sigs.ref_value(q3));
+    }
+
+    #[test]
+    fn lits_agree_handles_polarity() {
+        let (aig, q1, q2, q3) = twin_toggle();
+        let sigs = Signatures::collect(&aig, 8, 1, 3);
+        assert!(sigs.lits_agree(q1.lit(), q2.lit()));
+        assert!(sigs.lits_agree(q1.lit(), !q3.lit()));
+        assert!(!sigs.lits_agree(q1.lit(), q3.lit()));
+    }
+
+    #[test]
+    fn distinct_functions_split() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let b = aig.add_input("b").lit();
+        let f = aig.and(a, b);
+        let g = aig.or(a, b);
+        let sigs = Signatures::collect(&aig, 2, 4, 11);
+        let classes = sigs.partition([f.var(), g.var()]);
+        assert_eq!(classes.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (aig, q1, ..) = twin_toggle();
+        let s1 = Signatures::collect(&aig, 4, 1, 42);
+        let s2 = Signatures::collect(&aig, 4, 1, 42);
+        assert_eq!(s1.raw(q1), s2.raw(q1));
+    }
+}

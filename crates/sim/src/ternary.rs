@@ -1,0 +1,278 @@
+//! Three-valued (0/1/X) simulation for initialization analysis.
+//!
+//! Retiming verification flows contemporary with the paper (Huang,
+//! Cheng & Chen's preprocessing, the paper's ref. [10]) rely on
+//! *3-valued equivalence*: starting every register at X and checking
+//! that the circuits agree wherever they are defined. This module
+//! provides the ternary evaluator, the sequential stepper, and
+//! self-initialization ("reset sequence") analysis.
+
+use sec_netlist::{Aig, Node};
+
+/// A three-valued logic value.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum Ternary {
+    /// Definitely 0.
+    Zero,
+    /// Definitely 1.
+    One,
+    /// Unknown.
+    X,
+}
+
+impl Ternary {
+    /// Ternary AND: 0 dominates X.
+    #[must_use]
+    pub fn and(self, other: Ternary) -> Ternary {
+        use Ternary::*;
+        match (self, other) {
+            (Zero, _) | (_, Zero) => Zero,
+            (One, One) => One,
+            _ => X,
+        }
+    }
+
+    /// Complements iff `c` is true (X stays X).
+    #[must_use]
+    pub fn complement_if(self, c: bool) -> Ternary {
+        if c {
+            !self
+        } else {
+            self
+        }
+    }
+
+    /// Whether the value is definite (not X).
+    pub fn is_definite(self) -> bool {
+        self != Ternary::X
+    }
+}
+
+impl std::ops::Not for Ternary {
+    type Output = Ternary;
+    fn not(self) -> Ternary {
+        match self {
+            Ternary::Zero => Ternary::One,
+            Ternary::One => Ternary::Zero,
+            Ternary::X => Ternary::X,
+        }
+    }
+}
+
+impl From<bool> for Ternary {
+    fn from(b: bool) -> Ternary {
+        if b {
+            Ternary::One
+        } else {
+            Ternary::Zero
+        }
+    }
+}
+
+/// Evaluates every node under ternary inputs and state.
+///
+/// # Panics
+///
+/// Panics if the slices have the wrong lengths.
+pub fn ternary_eval(aig: &Aig, inputs: &[Ternary], state: &[Ternary]) -> Vec<Ternary> {
+    assert_eq!(inputs.len(), aig.num_inputs());
+    assert_eq!(state.len(), aig.num_latches());
+    let mut vals = vec![Ternary::X; aig.num_nodes()];
+    for v in aig.vars() {
+        vals[v.index()] = match aig.node(v) {
+            Node::Const => Ternary::Zero,
+            Node::Input { index } => inputs[*index as usize],
+            Node::Latch { index, .. } => state[*index as usize],
+            Node::And { a, b } => {
+                let av = vals[a.var().index()].complement_if(a.is_complemented());
+                let bv = vals[b.var().index()].complement_if(b.is_complemented());
+                av.and(bv)
+            }
+        };
+    }
+    vals
+}
+
+/// A sequential three-valued simulator.
+#[derive(Clone, Debug)]
+pub struct TernarySim {
+    state: Vec<Ternary>,
+}
+
+impl TernarySim {
+    /// Starts from the fully unknown state (every register X).
+    pub fn all_x(aig: &Aig) -> TernarySim {
+        TernarySim {
+            state: vec![Ternary::X; aig.num_latches()],
+        }
+    }
+
+    /// Starts from the circuit's specified initial state.
+    pub fn from_reset(aig: &Aig) -> TernarySim {
+        TernarySim {
+            state: aig.initial_state().iter().map(|&b| b.into()).collect(),
+        }
+    }
+
+    /// The current register values.
+    pub fn state(&self) -> &[Ternary] {
+        &self.state
+    }
+
+    /// Whether every register is definite.
+    pub fn is_definite(&self) -> bool {
+        self.state.iter().all(|v| v.is_definite())
+    }
+
+    /// Applies one input vector, returning the output values, and steps
+    /// the registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input arity mismatch or undriven latches.
+    pub fn step(&mut self, aig: &Aig, inputs: &[Ternary]) -> Vec<Ternary> {
+        let vals = ternary_eval(aig, inputs, &self.state);
+        let outs = aig
+            .outputs()
+            .iter()
+            .map(|o| vals[o.lit.var().index()].complement_if(o.lit.is_complemented()))
+            .collect();
+        self.state = aig
+            .latches()
+            .iter()
+            .map(|&l| {
+                let n = aig.latch_next(l).expect("driven latch");
+                vals[n.var().index()].complement_if(n.is_complemented())
+            })
+            .collect();
+        outs
+    }
+}
+
+/// Applies a reset sequence from the all-X state; returns the definite
+/// register values if the sequence fully initializes the circuit.
+pub fn initializes(aig: &Aig, sequence: &[Vec<Ternary>]) -> Option<Vec<bool>> {
+    let mut sim = TernarySim::all_x(aig);
+    for frame in sequence {
+        sim.step(aig, frame);
+    }
+    sim.state()
+        .iter()
+        .map(|v| match v {
+            Ternary::Zero => Some(false),
+            Ternary::One => Some(true),
+            Ternary::X => None,
+        })
+        .collect()
+}
+
+/// Three-valued equivalence on a trace: both circuits start all-X and
+/// must produce identical ternary outputs on every frame (X counts as
+/// agreeing only with X — the conservative alignment used by retiming
+/// preprocessing).
+///
+/// # Panics
+///
+/// Panics if the interfaces differ.
+pub fn ternary_outputs_agree(a: &Aig, b: &Aig, sequence: &[Vec<Ternary>]) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs());
+    assert_eq!(a.num_outputs(), b.num_outputs());
+    let mut sa = TernarySim::all_x(a);
+    let mut sb = TernarySim::all_x(b);
+    for frame in sequence {
+        if sa.step(a, frame) != sb.step(b, frame) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_netlist::Aig;
+    use Ternary::{One, X, Zero};
+
+    /// Counter with synchronous clear (as generated by `sec-gen`).
+    fn clearable() -> Aig {
+        let mut aig = Aig::new();
+        let clr = aig.add_input("clr").lit();
+        let q = aig.add_latch(false);
+        // next = !clr & !q  (toggle with clear)
+        let n = aig.and(!clr, !q.lit());
+        aig.set_latch_next(q, n);
+        aig.add_output(q.lit(), "q");
+        aig
+    }
+
+    #[test]
+    fn ternary_and_truth_table() {
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(One), X);
+        assert_eq!(One.and(One), One);
+        assert_eq!(!X, X);
+        assert_eq!(!Zero, One);
+        assert!(!X.is_definite());
+        assert_eq!(Ternary::from(true), One);
+    }
+
+    #[test]
+    fn x_propagates_through_gates() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let b = aig.add_input("b").lit();
+        let f = aig.and(a, b);
+        let g = aig.or(a, b);
+        let vals = ternary_eval(&aig, &[Zero, X], &[]);
+        assert_eq!(vals[f.var().index()], Zero); // 0 & X = 0
+        // or = !( !a & !b ): !0 & !X = 1 & X = X -> or = X
+        assert_eq!(
+            vals[g.var().index()].complement_if(g.is_complemented()),
+            X
+        );
+    }
+
+    #[test]
+    fn clear_initializes_from_x() {
+        let aig = clearable();
+        assert_eq!(initializes(&aig, &[vec![X]]), None);
+        // One clear cycle: next = !1 & !q = 0 regardless of q.
+        let st = initializes(&aig, &[vec![One]]).expect("clear must initialize");
+        assert_eq!(st, vec![false]);
+    }
+
+    #[test]
+    fn lfsr_never_self_initializes() {
+        let aig = sec_gen_free_lfsr();
+        let seq = vec![vec![One]; 20];
+        assert_eq!(initializes(&aig, &seq), None);
+    }
+
+    /// A tiny LFSR-like circuit without any clear path.
+    fn sec_gen_free_lfsr() -> Aig {
+        let mut aig = Aig::new();
+        let en = aig.add_input("en").lit();
+        let q0 = aig.add_latch(true);
+        let q1 = aig.add_latch(false);
+        let fb = aig.xor(q1.lit(), en);
+        aig.set_latch_next(q0, fb);
+        aig.set_latch_next(q1, q0.lit());
+        aig.add_output(q1.lit(), "o");
+        aig
+    }
+
+    #[test]
+    fn ternary_equivalence_of_identical_circuits() {
+        let a = clearable();
+        let seq = vec![vec![One], vec![Zero], vec![Zero], vec![X]];
+        assert!(ternary_outputs_agree(&a, &a.clone(), &seq));
+    }
+
+    #[test]
+    fn from_reset_is_definite() {
+        let aig = clearable();
+        let sim = TernarySim::from_reset(&aig);
+        assert!(sim.is_definite());
+        assert_eq!(sim.state(), &[Zero]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Input traces: counterexample witnesses and their replay.
+
+use crate::bitsim::{eval_single, next_state_single};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sec_netlist::Aig;
+
+/// A finite sequence of input vectors applied from the initial state.
+///
+/// Produced as a counterexample witness by bounded model checking and by
+/// the exact traversal baseline; consumed by [`Trace::replay`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// `inputs[frame][input_index]`.
+    pub inputs: Vec<Vec<bool>>,
+}
+
+impl Trace {
+    /// Creates a trace from per-frame input vectors.
+    pub fn new(inputs: Vec<Vec<bool>>) -> Trace {
+        Trace { inputs }
+    }
+
+    /// A random trace of `frames` input vectors.
+    pub fn random(num_inputs: usize, frames: usize, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Trace {
+            inputs: (0..frames)
+                .map(|_| (0..num_inputs).map(|_| rng.gen()).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the trace has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Replays the trace from the initial state and returns the output
+    /// values observed at every frame (`result[frame][output_index]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input vector has the wrong arity or a latch is
+    /// undriven.
+    pub fn replay(&self, aig: &Aig) -> Vec<Vec<bool>> {
+        let mut state = aig.initial_state();
+        let mut outs = Vec::with_capacity(self.inputs.len());
+        for frame in &self.inputs {
+            assert_eq!(frame.len(), aig.num_inputs(), "input arity mismatch");
+            let vals = eval_single(aig, frame, &state);
+            outs.push(
+                aig.outputs()
+                    .iter()
+                    .map(|o| vals[o.lit.var().index()] ^ o.lit.is_complemented())
+                    .collect(),
+            );
+            state = next_state_single(aig, frame, &state);
+        }
+        outs
+    }
+
+    /// The sequence of states visited (including the initial state, so the
+    /// result has `len() + 1` entries).
+    pub fn states(&self, aig: &Aig) -> Vec<Vec<bool>> {
+        let mut state = aig.initial_state();
+        let mut states = vec![state.clone()];
+        for frame in &self.inputs {
+            state = next_state_single(aig, frame, &state);
+            states.push(state.clone());
+        }
+        states
+    }
+}
+
+/// Checks whether two circuits with identical interfaces produce identical
+/// outputs on a trace; returns the first differing `(frame, output)` pair.
+///
+/// This is the cheap refutation check used everywhere before invoking the
+/// expensive engines.
+///
+/// # Panics
+///
+/// Panics if the circuits have different numbers of inputs or outputs.
+pub fn first_output_mismatch(a: &Aig, b: &Aig, trace: &Trace) -> Option<(usize, usize)> {
+    assert_eq!(a.num_inputs(), b.num_inputs());
+    assert_eq!(a.num_outputs(), b.num_outputs());
+    let oa = trace.replay(a);
+    let ob = trace.replay(b);
+    for f in 0..trace.len() {
+        for o in 0..a.num_outputs() {
+            if oa[f][o] != ob[f][o] {
+                return Some((f, o));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_netlist::Aig;
+
+    fn counter2() -> Aig {
+        // 2-bit binary counter, increments every cycle; output = msb.
+        let mut aig = Aig::new();
+        let b0 = aig.add_latch(false);
+        let b1 = aig.add_latch(false);
+        let n0 = !b0.lit();
+        let n1 = aig.xor(b1.lit(), b0.lit());
+        aig.set_latch_next(b0, n0);
+        aig.set_latch_next(b1, n1);
+        aig.add_output(b1.lit(), "msb");
+        aig
+    }
+
+    #[test]
+    fn replay_counter() {
+        let aig = counter2();
+        let trace = Trace::new(vec![vec![]; 5]);
+        let outs = trace.replay(&aig);
+        let msb: Vec<bool> = outs.iter().map(|o| o[0]).collect();
+        // states: 00 01 10 11 00 -> msb: 0 0 1 1 0
+        assert_eq!(msb, vec![false, false, true, true, false]);
+    }
+
+    #[test]
+    fn states_include_initial() {
+        let aig = counter2();
+        let trace = Trace::new(vec![vec![]; 2]);
+        let states = trace.states(&aig);
+        assert_eq!(states.len(), 3);
+        assert_eq!(states[0], vec![false, false]);
+        assert_eq!(states[1], vec![true, false]);
+        assert_eq!(states[2], vec![false, true]);
+    }
+
+    #[test]
+    fn mismatch_detection() {
+        let a = counter2();
+        let mut b = counter2();
+        // Sabotage: complement the output.
+        let lit = b.outputs()[0].lit;
+        b.set_output(0, !lit);
+        let trace = Trace::new(vec![vec![]; 3]);
+        assert_eq!(first_output_mismatch(&a, &a.clone(), &trace), None);
+        assert_eq!(first_output_mismatch(&a, &b, &trace), Some((0, 0)));
+    }
+
+    #[test]
+    fn random_trace_shape() {
+        let t = Trace::random(3, 7, 9);
+        assert_eq!(t.len(), 7);
+        assert!(!t.is_empty());
+        assert!(t.inputs.iter().all(|f| f.len() == 3));
+        assert_eq!(t, Trace::random(3, 7, 9));
+    }
+}

@@ -1,0 +1,43 @@
+//! # sec-synth
+//!
+//! Sequential synthesis transformations used to *create* equivalence-
+//! checking instances (the paper verifies ISCAS'89 circuits against
+//! versions "optimized by kerneling and retiming" and further processed
+//! with SIS `script.rugged`):
+//!
+//! * [`forward_retime`] — register moves across gates with initial-state
+//!   recomputation;
+//! * [`reassociate`], [`minterm_rewrite`], [`unshare_latch_cones`],
+//!   [`balance`] — behaviour-preserving combinational restructuring;
+//! * [`pipeline`] — the composed flow, with a
+//!   [`retime_only`](PipelineOptions::retime_only) configuration
+//!   matching the paper's "without script.rugged" data point;
+//! * [`mutate`] — behaviour-*changing* fault injection for soundness
+//!   testing of the verifier;
+//! * [`strash_copy`] / [`sweep`] — structural hashing and dead-logic
+//!   removal.
+//!
+//! ## Example
+//!
+//! ```
+//! use sec_gen::{counter, CounterKind};
+//! use sec_synth::{pipeline, PipelineOptions};
+//!
+//! let spec = counter(6, CounterKind::Binary);
+//! let imp = pipeline(&spec, &PipelineOptions::default(), 42);
+//! assert_eq!(imp.num_inputs(), spec.num_inputs());
+//! ```
+
+#![warn(missing_docs)]
+
+mod mutate;
+mod opt;
+mod pipeline;
+mod rebuild;
+mod retime;
+
+pub use mutate::{mutate, mutate_detectable, random_mutation, Mutation};
+pub use opt::{balance, minterm_rewrite, reassociate, unshare_latch_cones};
+pub use pipeline::{pipeline, PipelineOptions};
+pub use rebuild::{strash_copy, sweep, Rebuilder};
+pub use retime::{eligible_gates, forward_retime, forward_retime_pass, RetimeOptions};

@@ -1,0 +1,174 @@
+//! Fault injection: behaviour-*changing* mutations, used to test the
+//! soundness of the verifier (a mutated circuit must never be proven
+//! equivalent to the original).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sec_netlist::{Aig, Lit};
+use sec_sim::{first_output_mismatch, Trace};
+
+/// The kind of fault injected by [`mutate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// Flip the initial value of a register.
+    FlipInit(usize),
+    /// Complement the next-state input of a register.
+    InvertNext(usize),
+    /// Complement one fanin of an AND gate.
+    InvertFanin(usize),
+    /// Complement an output.
+    InvertOutput(usize),
+    /// Replace an AND gate with an OR of the same fanins.
+    AndToOr(usize),
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mutation::FlipInit(i) => write!(f, "flip init of latch {i}"),
+            Mutation::InvertNext(i) => write!(f, "invert next-state of latch {i}"),
+            Mutation::InvertFanin(i) => write!(f, "invert a fanin of AND #{i}"),
+            Mutation::InvertOutput(i) => write!(f, "invert output {i}"),
+            Mutation::AndToOr(i) => write!(f, "AND #{i} becomes OR"),
+        }
+    }
+}
+
+/// Applies one mutation, rebuilding the circuit. The result has the same
+/// interface but (usually) different behaviour.
+pub fn mutate(old: &Aig, m: Mutation) -> Aig {
+    let mut aig = Aig::new();
+    let mut map: Vec<Lit> = vec![Lit::FALSE; old.num_nodes()];
+    for &v in old.inputs() {
+        let nv = aig.add_input(old.name(v).unwrap_or("i").to_string());
+        map[v.index()] = nv.lit();
+    }
+    let mut new_latches = Vec::new();
+    for (i, &v) in old.latches().iter().enumerate() {
+        let mut init = old.latch_init(v);
+        if m == Mutation::FlipInit(i) {
+            init = !init;
+        }
+        let nv = aig.add_latch(init);
+        map[v.index()] = nv.lit();
+        new_latches.push(nv);
+    }
+    for (and_idx, v) in old.and_vars().enumerate() {
+        let (a, b) = old.and_fanins(v);
+        let mut na = map[a.var().index()].complement_if(a.is_complemented());
+        let nb = map[b.var().index()].complement_if(b.is_complemented());
+        let l = match m {
+            Mutation::InvertFanin(k) if k == and_idx => {
+                na = !na;
+                aig.and(na, nb)
+            }
+            Mutation::AndToOr(k) if k == and_idx => aig.or(na, nb),
+            _ => aig.and(na, nb),
+        };
+        map[v.index()] = l;
+    }
+    for (i, &v) in old.latches().iter().enumerate() {
+        let next = old.latch_next(v).expect("driven latch");
+        let mut n = map[next.var().index()].complement_if(next.is_complemented());
+        if m == Mutation::InvertNext(i) {
+            n = !n;
+        }
+        aig.set_latch_next(new_latches[i], n);
+    }
+    for (i, o) in old.outputs().iter().enumerate() {
+        let mut l = map[o.lit.var().index()].complement_if(o.lit.is_complemented());
+        if m == Mutation::InvertOutput(i) {
+            l = !l;
+        }
+        aig.add_output(l, o.name.clone().unwrap_or_default());
+    }
+    aig
+}
+
+/// Draws random mutations until one demonstrably changes the observable
+/// behaviour (witnessed by random simulation), returning the mutant and
+/// the mutation. Returns `None` if `attempts` mutations all looked
+/// behaviour-preserving under simulation.
+pub fn mutate_detectable(
+    old: &Aig,
+    seed: u64,
+    attempts: usize,
+    sim_frames: usize,
+) -> Option<(Aig, Mutation)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for k in 0..attempts {
+        let m = random_mutation(old, &mut rng)?;
+        let mutant = mutate(old, m);
+        for t in 0..4 {
+            let trace = Trace::random(
+                old.num_inputs(),
+                sim_frames,
+                seed ^ (k as u64) << 8 ^ t,
+            );
+            if first_output_mismatch(old, &mutant, &trace).is_some() {
+                return Some((mutant, m));
+            }
+        }
+    }
+    None
+}
+
+/// Picks a random applicable mutation.
+pub fn random_mutation(aig: &Aig, rng: &mut StdRng) -> Option<Mutation> {
+    let nl = aig.num_latches();
+    let na = aig.num_ands();
+    let no = aig.num_outputs();
+    for _ in 0..32 {
+        let m = match rng.gen_range(0..5) {
+            0 if nl > 0 => Mutation::FlipInit(rng.gen_range(0..nl)),
+            1 if nl > 0 => Mutation::InvertNext(rng.gen_range(0..nl)),
+            2 if na > 0 => Mutation::InvertFanin(rng.gen_range(0..na)),
+            3 if no > 0 => Mutation::InvertOutput(rng.gen_range(0..no)),
+            4 if na > 0 => Mutation::AndToOr(rng.gen_range(0..na)),
+            _ => continue,
+        };
+        return Some(m);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_gen::{counter, mixed, CounterKind};
+
+    #[test]
+    fn invert_output_always_detectable() {
+        let spec = counter(4, CounterKind::Binary);
+        let mutant = mutate(&spec, Mutation::InvertOutput(0));
+        let t = Trace::new(vec![vec![true, false]; 4]);
+        assert!(first_output_mismatch(&spec, &mutant, &t).is_some());
+    }
+
+    #[test]
+    fn flip_init_changes_counter() {
+        let spec = counter(4, CounterKind::Binary);
+        let mutant = mutate(&spec, Mutation::FlipInit(0));
+        let t = Trace::new(vec![vec![true, false]; 4]);
+        assert!(first_output_mismatch(&spec, &mutant, &t).is_some());
+    }
+
+    #[test]
+    fn interface_is_preserved() {
+        let spec = mixed(12, 5);
+        let mutant = mutate(&spec, Mutation::AndToOr(0));
+        assert_eq!(mutant.num_inputs(), spec.num_inputs());
+        assert_eq!(mutant.num_outputs(), spec.num_outputs());
+        assert_eq!(mutant.num_latches(), spec.num_latches());
+    }
+
+    #[test]
+    fn detectable_mutants_found() {
+        let spec = mixed(16, 9);
+        let found = mutate_detectable(&spec, 3, 50, 64);
+        assert!(found.is_some());
+        let (mutant, _) = found.unwrap();
+        let t = Trace::random(spec.num_inputs(), 256, 1);
+        assert!(first_output_mismatch(&spec, &mutant, &t).is_some());
+    }
+}

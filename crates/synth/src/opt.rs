@@ -1,0 +1,247 @@
+//! Combinational restructuring passes. Behavior-preserving but
+//! structure-perturbing — the stand-in for "kerneling" and SIS
+//! `script.rugged`, which is what drives the percentage of surviving
+//! internal equivalences down in the paper's experiments (85% → 54%).
+
+use crate::rebuild::Rebuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sec_netlist::{Aig, Lit, Var};
+
+/// Randomly re-associates AND trees: `(a·b)·c` becomes `a·(b·c)` (and the
+/// mirrored variants), so the intermediate nodes of the result compute
+/// different functions than the intermediate nodes of the original.
+pub fn reassociate(old: &Aig, probability: f64, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rb = Rebuilder::new(old);
+    for v in old.and_vars() {
+        let (a, b) = old.and_fanins(v);
+        let na = rb.mapped(a);
+        let nb = rb.mapped(b);
+        let mut done = None;
+        if rng.gen_bool(probability) {
+            // Try to rotate through an uncomplemented AND child.
+            let rotate = |rb: &mut Rebuilder, x: Lit, y: Lit| -> Option<Lit> {
+                if x.is_complemented() || !rb.aig.is_and(x.var()) {
+                    return None;
+                }
+                let (p, q) = rb.aig.and_fanins(x.var());
+                let inner = rb.aig.and(q, y);
+                Some(rb.aig.and(p, inner))
+            };
+            done = rotate(&mut rb, na, nb).or_else(|| rotate(&mut rb, nb, na));
+        }
+        let l = done.unwrap_or_else(|| rb.aig.and(na, nb));
+        rb.set(v, l);
+    }
+    rb.finish(old)
+}
+
+/// Rebuilds maximal AND cones as balanced trees over their leaves —
+/// the classic `balance` pass. Deterministic.
+pub fn balance(old: &Aig) -> Aig {
+    let mut rb = Rebuilder::new(old);
+    // Reference counts to find single-fanout AND chains worth collapsing.
+    let mut fanout = vec![0usize; old.num_nodes()];
+    for v in old.and_vars() {
+        let (a, b) = old.and_fanins(v);
+        fanout[a.var().index()] += 1;
+        fanout[b.var().index()] += 1;
+    }
+    for &l in old.latches() {
+        if let Some(n) = old.latch_next(l) {
+            fanout[n.var().index()] += 1;
+        }
+    }
+    for o in old.outputs() {
+        fanout[o.lit.var().index()] += 1;
+    }
+
+    // Collect the conjunction leaves of an AND cone: descend through
+    // uncomplemented, single-fanout AND children.
+    fn leaves(old: &Aig, root: Var, fanout: &[usize], out: &mut Vec<Lit>) {
+        let (a, b) = old.and_fanins(root);
+        for l in [a, b] {
+            if !l.is_complemented()
+                && old.is_and(l.var())
+                && fanout[l.var().index()] == 1
+            {
+                leaves(old, l.var(), fanout, out);
+            } else {
+                out.push(l);
+            }
+        }
+    }
+
+    for v in old.and_vars() {
+        let mut ls = Vec::new();
+        leaves(old, v, &fanout, &mut ls);
+        let mapped: Vec<Lit> = ls.iter().map(|&l| rb.mapped(l)).collect();
+        let l = rb.aig.and_many(&mapped);
+        rb.set(v, l);
+    }
+    rb.finish(old)
+}
+
+/// Locally rewrites AND gates into their minterm-complement form: with
+/// the given probability, `a·b` is rebuilt as
+/// `¬(¬a·¬b ∨ ¬a·b ∨ a·¬b)` — same function, but every intermediate node
+/// computes something different from the original's intermediates, so
+/// structural hashing cannot collapse it back. This is the pass that
+/// drives the fraction of matching internal signals down, mimicking the
+/// effect of running SIS `script.rugged` in the original experiments.
+pub fn minterm_rewrite(old: &Aig, probability: f64, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rb = Rebuilder::new(old);
+    for v in old.and_vars() {
+        let (a, b) = old.and_fanins(v);
+        let na = rb.mapped(a);
+        let nb = rb.mapped(b);
+        let l = if rng.gen_bool(probability) && !na.is_const() && !nb.is_const() {
+            let m00 = rb.aig.and(!na, !nb);
+            let m01 = rb.aig.and(!na, nb);
+            let m10 = rb.aig.and(na, !nb);
+            let lo = rb.aig.or(m00, m01);
+            !rb.aig.or(lo, m10)
+        } else {
+            rb.aig.and(na, nb)
+        };
+        rb.set(v, l);
+    }
+    rb.finish(old)
+}
+
+/// Duplicates the logic cone feeding each latch with the given
+/// probability, so the implementation loses sharing the specification
+/// has. (Resynthesis frequently un-shares logic across register
+/// boundaries; this lowers the fraction of matching internal signals
+/// without changing behaviour.)
+pub fn unshare_latch_cones(old: &Aig, probability: f64, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rb = Rebuilder::new(old);
+    for v in old.and_vars() {
+        let l = rb.copy_and(old, v);
+        rb.set(v, l);
+    }
+    // Re-derive selected latch next functions from freshly copied cones
+    // with reassociated structure (a second private copy whose nodes may
+    // be shared back by strash only when identical).
+    let mut aig = rb.finish(old);
+    let latches: Vec<Var> = aig.latches().to_vec();
+    for &l in &latches {
+        if !rng.gen_bool(probability) {
+            continue;
+        }
+        // Rebuild the next-state cone right-associated.
+        let next = aig.latch_next(l).expect("driven latch");
+        let rebuilt = right_associate(&mut aig, next);
+        aig.set_latch_next(l, rebuilt);
+    }
+    aig
+}
+
+/// Rebuilds the cone of `root` with fully right-associated AND chains.
+fn right_associate(aig: &mut Aig, root: Lit) -> Lit {
+    use std::collections::HashMap;
+    fn go(aig: &mut Aig, l: Lit, memo: &mut HashMap<Var, Lit>) -> Lit {
+        if !aig.is_and(l.var()) {
+            return l;
+        }
+        if let Some(&m) = memo.get(&l.var()) {
+            return m.complement_if(l.is_complemented());
+        }
+        // Flatten the positive AND chain below this node.
+        let mut leaves = Vec::new();
+        let mut stack = vec![l.var()];
+        while let Some(v) = stack.pop() {
+            let (a, b) = aig.and_fanins(v);
+            for x in [a, b] {
+                if !x.is_complemented() && aig.is_and(x.var()) {
+                    stack.push(x.var());
+                } else {
+                    leaves.push(x);
+                }
+            }
+        }
+        let mapped: Vec<Lit> = leaves
+            .iter()
+            .map(|&x| go(aig, x, memo))
+            .collect();
+        // Right-associated chain.
+        let mut acc = Lit::TRUE;
+        for &x in mapped.iter().rev() {
+            acc = aig.and(x, acc);
+        }
+        memo.insert(l.var(), acc);
+        acc.complement_if(l.is_complemented())
+    }
+    let mut memo = HashMap::new();
+    go(aig, root, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_gen::{counter, mixed, CounterKind};
+    use sec_sim::{first_output_mismatch, Trace};
+
+    fn assert_equiv(a: &Aig, b: &Aig, seed: u64) {
+        let t = Trace::random(a.num_inputs(), 120, seed);
+        assert_eq!(first_output_mismatch(a, b, &t), None);
+    }
+
+    #[test]
+    fn reassociate_preserves_behavior() {
+        let spec = mixed(20, 1);
+        for seed in 0..4 {
+            let imp = reassociate(&spec, 0.8, seed);
+            assert_equiv(&spec, &imp, seed);
+        }
+    }
+
+    #[test]
+    fn balance_preserves_behavior() {
+        for spec in [mixed(18, 2), counter(7, CounterKind::Binary)] {
+            let imp = balance(&spec);
+            assert_equiv(&spec, &imp, 5);
+        }
+    }
+
+    #[test]
+    fn balance_reduces_depth_of_chain() {
+        // A long single-fanout AND chain.
+        let mut aig = Aig::new();
+        let lits: Vec<Lit> = (0..8).map(|i| aig.add_input(format!("i{i}")).lit()).collect();
+        let mut acc = lits[0];
+        for &l in &lits[1..] {
+            acc = aig.and(acc, l);
+        }
+        aig.add_output(acc, "o");
+        let before = sec_netlist::analysis::depth(&aig);
+        let balanced = balance(&aig);
+        let after = sec_netlist::analysis::depth(&balanced);
+        assert!(after < before, "{before} -> {after}");
+        assert_equiv(&aig, &balanced, 2);
+    }
+
+    #[test]
+    fn minterm_rewrite_preserves_behavior() {
+        let spec = mixed(16, 3);
+        let imp = minterm_rewrite(&spec, 0.5, 9);
+        assert_equiv(&spec, &imp, 7);
+    }
+
+    #[test]
+    fn minterm_rewrite_changes_structure() {
+        let spec = mixed(16, 3);
+        let imp = minterm_rewrite(&spec, 1.0, 9);
+        assert!(imp.num_ands() > spec.num_ands());
+    }
+
+    #[test]
+    fn unshare_preserves_behavior() {
+        let spec = mixed(24, 4);
+        let imp = unshare_latch_cones(&spec, 0.7, 13);
+        assert_equiv(&spec, &imp, 8);
+    }
+}

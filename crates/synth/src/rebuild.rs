@@ -1,0 +1,226 @@
+//! The rebuild scaffold shared by all synthesis passes: copy the
+//! interface, let the pass transform the combinational nodes, reconnect
+//! latches and outputs.
+
+use sec_netlist::{Aig, Lit, Node, Var};
+
+/// Incremental reconstruction of a circuit with the same interface.
+///
+/// A pass creates a `Rebuilder`, walks the old AND nodes in topological
+/// order calling [`Rebuilder::set`] with whatever replacement logic it
+/// likes (using [`Rebuilder::mapped`] to translate old literals), then
+/// calls [`Rebuilder::finish`].
+#[derive(Debug)]
+pub struct Rebuilder {
+    /// The circuit being built.
+    pub aig: Aig,
+    map: Vec<Option<Lit>>,
+    new_latches: Vec<Var>,
+}
+
+impl Rebuilder {
+    /// Starts a rebuild: inputs and latches are copied (names and initial
+    /// values preserved) and pre-mapped.
+    pub fn new(old: &Aig) -> Rebuilder {
+        let mut aig = Aig::new();
+        let mut map: Vec<Option<Lit>> = vec![None; old.num_nodes()];
+        map[0] = Some(Lit::FALSE);
+        for &v in old.inputs() {
+            let name = old.name(v).unwrap_or("i").to_string();
+            let nv = aig.add_input(name);
+            map[v.index()] = Some(nv.lit());
+        }
+        let mut new_latches = Vec::with_capacity(old.num_latches());
+        for &v in old.latches() {
+            let nv = aig.add_latch(old.latch_init(v));
+            if let Some(n) = old.name(v) {
+                aig.set_name(nv, n.to_string());
+            }
+            map[v.index()] = Some(nv.lit());
+            new_latches.push(nv);
+        }
+        Rebuilder {
+            aig,
+            map,
+            new_latches,
+        }
+    }
+
+    /// Translates an old literal into the new circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literal's node has not been mapped yet.
+    pub fn mapped(&self, l: Lit) -> Lit {
+        self.map[l.var().index()]
+            .expect("node not yet mapped")
+            .complement_if(l.is_complemented())
+    }
+
+    /// Whether an old node has been mapped.
+    pub fn is_mapped(&self, v: Var) -> bool {
+        self.map[v.index()].is_some()
+    }
+
+    /// Records the replacement of old node `v`.
+    pub fn set(&mut self, v: Var, replacement: Lit) {
+        self.map[v.index()] = Some(replacement);
+    }
+
+    /// Default translation of one AND gate (pure copy through structural
+    /// hashing).
+    pub fn copy_and(&mut self, old: &Aig, v: Var) -> Lit {
+        let (a, b) = old.and_fanins(v);
+        let na = self.mapped(a);
+        let nb = self.mapped(b);
+        self.aig.and(na, nb)
+    }
+
+    /// The new latch variable corresponding to old latch index `i`.
+    pub fn latch(&self, i: usize) -> Var {
+        self.new_latches[i]
+    }
+
+    /// Reconnects latch next-state functions and outputs, consuming the
+    /// rebuilder. Every old node must be mapped by now.
+    pub fn finish(mut self, old: &Aig) -> Aig {
+        for (i, &v) in old.latches().iter().enumerate() {
+            let next = old.latch_next(v).expect("finish requires driven latches");
+            let n = self.mapped(next);
+            self.aig.set_latch_next(self.new_latches[i], n);
+        }
+        for o in old.outputs() {
+            let l = self.mapped(o.lit);
+            let name = o.name.clone().unwrap_or_default();
+            self.aig.add_output(l, name);
+        }
+        self.aig
+    }
+}
+
+/// Plain structural-hash copy of a circuit (also acts as a constant
+/// propagation and common-subexpression sweep, since reconstruction runs
+/// every node through the hashed [`Aig::and`]).
+pub fn strash_copy(old: &Aig) -> Aig {
+    let mut rb = Rebuilder::new(old);
+    for v in old.and_vars() {
+        let l = rb.copy_and(old, v);
+        rb.set(v, l);
+    }
+    rb.finish(old)
+}
+
+/// Removes logic and registers not reachable (sequentially) from any
+/// output. Register count can shrink — exactly what happens in a real
+/// synthesis flow.
+pub fn sweep(old: &Aig) -> Aig {
+    // Find live latches: transitive closure from outputs through latch
+    // next-state functions.
+    let mut live = vec![false; old.num_nodes()];
+    let mut stack: Vec<Var> = old.outputs().iter().map(|o| o.lit.var()).collect();
+    while let Some(v) = stack.pop() {
+        if live[v.index()] {
+            continue;
+        }
+        live[v.index()] = true;
+        match old.node(v) {
+            Node::And { a, b } => {
+                stack.push(a.var());
+                stack.push(b.var());
+            }
+            Node::Latch { next: Some(n), .. } => stack.push(n.var()),
+            _ => {}
+        }
+    }
+    let mut aig = Aig::new();
+    let mut map: Vec<Option<Lit>> = vec![None; old.num_nodes()];
+    map[0] = Some(Lit::FALSE);
+    // Inputs are always kept so the interface stays compatible.
+    for &v in old.inputs() {
+        let nv = aig.add_input(old.name(v).unwrap_or("i").to_string());
+        map[v.index()] = Some(nv.lit());
+    }
+    let mut kept_latches = Vec::new();
+    for &v in old.latches() {
+        if live[v.index()] {
+            let nv = aig.add_latch(old.latch_init(v));
+            if let Some(n) = old.name(v) {
+                aig.set_name(nv, n.to_string());
+            }
+            map[v.index()] = Some(nv.lit());
+            kept_latches.push((v, nv));
+        }
+    }
+    for v in old.and_vars() {
+        if live[v.index()] {
+            let (a, b) = old.and_fanins(v);
+            let na = map[a.var().index()].unwrap().complement_if(a.is_complemented());
+            let nb = map[b.var().index()].unwrap().complement_if(b.is_complemented());
+            map[v.index()] = Some(aig.and(na, nb));
+        }
+    }
+    for (v, nv) in kept_latches {
+        let next = old.latch_next(v).expect("driven latch");
+        let n = map[next.var().index()]
+            .expect("live latch next must be live")
+            .complement_if(next.is_complemented());
+        aig.set_latch_next(nv, n);
+    }
+    for o in old.outputs() {
+        let l = map[o.lit.var().index()]
+            .expect("output cone must be live")
+            .complement_if(o.lit.is_complemented());
+        aig.add_output(l, o.name.clone().unwrap_or_default());
+    }
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_sim::{first_output_mismatch, Trace};
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let b = aig.add_input("b").lit();
+        let l = aig.add_latch(true);
+        let f = aig.xor(a, l.lit());
+        let g = aig.and(f, b);
+        aig.set_latch_next(l, g);
+        aig.add_output(!g, "out");
+        // Dead logic: a latch feeding nothing.
+        let dead = aig.add_latch(false);
+        let dl = aig.and(dead.lit(), a);
+        aig.set_latch_next(dead, dl);
+        aig
+    }
+
+    #[test]
+    fn strash_copy_preserves_behavior() {
+        let old = sample();
+        let new = strash_copy(&old);
+        let t = Trace::random(2, 40, 3);
+        assert_eq!(first_output_mismatch(&old, &new, &t), None);
+        assert_eq!(new.num_latches(), old.num_latches());
+    }
+
+    #[test]
+    fn sweep_drops_dead_registers() {
+        let old = sample();
+        let new = sweep(&old);
+        assert_eq!(new.num_latches(), 1);
+        let t = Trace::random(2, 40, 4);
+        assert_eq!(first_output_mismatch(&old, &new, &t), None);
+    }
+
+    #[test]
+    fn rebuilder_maps_interface() {
+        let old = sample();
+        let rb = Rebuilder::new(&old);
+        assert!(rb.is_mapped(old.inputs()[0]));
+        assert!(rb.is_mapped(old.latches()[0]));
+        assert_eq!(rb.mapped(Lit::TRUE), Lit::TRUE);
+        assert_eq!(rb.aig.num_inputs(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Symbolic (BDD) encoding of a product machine: one BDD per signal over
+//! current-state and input variables, next-state functions, and the
+//! output-agreement function λ.
+
+use sec_bdd::{Bdd, BddManager, BddOverflow, BddVar};
+use sec_netlist::{Node, ProductMachine};
+
+/// The BDD image of a product machine.
+pub struct SymbolicMachine {
+    /// The BDD manager holding everything.
+    pub mgr: BddManager,
+    /// One variable per shared primary input.
+    pub input_vars: Vec<BddVar>,
+    /// One current-state variable per latch.
+    pub state_vars: Vec<BddVar>,
+    /// One next-state variable per latch (interleaved with the current-
+    /// state variable in the initial order).
+    pub next_vars: Vec<BddVar>,
+    /// Current-state function of every product-machine node, over
+    /// `(state_vars, input_vars)`.
+    pub node_fn: Vec<Bdd>,
+    /// Next-state function δ_i of every latch, over
+    /// `(state_vars, input_vars)`.
+    pub delta: Vec<Bdd>,
+    /// λ(s, x): true iff every output pair agrees.
+    pub miter_ok: Bdd,
+}
+
+impl SymbolicMachine {
+    /// Builds the symbolic machine. Initial variable order: inputs first,
+    /// then `(sᵢ, sᵢ')` pairs in latch order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the combinational functions exceed the
+    /// manager's node limit.
+    pub fn build(pm: &ProductMachine, node_limit: usize) -> Result<SymbolicMachine, BddOverflow> {
+        let mut mgr = BddManager::with_node_limit(node_limit);
+        let aig = &pm.aig;
+        let input_vars: Vec<BddVar> = (0..aig.num_inputs()).map(|_| mgr.add_var()).collect();
+        let mut state_vars = Vec::with_capacity(aig.num_latches());
+        let mut next_vars = Vec::with_capacity(aig.num_latches());
+        for _ in 0..aig.num_latches() {
+            state_vars.push(mgr.add_var());
+            next_vars.push(mgr.add_var());
+        }
+
+        let mut node_fn: Vec<Bdd> = vec![Bdd::ZERO; aig.num_nodes()];
+        for v in aig.vars() {
+            node_fn[v.index()] = match aig.node(v) {
+                Node::Const => Bdd::ZERO,
+                Node::Input { index } => mgr.var(input_vars[*index as usize]),
+                Node::Latch { index, .. } => mgr.var(state_vars[*index as usize]),
+                Node::And { a, b } => {
+                    let fa = node_fn[a.var().index()].complement_if(a.is_complemented());
+                    let fb = node_fn[b.var().index()].complement_if(b.is_complemented());
+                    mgr.and(fa, fb)?
+                }
+            };
+        }
+        let mut delta = Vec::with_capacity(aig.num_latches());
+        for &l in aig.latches() {
+            let n = aig.latch_next(l).expect("driven latch");
+            delta.push(node_fn[n.var().index()].complement_if(n.is_complemented()));
+        }
+        let mut miter_ok = Bdd::ONE;
+        for &(s, i) in &pm.output_pairs {
+            let fs = node_fn[s.var().index()].complement_if(s.is_complemented());
+            let fi = node_fn[i.var().index()].complement_if(i.is_complemented());
+            let eq = mgr.xnor(fs, fi)?;
+            miter_ok = mgr.and(miter_ok, eq)?;
+        }
+        Ok(SymbolicMachine {
+            mgr,
+            input_vars,
+            state_vars,
+            next_vars,
+            node_fn,
+            delta,
+            miter_ok,
+        })
+    }
+
+    /// The characteristic function of the initial state (over the given
+    /// subset of latch indices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] on node-limit overflow.
+    pub fn initial_state(
+        &mut self,
+        pm: &ProductMachine,
+        latches: &[usize],
+    ) -> Result<Bdd, BddOverflow> {
+        let mut cube = Bdd::ONE;
+        for &i in latches {
+            let init = pm.aig.latch_init(pm.aig.latches()[i]);
+            let lit = self.mgr.literal(self.state_vars[i], init);
+            cube = self.mgr.and(cube, lit)?;
+        }
+        Ok(cube)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sec_gen::{counter, CounterKind};
+    use sec_netlist::ProductMachine;
+    use sec_sim::eval_single;
+
+    #[test]
+    fn node_functions_match_simulation() {
+        let spec = counter(3, CounterKind::Binary);
+        let pm = ProductMachine::build(&spec, &spec).unwrap();
+        let sm = SymbolicMachine::build(&pm, 1 << 20).unwrap();
+        let ni = pm.aig.num_inputs();
+        let nl = pm.aig.num_latches();
+        // Exhaust all (state, input) combinations.
+        for bits in 0..1u32 << (ni + nl) {
+            let inputs: Vec<bool> = (0..ni).map(|i| bits >> i & 1 != 0).collect();
+            let state: Vec<bool> = (0..nl).map(|i| bits >> (ni + i) & 1 != 0).collect();
+            let vals = eval_single(&pm.aig, &inputs, &state);
+            // Assignment indexed by BDD var id.
+            let mut asg = vec![false; sm.mgr.num_vars()];
+            for (k, &v) in sm.input_vars.iter().enumerate() {
+                asg[v.id()] = inputs[k];
+            }
+            for (k, &v) in sm.state_vars.iter().enumerate() {
+                asg[v.id()] = state[k];
+            }
+            for v in pm.aig.vars() {
+                assert_eq!(
+                    sm.mgr.eval(sm.node_fn[v.index()], &asg),
+                    vals[v.index()],
+                    "node {v:?} at bits {bits:b}"
+                );
+            }
+            // Every counter bit is an output, so λ holds exactly when the
+            // spec-side and impl-side states agree (λ quantifies over all
+            // states, not just reachable ones).
+            let nl_spec = nl / 2;
+            let sides_equal = (0..nl_spec).all(|i| state[i] == state[nl_spec + i]);
+            assert_eq!(sm.mgr.eval(sm.miter_ok, &asg), sides_equal);
+        }
+    }
+
+    #[test]
+    fn initial_state_is_cube() {
+        let spec = counter(3, CounterKind::Binary);
+        let pm = ProductMachine::build(&spec, &spec).unwrap();
+        let mut sm = SymbolicMachine::build(&pm, 1 << 20).unwrap();
+        let all: Vec<usize> = (0..pm.aig.num_latches()).collect();
+        let init = sm.initial_state(&pm, &all).unwrap();
+        // Exactly one state satisfies the cube (inputs unconstrained).
+        let count = sm.mgr.sat_count(init, sm.mgr.num_vars());
+        let free = sm.mgr.num_vars() - pm.aig.num_latches();
+        assert_eq!(count, (free as f64).exp2());
+    }
+}

@@ -1,0 +1,51 @@
+//! The method is sound but *incomplete* (paper Sec. 6): here is a pair
+//! of equivalent circuits it cannot prove — a binary counter against a
+//! one-hot ring counter with the same output — because no internal signal
+//! of one is sequentially equivalent to any signal of the other. Exact
+//! traversal (complete, but state-space-bound) proves the pair easily at
+//! this size.
+//!
+//! ```sh
+//! cargo run --release --example incompleteness
+//! ```
+
+use sec::core::{Checker, Options, Verdict};
+use sec::gen::counter_pair_onehot;
+use sec::traversal::{check_equivalence, TraversalOptions, TraversalOutcome};
+
+fn main() {
+    let (bin, ring) = counter_pair_onehot(3);
+    println!(
+        "binary counter: {} regs; one-hot ring: {} regs; same output\n",
+        bin.num_latches(),
+        ring.num_latches()
+    );
+
+    let opts = Options {
+        bmc_depth: 0, // report the raw incompleteness, don't try to refute
+        ..Options::default()
+    };
+    let r = Checker::new(&bin, &ring, opts).unwrap().run();
+    match &r.verdict {
+        Verdict::Unknown(reason) => {
+            println!("signal correspondence: UNKNOWN — {reason}");
+            println!(
+                "  (final relation has {} classes but none pairs the outputs;\n\
+                 \x20  eqs = {:.0}%: no cross-circuit signal equivalences exist)",
+                r.stats.classes, r.stats.eqs_percent
+            );
+        }
+        other => println!("unexpected verdict: {other:?}"),
+    }
+
+    let (out, stats) = check_equivalence(&bin, &ring, &TraversalOptions::default()).unwrap();
+    match out {
+        TraversalOutcome::Equivalent => println!(
+            "\nsymbolic traversal:   EQUIVALENT after {} image steps in {:?}\n\
+             — the complete method settles what the incomplete one cannot,\n\
+             as long as the state space stays tractable",
+            stats.iterations, stats.time
+        ),
+        other => println!("unexpected traversal outcome: {other:?}"),
+    }
+}

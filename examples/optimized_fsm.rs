@@ -1,0 +1,50 @@
+//! Effect of logic optimization on the surviving internal equivalences:
+//! the paper reports 85% of specification signals keep an implementation
+//! partner after retiming alone, dropping to 54% once `script.rugged`
+//! restructures the logic. This example reproduces that contrast on a
+//! generated controller.
+//!
+//! ```sh
+//! cargo run --release --example optimized_fsm
+//! ```
+
+use sec::core::{Checker, Options, Verdict};
+use sec::gen::random_fsm;
+use sec::synth::{pipeline, PipelineOptions};
+
+fn main() {
+    let spec = random_fsm(40, 2, 6, 2024);
+    println!(
+        "controller: {} states encoded in {} registers, {} gates\n",
+        40,
+        spec.num_latches(),
+        spec.num_ands()
+    );
+
+    let aggressive = PipelineOptions {
+        rewrite_probability: 0.5,
+        unshare_probability: 0.6,
+        ..PipelineOptions::default()
+    };
+    for (name, po) in [
+        ("retiming only            ", PipelineOptions::retime_only()),
+        ("retiming + light rewrite ", PipelineOptions::default()),
+        ("retiming + heavy rewrite ", aggressive),
+    ] {
+        let imp = pipeline(&spec, &po, 5);
+        let r = Checker::new(&spec, &imp, Options::default()).unwrap().run();
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        println!(
+            "{name}: eqs = {:>3.0}%   ({} gates, {} regs, {} iterations, {:?})",
+            r.stats.eqs_percent,
+            imp.num_ands(),
+            imp.num_latches(),
+            r.stats.iterations,
+            r.stats.time
+        );
+    }
+    println!(
+        "\nheavier restructuring destroys internal matches (the paper's 85% → 54%)\n\
+         yet the method still proves equivalence from whatever survives."
+    );
+}

@@ -1,0 +1,312 @@
+//! The `sec` command-line tool: sequential equivalence checking and the
+//! supporting plumbing (circuit info, synthesis, DOT export, DIMACS SAT).
+//!
+//! ```text
+//! sec check <spec> <impl> [options]   prove/refute sequential equivalence
+//! sec info <circuit>                  print circuit statistics
+//! sec optimize <in> <out> [options]   retime + restructure a circuit
+//! sec sweep <in> <out> [options]      merge sequentially equivalent logic
+//! sec dot <circuit>                   write Graphviz to stdout
+//! sec sat <file.cnf>                  solve a DIMACS CNF
+//! ```
+//!
+//! Circuits are read in ISCAS'89 `.bench` or ASCII AIGER `.aag` format
+//! (picked by extension, falling back to content sniffing).
+
+use sec::core::{Backend, Checker, Options, SignalScope, Verdict};
+use sec::netlist::{analysis, dot, parse_aiger, parse_bench, write_aiger, write_bench, Aig};
+use sec::synth::{pipeline, PipelineOptions};
+use std::process::exit;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         sec check <spec> <impl> [--backend bdd|sat] [--scope all|regs]\n           \
+         [--no-sim-seed] [--no-funcdep] [--approx-reach] [--retime-rounds N]\n           \
+         [--timeout SECS] [--node-limit N] [--bmc-depth N] [--seed N]\n  \
+         sec info <circuit>\n  \
+         sec optimize <in> <out> [--seed N] [--retime-only]\n  \
+         sec sweep <in> <out> [--backend bdd|sat]\n  \
+         sec dot <circuit>\n  \
+         sec sat <file.cnf>\n\n\
+         circuit formats: ISCAS'89 .bench, ASCII AIGER .aag"
+    );
+    exit(2)
+}
+
+fn read_circuit(path: &str) -> Aig {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    let looks_aiger = path.ends_with(".aag") || text.starts_with("aag ");
+    let result = if looks_aiger {
+        parse_aiger(&text).map_err(|e| e.to_string())
+    } else {
+        parse_bench(&text).map_err(|e| e.to_string())
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("optimize") => cmd_optimize(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("sat") => cmd_sat(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    args.get(*i).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        exit(2)
+    })
+}
+
+fn cmd_check(args: &[String]) {
+    if args.len() < 2 {
+        usage();
+    }
+    let spec = read_circuit(&args[0]);
+    let imp = read_circuit(&args[1]);
+    let mut opts = Options::default();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                opts.backend = match take_value(args, &mut i, "--backend") {
+                    "bdd" => Backend::Bdd,
+                    "sat" => Backend::Sat,
+                    other => {
+                        eprintln!("unknown backend `{other}`");
+                        exit(2)
+                    }
+                }
+            }
+            "--scope" => {
+                opts.scope = match take_value(args, &mut i, "--scope") {
+                    "all" => SignalScope::All,
+                    "regs" => SignalScope::RegistersOnly,
+                    other => {
+                        eprintln!("unknown scope `{other}`");
+                        exit(2)
+                    }
+                }
+            }
+            "--no-sim-seed" => opts.sim_cycles = 0,
+            "--no-funcdep" => opts.functional_deps = false,
+            "--approx-reach" => opts.approx_reach = true,
+            "--retime-rounds" => {
+                opts.retime_rounds = take_value(args, &mut i, "--retime-rounds")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--timeout" => {
+                let secs: u64 = take_value(args, &mut i, "--timeout")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                opts.timeout = Some(Duration::from_secs(secs));
+            }
+            "--node-limit" => {
+                opts.node_limit = take_value(args, &mut i, "--node-limit")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--bmc-depth" => {
+                opts.bmc_depth = take_value(args, &mut i, "--bmc-depth")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--seed" => {
+                opts.seed = take_value(args, &mut i, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                exit(2)
+            }
+        }
+        i += 1;
+    }
+    let checker = Checker::new(&spec, &imp, opts).unwrap_or_else(|e| {
+        eprintln!("cannot compare: {e}");
+        exit(1)
+    });
+    let r = checker.run();
+    println!(
+        "iterations={} retime_invocations={} peak_bdd_nodes={} eqs={:.1}% time={:?}",
+        r.stats.iterations,
+        r.stats.retime_invocations,
+        r.stats.peak_bdd_nodes,
+        r.stats.eqs_percent,
+        r.stats.time
+    );
+    match r.verdict {
+        Verdict::Equivalent => {
+            println!("EQUIVALENT");
+            exit(0)
+        }
+        Verdict::Inequivalent(trace) => {
+            println!("INEQUIVALENT — {}-frame counterexample:", trace.len());
+            for (f, frame) in trace.inputs.iter().enumerate() {
+                let bits: String = frame.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                println!("  frame {f}: {bits}");
+            }
+            exit(10)
+        }
+        Verdict::Unknown(reason) => {
+            println!("UNKNOWN: {reason}");
+            exit(20)
+        }
+    }
+}
+
+fn cmd_info(args: &[String]) {
+    if args.len() != 1 {
+        usage();
+    }
+    let aig = read_circuit(&args[0]);
+    let s = analysis::stats(&aig);
+    println!("{}: {s}", args[0]);
+    for (i, o) in aig.outputs().iter().enumerate() {
+        let (ins, lats) = analysis::support(&aig, &[o.lit]);
+        println!(
+            "  output {} `{}`: combinational support {} inputs, {} registers",
+            i,
+            o.name.as_deref().unwrap_or("?"),
+            ins.len(),
+            lats.len()
+        );
+    }
+}
+
+fn cmd_optimize(args: &[String]) {
+    if args.len() < 2 {
+        usage();
+    }
+    let aig = read_circuit(&args[0]);
+    let mut po = PipelineOptions::default();
+    let mut seed = 1u64;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = take_value(args, &mut i, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--retime-only" => po = PipelineOptions::retime_only(),
+            other => {
+                eprintln!("unknown option `{other}`");
+                exit(2)
+            }
+        }
+        i += 1;
+    }
+    let out = pipeline(&aig, &po, seed);
+    let text = if args[1].ends_with(".aag") {
+        write_aiger(&out)
+    } else {
+        write_bench(&out)
+    };
+    std::fs::write(&args[1], text).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args[1]);
+        exit(1)
+    });
+    println!(
+        "{} -> {}: {} regs / {} gates -> {} regs / {} gates",
+        args[0],
+        args[1],
+        aig.num_latches(),
+        aig.num_ands(),
+        out.num_latches(),
+        out.num_ands()
+    );
+}
+
+fn cmd_sweep(args: &[String]) {
+    use sec::core::sequential_sweep;
+    if args.len() < 2 {
+        usage();
+    }
+    let aig = read_circuit(&args[0]);
+    let mut opts = Options::default();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                opts.backend = match take_value(args, &mut i, "--backend") {
+                    "bdd" => Backend::Bdd,
+                    "sat" => Backend::Sat,
+                    other => {
+                        eprintln!("unknown backend `{other}`");
+                        exit(2)
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                exit(2)
+            }
+        }
+        i += 1;
+    }
+    let (reduced, stats) = sequential_sweep(&aig, &opts).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    let text = if args[1].ends_with(".aag") {
+        write_aiger(&reduced)
+    } else {
+        write_bench(&reduced)
+    };
+    std::fs::write(&args[1], text).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args[1]);
+        exit(1)
+    });
+    println!(
+        "merged {} signals: {} regs / {} gates -> {} regs / {} gates{}",
+        stats.merged,
+        stats.latches_before,
+        stats.ands_before,
+        stats.latches_after,
+        stats.ands_after,
+        if stats.gave_up { " (gave up, unchanged)" } else { "" }
+    );
+}
+
+fn cmd_dot(args: &[String]) {
+    if args.len() != 1 {
+        usage();
+    }
+    let aig = read_circuit(&args[0]);
+    print!("{}", dot::to_dot(&aig, "circuit"));
+}
+
+fn cmd_sat(args: &[String]) {
+    if args.len() != 1 {
+        usage();
+    }
+    let text = std::fs::read_to_string(&args[0]).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", args[0]);
+        exit(1)
+    });
+    match sec::sat::parse_dimacs(&text) {
+        Ok(mut problem) => print!("{}", problem.solve_report()),
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1)
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # sec — sequential equivalence checking by signal correspondence
+//!
+//! A from-scratch reproduction of C.A.J. van Eijk, *"Sequential Equivalence
+//! Checking without State Space Traversal"*, DATE 1998.
+//!
+//! This facade crate re-exports the whole suite:
+//!
+//! * [`netlist`] — sequential and-inverter graphs, `.bench`/AIGER I/O
+//! * [`sim`] — 64-way bit-parallel simulation and candidate partitioning
+//! * [`bdd`] — ROBDD package (complement edges, sifting, GC)
+//! * [`sat`] — CDCL SAT solver with incremental assumptions
+//! * [`gen`] — parameterized benchmark circuit generators
+//! * [`synth`] — retiming + combinational optimization (instance creation)
+//! * [`traversal`] — baseline symbolic reachability of the product machine
+//! * [`core`] — the signal-correspondence fixed-point engine itself
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sec::core::{Checker, Options, Verdict};
+//! use sec::gen;
+//! use sec::synth;
+//!
+//! // A circuit and its retimed + optimized twin.
+//! let spec = gen::counter(8, gen::CounterKind::Binary);
+//! let impl_ = synth::pipeline(&spec, &synth::PipelineOptions::default(), 7);
+//!
+//! let result = Checker::new(&spec, &impl_, Options::default())
+//!     .expect("interfaces match")
+//!     .run();
+//! assert_eq!(result.verdict, Verdict::Equivalent);
+//! ```
+
+pub use sec_bdd as bdd;
+pub use sec_core as core;
+pub use sec_gen as gen;
+pub use sec_netlist as netlist;
+pub use sec_sat as sat;
+pub use sec_sim as sim;
+pub use sec_synth as synth;
+pub use sec_traversal as traversal;

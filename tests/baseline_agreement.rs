@@ -1,0 +1,166 @@
+//! Cross-validation against the complete baseline: on circuits small
+//! enough for exact symbolic traversal, the two methods must agree —
+//! and on the genuinely incomplete instance, traversal proves what
+//! signal correspondence cannot (the paper's Sec. 6 discussion).
+
+use sec_core::{Checker, Options, Verdict};
+use sec_gen::{counter, counter_pair_onehot, crc, fsm_pair_reencoded, mixed, CounterKind};
+use sec_sim::first_output_mismatch;
+use sec_synth::{mutate_detectable, pipeline, PipelineOptions};
+use sec_traversal::{check_equivalence, TraversalOptions, TraversalOutcome};
+
+fn traversal_opts() -> TraversalOptions {
+    TraversalOptions {
+        node_limit: 1 << 22,
+        max_iterations: 100_000,
+        register_correspondence: true,
+        sift: false,
+        timeout: Some(std::time::Duration::from_secs(120)),
+    }
+}
+
+#[test]
+fn equivalent_instances_agree() {
+    for spec in [counter(6, CounterKind::Binary), crc(8, 0x83), mixed(12, 9)] {
+        let imp = pipeline(&spec, &PipelineOptions::default(), 4);
+        let core = Checker::new(&spec, &imp, Options::default()).unwrap().run();
+        let (trav, _) = check_equivalence(&spec, &imp, &traversal_opts()).unwrap();
+        assert_eq!(core.verdict, Verdict::Equivalent);
+        assert!(matches!(trav, TraversalOutcome::Equivalent), "{trav:?}");
+    }
+}
+
+#[test]
+fn inequivalent_instances_agree() {
+    for spec in [counter(5, CounterKind::Binary), mixed(10, 2)] {
+        for seed in 0..3 {
+            let Some((mutant, m)) = mutate_detectable(&spec, seed, 50, 64) else {
+                continue;
+            };
+            let core = Checker::new(&spec, &mutant, Options::default())
+                .unwrap()
+                .run();
+            let (trav, _) = check_equivalence(&spec, &mutant, &traversal_opts()).unwrap();
+            assert!(!core.verdict.is_equivalent(), "core unsound on `{m}`");
+            match trav {
+                TraversalOutcome::Inequivalent(trace) => {
+                    assert!(first_output_mismatch(&spec, &mutant, &trace).is_some());
+                }
+                other => panic!("traversal must refute `{m}`, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn incompleteness_binary_vs_onehot() {
+    // The signal-correspondence method is sound but incomplete: the
+    // binary/one-hot counter pair has no internal equivalences, so the
+    // fixed point cannot prove it — while exact traversal can.
+    let (bin, ring) = counter_pair_onehot(3);
+    let opts = Options {
+        bmc_depth: 0, // we want the raw Unknown, not a BMC attempt
+        ..Options::default()
+    };
+    let core = Checker::new(&bin, &ring, opts).unwrap().run();
+    assert!(
+        matches!(core.verdict, Verdict::Unknown(_)),
+        "expected incompleteness, got {:?}",
+        core.verdict
+    );
+    let (trav, stats) = check_equivalence(&bin, &ring, &traversal_opts()).unwrap();
+    assert!(matches!(trav, TraversalOutcome::Equivalent), "{trav:?}");
+    assert!(stats.iterations >= 8, "must actually traverse the period");
+}
+
+#[test]
+fn reencoded_fsm_is_still_provable() {
+    // A nice subtlety: re-encoding the states of a table-driven FSM does
+    // *not* defeat signal correspondence, because the per-state indicator
+    // signals are encoding-independent and sequentially equivalent.
+    let (a, b) = fsm_pair_reencoded(12, 2, 4, 5);
+    let core = Checker::new(&a, &b, Options::default()).unwrap().run();
+    assert_eq!(core.verdict, Verdict::Equivalent);
+    let (trav, _) = check_equivalence(&a, &b, &traversal_opts()).unwrap();
+    assert!(matches!(trav, TraversalOutcome::Equivalent));
+}
+
+#[test]
+fn completeness_for_pure_combinational_resynthesis() {
+    // Paper Sec. 6: for purely combinational optimization the method is
+    // complete (registers stay put, so the register correspondence alone
+    // carries the proof).
+    for spec in [crc(10, 0x211), mixed(14, 6)] {
+        let po = PipelineOptions {
+            retime: sec_synth::RetimeOptions {
+                probability: 0.0,
+                rounds: 0,
+            },
+            ..PipelineOptions::default()
+        };
+        let imp = pipeline(&spec, &po, 17);
+        assert_eq!(imp.num_latches(), spec.num_latches());
+        let core = Checker::new(&spec, &imp, Options::default()).unwrap().run();
+        assert_eq!(core.verdict, Verdict::Equivalent);
+    }
+}
+
+#[test]
+fn register_correspondence_scope_matches_history() {
+    use sec_core::Options as CoreOptions;
+    // The predecessor technique (registers only) carries purely
+    // combinational resynthesis...
+    let spec = crc(10, 0x211);
+    let po = PipelineOptions {
+        retime: sec_synth::RetimeOptions {
+            probability: 0.0,
+            rounds: 0,
+        },
+        ..PipelineOptions::default()
+    };
+    let comb_imp = pipeline(&spec, &po, 23);
+    let r = Checker::new(&spec, &comb_imp, CoreOptions::register_correspondence())
+        .unwrap()
+        .run();
+    assert_eq!(r.verdict, Verdict::Equivalent);
+
+    // ...but is defeated when an output flows through a retimed register
+    // that corresponds to no specification register (the paper's Fig. 2
+    // situation) — which the generalization to all signals handles.
+    let mut fig2_spec = sec_netlist::Aig::new();
+    {
+        let x = fig2_spec.add_input("x").lit();
+        let v1 = fig2_spec.add_latch(false);
+        let v2 = fig2_spec.add_latch(false);
+        fig2_spec.set_latch_next(v1, x);
+        fig2_spec.set_latch_next(v2, v1.lit());
+        let v3 = fig2_spec.or(v1.lit(), v2.lit());
+        let v4 = fig2_spec.and(v3, x);
+        fig2_spec.add_output(v4, "out");
+    }
+    let mut fig2_imp = sec_netlist::Aig::new();
+    {
+        let x = fig2_imp.add_input("x").lit();
+        let w1 = fig2_imp.add_latch(false);
+        fig2_imp.set_latch_next(w1, x);
+        let v6 = fig2_imp.add_latch(false);
+        let pre = fig2_imp.or(x, w1.lit());
+        fig2_imp.set_latch_next(v6, pre);
+        let v7 = fig2_imp.and(v6.lit(), x);
+        fig2_imp.add_output(v7, "out");
+    }
+    let opts = sec_core::Options {
+        bmc_depth: 0,
+        ..CoreOptions::register_correspondence()
+    };
+    let r = Checker::new(&fig2_spec, &fig2_imp, opts).unwrap().run();
+    assert!(
+        matches!(r.verdict, Verdict::Unknown(_)),
+        "registers-only must fail on the retimed Fig. 2 pair, got {:?}",
+        r.verdict
+    );
+    let r = Checker::new(&fig2_spec, &fig2_imp, CoreOptions::default())
+        .unwrap()
+        .run();
+    assert_eq!(r.verdict, Verdict::Equivalent);
+}

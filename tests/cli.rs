@@ -1,0 +1,113 @@
+//! End-to-end tests of the `sec` command-line tool.
+
+use std::fs;
+use std::process::Command;
+
+const SEC: &str = env!("CARGO_BIN_EXE_sec");
+
+const TOGGLE: &str = "\
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(q, en)
+";
+
+const TOGGLE_BROKEN: &str = "\
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XNOR(q, en)
+";
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sec-cli-tests");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn check_equivalent_exits_zero() {
+    let spec = write_tmp("spec_eq.bench", TOGGLE);
+    let out = Command::new(SEC)
+        .args(["check"])
+        .arg(&spec)
+        .arg(&spec)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("EQUIVALENT"));
+}
+
+#[test]
+fn check_inequivalent_exits_ten_with_trace() {
+    let spec = write_tmp("spec_neq.bench", TOGGLE);
+    let imp = write_tmp("impl_neq.bench", TOGGLE_BROKEN);
+    let out = Command::new(SEC)
+        .args(["check"])
+        .arg(&spec)
+        .arg(&imp)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(10));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("INEQUIVALENT"));
+    assert!(text.contains("frame 0"));
+}
+
+#[test]
+fn optimize_then_check_roundtrip() {
+    let spec = write_tmp("spec_opt.bench", TOGGLE);
+    let imp = std::env::temp_dir().join("sec-cli-tests/impl_opt.bench");
+    let out = Command::new(SEC)
+        .args(["optimize"])
+        .arg(&spec)
+        .arg(&imp)
+        .args(["--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = Command::new(SEC)
+        .args(["check"])
+        .arg(&spec)
+        .arg(&imp)
+        .args(["--backend", "sat"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn info_reports_stats() {
+    let spec = write_tmp("spec_info.bench", TOGGLE);
+    let out = Command::new(SEC).args(["info"]).arg(&spec).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("l=1"), "{text}");
+    assert!(text.contains("output 0"));
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let spec = write_tmp("spec_dot.bench", TOGGLE);
+    let out = Command::new(SEC).args(["dot"]).arg(&spec).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
+}
+
+#[test]
+fn sat_solves_dimacs() {
+    let cnf = write_tmp("t.cnf", "p cnf 2 2\n1 0\n-1 2 0\n");
+    let out = Command::new(SEC).args(["sat"]).arg(&cnf).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("s SATISFIABLE"));
+    assert!(text.contains(" 1 ") && text.contains(" 2 "));
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = Command::new(SEC).args(["frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,111 @@
+//! Deeper invariant checks that span crates: the reachability
+//! over-approximation really is an inductive invariant, the traversal
+//! baseline's options behave, and the final correspondence relation of an
+//! equivalent run holds on every simulated reachable state.
+
+use sec::core::{Checker, Options, Verdict};
+use sec::gen::{counter, mixed, random_fsm, CounterKind};
+use sec::sim::Trace;
+use sec::synth::{pipeline, PipelineOptions};
+use sec::traversal::{check_equivalence, TraversalOptions, TraversalOutcome};
+
+#[test]
+fn approx_reach_never_blocks_a_proof() {
+    // Strengthening Q with an over-approximation of the reachable states
+    // can only help; it must never flip an Equivalent verdict. (If the
+    // "invariant" were not inductive, unsound extra splitting could make
+    // provable instances fail — this is the regression guard.)
+    for (k, spec) in [
+        counter(8, CounterKind::Binary),
+        random_fsm(24, 2, 4, 8),
+        mixed(22, 5),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let imp = pipeline(&spec, &PipelineOptions::default(), 31 + k as u64);
+        for group in [1usize, 4, 12] {
+            let opts = Options {
+                approx_reach: true,
+                approx_group: group,
+                ..Options::default()
+            };
+            let r = Checker::new(&spec, &imp, opts).unwrap().run();
+            assert_eq!(
+                r.verdict,
+                Verdict::Equivalent,
+                "circuit {k} with approx group {group}"
+            );
+        }
+    }
+}
+
+#[test]
+fn traversal_sifting_agrees_with_static_order() {
+    let spec = mixed(12, 3);
+    let imp = pipeline(&spec, &PipelineOptions::default(), 9);
+    for sift in [false, true] {
+        let opts = TraversalOptions {
+            sift,
+            ..TraversalOptions::default()
+        };
+        let (out, stats) = check_equivalence(&spec, &imp, &opts).unwrap();
+        assert!(
+            matches!(out, TraversalOutcome::Equivalent),
+            "sift={sift}: {out:?}"
+        );
+        assert!(stats.iterations > 0);
+    }
+}
+
+#[test]
+fn equivalent_runs_never_lie_about_outputs_over_long_runs() {
+    // 2000-cycle lockstep replay of an instance the checker proved: the
+    // ultimate end-to-end sanity for the whole flow (generator, synth,
+    // checker) on one moderately large circuit.
+    let spec = mixed(60, 17);
+    let imp = pipeline(&spec, &PipelineOptions::default(), 71);
+    let r = Checker::new(&spec, &imp, Options::default()).unwrap().run();
+    assert_eq!(r.verdict, Verdict::Equivalent);
+    let t = Trace::random(spec.num_inputs(), 2000, 99);
+    assert_eq!(sec::sim::first_output_mismatch(&spec, &imp, &t), None);
+}
+
+#[test]
+fn verdicts_are_deterministic() {
+    // Same options, same seed: byte-identical statistics.
+    let spec = mixed(18, 4);
+    let imp = pipeline(&spec, &PipelineOptions::default(), 13);
+    let r1 = Checker::new(&spec, &imp, Options::default()).unwrap().run();
+    let r2 = Checker::new(&spec, &imp, Options::default()).unwrap().run();
+    assert_eq!(r1.verdict, r2.verdict);
+    assert_eq!(r1.stats.iterations, r2.stats.iterations);
+    assert_eq!(r1.stats.eqs_percent, r2.stats.eqs_percent);
+    assert_eq!(r1.stats.classes, r2.stats.classes);
+}
+
+#[test]
+fn timeout_is_respected() {
+    use std::time::{Duration, Instant};
+    // A zero-second budget must abort promptly with a timeout verdict,
+    // not hang (the multiplier core would otherwise run for a while).
+    let spec = sec::gen::registered_multiplier(10, 10);
+    let imp = pipeline(&spec, &PipelineOptions::retime_only(), 3);
+    let opts = Options {
+        timeout: Some(Duration::from_millis(0)),
+        bmc_depth: 0,
+        sim_cycles: 1,
+        ..Options::default()
+    };
+    let t0 = Instant::now();
+    let r = Checker::new(&spec, &imp, opts).unwrap().run();
+    assert!(
+        matches!(r.verdict, Verdict::Unknown(_)),
+        "got {:?}",
+        r.verdict
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "timeout must abort promptly"
+    );
+}

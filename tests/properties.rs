@@ -1,0 +1,172 @@
+//! Cross-crate property tests over fully random sequential circuits:
+//! format round trips, synthesis passes, and verifier soundness must all
+//! hold for arbitrary netlists, not just the structured generators.
+
+use proptest::prelude::*;
+use sec::gen::random_aig;
+use sec::netlist::{check, parse_aiger, parse_bench, write_aiger, write_bench};
+use sec::sim::{first_output_mismatch, Trace};
+use sec::synth;
+
+/// Shape parameters for a random circuit.
+fn arb_shape() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (0usize..4, 0usize..5, 1usize..40, any::<u64>())
+        .prop_filter("need a leaf", |(i, l, ..)| i + l > 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_circuits_are_well_formed((i, l, g, seed) in arb_shape()) {
+        let aig = random_aig(i, l, g, seed);
+        prop_assert!(check(&aig).is_ok());
+        prop_assert!(aig.num_outputs() >= 1);
+    }
+
+    #[test]
+    fn bench_roundtrip_random((i, l, g, seed) in arb_shape()) {
+        let aig = random_aig(i, l, g, seed);
+        let back = parse_bench(&write_bench(&aig)).unwrap();
+        let t = Trace::random(aig.num_inputs(), 48, seed ^ 1);
+        prop_assert_eq!(first_output_mismatch(&aig, &back, &t), None);
+    }
+
+    #[test]
+    fn aiger_roundtrip_random((i, l, g, seed) in arb_shape()) {
+        let aig = random_aig(i, l, g, seed);
+        let back = parse_aiger(&write_aiger(&aig)).unwrap();
+        let t = Trace::random(aig.num_inputs(), 48, seed ^ 2);
+        prop_assert_eq!(first_output_mismatch(&aig, &back, &t), None);
+    }
+
+    #[test]
+    fn synthesis_passes_preserve_behaviour((i, l, g, seed) in arb_shape()) {
+        let aig = random_aig(i, l, g, seed);
+        let t = Trace::random(aig.num_inputs(), 64, seed ^ 3);
+        let variants = [
+            synth::strash_copy(&aig),
+            synth::sweep(&aig),
+            synth::reassociate(&aig, 0.8, seed),
+            synth::balance(&aig),
+            synth::minterm_rewrite(&aig, 0.6, seed),
+            synth::unshare_latch_cones(&aig, 0.7, seed),
+            synth::forward_retime(&aig, &synth::RetimeOptions::default(), seed),
+            synth::pipeline(&aig, &synth::PipelineOptions::default(), seed),
+        ];
+        for (k, v) in variants.iter().enumerate() {
+            prop_assert_eq!(
+                first_output_mismatch(&aig, v, &t),
+                None,
+                "pass #{} changed behaviour",
+                k
+            );
+        }
+    }
+
+    #[test]
+    fn verifier_proves_pipeline_on_random_circuits((i, l, g, seed) in arb_shape()) {
+        use sec::core::{Checker, Options, Verdict};
+        let aig = random_aig(i, l, g, seed);
+        let imp = synth::pipeline(&aig, &synth::PipelineOptions::default(), seed ^ 5);
+        let opts = Options {
+            timeout: Some(std::time::Duration::from_secs(30)),
+            ..Options::default()
+        };
+        let r = Checker::new(&aig, &imp, opts).unwrap().run();
+        // Equivalent is expected; Unknown is tolerated (incompleteness);
+        // Inequivalent would be a catastrophic synth or checker bug.
+        prop_assert!(
+            !matches!(r.verdict, Verdict::Inequivalent(_)),
+            "false refutation on random circuit"
+        );
+        prop_assert!(
+            !matches!(r.verdict, Verdict::Unknown(_)),
+            "pipeline output should be provable: {:?}",
+            r.verdict
+        );
+    }
+
+    #[test]
+    fn verifier_never_proves_mutants_random((i, l, g, seed) in arb_shape()) {
+        use sec::core::{Checker, Options, Verdict};
+        let aig = random_aig(i, l, g, seed);
+        let Some((mutant, m)) = synth::mutate_detectable(&aig, seed, 40, 64) else {
+            return Ok(());
+        };
+        let opts = Options {
+            timeout: Some(std::time::Duration::from_secs(30)),
+            bmc_depth: 20,
+            ..Options::default()
+        };
+        let r = Checker::new(&aig, &mutant, opts).unwrap().run();
+        prop_assert!(
+            !matches!(r.verdict, Verdict::Equivalent),
+            "UNSOUND on `{}`",
+            m
+        );
+    }
+
+    #[test]
+    fn ternary_sim_refines_binary((i, l, g, seed) in arb_shape()) {
+        use sec::sim::{eval_single, ternary_eval, Ternary};
+        // With all-definite values, ternary evaluation must agree with
+        // the boolean evaluator on every node.
+        let aig = random_aig(i, l, g, seed);
+        let t = Trace::random(aig.num_inputs(), 1, seed ^ 9);
+        let inputs = &t.inputs[0];
+        let state = aig.initial_state();
+        let bvals = eval_single(&aig, inputs, &state);
+        let tin: Vec<Ternary> = inputs.iter().map(|&b| b.into()).collect();
+        let tst: Vec<Ternary> = state.iter().map(|&b| b.into()).collect();
+        let tvals = ternary_eval(&aig, &tin, &tst);
+        for v in aig.vars() {
+            prop_assert_eq!(tvals[v.index()], Ternary::from(bvals[v.index()]));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sequential_sweep_preserves_behaviour((i, l, g, seed) in arb_shape()) {
+        use sec::core::{sequential_sweep, Options};
+        let aig = random_aig(i, l, g, seed);
+        let opts = Options {
+            timeout: Some(std::time::Duration::from_secs(20)),
+            ..Options::default()
+        };
+        let (reduced, stats) = sequential_sweep(&aig, &opts).unwrap();
+        prop_assert!(reduced.num_ands() <= aig.num_ands() || stats.gave_up);
+        let t = Trace::random(aig.num_inputs(), 128, seed ^ 11);
+        prop_assert_eq!(first_output_mismatch(&aig, &reduced, &t), None);
+    }
+
+    #[test]
+    fn combinational_sweep_agrees_with_exhaustive((i, g, seed) in (0usize..4, 1usize..14, any::<u64>()).prop_filter("leaf", |(i, ..)| *i > 0)) {
+        use sec::core::{combinational_equiv, CombResult};
+        // Latch-free circuits: combinational equivalence is decidable by
+        // enumeration; the SAT sweep must agree.
+        let a = random_aig(i, 0, g, seed);
+        let b = synth::minterm_rewrite(&a, 0.8, seed ^ 3);
+        let (r, _) = combinational_equiv(&a, &b).unwrap();
+        prop_assert_eq!(r, CombResult::Equivalent);
+        // And against a mutant of itself, refutation must be correct.
+        if let Some((m, _)) = synth::mutate_detectable(&a, seed, 30, 16) {
+            if m.num_latches() == a.num_latches() {
+                let (r, _) = combinational_equiv(&a, &m).unwrap();
+                if let CombResult::Inequivalent { inputs, .. } = r {
+                    use sec::sim::eval_single;
+                    let va = eval_single(&a, &inputs, &[]);
+                    let vm = eval_single(&m, &inputs, &[]);
+                    let differs = a.outputs().iter().zip(m.outputs()).any(|(x, y)| {
+                        (va[x.lit.var().index()] ^ x.lit.is_complemented())
+                            != (vm[y.lit.var().index()] ^ y.lit.is_complemented())
+                    });
+                    prop_assert!(differs, "witness must be real");
+                }
+            }
+        }
+    }
+}
