@@ -65,7 +65,7 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`](crate::BddOverflow) on node-limit overflow.
+    /// Returns [`BddHalt`](crate::BddHalt) on node-limit overflow.
     pub fn compose(&mut self, f: Bdd, subst: &Substitution) -> BddResult {
         if subst.is_empty() {
             return Ok(f);
@@ -81,8 +81,12 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`](crate::BddOverflow) on node-limit overflow.
-    pub fn compose_many(&mut self, fs: &[Bdd], subst: &Substitution) -> Result<Vec<Bdd>, crate::BddOverflow> {
+    /// Returns [`BddHalt`](crate::BddHalt) on node-limit overflow.
+    pub fn compose_many(
+        &mut self,
+        fs: &[Bdd],
+        subst: &Substitution,
+    ) -> Result<Vec<Bdd>, crate::BddHalt> {
         if subst.is_empty() {
             return Ok(fs.to_vec());
         }
@@ -123,7 +127,7 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`](crate::BddOverflow) on node-limit overflow.
+    /// Returns [`BddHalt`](crate::BddHalt) on node-limit overflow.
     pub fn cofactor_cube(&mut self, f: Bdd, assignment: &[(BddVar, bool)]) -> BddResult {
         if assignment.is_empty() {
             return Ok(f);
@@ -140,7 +144,7 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`](crate::BddOverflow) on node-limit overflow.
+    /// Returns [`BddHalt`](crate::BddHalt) on node-limit overflow.
     pub fn cofactor(&mut self, f: Bdd, var: BddVar, value: bool) -> BddResult {
         self.cofactor_cube(f, &[(var, value)])
     }
@@ -247,9 +251,7 @@ mod tests {
         assert_eq!(m.cofactor(f, v[2], true).unwrap(), Bdd::ONE);
         let c = m.cofactor(f, v[2], false).unwrap();
         assert_eq!(c, xy);
-        let c2 = m
-            .cofactor_cube(f, &[(v[0], true), (v[2], false)])
-            .unwrap();
+        let c2 = m.cofactor_cube(f, &[(v[0], true), (v[2], false)]).unwrap();
         assert_eq!(c2, y);
     }
 

@@ -9,7 +9,7 @@
 //! * explicit mark-and-sweep garbage collection ([`BddManager::gc`]);
 //! * sifting-based dynamic reordering ([`BddManager::sift`]) that keeps
 //!   all handles valid;
-//! * a configurable node limit: operations return [`BddOverflow`] instead
+//! * a configurable node limit: operations return [`BddHalt`] instead
 //!   of exhausting memory, mirroring the 100 MB cap of the original
 //!   experiments;
 //! * quantification ([`exists`](BddManager::exists),
@@ -34,7 +34,7 @@
 //! let e = m.exists(f, &[v[1]])?;
 //! let xz = m.or(x, z)?;
 //! assert_eq!(e, xz);
-//! # Ok::<(), sec_bdd::BddOverflow>(())
+//! # Ok::<(), sec_bdd::BddHalt>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -50,5 +50,5 @@ mod quant;
 mod reorder;
 
 pub use compose::Substitution;
-pub use manager::{BddManager, BddOverflow, BddResult};
+pub use manager::{BddHalt, BddManager, BddResult};
 pub use node::{Bdd, BddVar};

@@ -3,29 +3,48 @@
 
 use crate::cache::Cache;
 use crate::node::{Bdd, BddVar, NodeData, NIL, TERMINAL_VAR};
+use sec_limits::{Limits, Stop};
 use std::fmt;
 
-/// Error returned when an operation would exceed the manager's node limit.
+/// Error returned when an operation halts before producing a result:
+/// either the manager's node limit would be exceeded, or the limits
+/// attached via [`BddManager::set_limits`] asked the operation to stop
+/// (cancellation or deadline).
 ///
 /// The original experiments imposed a 100 MB memory cap on the BDD package;
-/// the node limit plays the same role here. After an overflow the manager
-/// is still usable: garbage-collect and retry, or give up on the instance.
+/// the node limit plays the same role here. After a halt of either kind
+/// the manager is still consistent and usable: garbage-collect and retry,
+/// hand the result to another engine, or give up on the instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct BddOverflow {
-    /// The configured live-node limit that was hit.
-    pub limit: usize,
+pub enum BddHalt {
+    /// A new node would exceed the configured live-node limit.
+    Overflow {
+        /// The configured live-node limit that was hit.
+        limit: usize,
+    },
+    /// The attached [`Limits`] asked the operation to stop.
+    Stopped(Stop),
 }
 
-impl fmt::Display for BddOverflow {
+impl fmt::Display for BddHalt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "BDD node limit of {} exceeded", self.limit)
+        match self {
+            BddHalt::Overflow { limit } => write!(f, "BDD node limit of {limit} exceeded"),
+            BddHalt::Stopped(stop) => write!(f, "BDD operation stopped: {stop}"),
+        }
     }
 }
 
-impl std::error::Error for BddOverflow {}
+impl std::error::Error for BddHalt {}
+
+impl From<Stop> for BddHalt {
+    fn from(stop: Stop) -> BddHalt {
+        BddHalt::Stopped(stop)
+    }
+}
 
 /// Shorthand for results of BDD operations.
-pub type BddResult = Result<Bdd, BddOverflow>;
+pub type BddResult = Result<Bdd, BddHalt>;
 
 pub(crate) struct Subtable {
     buckets: Vec<u32>,
@@ -91,7 +110,7 @@ impl Subtable {
 /// let f = m.and(m.var(x), m.var(y))?;
 /// let g = m.or(!m.var(x), !m.var(y))?;
 /// assert_eq!(f, !g); // complement edges make this a pointer check
-/// # Ok::<(), sec_bdd::BddOverflow>(())
+/// # Ok::<(), sec_bdd::BddHalt>(())
 /// ```
 pub struct BddManager {
     pub(crate) nodes: Vec<NodeData>,
@@ -108,6 +127,8 @@ pub struct BddManager {
     peak_live: usize,
     /// Live count right after the last GC; used to estimate garbage.
     pub(crate) last_gc_live: usize,
+    /// Cooperative cancellation/deadline, polled on bounded node creation.
+    limits: Limits,
 }
 
 impl Default for BddManager {
@@ -123,7 +144,7 @@ impl BddManager {
     }
 
     /// Creates a manager that refuses to grow beyond `node_limit` live
-    /// nodes (operations then return [`BddOverflow`]).
+    /// nodes (operations then return [`BddHalt`]).
     pub fn with_node_limit(node_limit: usize) -> BddManager {
         BddManager {
             nodes: vec![NodeData {
@@ -141,23 +162,34 @@ impl BddManager {
             node_limit,
             peak_live: 1,
             last_gc_live: 1,
+            limits: Limits::none(),
         }
     }
 
+    /// Attaches cooperative limits (cancellation token and/or deadline).
+    ///
+    /// Bounded operations poll the limits on every node creation and
+    /// return [`BddHalt::Stopped`] once the limits trip, unwinding with
+    /// the unique tables fully consistent; [`BddManager::gc`] with the
+    /// caller's surviving roots then reclaims any partial intermediate
+    /// results. Reordering ignores the limits (a mid-swap stop would
+    /// leave the tables inconsistent).
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
     /// Appends a new variable at the bottom of the current order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the node limit is too small to hold the projection node
-    /// (which would make the manager useless anyway).
     pub fn add_var(&mut self) -> BddVar {
         let id = self.subtables.len() as u32;
         self.subtables.push(Subtable::new());
         self.var_at_level.push(id);
         self.level_of_var.push(id);
+        // The projection is one node and must exist for the manager to
+        // be usable at all, so it bypasses both the node limit and the
+        // cancellation poll (like reordering does).
         let p = self
-            .mk(id, Bdd::ONE, Bdd::ZERO)
-            .expect("node limit too small for variable projections");
+            .mk_unbounded(id, Bdd::ONE, Bdd::ZERO)
+            .expect("unbounded mk cannot fail");
         self.proj.push(p);
         BddVar(id)
     }
@@ -273,8 +305,10 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`] when a new node would exceed the limit.
+    /// Returns [`BddHalt::Overflow`] when a new node would exceed the
+    /// limit and [`BddHalt::Stopped`] when the attached limits trip.
     pub(crate) fn mk(&mut self, var: u32, high: Bdd, low: Bdd) -> BddResult {
+        self.limits.check()?;
         if high == low {
             return Ok(high);
         }
@@ -311,7 +345,7 @@ impl BddManager {
             cur = n.next;
         }
         if bounded && self.live_nodes() >= self.node_limit {
-            return Err(BddOverflow {
+            return Err(BddHalt::Overflow {
                 limit: self.node_limit,
             });
         }
@@ -397,9 +431,11 @@ impl BddManager {
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
         let mut stack: Vec<u32> = Vec::with_capacity(256);
-        for r in roots.iter().map(|r| r.index() as u32).chain(
-            self.proj.iter().map(|p| p.index() as u32),
-        ) {
+        for r in roots
+            .iter()
+            .map(|r| r.index() as u32)
+            .chain(self.proj.iter().map(|p| p.index() as u32))
+        {
             stack.push(r);
         }
         while let Some(i) = stack.pop() {
@@ -515,7 +551,30 @@ mod tests {
         let y = m.add_var();
         assert_eq!(m.live_nodes(), 3);
         let e = m.mk(x.0, m.var(y), Bdd::ZERO).unwrap_err();
-        assert_eq!(e.limit, 3);
+        assert_eq!(e, BddHalt::Overflow { limit: 3 });
+    }
+
+    #[test]
+    fn limits_stop_bounded_operations() {
+        use sec_limits::CancellationToken;
+        let mut m = BddManager::new();
+        let vars = m.add_vars(8);
+        let token = CancellationToken::new();
+        m.set_limits(Limits::with_token(&token));
+        // Limits attached but untripped: operations proceed.
+        let mut f = m.var(vars[0]);
+        for &v in &vars[1..4] {
+            f = m.xor(f, m.var(v)).unwrap();
+        }
+        token.cancel();
+        let e = m.xor(f, m.var(vars[5])).unwrap_err();
+        assert_eq!(e, BddHalt::Stopped(Stop::Cancelled));
+        // The manager stays consistent and usable once limits are lifted.
+        m.set_limits(Limits::none());
+        m.gc(&[f]);
+        let g = m.xor(f, m.var(vars[5])).unwrap();
+        assert!(m.check_canonical());
+        assert_ne!(g, f);
     }
 
     #[test]

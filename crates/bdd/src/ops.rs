@@ -10,7 +10,7 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`](crate::BddOverflow) if the node limit is
+    /// Returns [`BddHalt`](crate::BddHalt) if the node limit is
     /// exceeded.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> BddResult {
         // Terminal and absorption rules.
@@ -52,7 +52,11 @@ impl BddManager {
         }
         // Canonicalize complements for better cache utilization:
         // ite(!f, g, h) = ite(f, h, g); ite(f, !g, !h) = !ite(f, g, h).
-        let (f, g, h) = if f.is_complemented() { (!f, h, g) } else { (f, g, h) };
+        let (f, g, h) = if f.is_complemented() {
+            (!f, h, g)
+        } else {
+            (f, g, h)
+        };
         let (g, h, flip) = if g.is_complemented() {
             (!g, !h, true)
         } else {
@@ -77,7 +81,7 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`](crate::BddOverflow) on node-limit overflow
+    /// Returns [`BddHalt`](crate::BddHalt) on node-limit overflow
     /// (as do all the operators below).
     pub fn and(&mut self, f: Bdd, g: Bdd) -> BddResult {
         self.ite(f, g, Bdd::ZERO)
@@ -142,8 +146,8 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`](crate::BddOverflow) on node-limit overflow.
-    pub fn leq(&mut self, f: Bdd, g: Bdd) -> Result<bool, crate::BddOverflow> {
+    /// Returns [`BddHalt`](crate::BddHalt) on node-limit overflow.
+    pub fn leq(&mut self, f: Bdd, g: Bdd) -> Result<bool, crate::BddHalt> {
         Ok(self.and(f, !g)? == Bdd::ZERO)
     }
 }
@@ -211,9 +215,7 @@ mod tests {
         let yz = m.and(y, z).unwrap();
         let t = m.or(xy, xz).unwrap();
         let f = m.or(t, yz).unwrap();
-        check_tt(&m, f, 3, |a| {
-            (a[0] & a[1]) | (a[0] & a[2]) | (a[1] & a[2])
-        });
+        check_tt(&m, f, 3, |a| (a[0] & a[1]) | (a[0] & a[2]) | (a[1] & a[2]));
     }
 
     #[test]

@@ -11,7 +11,7 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`](crate::BddOverflow) on node-limit overflow
+    /// Returns [`BddHalt`](crate::BddHalt) on node-limit overflow
     /// (as do all quantification operations).
     pub fn cube(&mut self, vars: &[BddVar]) -> BddResult {
         let mut sorted: Vec<BddVar> = vars.to_vec();

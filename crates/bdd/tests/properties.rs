@@ -1,11 +1,15 @@
 //! Property-based tests: every BDD operation must agree with a
 //! truth-table oracle on random boolean expressions, and GC/reordering
-//! must never change the function of a live root.
+//! must never change the function of a live root. Randomized with seeded
+//! loops (the offline build replaces proptest), so failures reproduce
+//! deterministically from the printed case seed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sec_bdd::{Bdd, BddManager, BddVar};
 
 const NVARS: usize = 5;
+const CASES: u64 = 128;
 
 /// A random boolean expression over `NVARS` variables.
 #[derive(Clone, Debug)]
@@ -20,6 +24,24 @@ enum Expr {
 }
 
 impl Expr {
+    fn random(rng: &mut StdRng, depth: usize) -> Expr {
+        if depth == 0 || rng.gen_bool(0.25) {
+            return if rng.gen_bool(0.3) {
+                Expr::Const(rng.gen())
+            } else {
+                Expr::Var(rng.gen_range(0..NVARS))
+            };
+        }
+        let sub = |rng: &mut StdRng| Box::new(Expr::random(rng, depth - 1));
+        match rng.gen_range(0..5u32) {
+            0 => Expr::Not(sub(rng)),
+            1 => Expr::And(sub(rng), sub(rng)),
+            2 => Expr::Or(sub(rng), sub(rng)),
+            3 => Expr::Xor(sub(rng), sub(rng)),
+            _ => Expr::Ite(sub(rng), sub(rng), sub(rng)),
+        }
+    }
+
     fn eval(&self, asg: &[bool]) -> bool {
         match self {
             Expr::Const(b) => *b,
@@ -69,44 +91,35 @@ impl Expr {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        any::<bool>().prop_map(Expr::Const),
-        (0..NVARS).prop_map(Expr::Var),
-    ];
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
-        ]
-    })
+fn arb_expr(rng: &mut StdRng) -> Expr {
+    Expr::random(rng, 5)
 }
 
 fn assignments() -> impl Iterator<Item = Vec<bool>> {
     (0..1u32 << NVARS).map(|bits| (0..NVARS).map(|i| bits >> i & 1 != 0).collect())
 }
 
-proptest! {
-    #[test]
-    fn bdd_matches_truth_table(e in arb_expr()) {
+#[test]
+fn bdd_matches_truth_table() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBDD_0000 ^ case);
+        let e = arb_expr(&mut rng);
         let mut m = BddManager::new();
         let vars = m.add_vars(NVARS);
         let f = e.build(&mut m, &vars);
         for asg in assignments() {
-            prop_assert_eq!(m.eval(f, &asg), e.eval(&asg));
+            assert_eq!(m.eval(f, &asg), e.eval(&asg), "case {case}");
         }
-        prop_assert!(m.check_canonical());
+        assert!(m.check_canonical(), "case {case}");
     }
+}
 
-    #[test]
-    fn gc_preserves_live_roots(e1 in arb_expr(), e2 in arb_expr()) {
+#[test]
+fn gc_preserves_live_roots() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBDD_1000 ^ case);
+        let e1 = arb_expr(&mut rng);
+        let e2 = arb_expr(&mut rng);
         let mut m = BddManager::new();
         let vars = m.add_vars(NVARS);
         let f = e1.build(&mut m, &vars);
@@ -114,16 +127,21 @@ proptest! {
         let expect: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
         m.gc(&[f]);
         let got: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
         // The manager stays fully functional after GC.
         let g = m.and(f, m.var(vars[0])).unwrap();
         for a in assignments() {
-            prop_assert_eq!(m.eval(g, &a), m.eval(f, &a) && a[0]);
+            assert_eq!(m.eval(g, &a), m.eval(f, &a) && a[0], "case {case}");
         }
     }
+}
 
-    #[test]
-    fn sift_preserves_functions(e1 in arb_expr(), e2 in arb_expr()) {
+#[test]
+fn sift_preserves_functions() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBDD_2000 ^ case);
+        let e1 = arb_expr(&mut rng);
+        let e2 = arb_expr(&mut rng);
         let mut m = BddManager::new();
         let vars = m.add_vars(NVARS);
         let f = e1.build(&mut m, &vars);
@@ -131,29 +149,39 @@ proptest! {
         let ef: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
         let eg: Vec<bool> = assignments().map(|a| m.eval(g, &a)).collect();
         m.sift(&[f, g], 2.0);
-        prop_assert!(m.check_canonical());
+        assert!(m.check_canonical(), "case {case}");
         let gf: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
         let gg: Vec<bool> = assignments().map(|a| m.eval(g, &a)).collect();
-        prop_assert_eq!(gf, ef);
-        prop_assert_eq!(gg, eg);
+        assert_eq!(gf, ef, "case {case}");
+        assert_eq!(gg, eg, "case {case}");
     }
+}
 
-    #[test]
-    fn random_swaps_preserve_functions(e in arb_expr(), swaps in proptest::collection::vec(0..NVARS - 1, 0..12)) {
+#[test]
+fn random_swaps_preserve_functions() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBDD_3000 ^ case);
+        let e = arb_expr(&mut rng);
         let mut m = BddManager::new();
         let vars = m.add_vars(NVARS);
         let f = e.build(&mut m, &vars);
         let expect: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
-        for s in swaps {
-            m.swap_levels(s);
-            prop_assert!(m.check_canonical());
+        let num_swaps = rng.gen_range(0..12usize);
+        for _ in 0..num_swaps {
+            m.swap_levels(rng.gen_range(0..NVARS - 1));
+            assert!(m.check_canonical(), "case {case}");
         }
         let got: Vec<bool> = assignments().map(|a| m.eval(f, &a)).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    #[test]
-    fn exists_quantifies(e in arb_expr(), v in 0..NVARS) {
+#[test]
+fn exists_quantifies() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBDD_4000 ^ case);
+        let e = arb_expr(&mut rng);
+        let v = rng.gen_range(0..NVARS);
         let mut m = BddManager::new();
         let vars = m.add_vars(NVARS);
         let f = e.build(&mut m, &vars);
@@ -164,13 +192,19 @@ proptest! {
             let lo = e.eval(&asg);
             asg[v] = true;
             let hi = e.eval(&asg);
-            prop_assert_eq!(m.eval(ex, &asg), lo || hi);
-            prop_assert_eq!(m.eval(fa, &asg), lo && hi);
+            assert_eq!(m.eval(ex, &asg), lo || hi, "case {case}");
+            assert_eq!(m.eval(fa, &asg), lo && hi, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn compose_substitutes(e in arb_expr(), g in arb_expr(), v in 0..NVARS) {
+#[test]
+fn compose_substitutes() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBDD_5000 ^ case);
+        let e = arb_expr(&mut rng);
+        let g = arb_expr(&mut rng);
+        let v = rng.gen_range(0..NVARS);
         let mut m = BddManager::new();
         let vars = m.add_vars(NVARS);
         let f = e.build(&mut m, &vars);
@@ -184,37 +218,52 @@ proptest! {
             asg[v] = gv;
             let expect = e.eval(&asg);
             asg[v] = orig;
-            prop_assert_eq!(m.eval(fc, &asg), expect);
+            assert_eq!(m.eval(fc, &asg), expect, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn sat_count_matches_enumeration(e in arb_expr()) {
+#[test]
+fn sat_count_matches_enumeration() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBDD_6000 ^ case);
+        let e = arb_expr(&mut rng);
         let mut m = BddManager::new();
         let vars = m.add_vars(NVARS);
         let f = e.build(&mut m, &vars);
         let expect = assignments().filter(|a| e.eval(a)).count();
-        prop_assert_eq!(m.sat_count(f, NVARS) as usize, expect);
+        assert_eq!(m.sat_count(f, NVARS) as usize, expect, "case {case}");
         if expect > 0 {
             let w = m.satisfy_one_total(f).unwrap();
-            prop_assert!(m.eval(f, &w));
+            assert!(m.eval(f, &w), "case {case}");
         } else {
-            prop_assert!(m.satisfy_one(f).is_none());
+            assert!(m.satisfy_one(f).is_none(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn and_exists_fused_equals_split(e1 in arb_expr(), e2 in arb_expr(), v1 in 0..NVARS, v2 in 0..NVARS) {
+#[test]
+fn and_exists_fused_equals_split() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBDD_7000 ^ case);
+        let e1 = arb_expr(&mut rng);
+        let e2 = arb_expr(&mut rng);
+        let v1 = rng.gen_range(0..NVARS);
+        let v2 = rng.gen_range(0..NVARS);
         let mut m = BddManager::new();
         let vars = m.add_vars(NVARS);
         let f = e1.build(&mut m, &vars);
         let g = e2.build(&mut m, &vars);
-        let qs = if v1 == v2 { vec![vars[v1]] } else { vec![vars[v1], vars[v2]] };
+        let qs = if v1 == v2 {
+            vec![vars[v1]]
+        } else {
+            vec![vars[v1], vars[v2]]
+        };
         let cube = m.cube(&qs).unwrap();
         let fused = m.and_exists(f, g, cube).unwrap();
         let conj = m.and(f, g).unwrap();
         let split = m.exists(conj, &qs).unwrap();
-        prop_assert_eq!(fused, split);
+        assert_eq!(fused, split, "case {case}");
     }
 }
 

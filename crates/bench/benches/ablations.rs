@@ -6,7 +6,8 @@
 //! * state-depth independence — counter width sweep (the property that
 //!   gives the paper its title).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sec_bench::harness::{BenchmarkId, Criterion};
+use sec_bench::{criterion_group, criterion_main};
 use sec_core::{Backend, Checker, Options, Verdict};
 use sec_gen::{counter, mixed, CounterKind};
 use sec_netlist::Aig;

@@ -2,8 +2,9 @@
 //! composition and reordering — the primitive costs behind every number
 //! in Table 1.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sec_bdd::{Bdd, BddManager, BddVar, Substitution};
+use sec_bench::harness::{BenchmarkId, Criterion};
+use sec_bench::{criterion_group, criterion_main};
 
 /// Builds the equality function over 2k variables with an interleaved
 /// order (linear-size BDD).

@@ -4,7 +4,8 @@
 //! the proposed method stays flat — Table 1's qualitative story as a
 //! parameter sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sec_bench::harness::{BenchmarkId, Criterion};
+use sec_bench::{criterion_group, criterion_main};
 use sec_core::{Checker, Options, Verdict};
 use sec_gen::{counter, CounterKind};
 use sec_synth::{pipeline, PipelineOptions};

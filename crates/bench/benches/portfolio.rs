@@ -1,0 +1,109 @@
+//! Portfolio wall-clock vs. the best solo engine on three instance
+//! classes with *different* best engines: the binary/one-hot counter
+//! pair (van Eijk's incompleteness example — only exact traversal
+//! proves it), a registered multiplier row (signal-correspondence
+//! territory), and a mutated, genuinely inequivalent instance (BMC
+//! finds the counterexample). The portfolio should track the best solo
+//! engine to within scheduling overhead on each — without being told in
+//! advance which engine that is.
+
+use sec_bench::harness::{BenchmarkId, Criterion};
+use sec_bench::{criterion_group, criterion_main};
+use sec_core::{bmc_refute, Checker, Options, Verdict};
+use sec_gen::{counter, counter_pair_onehot, registered_multiplier, CounterKind};
+use sec_portfolio::PortfolioOptions;
+use sec_synth::{mutate_detectable, pipeline, PipelineOptions};
+use sec_traversal::{check_equivalence, TraversalOptions, TraversalOutcome};
+use std::time::Duration;
+
+fn popts() -> PortfolioOptions {
+    PortfolioOptions {
+        timeout: Some(Duration::from_secs(60)),
+        ..PortfolioOptions::default()
+    }
+}
+
+/// Binary vs. one-hot counter: correspondence degrades to Unknown, so
+/// the best solo engine is the exact traversal.
+fn bench_incompleteness_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("portfolio_incompleteness_pair");
+    g.sample_size(10);
+    let w = 5usize;
+    let (spec, imp) = counter_pair_onehot(w);
+    g.bench_with_input(BenchmarkId::new("solo_traversal", w), &w, |b, _| {
+        b.iter(|| {
+            let opts = TraversalOptions {
+                timeout: Some(Duration::from_secs(60)),
+                ..TraversalOptions::default()
+            };
+            let (out, _) = check_equivalence(&spec, &imp, &opts).unwrap();
+            assert!(matches!(out, TraversalOutcome::Equivalent));
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("portfolio", w), &w, |b, _| {
+        b.iter(|| {
+            let r = sec_portfolio::run(&spec, &imp, &popts()).unwrap();
+            assert_eq!(r.verdict, Verdict::Equivalent);
+        })
+    });
+    g.finish();
+}
+
+/// Registered multiplier vs. its retimed twin: classic correspondence
+/// territory, so the best solo engine is the BDD fixed point.
+fn bench_multiplier_row(c: &mut Criterion) {
+    let mut g = c.benchmark_group("portfolio_multiplier");
+    g.sample_size(10);
+    let w = 3usize;
+    let spec = registered_multiplier(w, 2);
+    let imp = pipeline(&spec, &PipelineOptions::retime_only(), 7);
+    g.bench_with_input(BenchmarkId::new("solo_bdd_corr", w), &w, |b, _| {
+        b.iter(|| {
+            let r = Checker::new(&spec, &imp, Options::default()).unwrap().run();
+            assert_eq!(r.verdict, Verdict::Equivalent);
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("portfolio", w), &w, |b, _| {
+        b.iter(|| {
+            let r = sec_portfolio::run(&spec, &imp, &popts()).unwrap();
+            assert_eq!(r.verdict, Verdict::Equivalent);
+        })
+    });
+    g.finish();
+}
+
+/// Mutated (behaviour-changing) instance: refutation work, so the best
+/// solo engine is plain BMC.
+fn bench_mutated_instance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("portfolio_mutant");
+    g.sample_size(10);
+    let w = 8usize;
+    let spec = counter(w, CounterKind::Binary);
+    let (mutant, _) =
+        mutate_detectable(&spec, 0xBADC0DE, 64, 16).expect("a detectable mutation exists");
+    g.bench_with_input(BenchmarkId::new("solo_bmc", w), &w, |b, _| {
+        b.iter(|| {
+            let opts = Options {
+                bmc_depth: 64,
+                ..Options::default()
+            };
+            let r = bmc_refute(&spec, &mutant, &opts).unwrap();
+            assert!(matches!(r.verdict, Verdict::Inequivalent(_)));
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("portfolio", w), &w, |b, _| {
+        b.iter(|| {
+            let r = sec_portfolio::run(&spec, &mutant, &popts()).unwrap();
+            assert!(matches!(r.verdict, Verdict::Inequivalent(_)));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_incompleteness_pair,
+    bench_multiplier_row,
+    bench_mutated_instance
+);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Microbenchmarks of the SAT solver and the bit-parallel simulator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sec_bench::harness::{BenchmarkId, Criterion};
+use sec_bench::{criterion_group, criterion_main};
 use sec_gen::{mixed, CounterKind};
 use sec_netlist::Aig;
 use sec_sat::{AigCnf, SatLit, SatResult, Solver};

@@ -9,6 +9,7 @@
 //! cargo run --release -p sec-bench --bin table1 -- [options]
 //!   --max-regs N        skip rows with more than N registers
 //!   --backend sat       SAT backend instead of BDDs (ablation B)
+//!   --backend portfolio race all engines; winner shown per row
 //!   --no-sim-seed       disable simulation seeding (ablation A)
 //!   --no-funcdep        disable functional dependencies (ablation C)
 //!   --approx-reach      strengthen Q with approximate reachability
@@ -36,9 +37,10 @@ fn main() {
             }
             "--backend" => {
                 i += 1;
-                cfg.backend = match args[i].as_str() {
-                    "sat" => Backend::Sat,
-                    "bdd" => Backend::Bdd,
+                match args[i].as_str() {
+                    "sat" => cfg.backend = Backend::Sat,
+                    "bdd" => cfg.backend = Backend::Bdd,
+                    "portfolio" => cfg.use_portfolio = true,
                     other => panic!("unknown backend `{other}`"),
                 };
             }
@@ -64,14 +66,23 @@ fn main() {
         i += 1;
     }
 
+    let backend = if cfg.use_portfolio {
+        "Portfolio".to_string()
+    } else {
+        format!("{:?}", cfg.backend)
+    };
     println!(
-        "Table 1 reproduction — backend={:?} sim_seed={} funcdep={} optimize={}\n",
-        cfg.backend, cfg.sim_seed, cfg.functional_deps, cfg.optimize
+        "Table 1 reproduction — backend={} sim_seed={} funcdep={} optimize={}\n",
+        backend, cfg.sim_seed, cfg.functional_deps, cfg.optimize
     );
     let suite = iscas_alike_suite(max_regs);
     let mut rows = Vec::with_capacity(suite.len());
     for entry in &suite {
-        eprintln!("running {} ({} regs)...", entry.name, entry.aig.num_latches());
+        eprintln!(
+            "running {} ({} regs)...",
+            entry.name,
+            entry.aig.num_latches()
+        );
         rows.push(run_row(entry, &cfg));
     }
     println!();

@@ -2,9 +2,12 @@
 //! harnesses: per-row instance creation, the two competing checkers, and
 //! table formatting.
 
+pub mod harness;
+
 use sec_core::{Backend, Checker, Options, Verdict};
 use sec_gen::SuiteEntry;
 use sec_netlist::Aig;
+use sec_portfolio::PortfolioOptions;
 use sec_synth::{pipeline, PipelineOptions, RetimeOptions};
 use sec_traversal::{check_equivalence, TraversalOptions, TraversalOutcome};
 use std::time::Duration;
@@ -14,6 +17,9 @@ use std::time::Duration;
 pub struct RunConfig {
     /// Engine for the proposed method.
     pub backend: Backend,
+    /// Race the full engine portfolio for the "proposed" column instead
+    /// of a single-backend checker (`--backend portfolio`).
+    pub use_portfolio: bool,
     /// Random-simulation seeding on/off (ablation A).
     pub sim_seed: bool,
     /// Functional-dependency substitution on/off (ablation C).
@@ -41,6 +47,7 @@ impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             backend: Backend::Bdd,
+            use_portfolio: false,
             sim_seed: true,
             functional_deps: true,
             approx_reach: false,
@@ -89,6 +96,8 @@ pub struct MethodResult {
     pub retime_invocations: usize,
     /// Matched-signal percentage (proposed method only).
     pub eqs_percent: f64,
+    /// Winning engine name (portfolio runs only).
+    pub winner: Option<String>,
 }
 
 /// One table row: both methods on one benchmark.
@@ -134,6 +143,45 @@ pub fn run_proposed(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         iterations: r.stats.iterations,
         retime_invocations: r.stats.retime_invocations,
         eqs_percent: r.stats.eqs_percent,
+        winner: None,
+    }
+}
+
+/// Runs the engine portfolio on an instance. The whole race gets the
+/// proposed-method budget; the winner's name lands in the table.
+pub fn run_portfolio(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
+    let opts = PortfolioOptions {
+        timeout: Some(cfg.timeout),
+        seed: cfg.seed,
+        node_limit: cfg.node_limit,
+        traversal_node_limit: cfg.traversal_node_limit,
+        ..PortfolioOptions::default()
+    };
+    let r = sec_portfolio::run(spec, imp, &opts).expect("suite instances are well-formed");
+    let winner_report = r
+        .winner
+        .and_then(|w| r.reports.iter().find(|rep| rep.engine == w));
+    MethodResult {
+        status: match &r.verdict {
+            Verdict::Equivalent => "EQ".to_string(),
+            Verdict::Inequivalent(_) => "NEQ".to_string(),
+            Verdict::Unknown(w) if w.contains("overflow") => "fail(mem)".to_string(),
+            Verdict::Unknown(w) if w.contains("timeout") => "fail(time)".to_string(),
+            Verdict::Unknown(_) => "fail(incomplete)".to_string(),
+        },
+        secs: r.time.as_secs_f64(),
+        nodes: r
+            .reports
+            .iter()
+            .map(|rep| rep.peak_bdd_nodes)
+            .max()
+            .unwrap_or(0),
+        iterations: winner_report
+            .map(|rep| rep.iterations as usize)
+            .unwrap_or(0),
+        retime_invocations: 0,
+        eqs_percent: 0.0,
+        winner: r.winner.map(|w| w.name().to_string()),
     }
 }
 
@@ -145,6 +193,8 @@ pub fn run_traversal(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         register_correspondence: true,
         sift: false,
         timeout: Some(cfg.traversal_timeout),
+        cancel: None,
+        progress: None,
     };
     let t0 = std::time::Instant::now();
     let (out, stats) = check_equivalence(spec, imp, &opts).expect("interfaces match");
@@ -152,9 +202,7 @@ pub fn run_traversal(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         status: match out {
             TraversalOutcome::Equivalent => "EQ".to_string(),
             TraversalOutcome::Inequivalent(_) => "NEQ".to_string(),
-            TraversalOutcome::ResourceOut(w) if w.contains("timeout") => {
-                "fail(time)".to_string()
-            }
+            TraversalOutcome::ResourceOut(w) if w.contains("timeout") => "fail(time)".to_string(),
             TraversalOutcome::ResourceOut(_) => "fail(mem)".to_string(),
         },
         secs: t0.elapsed().as_secs_f64(),
@@ -162,6 +210,7 @@ pub fn run_traversal(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         iterations: stats.iterations,
         retime_invocations: 0,
         eqs_percent: 0.0,
+        winner: None,
     }
 }
 
@@ -171,7 +220,11 @@ pub fn run_row(entry: &SuiteEntry, cfg: &RunConfig) -> Row {
     let traversal = cfg
         .run_traversal
         .then(|| run_traversal(&entry.aig, &imp, cfg));
-    let proposed = run_proposed(&entry.aig, &imp, cfg);
+    let proposed = if cfg.use_portfolio {
+        run_portfolio(&entry.aig, &imp, cfg)
+    } else {
+        run_proposed(&entry.aig, &imp, cfg)
+    };
     Row {
         name: entry.name.to_string(),
         regs_orig: entry.aig.num_latches(),
@@ -210,8 +263,13 @@ pub fn print_table(rows: &[Row]) {
         };
         let p = &r.proposed;
         let its = format!("{} ({})", p.iterations, p.retime_invocations);
+        let winner = p
+            .winner
+            .as_deref()
+            .map(|w| format!("  [{w}]"))
+            .unwrap_or_default();
         println!(
-            "{:<8} {:>4}/{:<4} | {} | {:>10} {:>10} {:>10} {:>6.0}",
+            "{:<8} {:>4}/{:<4} | {} | {:>10} {:>10} {:>10} {:>6.0}{}",
             r.name,
             r.regs_orig,
             r.regs_opt,
@@ -223,7 +281,8 @@ pub fn print_table(rows: &[Row]) {
             },
             p.nodes,
             its,
-            p.eqs_percent
+            p.eqs_percent,
+            winner
         );
         if p.status == "EQ" {
             eqs_sum += p.eqs_percent;

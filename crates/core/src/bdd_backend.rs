@@ -45,6 +45,10 @@ impl BddContext {
         deadline: &Deadline,
     ) -> Result<BddContext, Abort> {
         let mut mgr = BddManager::with_node_limit(opts.node_limit);
+        // The manager polls the same deadline/token from its node
+        // allocator, so even a single huge apply stops within
+        // milliseconds of cancellation.
+        mgr.set_limits(deadline.limits());
         // Order the state variables so that candidate-equivalent latches
         // (same simulation class) are adjacent — the analogue of the
         // corresponding-register interleaving every BDD-based checker
@@ -154,18 +158,11 @@ impl BddContext {
 /// Exact `T0` (paper Eq. 2): group class members by their function
 /// cofactored at the initial state — two signals stay together iff they
 /// agree *for every input* at `s0`.
-fn refine_t0(
-    ctx: &mut BddContext,
-    aig: &Aig,
-    partition: &mut Partition,
-) -> Result<bool, Abort> {
+fn refine_t0(ctx: &mut BddContext, aig: &Aig, partition: &mut Partition) -> Result<bool, Abort> {
     let mut subst = Substitution::new();
     for (i, &l) in aig.latches().iter().enumerate() {
         let init = aig.latch_init(l);
-        subst.set(
-            ctx.state_vars[i],
-            if init { Bdd::ONE } else { Bdd::ZERO },
-        );
+        subst.set(ctx.state_vars[i], if init { Bdd::ONE } else { Bdd::ZERO });
     }
     let at_init = ctx.mgr.compose_many(&ctx.fhat, &subst)?;
     let mut changed = false;
@@ -247,6 +244,7 @@ pub(crate) fn run_fixed_point(
 
     loop {
         deadline.check()?;
+        deadline.tick();
         stats.iterations += 1;
 
         // Functional-dependency substitution for this round.
@@ -365,10 +363,8 @@ pub(crate) fn run_fixed_point(
             stats.outputs_ok = partition.outputs_equiv(output_pairs) || {
                 let mut ok = true;
                 for &(a, b) in output_pairs {
-                    let fa =
-                        fc[a.var().index()].complement_if(partition.sign(a));
-                    let fb =
-                        fc[b.var().index()].complement_if(partition.sign(b));
+                    let fa = fc[a.var().index()].complement_if(partition.sign(a));
+                    let fb = fc[b.var().index()].complement_if(partition.sign(b));
                     let diff = ctx.mgr.xor(fa, fb)?;
                     let viol = ctx.mgr.and(q, diff)?;
                     if viol != Bdd::ZERO {

@@ -5,10 +5,53 @@
 //! counterexample whenever one exists within the depth bound.
 
 use crate::context::{Abort, Deadline};
-use sec_netlist::{Aig, Lit, ProductMachine, Var};
+use crate::engine::BuildError;
+use crate::options::Options;
+use crate::result::{CheckResult, CheckStats, Verdict};
+use sec_netlist::{check as check_circuit, Aig, Lit, ProductMachine, Var};
 use sec_sat::{AigCnf, SatResult, Solver};
 use sec_sim::Trace;
 use std::collections::HashMap;
+use std::time::Instant;
+
+/// Bounded model checking as a standalone refutation-only engine, for
+/// use as a portfolio member: unrolls the product machine frame by frame
+/// up to `opts.bmc_depth` looking for an output mismatch. Each frame is
+/// checked as soon as it is encoded, so shallow bugs are found without
+/// paying for the full bound. BMC can never *prove* equivalence — when
+/// the bound is exhausted without a counterexample the verdict is
+/// [`Verdict::Unknown`].
+///
+/// Honours `opts.timeout` and `opts.cancel` both between frames and
+/// inside the SAT search itself.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] when the interfaces mismatch or a circuit is
+/// malformed.
+pub fn bmc_refute(spec: &Aig, impl_: &Aig, opts: &Options) -> Result<CheckResult, BuildError> {
+    check_circuit(spec)?;
+    check_circuit(impl_)?;
+    let pm = ProductMachine::build(spec, impl_)?;
+    let start = Instant::now();
+    let deadline = Deadline::new(opts.timeout)
+        .with_token(opts.cancel.as_ref())
+        .with_progress(opts.progress.as_ref());
+    let depth = opts.bmc_depth.max(1);
+    let verdict = match bounded_check(&pm, depth, &deadline) {
+        Ok(Some(trace)) => Verdict::Inequivalent(trace),
+        Ok(None) => Verdict::Unknown(format!(
+            "no counterexample within {depth} frames (BMC cannot prove equivalence)"
+        )),
+        Err(abort) => Verdict::Unknown(abort.reason()),
+    };
+    let stats = CheckStats {
+        iterations: depth,
+        time: start.elapsed(),
+        ..CheckStats::default()
+    };
+    Ok(CheckResult { verdict, stats })
+}
 
 /// Searches for an input trace of length ≤ `depth` on which some output
 /// pair disagrees. Returns `Ok(Some(trace))` on refutation, `Ok(None)`
@@ -21,6 +64,9 @@ pub(crate) fn bounded_check(
     let aig = &pm.aig;
     let mut u = Aig::new();
     let mut solver = Solver::new();
+    // The solver polls the same deadline/token from its search loop, so
+    // deep frames stop within milliseconds of cancellation.
+    solver.set_limits(deadline.limits());
     let mut cnf = AigCnf::encode(&mut solver, &u);
 
     // Current-frame state literals in the unrolled circuit; frame 0 uses
@@ -45,6 +91,7 @@ pub(crate) fn bounded_check(
 
     for frame in 0..depth {
         deadline.check()?;
+        deadline.tick();
         let inputs: Vec<Var> = (0..aig.num_inputs())
             .map(|i| u.add_input(format!("x{frame}_{i}")))
             .collect();
@@ -67,20 +114,31 @@ pub(crate) fn bounded_check(
         cnf.extend(&mut solver, &u);
         frame_inputs.push(inputs);
 
-        if miter != Lit::FALSE
-            && solver.solve_with_assumptions(&[cnf.lit(miter)]) == SatResult::Sat
-        {
-            let trace = Trace::new(
-                frame_inputs
-                    .iter()
-                    .map(|vars| {
-                        vars.iter()
-                            .map(|&v| cnf.model_value(&solver, v.lit()))
-                            .collect()
-                    })
-                    .collect(),
-            );
-            return Ok(Some(trace));
+        if miter != Lit::FALSE {
+            match solver.solve_with_assumptions(&[cnf.lit(miter)]) {
+                SatResult::Unsat => {}
+                // An interrupted query must never read as "no
+                // counterexample at this depth".
+                SatResult::Interrupted => {
+                    return Err(solver
+                        .interrupt_reason()
+                        .map(Abort::from)
+                        .unwrap_or(Abort::Timeout));
+                }
+                SatResult::Sat => {
+                    let trace = Trace::new(
+                        frame_inputs
+                            .iter()
+                            .map(|vars| {
+                                vars.iter()
+                                    .map(|&v| cnf.model_value(&solver, v.lit()))
+                                    .collect()
+                            })
+                            .collect(),
+                    );
+                    return Ok(Some(trace));
+                }
+            }
         }
         state = next_state.to_vec();
     }

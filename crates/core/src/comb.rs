@@ -101,10 +101,7 @@ pub fn combinational_equiv(
     // normalized by pattern 0 (the reference point).
     let mut partition = {
         use std::collections::HashMap;
-        let phase: Vec<bool> = aig
-            .vars()
-            .map(|v| sim.var_words(v)[0] & 1 != 0)
-            .collect();
+        let phase: Vec<bool> = aig.vars().map(|v| sim.var_words(v)[0] & 1 != 0).collect();
         let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
         let mut classes: Vec<Vec<Var>> = Vec::new();
         for v in aig.vars() {
@@ -235,10 +232,8 @@ mod tests {
             Ok((CombResult::Inequivalent { inputs, state }, _)) => {
                 // Replay: the witness must distinguish outputs when both
                 // circuits share the state values (register bijection).
-                let spec_vals =
-                    sec_sim::eval_single(&spec, &inputs, &state[..spec.num_latches()]);
-                let mut_vals =
-                    sec_sim::eval_single(&mutant, &inputs, &state[spec.num_latches()..]);
+                let spec_vals = sec_sim::eval_single(&spec, &inputs, &state[..spec.num_latches()]);
+                let mut_vals = sec_sim::eval_single(&mutant, &inputs, &state[spec.num_latches()..]);
                 let differs = spec.outputs().iter().zip(mutant.outputs()).any(|(a, b)| {
                     (spec_vals[a.lit.var().index()] ^ a.lit.is_complemented())
                         != (mut_vals[b.lit.var().index()] ^ b.lit.is_complemented())

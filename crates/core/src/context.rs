@@ -1,5 +1,6 @@
-//! Small shared runtime plumbing: deadlines and aborts.
+//! Small shared runtime plumbing: deadlines, cancellation and aborts.
 
+use sec_limits::{CancellationToken, Limits, ProgressCounter, Stop};
 use std::time::{Duration, Instant};
 
 /// Reason a backend gave up.
@@ -9,6 +10,8 @@ pub(crate) enum Abort {
     Resource(String),
     /// Wall-clock budget exceeded.
     Timeout,
+    /// Another party (portfolio winner, user) cancelled the run.
+    Cancelled,
 }
 
 impl Abort {
@@ -16,33 +19,94 @@ impl Abort {
         match self {
             Abort::Resource(s) => s.clone(),
             Abort::Timeout => "timeout".to_string(),
+            Abort::Cancelled => "cancelled".to_string(),
         }
     }
 }
 
-impl From<sec_bdd::BddOverflow> for Abort {
-    fn from(e: sec_bdd::BddOverflow) -> Abort {
-        Abort::Resource(format!("BDD overflow: {e}"))
+impl From<sec_bdd::BddHalt> for Abort {
+    fn from(e: sec_bdd::BddHalt) -> Abort {
+        match e {
+            sec_bdd::BddHalt::Overflow { .. } => Abort::Resource(format!("BDD overflow: {e}")),
+            sec_bdd::BddHalt::Stopped(stop) => stop.into(),
+        }
     }
 }
 
-/// Wall-clock deadline shared across all phases of a run.
-#[derive(Copy, Clone, Debug)]
+impl From<Stop> for Abort {
+    fn from(stop: Stop) -> Abort {
+        match stop {
+            Stop::Cancelled => Abort::Cancelled,
+            Stop::Timeout => Abort::Timeout,
+        }
+    }
+}
+
+/// Wall-clock deadline plus optional cancellation token, shared across
+/// all phases of a run.
+///
+/// The coarse per-iteration polls in this crate go through
+/// [`Deadline::check`]; the fine-grained hot-loop polls inside the BDD
+/// manager and the SAT solver use the [`Limits`] handed out by
+/// [`Deadline::limits`], which trips at the same instant.
+#[derive(Clone, Debug, Default)]
 pub(crate) struct Deadline {
     end: Option<Instant>,
+    token: Option<CancellationToken>,
+    progress: Option<ProgressCounter>,
 }
 
 impl Deadline {
     pub(crate) fn new(budget: Option<Duration>) -> Deadline {
         Deadline {
             end: budget.map(|d| Instant::now() + d),
+            token: None,
+            progress: None,
+        }
+    }
+
+    /// Attaches (a clone of) a cancellation token.
+    pub(crate) fn with_token(mut self, token: Option<&CancellationToken>) -> Deadline {
+        self.token = token.cloned();
+        self
+    }
+
+    /// Attaches (a clone of) a progress counter.
+    pub(crate) fn with_progress(mut self, progress: Option<&ProgressCounter>) -> Deadline {
+        self.progress = progress.cloned();
+        self
+    }
+
+    /// Records one coarse unit of work (refinement round, BMC frame)
+    /// for observers on other threads.
+    pub(crate) fn tick(&self) {
+        if let Some(p) = &self.progress {
+            p.bump();
         }
     }
 
     pub(crate) fn check(&self) -> Result<(), Abort> {
+        if let Some(t) = &self.token {
+            if t.is_cancelled() {
+                return Err(Abort::Cancelled);
+            }
+        }
         match self.end {
             Some(end) if Instant::now() > end => Err(Abort::Timeout),
             _ => Ok(()),
+        }
+    }
+
+    /// The equivalent [`Limits`] for handing to a BDD manager or SAT
+    /// solver, so their hot loops observe the same deadline and token.
+    pub(crate) fn limits(&self) -> Limits {
+        let base = match &self.token {
+            Some(t) => Limits::with_token(t),
+            None => Limits::none(),
+        };
+        match self.end {
+            Some(end) => base.with_deadline(end),
+            None => base,
         }
     }
 }
@@ -55,6 +119,7 @@ mod tests {
     fn unlimited_never_expires() {
         let d = Deadline::new(None);
         assert!(d.check().is_ok());
+        assert!(d.limits().is_unlimited());
     }
 
     #[test]
@@ -63,5 +128,27 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         assert_eq!(d.check(), Err(Abort::Timeout));
         assert_eq!(Abort::Timeout.reason(), "timeout");
+        assert_eq!(d.limits().check_now(), Err(Stop::Timeout));
+    }
+
+    #[test]
+    fn cancellation_reports_cancelled() {
+        let token = CancellationToken::new();
+        let d = Deadline::new(None).with_token(Some(&token));
+        assert!(d.check().is_ok());
+        token.cancel();
+        assert_eq!(d.check(), Err(Abort::Cancelled));
+        assert_eq!(Abort::Cancelled.reason(), "cancelled");
+        assert_eq!(d.limits().check_now(), Err(Stop::Cancelled));
+    }
+
+    #[test]
+    fn aborts_from_stops_and_halts() {
+        assert_eq!(Abort::from(Stop::Cancelled), Abort::Cancelled);
+        assert_eq!(Abort::from(Stop::Timeout), Abort::Timeout);
+        let halt = sec_bdd::BddHalt::Stopped(Stop::Cancelled);
+        assert_eq!(Abort::from(halt), Abort::Cancelled);
+        let halt = sec_bdd::BddHalt::Overflow { limit: 7 };
+        assert!(matches!(Abort::from(halt), Abort::Resource(_)));
     }
 }

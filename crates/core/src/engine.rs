@@ -20,7 +20,9 @@ use crate::retime_ext::extend_retimed;
 use crate::sat_backend;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sec_netlist::{check as check_circuit, Aig, CheckError, ProductError, ProductMachine, Side, Var};
+use sec_netlist::{
+    check as check_circuit, Aig, CheckError, ProductError, ProductMachine, Side, Var,
+};
 use sec_sim::{eval_single, first_output_mismatch, Signatures, Trace};
 use std::fmt;
 use std::time::Instant;
@@ -121,9 +123,10 @@ impl Checker {
             }
             total += 1;
             if let Some(ci) = partition.class_of(v) {
-                let has_impl = partition.class(ci).iter().any(|&m| {
-                    self.sides.get(m.index()).copied().flatten() == Some(Side::Impl)
-                });
+                let has_impl = partition
+                    .class(ci)
+                    .iter()
+                    .any(|&m| self.sides.get(m.index()).copied().flatten() == Some(Side::Impl));
                 if has_impl {
                     matched += 1;
                 }
@@ -139,37 +142,40 @@ impl Checker {
     /// Runs the check to a verdict.
     pub fn run(mut self) -> CheckResult {
         let start = Instant::now();
-        let deadline = Deadline::new(self.opts.timeout);
+        let deadline = Deadline::new(self.opts.timeout)
+            .with_token(self.opts.cancel.as_ref())
+            .with_progress(self.opts.progress.as_ref());
         let mut stats = CheckStats::default();
 
         // Cheap refutation first: lockstep random simulation.
-        for k in 0..3u64 {
-            let t = Trace::random(self.spec.num_inputs(), 64, self.opts.seed ^ (k << 32) | 1);
-            if first_output_mismatch(&self.spec, &self.impl_, &t).is_some() {
-                stats.time = start.elapsed();
-                return CheckResult {
-                    verdict: Verdict::Inequivalent(t),
-                    stats,
-                };
+        if self.opts.sim_refute {
+            for k in 0..3u64 {
+                let t = Trace::random(self.spec.num_inputs(), 64, self.opts.seed ^ (k << 32) | 1);
+                if first_output_mismatch(&self.spec, &self.impl_, &t).is_some() {
+                    stats.time = start.elapsed();
+                    return CheckResult {
+                        verdict: Verdict::Inequivalent(t),
+                        stats,
+                    };
+                }
             }
         }
 
-        let approx_latches: Option<Vec<usize>> = if self.opts.approx_reach
-            && self.opts.backend == Backend::Bdd
-        {
-            Some(
-                self.pm
-                    .aig
-                    .latches()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &v)| self.sides[v.index()] == Some(Side::Spec))
-                    .map(|(i, _)| i)
-                    .collect(),
-            )
-        } else {
-            None
-        };
+        let approx_latches: Option<Vec<usize>> =
+            if self.opts.approx_reach && self.opts.backend == Backend::Bdd {
+                Some(
+                    self.pm
+                        .aig
+                        .latches()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &v)| self.sides[v.index()] == Some(Side::Spec))
+                        .map(|(i, _)| i)
+                        .collect(),
+                )
+            } else {
+                None
+            };
 
         let mut partition = self.seed_partition(&self.pm.aig);
         let mut aborted: Option<Abort> = None;
@@ -265,7 +271,11 @@ pub(crate) fn seed_partition(aig: &Aig, opts: &Options) -> Partition {
         // look constant-zero and the fixed point must split them one
         // counterexample (= one expensive iteration) at a time.
         let cycles = opts.sim_cycles.max(aig.num_latches() + 8).min(4096);
-        let words = if cycles > 256 { 1 } else { opts.sim_words.max(1) };
+        let words = if cycles > 256 {
+            1
+        } else {
+            opts.sim_words.max(1)
+        };
         let sigs = Signatures::collect(aig, cycles, words, opts.seed);
         let classes = sigs.partition(signals);
         let phase: Vec<bool> = aig.vars().map(|v| sigs.ref_value(v)).collect();

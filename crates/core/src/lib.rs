@@ -60,6 +60,7 @@ mod retime_ext;
 mod sat_backend;
 mod sweep;
 
+pub use bmc::bmc_refute;
 pub use comb::{combinational_equiv, CombResult, CombStats};
 pub use engine::{BuildError, Checker};
 pub use invariant::prove_invariants;

@@ -1,5 +1,6 @@
 //! Configuration of the signal-correspondence checker.
 
+use sec_limits::{CancellationToken, ProgressCounter};
 use std::time::Duration;
 
 /// Which engine performs the combinational checks of the fixed-point
@@ -69,6 +70,19 @@ pub struct Options {
     /// Run sifting-based reordering when the BDD table grows (BDD backend
     /// only).
     pub sift: bool,
+    /// Refute cheaply by lockstep random simulation before the fixed
+    /// point (and use simulation counterexamples found during seeding).
+    /// Portfolio runs disable this in engines whose role is proving, so
+    /// refutation is attributed to the dedicated BMC engine.
+    pub sim_refute: bool,
+    /// Cooperative cancellation token shared with other engines; polled
+    /// from every loop of the run. `None` means the run can only end by
+    /// finishing or timing out.
+    pub cancel: Option<CancellationToken>,
+    /// Shared counter bumped once per refinement round / BMC frame, so
+    /// an observer on another thread (the portfolio orchestrator) can
+    /// emit live progress events.
+    pub progress: Option<ProgressCounter>,
 }
 
 impl Default for Options {
@@ -87,6 +101,9 @@ impl Default for Options {
             approx_group: 8,
             bmc_depth: 16,
             sift: false,
+            sim_refute: true,
+            cancel: None,
+            progress: None,
         }
     }
 }

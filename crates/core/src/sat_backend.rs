@@ -20,7 +20,7 @@
 use crate::context::{Abort, Deadline};
 use crate::partition::Partition;
 use sec_netlist::{Aig, Lit, Var};
-use sec_sat::{AigCnf, SatResult, Solver};
+use sec_sat::{AigCnf, SatLit, SatResult, Solver};
 use sec_sim::{eval_single, next_state_single};
 use std::collections::HashMap;
 
@@ -67,10 +67,7 @@ impl Unrolling {
             .collect();
 
         let all_roots: Vec<Lit> = aig.vars().map(|v| v.lit()).collect();
-        let unroll = |u: &mut Aig,
-                      state_of: &dyn Fn(usize) -> Lit,
-                      inputs: &[Var]|
-         -> Vec<Lit> {
+        let unroll = |u: &mut Aig, state_of: &dyn Fn(usize) -> Lit, inputs: &[Var]| -> Vec<Lit> {
             let mut map: HashMap<Var, Lit> = HashMap::new();
             for (k, &v) in aig.inputs().iter().enumerate() {
                 map.insert(v, inputs[k].lit());
@@ -126,6 +123,21 @@ impl Unrolling {
     }
 }
 
+/// Runs one query, mapping an interrupted search to the abort that
+/// caused it. An interrupted query must never read as "unsatisfiable" —
+/// that would silently drop a potential split and certify a fixed point
+/// that is not one (an unsound `Equivalent`).
+fn query(solver: &mut Solver, assumptions: &[SatLit]) -> Result<bool, Abort> {
+    match solver.solve_with_assumptions(assumptions) {
+        SatResult::Sat => Ok(true),
+        SatResult::Unsat => Ok(false),
+        SatResult::Interrupted => Err(solver
+            .interrupt_reason()
+            .map(Abort::from)
+            .unwrap_or(Abort::Timeout)),
+    }
+}
+
 /// Runs the greatest fixed-point iteration with the SAT engine.
 pub(crate) fn run_fixed_point(
     aig: &Aig,
@@ -136,8 +148,12 @@ pub(crate) fn run_fixed_point(
     let mut stats = SatRunStats::default();
     loop {
         deadline.check()?;
+        deadline.tick();
         stats.iterations += 1;
         let mut u = Unrolling::build(aig);
+        // The solver polls the same deadline/token from its search loop,
+        // so a long query stops within milliseconds of cancellation.
+        u.solver.set_limits(deadline.limits());
 
         // Assert the correspondence condition Q_{T_i} on frame 0.
         let class_ids: Vec<usize> = partition.multi_classes().collect();
@@ -167,7 +183,7 @@ pub(crate) fn run_fixed_point(
                         Unrolling::norm(&u.frame1, partition, m),
                         Unrolling::norm(&u.frame1, partition, r),
                     );
-                    if u.solver.solve_with_assumptions(&[d1]) == SatResult::Sat {
+                    if query(&mut u.solver, &[d1])? {
                         let s = u.read_inputs(&u.s_in);
                         let xt = u.read_inputs(&u.x0_in);
                         let xt1 = u.read_inputs(&u.x1_in);
@@ -175,8 +191,7 @@ pub(crate) fn run_fixed_point(
                         let frame2 = eval_single(aig, &xt1, &s2);
                         if !partition.refine_by_values(&frame2) {
                             return Err(Abort::Resource(
-                                "internal inconsistency: SAT counterexample did not split"
-                                    .into(),
+                                "internal inconsistency: SAT counterexample did not split".into(),
                             ));
                         }
                         changed = true;
@@ -188,13 +203,12 @@ pub(crate) fn run_fixed_point(
                         Unrolling::norm(&u.frame_init, partition, m),
                         Unrolling::norm(&u.frame_init, partition, r),
                     );
-                    if u.solver.solve_with_assumptions(&[d0]) == SatResult::Sat {
+                    if query(&mut u.solver, &[d0])? {
                         let xi = u.read_inputs(&u.xi_in);
                         let vals = eval_single(aig, &xi, &aig.initial_state());
                         if !partition.refine_by_values(&vals) {
                             return Err(Abort::Resource(
-                                "internal inconsistency: init counterexample did not split"
-                                    .into(),
+                                "internal inconsistency: init counterexample did not split".into(),
                             ));
                         }
                         changed = true;
@@ -207,13 +221,15 @@ pub(crate) fn run_fixed_point(
             // Fixed point: the solver still carries Q_{T_fix} as hard
             // clauses on frame 0, so Theorem 1's `Q ⇒ λ` check is one
             // more query per output pair on the *current* frame.
-            stats.outputs_ok = partition.outputs_equiv(output_pairs) || {
+            stats.outputs_ok = if partition.outputs_equiv(output_pairs) {
+                true
+            } else {
                 let mut ok = true;
                 for &(a, b) in output_pairs {
                     let la = u.frame0[a.var().index()].complement_if(a.is_complemented());
                     let lb = u.frame0[b.var().index()].complement_if(b.is_complemented());
                     let d = u.cnf.make_diff(&mut u.solver, la, lb);
-                    if u.solver.solve_with_assumptions(&[d]) == SatResult::Sat {
+                    if query(&mut u.solver, &[d])? {
                         ok = false;
                         break;
                     }

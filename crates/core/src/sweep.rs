@@ -85,8 +85,9 @@ pub fn sequential_sweep(aig: &Aig, opts: &Options) -> Result<(Aig, SweepStats), 
             bdd_backend::run_fixed_point(aig, &mut partition, opts, &deadline, None, &[])
                 .map(|s| s.iterations)
         }
-        Backend::Sat => sat_backend::run_fixed_point(aig, &mut partition, &deadline, &[])
-            .map(|s| s.iterations),
+        Backend::Sat => {
+            sat_backend::run_fixed_point(aig, &mut partition, &deadline, &[]).map(|s| s.iterations)
+        }
     };
     match fixed_point {
         Ok(its) => stats.iterations = its,
@@ -108,9 +109,7 @@ pub fn sequential_sweep(aig: &Aig, opts: &Options) -> Result<(Aig, SweepStats), 
     for v in aig.vars() {
         let own = match aig.node(v) {
             Node::Const => Lit::FALSE,
-            Node::Input { .. } => out
-                .add_input(aig.name(v).unwrap_or("i").to_string())
-                .lit(),
+            Node::Input { .. } => out.add_input(aig.name(v).unwrap_or("i").to_string()).lit(),
             Node::Latch { init, .. } => {
                 let nv = out.add_latch(*init);
                 if let Some(n) = aig.name(v) {
@@ -202,8 +201,12 @@ fn drop_dead(old: &Aig) -> Aig {
     for v in old.and_vars() {
         if live[v.index()] {
             let (a, b) = old.and_fanins(v);
-            let na = map[a.var().index()].unwrap().complement_if(a.is_complemented());
-            let nb = map[b.var().index()].unwrap().complement_if(b.is_complemented());
+            let na = map[a.var().index()]
+                .unwrap()
+                .complement_if(a.is_complemented());
+            let nb = map[b.var().index()]
+                .unwrap()
+                .complement_if(b.is_complemented());
             map[v.index()] = Some(aig.and(na, nb));
         }
     }
@@ -233,7 +236,9 @@ mod tests {
     fn assert_equiv_and_check(orig: &Aig, reduced: &Aig) {
         let t = Trace::random(orig.num_inputs(), 300, 77);
         assert_eq!(first_output_mismatch(orig, reduced, &t), None);
-        let r = Checker::new(orig, reduced, Options::default()).unwrap().run();
+        let r = Checker::new(orig, reduced, Options::default())
+            .unwrap()
+            .run();
         assert_eq!(r.verdict, Verdict::Equivalent);
     }
 

@@ -1,42 +1,45 @@
 //! Property tests of the partition of `F` — the data structure the whole
 //! fixed point rests on. Splits must preserve membership, keep the
 //! `class_of` index consistent, be monotone (never merge), and respect
-//! polarity normalization.
+//! polarity normalization. Randomized with seeded loops (the offline
+//! build replaces proptest), so failures reproduce deterministically
+//! from the printed case seed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sec_core::Partition;
 use sec_netlist::Var;
 
 const N: usize = 24;
+const CASES: u64 = 192;
 
-fn arb_partition() -> impl Strategy<Value = (Partition, Vec<usize>)> {
+fn arb_partition(rng: &mut StdRng) -> (Partition, Vec<usize>) {
     // Random class assignment for N nodes plus random phases.
-    (
-        proptest::collection::vec(0usize..6, N),
-        proptest::collection::vec(any::<bool>(), N),
-    )
-        .prop_map(|(assign, phases)| {
-            let mut classes: Vec<Vec<Var>> = Vec::new();
-            let mut ids: Vec<usize> = Vec::new();
-            let mut remap: std::collections::HashMap<usize, usize> =
-                std::collections::HashMap::new();
-            for (i, &c) in assign.iter().enumerate() {
-                let next_id = remap.len();
-                let ci = *remap.entry(c).or_insert(next_id);
-                if ci == classes.len() {
-                    classes.push(Vec::new());
-                }
-                classes[ci].push(Var::from_index(i));
-                ids.push(ci);
-            }
-            (Partition::new(N, classes, phases), ids)
-        })
+    let assign: Vec<usize> = (0..N).map(|_| rng.gen_range(0..6usize)).collect();
+    let phases: Vec<bool> = (0..N).map(|_| rng.gen()).collect();
+    let mut classes: Vec<Vec<Var>> = Vec::new();
+    let mut ids: Vec<usize> = Vec::new();
+    let mut remap: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for (i, &c) in assign.iter().enumerate() {
+        let next_id = remap.len();
+        let ci = *remap.entry(c).or_insert(next_id);
+        if ci == classes.len() {
+            classes.push(Vec::new());
+        }
+        classes[ci].push(Var::from_index(i));
+        ids.push(ci);
+    }
+    (Partition::new(N, classes, phases), ids)
+}
+
+fn random_bools(rng: &mut StdRng, n: usize) -> Vec<bool> {
+    (0..n).map(|_| rng.gen()).collect()
 }
 
 fn consistent(p: &Partition) -> bool {
     // Every member's class_of points back at the class containing it,
     // and every node appears exactly once.
-    let mut seen = vec![0usize; N];
+    let mut seen = [0usize; N];
     for ci in 0..p.num_classes() {
         for &v in p.class(ci) {
             if p.class_of(v) != Some(ci) {
@@ -48,37 +51,43 @@ fn consistent(p: &Partition) -> bool {
     seen.iter().all(|&c| c == 1)
 }
 
-proptest! {
-    #[test]
-    fn construction_is_consistent((p, _) in arb_partition()) {
-        prop_assert!(consistent(&p));
-        prop_assert_eq!(p.num_signals(), N);
+#[test]
+fn construction_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9A47_0000 ^ case);
+        let (p, _) = arb_partition(&mut rng);
+        assert!(consistent(&p), "case {case}");
+        assert_eq!(p.num_signals(), N, "case {case}");
     }
+}
 
-    #[test]
-    fn refine_preserves_consistency_and_monotonicity(
-        (mut p, _) in arb_partition(),
-        values in proptest::collection::vec(proptest::collection::vec(any::<bool>(), N), 0..6),
-    ) {
+#[test]
+fn refine_preserves_consistency_and_monotonicity() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9A47_1000 ^ case);
+        let (mut p, _) = arb_partition(&mut rng);
+        let rounds = rng.gen_range(0..6usize);
+        let values: Vec<Vec<bool>> = (0..rounds).map(|_| random_bools(&mut rng, N)).collect();
         let mut last = p.num_classes();
         for vals in &values {
             let before: Vec<Option<usize>> =
                 (0..N).map(|i| p.class_of(Var::from_index(i))).collect();
             let changed = p.refine_by_values(vals);
-            prop_assert!(consistent(&p));
-            prop_assert_eq!(p.num_signals(), N);
+            assert!(consistent(&p), "case {case}");
+            assert_eq!(p.num_signals(), N, "case {case}");
             // Monotone: classes only grow in count, never merge.
-            prop_assert!(p.num_classes() >= last);
-            prop_assert_eq!(changed, p.num_classes() > last);
+            assert!(p.num_classes() >= last, "case {case}");
+            assert_eq!(changed, p.num_classes() > last, "case {case}");
             last = p.num_classes();
             // Refinement: nodes in different classes stay in different
             // classes.
             for i in 0..N {
                 for j in 0..N {
                     if before[i] != before[j] {
-                        prop_assert_ne!(
+                        assert_ne!(
                             p.class_of(Var::from_index(i)),
-                            p.class_of(Var::from_index(j))
+                            p.class_of(Var::from_index(j)),
+                            "case {case}"
                         );
                     }
                 }
@@ -86,17 +95,18 @@ proptest! {
         }
         // Applying the same vectors again changes nothing (idempotence).
         for vals in &values {
-            prop_assert!(!p.refine_by_values(vals));
+            assert!(!p.refine_by_values(vals), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn refine_separates_exactly_by_normalized_value(
-        (mut p, _) in arb_partition(),
-        vals in proptest::collection::vec(any::<bool>(), N),
-    ) {
-        let before: Vec<Option<usize>> =
-            (0..N).map(|i| p.class_of(Var::from_index(i))).collect();
+#[test]
+fn refine_separates_exactly_by_normalized_value() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9A47_2000 ^ case);
+        let (mut p, _) = arb_partition(&mut rng);
+        let vals = random_bools(&mut rng, N);
+        let before: Vec<Option<usize>> = (0..N).map(|i| p.class_of(Var::from_index(i))).collect();
         p.refine_by_values(&vals);
         for i in 0..N {
             for j in 0..N {
@@ -104,39 +114,51 @@ proptest! {
                 if before[i] == before[j] {
                     let ni = vals[i] ^ !p.phase(vi);
                     let nj = vals[j] ^ !p.phase(vj);
-                    prop_assert_eq!(
+                    assert_eq!(
                         p.class_of(vi) == p.class_of(vj),
                         ni == nj,
-                        "same-class pair must split iff normalized values differ"
+                        "case {case}: same-class pair must split iff normalized values differ"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn lit_equiv_is_an_equivalence_compatible_with_complement(
-        (p, _) in arb_partition(),
-        a in 0..N, b in 0..N, c in 0..N,
-    ) {
+#[test]
+fn lit_equiv_is_an_equivalence_compatible_with_complement() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9A47_3000 ^ case);
+        let (p, _) = arb_partition(&mut rng);
+        let (a, b, c) = (
+            rng.gen_range(0..N),
+            rng.gen_range(0..N),
+            rng.gen_range(0..N),
+        );
         let (la, lb, lc) = (
             Var::from_index(a).lit(),
             Var::from_index(b).lit(),
             Var::from_index(c).lit(),
         );
         // Reflexive, symmetric, transitive.
-        prop_assert!(p.lit_equiv(la, la));
-        prop_assert_eq!(p.lit_equiv(la, lb), p.lit_equiv(lb, la));
+        assert!(p.lit_equiv(la, la), "case {case}");
+        assert_eq!(p.lit_equiv(la, lb), p.lit_equiv(lb, la), "case {case}");
         if p.lit_equiv(la, lb) && p.lit_equiv(lb, lc) {
-            prop_assert!(p.lit_equiv(la, lc));
+            assert!(p.lit_equiv(la, lc), "case {case}");
         }
         // Complement-compatible: a ≡ b ⟺ ¬a ≡ ¬b, and never a ≡ ¬a.
-        prop_assert_eq!(p.lit_equiv(la, lb), p.lit_equiv(!la, !lb));
-        prop_assert!(!p.lit_equiv(la, !la));
+        assert_eq!(p.lit_equiv(la, lb), p.lit_equiv(!la, !lb), "case {case}");
+        assert!(!p.lit_equiv(la, !la), "case {case}");
     }
+}
 
-    #[test]
-    fn grow_adds_fresh_singletons((mut p, _) in arb_partition(), phases in proptest::collection::vec(any::<bool>(), 1..4)) {
+#[test]
+fn grow_adds_fresh_singletons() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9A47_4000 ^ case);
+        let (mut p, _) = arb_partition(&mut rng);
+        let extra = rng.gen_range(1..4usize);
+        let phases: Vec<bool> = random_bools(&mut rng, extra);
         let before = p.num_classes();
         let new: Vec<(Var, bool)> = phases
             .iter()
@@ -144,11 +166,11 @@ proptest! {
             .map(|(k, &ph)| (Var::from_index(N + k), ph))
             .collect();
         p.grow(N + new.len(), &new);
-        prop_assert_eq!(p.num_classes(), before + new.len());
+        assert_eq!(p.num_classes(), before + new.len(), "case {case}");
         for (v, ph) in new {
-            prop_assert!(p.class_of(v).is_some());
-            prop_assert_eq!(p.phase(v), ph);
-            prop_assert_eq!(p.class(p.class_of(v).unwrap()), &[v]);
+            assert!(p.class_of(v).is_some(), "case {case}");
+            assert_eq!(p.phase(v), ph, "case {case}");
+            assert_eq!(p.class(p.class_of(v).unwrap()), &[v], "case {case}");
         }
     }
 }

@@ -48,10 +48,7 @@ pub fn equals_const(aig: &mut Aig, a: &[Lit], k: u64) -> Lit {
 /// Panics if the words have different widths.
 pub fn mux_word(aig: &mut Aig, s: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
     assert_eq!(t.len(), e.len(), "mux operands must have equal width");
-    t.iter()
-        .zip(e)
-        .map(|(&x, &y)| aig.mux(s, x, y))
-        .collect()
+    t.iter().zip(e).map(|(&x, &y)| aig.mux(s, x, y)).collect()
 }
 
 /// Bitwise XOR of two words.
@@ -63,7 +60,13 @@ pub fn xor_word(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
 /// The word constant `k` over `width` bits.
 pub fn const_word(width: usize, k: u64) -> Vec<Lit> {
     (0..width)
-        .map(|i| if k >> i & 1 != 0 { Lit::TRUE } else { Lit::FALSE })
+        .map(|i| {
+            if k >> i & 1 != 0 {
+                Lit::TRUE
+            } else {
+                Lit::FALSE
+            }
+        })
         .collect()
 }
 
@@ -93,7 +96,9 @@ mod tests {
     use sec_sim::eval_single;
 
     fn word_inputs(aig: &mut Aig, w: usize, tag: &str) -> Vec<Lit> {
-        (0..w).map(|i| aig.add_input(format!("{tag}{i}")).lit()).collect()
+        (0..w)
+            .map(|i| aig.add_input(format!("{tag}{i}")).lit())
+            .collect()
     }
 
     fn eval_word(aig: &Aig, lits: &[Lit], inputs: &[bool]) -> u64 {

@@ -203,10 +203,7 @@ pub fn random_fsm(num_states: usize, num_inputs: usize, num_outputs: usize, seed
             }
         }
     }
-    let next: Vec<Lit> = next_terms
-        .iter()
-        .map(|t| aig.or_many(t))
-        .collect();
+    let next: Vec<Lit> = next_terms.iter().map(|t| aig.or_many(t)).collect();
     drive(&mut aig, &regs, &next);
     for (k, terms) in out_terms.iter().enumerate() {
         let o = aig.or_many(terms);
@@ -237,10 +234,18 @@ pub fn fsm_pair_reencoded(
     let nbits = usize::BITS as usize - (num_states - 1).leading_zeros() as usize;
     // Shared tables.
     let transitions: Vec<Vec<usize>> = (0..num_states)
-        .map(|_| (0..1usize << num_inputs).map(|_| rng.gen_range(0..num_states)).collect())
+        .map(|_| {
+            (0..1usize << num_inputs)
+                .map(|_| rng.gen_range(0..num_states))
+                .collect()
+        })
         .collect();
     let outputs: Vec<Vec<u64>> = (0..num_states)
-        .map(|_| (0..1usize << num_inputs).map(|_| rng.gen::<u64>() & ((1 << num_outputs) - 1)).collect())
+        .map(|_| {
+            (0..1usize << num_inputs)
+                .map(|_| rng.gen::<u64>() & ((1 << num_outputs) - 1))
+                .collect()
+        })
         .collect();
     // Encoding 1: identity. Encoding 2: random permutation of codes over
     // the full 2^nbits code space (so unused codes also move).
@@ -375,12 +380,19 @@ pub fn arbiter(n: usize) -> Aig {
 /// Register count: `2w` (product/multiplier) + `w` (multiplicand) +
 /// `ceil(log2 w)` (cycle counter) + 1 (busy).
 pub fn seq_multiplier(w: usize) -> Aig {
-    assert!(w >= 2 && w.is_power_of_two(), "width must be a power of two");
+    assert!(
+        w >= 2 && w.is_power_of_two(),
+        "width must be a power of two"
+    );
     let cnt_bits = w.trailing_zeros() as usize;
     let mut aig = Aig::new();
     let start = aig.add_input("start").lit();
-    let a_in: Vec<Lit> = (0..w).map(|i| aig.add_input(format!("a{i}")).lit()).collect();
-    let b_in: Vec<Lit> = (0..w).map(|i| aig.add_input(format!("b{i}")).lit()).collect();
+    let a_in: Vec<Lit> = (0..w)
+        .map(|i| aig.add_input(format!("a{i}")).lit())
+        .collect();
+    let b_in: Vec<Lit> = (0..w)
+        .map(|i| aig.add_input(format!("b{i}")).lit())
+        .collect();
 
     let p_regs = reg_word(&mut aig, 2 * w, 0); // high: accumulator, low: multiplier
     let a_regs = reg_word(&mut aig, w, 0);
@@ -484,8 +496,12 @@ pub fn pipeline(width: usize, depth: usize, seed: u64) -> Aig {
 pub fn registered_multiplier(w: usize, extra_regs: usize) -> Aig {
     let mut aig = Aig::new();
     let load = aig.add_input("load").lit();
-    let a_in: Vec<Lit> = (0..w).map(|i| aig.add_input(format!("a{i}")).lit()).collect();
-    let b_in: Vec<Lit> = (0..w).map(|i| aig.add_input(format!("b{i}")).lit()).collect();
+    let a_in: Vec<Lit> = (0..w)
+        .map(|i| aig.add_input(format!("a{i}")).lit())
+        .collect();
+    let b_in: Vec<Lit> = (0..w)
+        .map(|i| aig.add_input(format!("b{i}")).lit())
+        .collect();
     let a_regs = reg_word(&mut aig, w, 0);
     let b_regs = reg_word(&mut aig, w, 0);
     let a = word_lits(&a_regs);
@@ -698,6 +714,9 @@ mod onehot_tests {
         let t = Trace::new(vec![vec![]; 9]);
         let outs = t.replay(&bin);
         let tc: Vec<bool> = outs.iter().map(|o| o[0]).collect();
-        assert_eq!(tc, vec![false, false, false, true, false, false, false, true, false]);
+        assert_eq!(
+            tc,
+            vec![false, false, false, true, false, false, false, true, false]
+        );
     }
 }

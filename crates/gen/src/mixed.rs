@@ -206,8 +206,8 @@ mod tests {
         let t = Trace::random(3, 64, 2);
         let outs = t.replay(&aig);
         // At least one output toggles over time.
-        let toggles = (0..aig.num_outputs())
-            .any(|o| outs.iter().any(|f| f[o]) && outs.iter().any(|f| !f[o]));
+        let toggles =
+            (0..aig.num_outputs()).any(|o| outs.iter().any(|f| f[o]) && outs.iter().any(|f| !f[o]));
         assert!(toggles);
     }
 

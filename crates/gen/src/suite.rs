@@ -13,7 +13,7 @@
 //! Real `.bench` files can be substituted via
 //! [`sec_netlist::parse_bench`].
 
-use crate::blocks::{counter, crc, random_fsm, seq_multiplier, registered_multiplier, CounterKind};
+use crate::blocks::{counter, crc, random_fsm, registered_multiplier, seq_multiplier, CounterKind};
 use crate::mixed::mixed;
 use sec_netlist::Aig;
 

@@ -525,7 +525,9 @@ mod tests {
     #[test]
     fn and_many_balanced() {
         let mut aig = Aig::new();
-        let lits: Vec<Lit> = (0..7).map(|i| aig.add_input(format!("i{i}")).lit()).collect();
+        let lits: Vec<Lit> = (0..7)
+            .map(|i| aig.add_input(format!("i{i}")).lit())
+            .collect();
         let f = aig.and_many(&lits);
         assert_ne!(f, Lit::TRUE);
         assert_eq!(aig.and_many(&[]), Lit::TRUE);

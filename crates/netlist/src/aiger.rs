@@ -20,7 +20,11 @@ pub struct ParseAigerError {
 
 impl fmt::Display for ParseAigerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "aiger parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "aiger parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -71,7 +75,10 @@ pub fn parse_aiger(text: &str) -> Result<Aig, ParseAigerError> {
         let (line, l) = take_line("latches")?;
         let f: Vec<&str> = l.split_whitespace().collect();
         if f.len() < 2 || f.len() > 3 {
-            return Err(err(line, "latch line must be `cur next [init]`".to_string()));
+            return Err(err(
+                line,
+                "latch line must be `cur next [init]`".to_string(),
+            ));
         }
         let cur = parse_num(f[0], line)?;
         let next = parse_num(f[1], line)?;
@@ -96,7 +103,11 @@ pub fn parse_aiger(text: &str) -> Result<Aig, ParseAigerError> {
         if f.len() != 3 {
             return Err(err(line, "and line must be `lhs rhs0 rhs1`".to_string()));
         }
-        and_defs.push((parse_num(f[0], line)?, parse_num(f[1], line)?, parse_num(f[2], line)?));
+        and_defs.push((
+            parse_num(f[0], line)?,
+            parse_num(f[1], line)?,
+            parse_num(f[2], line)?,
+        ));
     }
     // Symbol table.
     let mut symbols: Vec<(char, usize, String)> = Vec::new();
@@ -125,15 +136,16 @@ pub fn parse_aiger(text: &str) -> Result<Aig, ParseAigerError> {
     let mut aig = Aig::new();
     let mut map: HashMap<u32, Lit> = HashMap::new(); // aiger var -> our lit
     map.insert(0, Lit::FALSE);
-    let lit_of = |code: u32, map: &HashMap<u32, Lit>, line: usize| -> Result<Lit, ParseAigerError> {
-        let v = code >> 1;
-        if v > m {
-            return Err(err(line, format!("literal {code} exceeds maxvar {m}")));
-        }
-        map.get(&v)
-            .map(|l| l.complement_if(code & 1 == 1))
-            .ok_or_else(|| err(line, format!("undefined literal {code}")))
-    };
+    let lit_of =
+        |code: u32, map: &HashMap<u32, Lit>, line: usize| -> Result<Lit, ParseAigerError> {
+            let v = code >> 1;
+            if v > m {
+                return Err(err(line, format!("literal {code} exceeds maxvar {m}")));
+            }
+            map.get(&v)
+                .map(|l| l.complement_if(code & 1 == 1))
+                .ok_or_else(|| err(line, format!("undefined literal {code}")))
+        };
     for (k, &l) in input_lits.iter().enumerate() {
         if l & 1 == 1 {
             return Err(err(0, format!("input literal {l} is complemented")));
@@ -195,10 +207,9 @@ pub fn parse_aiger(text: &str) -> Result<Aig, ParseAigerError> {
                     aig.set_name(v, name);
                 }
             }
-            'o'
-                if idx < aig.num_outputs() => {
-                    aig.rename_output(idx, name);
-                }
+            'o' if idx < aig.num_outputs() => {
+                aig.rename_output(idx, name);
+            }
             _ => {}
         }
     }
@@ -236,7 +247,9 @@ pub fn write_aiger(aig: &Aig) -> String {
         let _ = writeln!(out, "{}", newvar[v.index()] << 1);
     }
     for &v in aig.latches() {
-        let next = aig.latch_next(v).expect("write_aiger requires driven latches");
+        let next = aig
+            .latch_next(v)
+            .expect("write_aiger requires driven latches");
         let init = aig.latch_init(v) as u32;
         let _ = writeln!(out, "{} {} {init}", newvar[v.index()] << 1, enc(next));
     }
@@ -402,14 +415,15 @@ pub fn parse_aiger_binary(data: &[u8]) -> Result<Aig, ParseAigerBinError> {
         .iter()
         .position(|&b| b == b'\n')
         .ok_or_else(|| err(0, "missing header line".to_string()))?;
-    let header = std::str::from_utf8(&data[..hdr_end])
-        .map_err(|_| err(0, "non-UTF8 header".to_string()))?;
+    let header =
+        std::str::from_utf8(&data[..hdr_end]).map_err(|_| err(0, "non-UTF8 header".to_string()))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() != 6 || fields[0] != "aig" {
         return Err(err(0, "expected header `aig M I L O A`".to_string()));
     }
     let parse_num = |s: &str| -> Result<u32, ParseAigerBinError> {
-        s.parse().map_err(|_| err(0, format!("invalid number `{s}`")))
+        s.parse()
+            .map_err(|_| err(0, format!("invalid number `{s}`")))
     };
     let m = parse_num(fields[1])?;
     let ni = parse_num(fields[2])?;

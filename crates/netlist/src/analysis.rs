@@ -112,20 +112,17 @@ impl std::error::Error for CheckError {}
 pub fn check(aig: &Aig) -> Result<(), CheckError> {
     for v in aig.vars() {
         match aig.node(v) {
-            Node::And { a, b }
-                if (a.var() >= v || b.var() >= v) => {
-                    return Err(CheckError::OrderViolation(v));
-                }
-            Node::Latch { next, .. } => {
-                match next {
-                    None => return Err(CheckError::UnassignedLatch(v)),
-                    Some(n) => {
-                        if n.var().index() >= aig.num_nodes() {
-                            return Err(CheckError::UnassignedLatch(v));
-                        }
+            Node::And { a, b } if (a.var() >= v || b.var() >= v) => {
+                return Err(CheckError::OrderViolation(v));
+            }
+            Node::Latch { next, .. } => match next {
+                None => return Err(CheckError::UnassignedLatch(v)),
+                Some(n) => {
+                    if n.var().index() >= aig.num_nodes() {
+                        return Err(CheckError::UnassignedLatch(v));
                     }
                 }
-            }
+            },
             _ => {}
         }
     }

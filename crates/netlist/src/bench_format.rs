@@ -26,7 +26,11 @@ pub struct ParseBenchError {
 
 impl fmt::Display for ParseBenchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bench parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "bench parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -151,7 +155,10 @@ pub fn parse_bench(text: &str) -> Result<Aig, ParseBenchError> {
                 }
                 _ => {}
             }
-            if defs.insert(name.clone(), Def { kind, args, line }).is_some() {
+            if defs
+                .insert(name.clone(), Def { kind, args, line })
+                .is_some()
+            {
                 return Err(err(line, &format!("signal `{name}` defined twice")));
             }
             order.push(name);
@@ -336,18 +343,14 @@ pub fn write_bench(aig: &Aig) -> String {
         }
     };
 
-    let used_names: std::collections::HashSet<&str> =
-        names.iter().map(|s| s.as_str()).collect();
+    let used_names: std::collections::HashSet<&str> = names.iter().map(|s| s.as_str()).collect();
     let mut output_lines = Vec::new();
     for (i, o) in aig.outputs().iter().enumerate() {
         let oname = o.name.clone().unwrap_or_else(|| format!("po{i}"));
         // When the port name is exactly the (positive) driving signal, the
         // signal's own definition serves as the output; otherwise emit a
         // BUFF under a non-clashing port name.
-        if !o.lit.is_complemented()
-            && !o.lit.is_const()
-            && names[o.lit.var().index()] == oname
-        {
+        if !o.lit.is_complemented() && !o.lit.is_const() && names[o.lit.var().index()] == oname {
             let _ = writeln!(out, "OUTPUT({oname})");
             continue;
         }
@@ -390,10 +393,8 @@ mod tests {
 
     #[test]
     fn parse_simple() {
-        let aig = parse_bench(
-            "# a comment\nINPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = NAND(a, b)\n",
-        )
-        .unwrap();
+        let aig =
+            parse_bench("# a comment\nINPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = NAND(a, b)\n").unwrap();
         assert_eq!(aig.num_inputs(), 2);
         assert_eq!(aig.num_outputs(), 1);
         assert_eq!(aig.num_ands(), 1);
@@ -402,10 +403,7 @@ mod tests {
 
     #[test]
     fn parse_feedback_through_dff() {
-        let aig = parse_bench(
-            "INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(q, en)\n",
-        )
-        .unwrap();
+        let aig = parse_bench("INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(q, en)\n").unwrap();
         assert_eq!(aig.num_latches(), 1);
         let l = aig.latches()[0];
         assert!(!aig.latch_init(l));
@@ -438,16 +436,16 @@ mod tests {
 
     #[test]
     fn multi_input_gates_decompose() {
-        let aig = parse_bench(
-            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(f)\nf = NOR(a, b, c, d)\n",
-        )
-        .unwrap();
+        let aig =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(f)\nf = NOR(a, b, c, d)\n")
+                .unwrap();
         assert_eq!(aig.num_ands(), 3);
     }
 
     #[test]
     fn write_then_parse_roundtrip_structure() {
-        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nq = DFF(d)\n#init q 1\nd = XOR(a, q)\nf = AND(q, b)\n";
+        let src =
+            "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nq = DFF(d)\n#init q 1\nd = XOR(a, q)\nf = AND(q, b)\n";
         let aig = parse_bench(src).unwrap();
         let text = write_bench(&aig);
         let back = parse_bench(&text).unwrap();

@@ -29,11 +29,7 @@ pub fn to_dot(aig: &Aig, graph_name: &str) -> String {
                 let _ = writeln!(out, "  {} [label=\"0\", shape=plaintext];", node_id(v));
             }
             Node::Input { .. } => {
-                let _ = writeln!(
-                    out,
-                    "  {} [label=\"{label}\", shape=diamond];",
-                    node_id(v)
-                );
+                let _ = writeln!(out, "  {} [label=\"{label}\", shape=diamond];", node_id(v));
             }
             Node::Latch { init, .. } => {
                 let _ = writeln!(
@@ -54,9 +50,7 @@ pub fn to_dot(aig: &Aig, graph_name: &str) -> String {
                 edge(&mut out, *a, &node_id(v));
                 edge(&mut out, *b, &node_id(v));
             }
-            Node::Latch {
-                next: Some(n), ..
-            } => {
+            Node::Latch { next: Some(n), .. } => {
                 edge(&mut out, *n, &node_id(v));
             }
             _ => {}

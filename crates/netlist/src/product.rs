@@ -82,10 +82,7 @@ impl ProductMachine {
         let shared_inputs: Vec<Lit> = spec
             .inputs()
             .iter()
-            .map(|&v| {
-                aig.add_input(spec.name(v).unwrap_or("i").to_string())
-                    .lit()
-            })
+            .map(|&v| aig.add_input(spec.name(v).unwrap_or("i").to_string()).lit())
             .collect();
 
         let mut side_of: Vec<Option<Side>> = vec![None; 1 + shared_inputs.len()];
@@ -317,7 +314,11 @@ mod align_tests {
 
     fn two_port(order_swapped: bool) -> Aig {
         let mut aig = Aig::new();
-        let (first, second) = if order_swapped { ("b", "a") } else { ("a", "b") };
+        let (first, second) = if order_swapped {
+            ("b", "a")
+        } else {
+            ("a", "b")
+        };
         let x = aig.add_input(first).lit();
         let y = aig.add_input(second).lit();
         // f(a, b) = a & !b regardless of port declaration order.

@@ -1,0 +1,233 @@
+//! In-repo stand-in for the `rand` crate.
+//!
+//! The build environment is fully offline, so the workspace cannot fetch
+//! crates-io dependencies; this crate implements exactly the API subset
+//! the workspace uses (`StdRng::seed_from_u64`, `gen`, `gen_bool`,
+//! `gen_range`) with the same module layout, backed by a seeded
+//! xoshiro256** generator. Deterministic for a given seed, like the
+//! `StdRng` contract (though the streams differ from crates-io `rand`,
+//! which the workspace never relied on).
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled uniformly from all their values.
+pub trait Standard: Sized {
+    /// Samples a uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges a uniform integer can be drawn from (`gen_range`).
+pub trait SampleRange<T> {
+    /// Samples a value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Multiply-shift bounded sampling: uniform in `[0, n)` (negligible bias
+/// for the `n` used in this workspace).
+#[inline]
+fn bounded<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + bounded(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i32, u32, u64, usize);
+
+/// The user-facing sampling interface, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a uniform value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        // 53 uniform mantissa bits, as in crates-io rand.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Uniform value from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Generators constructible from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of
+    /// `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256**.
+    ///
+    /// (crates-io `StdRng` is ChaCha12; the workspace only requires a
+    /// deterministic, well-mixed stream, not that exact cipher.)
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the seed, per the xoshiro authors'
+            // recommendation.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(43);
+        let vc: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = r.gen_range(0..4);
+            assert!((0..4).contains(&w));
+            let u: usize = r.gen_range(0..=5);
+            assert!(u <= 5);
+        }
+        // Degenerate inclusive range.
+        let x: usize = r.gen_range(2..=2);
+        assert_eq!(x, 2);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "rate {hits}");
+    }
+
+    #[test]
+    fn bool_sampling_is_balanced() {
+        let mut r = StdRng::seed_from_u64(11);
+        let ones = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!((4500..5500).contains(&ones), "ones {ones}");
+    }
+}

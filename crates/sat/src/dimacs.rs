@@ -18,7 +18,11 @@ pub struct ParseDimacsError {
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -51,6 +55,7 @@ impl DimacsProblem {
     pub fn solve_report(&mut self) -> String {
         match self.solver.solve() {
             SatResult::Unsat => "s UNSATISFIABLE\n".to_string(),
+            SatResult::Interrupted => "s UNKNOWN\n".to_string(),
             SatResult::Sat => {
                 let mut out = String::from("s SATISFIABLE\nv");
                 for (i, &v) in self.vars.iter().enumerate() {

@@ -5,6 +5,7 @@
 
 use crate::heap::VarHeap;
 use crate::types::{SatLit, SatResult, SatVar, Value};
+use sec_limits::{Limits, Stop};
 
 type CRef = u32;
 const CREF_NONE: CRef = u32::MAX;
@@ -73,6 +74,11 @@ pub struct Solver {
     ok: bool,
     max_learnts: f64,
     stats: SatStats,
+    /// Cooperative cancellation/deadline, polled on conflicts and
+    /// decisions.
+    limits: Limits,
+    /// Why the last solve returned [`SatResult::Interrupted`], if it did.
+    interrupt: Option<Stop>,
 }
 
 impl Default for Solver {
@@ -122,7 +128,26 @@ impl Solver {
             ok: true,
             max_learnts: 4000.0,
             stats: SatStats::default(),
+            limits: Limits::none(),
+            interrupt: None,
         }
+    }
+
+    /// Attaches cooperative limits (cancellation token and/or deadline).
+    ///
+    /// Solve calls poll the limits on every conflict and decision and
+    /// return [`SatResult::Interrupted`] once the limits trip, after
+    /// backtracking to decision level 0 — the clause database, trail and
+    /// heap stay consistent, so the solver remains usable (e.g. with
+    /// fresh limits).
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
+    /// Why the last solve call returned [`SatResult::Interrupted`]
+    /// (`None` if it completed).
+    pub fn interrupt_reason(&self) -> Option<Stop> {
+        self.interrupt
     }
 
     /// Adds a fresh variable.
@@ -149,7 +174,10 @@ impl Solver {
 
     /// Number of clauses added (excluding learnt clauses).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
     }
 
     /// Search statistics so far.
@@ -182,7 +210,11 @@ impl Solver {
     /// this implementation requires decision level 0, which is always the
     /// case between `solve` calls.
     pub fn add_clause(&mut self, lits: &[SatLit]) -> bool {
-        assert_eq!(self.decision_level(), 0, "add_clause at decision level 0 only");
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "add_clause at decision level 0 only"
+        );
         if !self.ok {
             return false;
         }
@@ -235,14 +267,8 @@ impl Solver {
         if learnt {
             self.learnt_refs.push(cref);
         }
-        self.watches[(!w0).code()].push(Watcher {
-            cref,
-            blocker: w1,
-        });
-        self.watches[(!w1).code()].push(Watcher {
-            cref,
-            blocker: w0,
-        });
+        self.watches[(!w0).code()].push(Watcher { cref, blocker: w1 });
+        self.watches[(!w1).code()].push(Watcher { cref, blocker: w0 });
         cref
     }
 
@@ -488,6 +514,12 @@ impl Solver {
         }
     }
 
+    fn interrupted(&mut self, stop: Stop) -> SatResult {
+        self.interrupt = Some(stop);
+        self.cancel_until(0);
+        SatResult::Interrupted
+    }
+
     /// Solves the formula with no assumptions.
     pub fn solve(&mut self) -> SatResult {
         self.solve_with_assumptions(&[])
@@ -497,6 +529,7 @@ impl Solver {
     /// available through [`Solver::model_value`]; the solver can be reused
     /// incrementally afterwards (assumptions do not persist).
     pub fn solve_with_assumptions(&mut self, assumptions: &[SatLit]) -> SatResult {
+        self.interrupt = None;
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -509,6 +542,9 @@ impl Solver {
         loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
+                if let Err(stop) = self.limits.check() {
+                    return self.interrupted(stop);
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return SatResult::Unsat;
@@ -533,6 +569,12 @@ impl Solver {
                     self.max_learnts *= 1.3;
                 }
             } else if conflicts_budget == 0 {
+                // Restarts are rare and conflict-bounded: take the
+                // unstrided poll so a deadline can't slip past a long
+                // conflict-free stretch.
+                if let Err(stop) = self.limits.check_now() {
+                    return self.interrupted(stop);
+                }
                 self.stats.restarts += 1;
                 conflicts_budget = RESTART_BASE * luby(self.stats.restarts + 1);
                 self.cancel_until(0);
@@ -550,7 +592,11 @@ impl Solver {
                     }
                 }
             } else {
-                // Decide.
+                // Decide. Poll before popping the heap: a var popped but
+                // not yet enqueued would be lost to future solves.
+                if let Err(stop) = self.limits.check() {
+                    return self.interrupted(stop);
+                }
                 let mut next = None;
                 while let Some(v) = self.heap.pop_max(&self.activity) {
                     if self.assign[v as usize] == Value::Undef {

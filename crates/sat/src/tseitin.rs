@@ -139,7 +139,10 @@ mod tests {
             assert_eq!(solver.solve_with_assumptions(&assumptions), SatResult::Sat);
             // And the opposite polarity must be Unsat.
             *assumptions.last_mut().unwrap() = cnf.lit(f).negate_if(expect);
-            assert_eq!(solver.solve_with_assumptions(&assumptions), SatResult::Unsat);
+            assert_eq!(
+                solver.solve_with_assumptions(&assumptions),
+                SatResult::Unsat
+            );
         }
     }
 

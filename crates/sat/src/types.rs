@@ -95,6 +95,15 @@ pub enum SatResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The limits attached via
+    /// [`Solver::set_limits`](crate::Solver::set_limits) stopped the
+    /// search before an answer was reached (cancellation or deadline).
+    /// The solver backtracks to level 0 and stays usable; the reason is
+    /// available from
+    /// [`Solver::interrupt_reason`](crate::Solver::interrupt_reason).
+    /// Callers must treat this as *no answer* — in particular it must
+    /// never be conflated with `Unsat`.
+    Interrupted,
 }
 
 /// Three-valued assignment.

@@ -1,16 +1,27 @@
 //! Property tests: the CDCL solver must agree with brute-force
-//! enumeration on random CNFs, with and without assumptions.
+//! enumeration on random CNFs, with and without assumptions. Randomized
+//! with seeded loops (the offline build replaces proptest), so failures
+//! reproduce deterministically from the printed case seed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sec_sat::{SatLit, SatResult, Solver};
 
 const NVARS: usize = 8;
+const CASES: u64 = 256;
 
 type Cnf = Vec<Vec<(usize, bool)>>; // (var, positive)
 
-fn arb_cnf() -> impl Strategy<Value = Cnf> {
-    let clause = proptest::collection::vec((0..NVARS, any::<bool>()), 1..5);
-    proptest::collection::vec(clause, 0..40)
+fn random_cnf(rng: &mut StdRng) -> Cnf {
+    let num_clauses = rng.gen_range(0..40usize);
+    (0..num_clauses)
+        .map(|_| {
+            let len = rng.gen_range(1..5usize);
+            (0..len)
+                .map(|_| (rng.gen_range(0..NVARS), rng.gen()))
+                .collect()
+        })
+        .collect()
 }
 
 fn brute_force(cnf: &Cnf, fixed: &[(usize, bool)]) -> bool {
@@ -21,10 +32,7 @@ fn brute_force(cnf: &Cnf, fixed: &[(usize, bool)]) -> bool {
                 continue 'outer;
             }
         }
-        if cnf
-            .iter()
-            .all(|c| c.iter().any(|&(v, pos)| val(v) == pos))
-        {
+        if cnf.iter().all(|c| c.iter().any(|&(v, pos)| val(v) == pos)) {
             return true;
         }
     }
@@ -41,54 +49,70 @@ fn build(cnf: &Cnf) -> (Solver, Vec<SatLit>) {
     (s, lits)
 }
 
-proptest! {
-    #[test]
-    fn agrees_with_brute_force(cnf in arb_cnf()) {
+#[test]
+fn agrees_with_brute_force() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5A7_0000 ^ case);
+        let cnf = random_cnf(&mut rng);
         let (mut s, lits) = build(&cnf);
         let expect = brute_force(&cnf, &[]);
         let got = s.solve() == SatResult::Sat;
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
         if got {
             // The model must satisfy every clause.
             for c in &cnf {
-                prop_assert!(c.iter().any(|&(v, pos)| s.model_value(lits[v]) == pos));
+                assert!(
+                    c.iter().any(|&(v, pos)| s.model_value(lits[v]) == pos),
+                    "case {case}: model violates a clause"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn assumptions_agree_with_brute_force(cnf in arb_cnf(), fixed in proptest::collection::vec((0..NVARS, any::<bool>()), 0..4)) {
-        // Drop contradictory duplicate assumptions on the same variable.
+#[test]
+fn assumptions_agree_with_brute_force() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5A7_1000 ^ case);
+        let cnf = random_cnf(&mut rng);
+        let num_fixed = rng.gen_range(0..4usize);
+        let fixed: Vec<(usize, bool)> = (0..num_fixed)
+            .map(|_| (rng.gen_range(0..NVARS), rng.gen()))
+            .collect();
+        // Skip contradictory duplicate assumptions on the same variable.
         let mut seen = std::collections::HashMap::new();
-        let mut consistent = true;
-        for &(v, b) in &fixed {
-            if *seen.entry(v).or_insert(b) != b {
-                consistent = false;
-            }
+        let consistent = fixed.iter().all(|&(v, b)| *seen.entry(v).or_insert(b) == b);
+        if !consistent {
+            continue;
         }
-        prop_assume!(consistent);
         let (mut s, lits) = build(&cnf);
         let assumptions: Vec<SatLit> = fixed.iter().map(|&(v, b)| lits[v].negate_if(!b)).collect();
         let expect = brute_force(&cnf, &fixed);
         let got = s.solve_with_assumptions(&assumptions) == SatResult::Sat;
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
         if got {
             for &(v, b) in &fixed {
-                prop_assert_eq!(s.model_value(lits[v]), b);
+                assert_eq!(s.model_value(lits[v]), b, "case {case}");
             }
         }
         // Incremental reuse: solving again without assumptions must match.
         let plain = s.solve() == SatResult::Sat;
-        prop_assert_eq!(plain, brute_force(&cnf, &[]));
+        assert_eq!(plain, brute_force(&cnf, &[]), "case {case}");
     }
+}
 
-    #[test]
-    fn solver_is_reusable_across_many_queries(cnf in arb_cnf(), queries in proptest::collection::vec((0..NVARS, any::<bool>()), 0..6)) {
+#[test]
+fn solver_is_reusable_across_many_queries() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5A7_2000 ^ case);
+        let cnf = random_cnf(&mut rng);
         let (mut s, lits) = build(&cnf);
-        for (v, b) in queries {
+        let num_queries = rng.gen_range(0..6usize);
+        for _ in 0..num_queries {
+            let (v, b) = (rng.gen_range(0..NVARS), rng.gen::<bool>());
             let expect = brute_force(&cnf, &[(v, b)]);
             let got = s.solve_with_assumptions(&[lits[v].negate_if(!b)]) == SatResult::Sat;
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect, "case {case}");
         }
     }
 }

@@ -191,7 +191,7 @@ pub fn ternary_outputs_agree(a: &Aig, b: &Aig, sequence: &[Vec<Ternary>]) -> boo
 mod tests {
     use super::*;
     use sec_netlist::Aig;
-    use Ternary::{One, X, Zero};
+    use Ternary::{One, Zero, X};
 
     /// Counter with synchronous clear (as generated by `sec-gen`).
     fn clearable() -> Aig {
@@ -225,11 +225,8 @@ mod tests {
         let g = aig.or(a, b);
         let vals = ternary_eval(&aig, &[Zero, X], &[]);
         assert_eq!(vals[f.var().index()], Zero); // 0 & X = 0
-        // or = !( !a & !b ): !0 & !X = 1 & X = X -> or = X
-        assert_eq!(
-            vals[g.var().index()].complement_if(g.is_complemented()),
-            X
-        );
+                                                 // or = !( !a & !b ): !0 & !X = 1 & X = X -> or = X
+        assert_eq!(vals[g.var().index()].complement_if(g.is_complemented()), X);
     }
 
     #[test]

@@ -100,11 +100,7 @@ pub fn mutate_detectable(
         let m = random_mutation(old, &mut rng)?;
         let mutant = mutate(old, m);
         for t in 0..4 {
-            let trace = Trace::random(
-                old.num_inputs(),
-                sim_frames,
-                seed ^ (k as u64) << 8 ^ t,
-            );
+            let trace = Trace::random(old.num_inputs(), sim_frames, seed ^ (k as u64) << 8 ^ t);
             if first_output_mismatch(old, &mutant, &trace).is_some() {
                 return Some((mutant, m));
             }

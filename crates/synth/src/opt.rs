@@ -62,10 +62,7 @@ pub fn balance(old: &Aig) -> Aig {
     fn leaves(old: &Aig, root: Var, fanout: &[usize], out: &mut Vec<Lit>) {
         let (a, b) = old.and_fanins(root);
         for l in [a, b] {
-            if !l.is_complemented()
-                && old.is_and(l.var())
-                && fanout[l.var().index()] == 1
-            {
+            if !l.is_complemented() && old.is_and(l.var()) && fanout[l.var().index()] == 1 {
                 leaves(old, l.var(), fanout, out);
             } else {
                 out.push(l);
@@ -163,10 +160,7 @@ fn right_associate(aig: &mut Aig, root: Lit) -> Lit {
                 }
             }
         }
-        let mapped: Vec<Lit> = leaves
-            .iter()
-            .map(|&x| go(aig, x, memo))
-            .collect();
+        let mapped: Vec<Lit> = leaves.iter().map(|&x| go(aig, x, memo)).collect();
         // Right-associated chain.
         let mut acc = Lit::TRUE;
         for &x in mapped.iter().rev() {
@@ -211,7 +205,9 @@ mod tests {
     fn balance_reduces_depth_of_chain() {
         // A long single-fanout AND chain.
         let mut aig = Aig::new();
-        let lits: Vec<Lit> = (0..8).map(|i| aig.add_input(format!("i{i}")).lit()).collect();
+        let lits: Vec<Lit> = (0..8)
+            .map(|i| aig.add_input(format!("i{i}")).lit())
+            .collect();
         let mut acc = lits[0];
         for &l in &lits[1..] {
             acc = aig.and(acc, l);

@@ -154,8 +154,12 @@ pub fn sweep(old: &Aig) -> Aig {
     for v in old.and_vars() {
         if live[v.index()] {
             let (a, b) = old.and_fanins(v);
-            let na = map[a.var().index()].unwrap().complement_if(a.is_complemented());
-            let nb = map[b.var().index()].unwrap().complement_if(b.is_complemented());
+            let na = map[a.var().index()]
+                .unwrap()
+                .complement_if(a.is_complemented());
+            let nb = map[b.var().index()]
+                .unwrap()
+                .complement_if(b.is_complemented());
             map[v.index()] = Some(aig.and(na, nb));
         }
     }

@@ -114,11 +114,7 @@ mod tests {
         for seed in 0..5 {
             let imp = forward_retime(&spec, &RetimeOptions::default(), seed);
             let t = Trace::random(2, 80, seed);
-            assert_eq!(
-                first_output_mismatch(&spec, &imp, &t),
-                None,
-                "seed {seed}"
-            );
+            assert_eq!(first_output_mismatch(&spec, &imp, &t), None, "seed {seed}");
         }
     }
 

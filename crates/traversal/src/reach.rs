@@ -4,7 +4,8 @@
 
 use crate::regcorr::register_correspondence;
 use crate::symbolic::SymbolicMachine;
-use sec_bdd::{Bdd, BddOverflow, BddVar, Substitution};
+use sec_bdd::{Bdd, BddHalt, BddVar, Substitution};
+use sec_limits::{CancellationToken, Limits, ProgressCounter};
 use sec_netlist::{Aig, ProductError, ProductMachine};
 use sec_sim::Trace;
 use std::time::{Duration, Instant};
@@ -24,6 +25,14 @@ pub struct TraversalOptions {
     pub sift: bool,
     /// Wall-clock budget (the original experiments used 3600 s).
     pub timeout: Option<Duration>,
+    /// Cooperative cancellation token, polled from the BDD manager's
+    /// hot loop and between image steps. `None` means the run can only
+    /// end by finishing, overflowing or timing out.
+    pub cancel: Option<CancellationToken>,
+    /// Shared counter bumped once per image step, so an observer on
+    /// another thread (the portfolio orchestrator) can emit live
+    /// progress events.
+    pub progress: Option<ProgressCounter>,
 }
 
 impl Default for TraversalOptions {
@@ -34,6 +43,8 @@ impl Default for TraversalOptions {
             register_correspondence: true,
             sift: false,
             timeout: Some(Duration::from_secs(600)),
+            cancel: None,
+            progress: None,
         }
     }
 }
@@ -79,10 +90,16 @@ pub fn check_equivalence(
     let mut stats = TraversalStats::default();
     let outcome = run(&pm, opts, start, &mut stats);
     stats.time = start.elapsed();
-    Ok((match outcome {
-        Ok(o) => o,
-        Err(e) => TraversalOutcome::ResourceOut(format!("BDD overflow: {e}")),
-    }, stats))
+    Ok((
+        match outcome {
+            Ok(o) => o,
+            Err(BddHalt::Stopped(stop)) => TraversalOutcome::ResourceOut(stop.reason().to_string()),
+            Err(e @ BddHalt::Overflow { .. }) => {
+                TraversalOutcome::ResourceOut(format!("BDD overflow: {e}"))
+            }
+        },
+        stats,
+    ))
 }
 
 fn run(
@@ -90,8 +107,18 @@ fn run(
     opts: &TraversalOptions,
     start: Instant,
     stats: &mut TraversalStats,
-) -> Result<TraversalOutcome, BddOverflow> {
+) -> Result<TraversalOutcome, BddHalt> {
     let mut sm = SymbolicMachine::build(pm, opts.node_limit)?;
+    // The manager polls the same deadline/token from `mk`, so a losing
+    // portfolio run stops mid-image within milliseconds.
+    let mut limits = match &opts.cancel {
+        Some(t) => Limits::with_token(t),
+        None => Limits::none(),
+    };
+    if let Some(t) = opts.timeout {
+        limits = limits.with_deadline(start + t);
+    }
+    sm.mgr.set_limits(limits);
     let n = pm.aig.num_latches();
 
     // Optional register-correspondence collapse.
@@ -173,6 +200,12 @@ fn run(
     }
 
     loop {
+        if let Some(tok) = &opts.cancel {
+            if tok.is_cancelled() {
+                stats.peak_nodes = sm.mgr.peak_live_nodes();
+                return Ok(TraversalOutcome::ResourceOut("cancelled".to_string()));
+            }
+        }
         if let Some(t) = opts.timeout {
             if start.elapsed() > t {
                 stats.peak_nodes = sm.mgr.peak_live_nodes();
@@ -191,6 +224,9 @@ fn run(
             return Ok(TraversalOutcome::ResourceOut("iteration cap".to_string()));
         }
         stats.iterations += 1;
+        if let Some(p) = &opts.progress {
+            p.bump();
+        }
 
         // Image of the frontier.
         let mut a = sm.mgr.exists_cube(frontier, cube_bdds[0])?;
@@ -227,7 +263,7 @@ fn reconstruct(
     delta: &[Bdd],
     rings: &[Bdd],
     bad: Bdd,
-) -> Result<Trace, BddOverflow> {
+) -> Result<Trace, BddHalt> {
     let k = rings.len() - 1;
     let asg = sm
         .mgr
@@ -237,9 +273,7 @@ fn reconstruct(
         sm.input_vars.iter().map(|v| asg[v.id()]).collect()
     };
     let read_state = |asg: &[bool], sm: &SymbolicMachine| -> Vec<bool> {
-        kept.iter()
-            .map(|&i| asg[sm.state_vars[i].id()])
-            .collect()
+        kept.iter().map(|&i| asg[sm.state_vars[i].id()]).collect()
     };
     let mut inputs_rev = vec![read_inputs(&asg, sm)];
     let mut target = read_state(&asg, sm);
@@ -275,6 +309,8 @@ mod tests {
             register_correspondence: true,
             sift: false,
             timeout: Some(Duration::from_secs(60)),
+            cancel: None,
+            progress: None,
         }
     }
 

@@ -7,7 +7,7 @@
 //! baseline the paper compares against.
 
 use crate::symbolic::SymbolicMachine;
-use sec_bdd::{Bdd, BddOverflow, Substitution};
+use sec_bdd::{Bdd, BddHalt, Substitution};
 use sec_netlist::ProductMachine;
 
 /// The result of register-correspondence analysis.
@@ -38,12 +38,12 @@ impl RegisterCorrespondence {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`] on node-limit overflow.
+    /// Returns [`BddHalt`] on node-limit overflow.
     pub fn substitution(
         &self,
         sm: &SymbolicMachine,
         pm: &ProductMachine,
-    ) -> Result<Substitution, BddOverflow> {
+    ) -> Result<Substitution, BddHalt> {
         let mut subst = Substitution::new();
         for class in &self.classes {
             let r = class[0];
@@ -67,11 +67,11 @@ impl RegisterCorrespondence {
 ///
 /// # Errors
 ///
-/// Returns [`BddOverflow`] on node-limit overflow.
+/// Returns [`BddHalt`] on node-limit overflow.
 pub fn register_correspondence(
     sm: &mut SymbolicMachine,
     pm: &ProductMachine,
-) -> Result<RegisterCorrespondence, BddOverflow> {
+) -> Result<RegisterCorrespondence, BddHalt> {
     let n = pm.aig.num_latches();
     let inits: Vec<bool> = (0..n)
         .map(|i| pm.aig.latch_init(pm.aig.latches()[i]))

@@ -2,7 +2,7 @@
 //! current-state and input variables, next-state functions, and the
 //! output-agreement function λ.
 
-use sec_bdd::{Bdd, BddManager, BddOverflow, BddVar};
+use sec_bdd::{Bdd, BddHalt, BddManager, BddVar};
 use sec_netlist::{Node, ProductMachine};
 
 /// The BDD image of a product machine.
@@ -32,9 +32,9 @@ impl SymbolicMachine {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`] if the combinational functions exceed the
+    /// Returns [`BddHalt`] if the combinational functions exceed the
     /// manager's node limit.
-    pub fn build(pm: &ProductMachine, node_limit: usize) -> Result<SymbolicMachine, BddOverflow> {
+    pub fn build(pm: &ProductMachine, node_limit: usize) -> Result<SymbolicMachine, BddHalt> {
         let mut mgr = BddManager::with_node_limit(node_limit);
         let aig = &pm.aig;
         let input_vars: Vec<BddVar> = (0..aig.num_inputs()).map(|_| mgr.add_var()).collect();
@@ -86,12 +86,12 @@ impl SymbolicMachine {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`] on node-limit overflow.
+    /// Returns [`BddHalt`] on node-limit overflow.
     pub fn initial_state(
         &mut self,
         pm: &ProductMachine,
         latches: &[usize],
-    ) -> Result<Bdd, BddOverflow> {
+    ) -> Result<Bdd, BddHalt> {
         let mut cube = Bdd::ONE;
         for &i in latches {
             let init = pm.aig.latch_init(pm.aig.latches()[i]);

@@ -1,0 +1,69 @@
+//! Racing all four engines: no single method dominates, so the
+//! portfolio runs signal correspondence (BDD and SAT backends), BMC and
+//! exact traversal in parallel and takes the first *definitive* answer.
+//! Three instances with three different winners:
+//!
+//! 1. a retimed pipeline — correspondence territory;
+//! 2. the binary/one-hot incompleteness pair — only traversal proves it;
+//! 3. a mutated (inequivalent) circuit — BMC finds the counterexample.
+//!
+//! ```sh
+//! cargo run --release --example portfolio
+//! ```
+
+use sec::core::Verdict;
+use sec::gen::{counter, counter_pair_onehot, CounterKind};
+use sec::portfolio::{self, PortfolioOptions, ProgressEvent};
+use sec::synth::{mutate_detectable, pipeline, PipelineOptions};
+use std::time::Duration;
+
+fn race(label: &str, spec: &sec::netlist::Aig, imp: &sec::netlist::Aig) {
+    println!("=== {label} ===");
+    let opts = PortfolioOptions {
+        timeout: Some(Duration::from_secs(60)),
+        ..PortfolioOptions::default()
+    };
+    let r = portfolio::run_with_events(spec, imp, &opts, |ev| match ev {
+        ProgressEvent::Started { engine, at } => {
+            println!("  [{:>8.3}s] {engine} started", at.as_secs_f64())
+        }
+        ProgressEvent::Finished {
+            engine,
+            verdict,
+            at,
+            ..
+        } => println!(
+            "  [{:>8.3}s] {engine} finished: {verdict}",
+            at.as_secs_f64()
+        ),
+        ProgressEvent::Cancelling { winner, at } => println!(
+            "  [{:>8.3}s] {winner} wins — cancelling the others",
+            at.as_secs_f64()
+        ),
+        _ => {}
+    })
+    .expect("interfaces match");
+    let verdict = match &r.verdict {
+        Verdict::Equivalent => "EQUIVALENT".to_string(),
+        Verdict::Inequivalent(t) => format!("INEQUIVALENT ({}-frame counterexample)", t.len()),
+        Verdict::Unknown(reason) => format!("UNKNOWN — {reason}"),
+    };
+    match r.winner {
+        Some(w) => println!("  {verdict}, won by {w} in {:.3}s\n", r.time.as_secs_f64()),
+        None => println!("  {verdict}\n"),
+    }
+}
+
+fn main() {
+    let spec = counter(10, CounterKind::Binary);
+    let imp = pipeline(&spec, &PipelineOptions::default(), 5);
+    race("retimed pipeline (correspondence wins)", &spec, &imp);
+
+    let (bin, ring) = counter_pair_onehot(5);
+    race("binary vs one-hot (only traversal proves it)", &bin, &ring);
+
+    let spec = counter(8, CounterKind::Binary);
+    let (mutant, m) = mutate_detectable(&spec, 7, 64, 16).expect("mutation found");
+    println!("injected fault: {m:?}");
+    race("mutated circuit (BMC refutes it)", &spec, &mutant);
+}

@@ -40,7 +40,10 @@ fn main() {
     match &result.verdict {
         Verdict::Equivalent => println!("verdict: EQUIVALENT (proven)"),
         Verdict::Inequivalent(trace) => {
-            println!("verdict: INEQUIVALENT — {}-step counterexample", trace.len())
+            println!(
+                "verdict: INEQUIVALENT — {}-step counterexample",
+                trace.len()
+            )
         }
         Verdict::Unknown(reason) => println!("verdict: UNKNOWN ({reason})"),
     }

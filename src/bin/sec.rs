@@ -15,30 +15,42 @@
 
 use sec::core::{Backend, Checker, Options, SignalScope, Verdict};
 use sec::netlist::{analysis, dot, parse_aiger, parse_bench, write_aiger, write_bench, Aig};
+use sec::portfolio::{self, EngineKind, PortfolioOptions, ProgressEvent};
+use sec::sim::Trace;
 use sec::synth::{pipeline, PipelineOptions};
 use std::process::exit;
 use std::time::Duration;
 
+/// Process exit codes of `sec check`: the verdict is machine-readable
+/// from the code alone. Anything above [`EXIT_UNKNOWN`] is an error
+/// (usage, unreadable file, interface mismatch), never a verdict.
+const EXIT_EQUIVALENT: i32 = 0;
+const EXIT_INEQUIVALENT: i32 = 1;
+const EXIT_UNKNOWN: i32 = 2;
+const EXIT_USAGE: i32 = 3;
+
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         sec check <spec> <impl> [--backend bdd|sat] [--scope all|regs]\n           \
+         sec check <spec> <impl> [--engine bdd|sat|portfolio] [--scope all|regs]\n           \
          [--no-sim-seed] [--no-funcdep] [--approx-reach] [--retime-rounds N]\n           \
-         [--timeout SECS] [--node-limit N] [--bmc-depth N] [--seed N]\n  \
+         [--timeout SECS] [--engine-timeout SECS] [--node-limit N]\n           \
+         [--bmc-depth N] [--seed N] [--json]\n  \
          sec info <circuit>\n  \
          sec optimize <in> <out> [--seed N] [--retime-only]\n  \
          sec sweep <in> <out> [--backend bdd|sat]\n  \
          sec dot <circuit>\n  \
          sec sat <file.cnf>\n\n\
+         check exit codes: 0 equivalent, 1 not equivalent, 2 unknown, 3 error\n\
          circuit formats: ISCAS'89 .bench, ASCII AIGER .aag"
     );
-    exit(2)
+    exit(EXIT_USAGE)
 }
 
 fn read_circuit(path: &str) -> Aig {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
-        exit(1)
+        exit(EXIT_USAGE)
     });
     let looks_aiger = path.ends_with(".aag") || text.starts_with("aag ");
     let result = if looks_aiger {
@@ -48,7 +60,7 @@ fn read_circuit(path: &str) -> Aig {
     };
     result.unwrap_or_else(|e| {
         eprintln!("{path}: {e}");
-        exit(1)
+        exit(EXIT_USAGE)
     })
 }
 
@@ -69,8 +81,86 @@ fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
     *i += 1;
     args.get(*i).unwrap_or_else(|| {
         eprintln!("{flag} needs a value");
-        exit(2)
+        exit(EXIT_USAGE)
     })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn trace_json(trace: &Trace) -> String {
+    let frames: Vec<String> = trace
+        .inputs
+        .iter()
+        .map(|frame| {
+            let bits: String = frame.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            format!("\"{bits}\"")
+        })
+        .collect();
+    format!("[{}]", frames.join(","))
+}
+
+/// Prints the human-readable verdict block and returns the exit code.
+fn print_verdict(verdict: &Verdict) -> i32 {
+    match verdict {
+        Verdict::Equivalent => {
+            println!("EQUIVALENT");
+            EXIT_EQUIVALENT
+        }
+        Verdict::Inequivalent(trace) => {
+            println!("INEQUIVALENT — {}-frame counterexample:", trace.len());
+            for (f, frame) in trace.inputs.iter().enumerate() {
+                let bits: String = frame.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                println!("  frame {f}: {bits}");
+            }
+            EXIT_INEQUIVALENT
+        }
+        Verdict::Unknown(reason) => {
+            println!("UNKNOWN: {reason}");
+            EXIT_UNKNOWN
+        }
+    }
+}
+
+/// The shared JSON fields of a verdict: `"verdict":..` plus, when
+/// present, `"reason"`/`"trace"`.
+fn verdict_json_fields(verdict: &Verdict) -> String {
+    match verdict {
+        Verdict::Equivalent => "\"verdict\":\"equivalent\"".to_string(),
+        Verdict::Inequivalent(trace) => format!(
+            "\"verdict\":\"inequivalent\",\"trace\":{}",
+            trace_json(trace)
+        ),
+        Verdict::Unknown(reason) => format!(
+            "\"verdict\":\"unknown\",\"reason\":\"{}\"",
+            json_escape(reason)
+        ),
+    }
+}
+
+fn verdict_exit_code(verdict: &Verdict) -> i32 {
+    match verdict {
+        Verdict::Equivalent => EXIT_EQUIVALENT,
+        Verdict::Inequivalent(_) => EXIT_INEQUIVALENT,
+        Verdict::Unknown(_) => EXIT_UNKNOWN,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CheckEngine {
+    Solo,
+    Portfolio,
 }
 
 fn cmd_check(args: &[String]) {
@@ -80,16 +170,34 @@ fn cmd_check(args: &[String]) {
     let spec = read_circuit(&args[0]);
     let imp = read_circuit(&args[1]);
     let mut opts = Options::default();
+    let mut engine = CheckEngine::Solo;
+    let mut engine_timeout: Option<Duration> = None;
+    let mut json = false;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
+            "--engine" => match take_value(args, &mut i, "--engine") {
+                "bdd" => {
+                    engine = CheckEngine::Solo;
+                    opts.backend = Backend::Bdd;
+                }
+                "sat" => {
+                    engine = CheckEngine::Solo;
+                    opts.backend = Backend::Sat;
+                }
+                "portfolio" => engine = CheckEngine::Portfolio,
+                other => {
+                    eprintln!("unknown engine `{other}`");
+                    exit(EXIT_USAGE)
+                }
+            },
             "--backend" => {
                 opts.backend = match take_value(args, &mut i, "--backend") {
                     "bdd" => Backend::Bdd,
                     "sat" => Backend::Sat,
                     other => {
                         eprintln!("unknown backend `{other}`");
-                        exit(2)
+                        exit(EXIT_USAGE)
                     }
                 }
             }
@@ -99,13 +207,14 @@ fn cmd_check(args: &[String]) {
                     "regs" => SignalScope::RegistersOnly,
                     other => {
                         eprintln!("unknown scope `{other}`");
-                        exit(2)
+                        exit(EXIT_USAGE)
                     }
                 }
             }
             "--no-sim-seed" => opts.sim_cycles = 0,
             "--no-funcdep" => opts.functional_deps = false,
             "--approx-reach" => opts.approx_reach = true,
+            "--json" => json = true,
             "--retime-rounds" => {
                 opts.retime_rounds = take_value(args, &mut i, "--retime-rounds")
                     .parse()
@@ -116,6 +225,12 @@ fn cmd_check(args: &[String]) {
                     .parse()
                     .unwrap_or_else(|_| usage());
                 opts.timeout = Some(Duration::from_secs(secs));
+            }
+            "--engine-timeout" => {
+                let secs: u64 = take_value(args, &mut i, "--engine-timeout")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                engine_timeout = Some(Duration::from_secs(secs));
             }
             "--node-limit" => {
                 opts.node_limit = take_value(args, &mut i, "--node-limit")
@@ -134,16 +249,42 @@ fn cmd_check(args: &[String]) {
             }
             other => {
                 eprintln!("unknown option `{other}`");
-                exit(2)
+                exit(EXIT_USAGE)
             }
         }
         i += 1;
     }
-    let checker = Checker::new(&spec, &imp, opts).unwrap_or_else(|e| {
+    match engine {
+        CheckEngine::Solo => check_solo(&spec, &imp, opts, json),
+        CheckEngine::Portfolio => check_portfolio(&spec, &imp, &opts, engine_timeout, json),
+    }
+}
+
+fn check_solo(spec: &Aig, imp: &Aig, opts: Options, json: bool) -> ! {
+    let backend = opts.backend;
+    let checker = Checker::new(spec, imp, opts).unwrap_or_else(|e| {
         eprintln!("cannot compare: {e}");
-        exit(1)
+        exit(EXIT_USAGE)
     });
     let r = checker.run();
+    if json {
+        println!(
+            "{{{},\"engine\":\"{}\",\"stats\":{{\"iterations\":{},\"retime_invocations\":{},\
+             \"peak_bdd_nodes\":{},\"sat_conflicts\":{},\"eqs_percent\":{:.1},\"time_ms\":{}}}}}",
+            verdict_json_fields(&r.verdict),
+            match backend {
+                Backend::Bdd => "bdd",
+                Backend::Sat => "sat",
+            },
+            r.stats.iterations,
+            r.stats.retime_invocations,
+            r.stats.peak_bdd_nodes,
+            r.stats.sat_conflicts,
+            r.stats.eqs_percent,
+            r.stats.time.as_millis(),
+        );
+        exit(verdict_exit_code(&r.verdict))
+    }
     println!(
         "iterations={} retime_invocations={} peak_bdd_nodes={} eqs={:.1}% time={:?}",
         r.stats.iterations,
@@ -152,24 +293,97 @@ fn cmd_check(args: &[String]) {
         r.stats.eqs_percent,
         r.stats.time
     );
-    match r.verdict {
-        Verdict::Equivalent => {
-            println!("EQUIVALENT");
-            exit(0)
+    exit(print_verdict(&r.verdict))
+}
+
+fn check_portfolio(
+    spec: &Aig,
+    imp: &Aig,
+    opts: &Options,
+    engine_timeout: Option<Duration>,
+    json: bool,
+) -> ! {
+    let popts = PortfolioOptions {
+        engines: EngineKind::ALL.to_vec(),
+        timeout: opts.timeout,
+        engine_timeout,
+        seed: opts.seed,
+        bmc_depth: if opts.bmc_depth == 0 {
+            PortfolioOptions::default().bmc_depth
+        } else {
+            opts.bmc_depth
+        },
+        node_limit: opts.node_limit,
+        ..PortfolioOptions::default()
+    };
+    let on_event = |ev: &ProgressEvent| {
+        if json {
+            return;
         }
-        Verdict::Inequivalent(trace) => {
-            println!("INEQUIVALENT — {}-frame counterexample:", trace.len());
-            for (f, frame) in trace.inputs.iter().enumerate() {
-                let bits: String = frame.iter().map(|&b| if b { '1' } else { '0' }).collect();
-                println!("  frame {f}: {bits}");
+        match ev {
+            ProgressEvent::Started { engine, at } => {
+                eprintln!("[{:>8.3}s] {engine} started", at.as_secs_f64())
             }
-            exit(10)
+            ProgressEvent::Iteration { .. } => {}
+            ProgressEvent::Finished {
+                engine,
+                verdict,
+                at,
+                ..
+            } => eprintln!("[{:>8.3}s] {engine} finished: {verdict}", at.as_secs_f64()),
+            ProgressEvent::Cancelling { winner, at } => eprintln!(
+                "[{:>8.3}s] {winner} wins, cancelling the rest",
+                at.as_secs_f64()
+            ),
+            ProgressEvent::GlobalTimeout { at } => {
+                eprintln!("[{:>8.3}s] global timeout", at.as_secs_f64())
+            }
         }
-        Verdict::Unknown(reason) => {
-            println!("UNKNOWN: {reason}");
-            exit(20)
-        }
+    };
+    let r = portfolio::run_with_events(spec, imp, &popts, on_event).unwrap_or_else(|e| {
+        eprintln!("cannot compare: {e}");
+        exit(EXIT_USAGE)
+    });
+    if json {
+        let engines: Vec<String> = r
+            .reports
+            .iter()
+            .map(|rep| {
+                format!(
+                    "{{\"name\":\"{}\",{},\"iterations\":{},\"peak_bdd_nodes\":{},\
+                     \"sat_conflicts\":{},\"time_ms\":{}}}",
+                    rep.engine,
+                    verdict_json_fields(&rep.verdict),
+                    rep.iterations,
+                    rep.peak_bdd_nodes,
+                    rep.sat_conflicts,
+                    rep.time.as_millis(),
+                )
+            })
+            .collect();
+        println!(
+            "{{{},\"engine\":\"portfolio\",\"winner\":{},\"time_ms\":{},\"engines\":[{}]}}",
+            verdict_json_fields(&r.verdict),
+            match r.winner {
+                Some(w) => format!("\"{w}\""),
+                None => "null".to_string(),
+            },
+            r.time.as_millis(),
+            engines.join(","),
+        );
+        exit(verdict_exit_code(&r.verdict))
     }
+    for rep in &r.reports {
+        println!(
+            "engine {:<9} iterations={} peak_bdd_nodes={} sat_conflicts={} time={:?}",
+            rep.engine, rep.iterations, rep.peak_bdd_nodes, rep.sat_conflicts, rep.time
+        );
+    }
+    match r.winner {
+        Some(w) => println!("winner={w} time={:?}", r.time),
+        None => println!("winner=none time={:?}", r.time),
+    }
+    exit(print_verdict(&r.verdict))
 }
 
 fn cmd_info(args: &[String]) {
@@ -209,7 +423,7 @@ fn cmd_optimize(args: &[String]) {
             "--retime-only" => po = PipelineOptions::retime_only(),
             other => {
                 eprintln!("unknown option `{other}`");
-                exit(2)
+                exit(EXIT_USAGE)
             }
         }
         i += 1;
@@ -251,13 +465,13 @@ fn cmd_sweep(args: &[String]) {
                     "sat" => Backend::Sat,
                     other => {
                         eprintln!("unknown backend `{other}`");
-                        exit(2)
+                        exit(EXIT_USAGE)
                     }
                 }
             }
             other => {
                 eprintln!("unknown option `{other}`");
-                exit(2)
+                exit(EXIT_USAGE)
             }
         }
         i += 1;
@@ -282,7 +496,11 @@ fn cmd_sweep(args: &[String]) {
         stats.ands_before,
         stats.latches_after,
         stats.ands_after,
-        if stats.gave_up { " (gave up, unchanged)" } else { "" }
+        if stats.gave_up {
+            " (gave up, unchanged)"
+        } else {
+            ""
+        }
     );
 }
 

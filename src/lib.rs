@@ -13,6 +13,8 @@
 //! * [`synth`] — retiming + combinational optimization (instance creation)
 //! * [`traversal`] — baseline symbolic reachability of the product machine
 //! * [`core`] — the signal-correspondence fixed-point engine itself
+//! * [`limits`] — cooperative cancellation tokens and deadlines
+//! * [`portfolio`] — parallel multi-engine racing with first-definitive-wins
 //!
 //! ## Quickstart
 //!
@@ -34,7 +36,9 @@
 pub use sec_bdd as bdd;
 pub use sec_core as core;
 pub use sec_gen as gen;
+pub use sec_limits as limits;
 pub use sec_netlist as netlist;
+pub use sec_portfolio as portfolio;
 pub use sec_sat as sat;
 pub use sec_sim as sim;
 pub use sec_synth as synth;

@@ -16,6 +16,8 @@ fn traversal_opts() -> TraversalOptions {
         register_correspondence: true,
         sift: false,
         timeout: Some(std::time::Duration::from_secs(120)),
+        cancel: None,
+        progress: None,
     }
 }
 

@@ -41,7 +41,7 @@ fn check_equivalent_exits_zero() {
 }
 
 #[test]
-fn check_inequivalent_exits_ten_with_trace() {
+fn check_inequivalent_exits_one_with_trace() {
     let spec = write_tmp("spec_neq.bench", TOGGLE);
     let imp = write_tmp("impl_neq.bench", TOGGLE_BROKEN);
     let out = Command::new(SEC)
@@ -50,10 +50,72 @@ fn check_inequivalent_exits_ten_with_trace() {
         .arg(&imp)
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(10));
+    assert_eq!(out.status.code(), Some(1));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("INEQUIVALENT"));
     assert!(text.contains("frame 0"));
+}
+
+#[test]
+fn check_json_reports_verdict_and_trace() {
+    let spec = write_tmp("spec_json.bench", TOGGLE);
+    let imp = write_tmp("impl_json.bench", TOGGLE_BROKEN);
+    let out = Command::new(SEC)
+        .args(["check"])
+        .arg(&spec)
+        .arg(&imp)
+        .args(["--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.starts_with('{') && text.trim_end().ends_with('}'),
+        "{text}"
+    );
+    assert!(text.contains("\"verdict\":\"inequivalent\""), "{text}");
+    assert!(text.contains("\"trace\":["), "{text}");
+
+    let out = Command::new(SEC)
+        .args(["check"])
+        .arg(&spec)
+        .arg(&spec)
+        .args(["--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"verdict\":\"equivalent\""), "{text}");
+}
+
+#[test]
+fn check_portfolio_engine_wins_and_reports() {
+    let spec = write_tmp("spec_pf.bench", TOGGLE);
+    let out = Command::new(SEC)
+        .args(["check"])
+        .arg(&spec)
+        .arg(&spec)
+        .args(["--engine", "portfolio", "--timeout", "60", "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"engine\":\"portfolio\""), "{text}");
+    assert!(text.contains("\"winner\":\""), "{text}");
+    assert!(text.contains("\"engines\":["), "{text}");
+
+    let imp = write_tmp("impl_pf.bench", TOGGLE_BROKEN);
+    let out = Command::new(SEC)
+        .args(["check"])
+        .arg(&spec)
+        .arg(&imp)
+        .args(["--engine", "portfolio", "--timeout", "60"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("INEQUIVALENT"), "{text}");
+    assert!(text.contains("winner="), "{text}");
 }
 
 #[test]
@@ -81,7 +143,11 @@ fn optimize_then_check_roundtrip() {
 #[test]
 fn info_reports_stats() {
     let spec = write_tmp("spec_info.bench", TOGGLE);
-    let out = Command::new(SEC).args(["info"]).arg(&spec).output().unwrap();
+    let out = Command::new(SEC)
+        .args(["info"])
+        .arg(&spec)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("l=1"), "{text}");
@@ -107,7 +173,13 @@ fn sat_solves_dimacs() {
 }
 
 #[test]
-fn bad_usage_exits_two() {
+fn bad_usage_exits_above_two() {
     let out = Command::new(SEC).args(["frobnicate"]).output().unwrap();
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
+    // A missing file is an error, never a verdict.
+    let out = Command::new(SEC)
+        .args(["check", "/nonexistent/a.bench", "/nonexistent/b.bench"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
 }

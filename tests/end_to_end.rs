@@ -3,8 +3,10 @@
 //! matters, on both backends.
 
 use sec_core::{Backend, Checker, Options, Verdict};
-use sec_gen::{arbiter, counter, crc, lfsr, mixed, pipeline as gen_pipeline, random_fsm,
-    seq_multiplier, CounterKind};
+use sec_gen::{
+    arbiter, counter, crc, lfsr, mixed, pipeline as gen_pipeline, random_fsm, seq_multiplier,
+    CounterKind,
+};
 use sec_netlist::Aig;
 use sec_synth::{pipeline, PipelineOptions};
 

@@ -72,7 +72,9 @@ fn fig2_proven_without_simulation_seeding() {
         sim_cycles: 0,
         ..Options::default()
     };
-    let r = Checker::new(&fig2_spec(), &fig2_impl(), opts).unwrap().run();
+    let r = Checker::new(&fig2_spec(), &fig2_impl(), opts)
+        .unwrap()
+        .run();
     assert_eq!(r.verdict, Verdict::Equivalent);
 }
 

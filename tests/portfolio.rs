@@ -1,0 +1,259 @@
+//! End-to-end tests of the engine portfolio: different instance classes
+//! must be won by *different* engines, losing engines must cancel
+//! promptly and leave their solvers consistent, and the race must never
+//! change the verdict.
+
+use sec_bdd::{BddHalt, BddManager};
+use sec_core::{Checker, Options, Verdict};
+use sec_gen::arith;
+use sec_gen::{counter, counter_pair_onehot, registered_multiplier, CounterKind};
+use sec_limits::{CancellationToken, Limits, Stop};
+use sec_netlist::{Aig, Lit};
+use sec_portfolio::{EngineKind, PortfolioOptions};
+use sec_sat::{SatResult, Solver};
+use sec_sim::first_output_mismatch;
+use sec_synth::{mutate_detectable, pipeline, PipelineOptions};
+use sec_traversal::{check_equivalence, TraversalOptions, TraversalOutcome};
+use std::time::{Duration, Instant};
+
+fn popts(timeout: Duration) -> PortfolioOptions {
+    PortfolioOptions {
+        timeout: Some(timeout),
+        ..PortfolioOptions::default()
+    }
+}
+
+/// The paper's own incompleteness example — a binary counter against its
+/// one-hot re-encoding — has no internal signal correspondences, so both
+/// correspondence engines degrade to `Unknown` and the exact traversal
+/// must win the race. The global timeout covers the whole portfolio.
+#[test]
+fn incompleteness_pair_is_won_by_traversal() {
+    let (spec, imp) = counter_pair_onehot(5);
+    let timeout = Duration::from_secs(120);
+    let t0 = Instant::now();
+    let r = sec_portfolio::run(&spec, &imp, &popts(timeout)).unwrap();
+    assert!(t0.elapsed() < timeout, "race exceeded its global timeout");
+    assert_eq!(r.verdict, Verdict::Equivalent);
+    assert_eq!(
+        r.winner,
+        Some(EngineKind::Traversal),
+        "events: {:#?}",
+        r.events
+    );
+    // The correspondence engines really were incomplete here, so the win
+    // is attributable: nobody else could have produced it.
+    for rep in &r.reports {
+        if matches!(rep.engine, EngineKind::BddCorr | EngineKind::SatCorr) {
+            assert!(
+                matches!(rep.verdict, Verdict::Unknown(_)),
+                "{} unexpectedly decided the incompleteness pair",
+                rep.engine
+            );
+        }
+    }
+}
+
+/// A behaviour-changing mutation must be refuted — and because the
+/// portfolio's correspondence engines run without simulation refutation
+/// or BMC fallback, the refutation is attributed to the dedicated BMC
+/// engine. The counterexample must be a real one.
+#[test]
+fn mutant_is_refuted_by_bmc_with_a_valid_trace() {
+    let spec = counter(8, CounterKind::Binary);
+    let (mutant, _) =
+        mutate_detectable(&spec, 0xFEED, 64, 16).expect("a detectable mutation exists");
+    let timeout = Duration::from_secs(120);
+    let t0 = Instant::now();
+    let r = sec_portfolio::run(&spec, &mutant, &popts(timeout)).unwrap();
+    assert!(t0.elapsed() < timeout, "race exceeded its global timeout");
+    assert_eq!(r.winner, Some(EngineKind::Bmc), "events: {:#?}", r.events);
+    match &r.verdict {
+        Verdict::Inequivalent(trace) => {
+            assert!(
+                first_output_mismatch(&spec, &mutant, trace).is_some(),
+                "counterexample does not distinguish the circuits"
+            );
+        }
+        other => panic!("expected Inequivalent, got {other:?}"),
+    }
+}
+
+/// A hard instance for every lineup member: a free-running 24-bit
+/// counter whose only output asserts at frame 2^24 − 1, against an
+/// implementation that never asserts. They are inequivalent, but the
+/// earliest counterexample is ~16M frames deep (beyond BMC), there are
+/// no internal correspondences (correspondence degrades to `Unknown`),
+/// and exact traversal needs 2^24 image steps — the reached set stays a
+/// tiny prefix-interval BDD, so it grinds instead of overflowing.
+fn deep_counter_pair() -> (Aig, Aig) {
+    let w = 24usize;
+    let mut spec = Aig::new();
+    let regs: Vec<_> = (0..w).map(|_| spec.add_latch(false)).collect();
+    let q: Vec<Lit> = regs.iter().map(|r| r.lit()).collect();
+    let (inc, _) = arith::increment(&mut spec, &q);
+    for (&r, &n) in regs.iter().zip(&inc) {
+        spec.set_latch_next(r, n);
+    }
+    let tc = arith::equals_const(&mut spec, &q, (1u64 << w) - 1);
+    spec.add_output(tc, "tc");
+
+    let mut imp = Aig::new();
+    imp.add_output(Lit::FALSE, "tc");
+    (spec, imp)
+}
+
+/// With a global deadline far too small for any engine, the portfolio
+/// degrades to `Unknown` — promptly, not after the losing engines run to
+/// completion — and names no winner.
+#[test]
+fn tiny_global_timeout_degrades_to_unknown_promptly() {
+    let (spec, imp) = deep_counter_pair();
+    let timeout = Duration::from_millis(500);
+    let t0 = Instant::now();
+    let r = sec_portfolio::run(&spec, &imp, &popts(timeout)).unwrap();
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(r.verdict, Verdict::Unknown(_)),
+        "verdict: {:?}",
+        r.verdict
+    );
+    assert_eq!(r.winner, None);
+    // Cancellation is cooperative but must be prompt: well under the
+    // cost of letting any engine run to completion.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "degradation took {elapsed:?}"
+    );
+}
+
+/// Cancelling a grinding traversal mid-flight must stop it within a
+/// bounded wall-clock with a `cancelled` outcome — never a wrong verdict
+/// (the pair is inequivalent, just far beyond what 100 ms can explore).
+#[test]
+fn cancel_mid_run_stops_traversal_promptly() {
+    let (spec, imp) = deep_counter_pair();
+    let token = CancellationToken::new();
+    let canceller = token.clone();
+    let handle = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        canceller.cancel();
+    });
+    let opts = TraversalOptions {
+        cancel: Some(token),
+        timeout: None,
+        max_iterations: usize::MAX,
+        ..TraversalOptions::default()
+    };
+    let t0 = Instant::now();
+    let (out, stats) = check_equivalence(&spec, &imp, &opts).unwrap();
+    let elapsed = t0.elapsed();
+    handle.join().unwrap();
+    match out {
+        TraversalOutcome::ResourceOut(reason) => {
+            assert!(reason.contains("cancelled"), "reason: {reason}")
+        }
+        other => panic!("cancelled traversal returned {other:?}"),
+    }
+    assert!(stats.iterations > 0, "cancel fired before any work");
+    assert!(elapsed < Duration::from_secs(10), "cancel took {elapsed:?}");
+}
+
+/// A `Checker` whose token is already cancelled must come back with
+/// `Unknown` immediately — the cancellation path runs end to end through
+/// the correspondence engine, not just through its BDD layer.
+#[test]
+fn cancelled_checker_returns_unknown() {
+    let (spec, imp) = deep_counter_pair();
+    let token = CancellationToken::new();
+    token.cancel();
+    let opts = Options {
+        cancel: Some(token),
+        timeout: None,
+        bmc_depth: 0,
+        sim_refute: false,
+        ..Options::default()
+    };
+    let t0 = Instant::now();
+    let r = Checker::new(&spec, &imp, opts).unwrap().run();
+    match &r.verdict {
+        Verdict::Unknown(reason) => assert!(reason.contains("cancel"), "reason: {reason}"),
+        other => panic!("cancelled run returned {other:?}"),
+    }
+    assert!(t0.elapsed() < Duration::from_secs(5));
+}
+
+/// After a cancelled operation the BDD manager must still satisfy its
+/// canonical-form invariants and keep working once the limits are lifted.
+#[test]
+fn bdd_manager_is_consistent_after_cancellation() {
+    let mut m = BddManager::new();
+    let vars = m.add_vars(24);
+    let token = CancellationToken::new();
+    m.set_limits(Limits::with_token(&token));
+    token.cancel();
+    // Enough work that the strided poll must fire.
+    let mut f = m.var(vars[0]);
+    let mut halted = false;
+    for chunk in vars[1..].chunks(2) {
+        let g = match chunk.iter().try_fold(f, |acc, &v| {
+            let x = m.var(v);
+            m.xor(acc, x)
+        }) {
+            Ok(g) => g,
+            Err(BddHalt::Stopped(Stop::Cancelled)) => {
+                halted = true;
+                break;
+            }
+            Err(e) => panic!("unexpected halt: {e:?}"),
+        };
+        f = g;
+    }
+    assert!(halted, "cancelled manager kept working");
+    assert!(m.check_canonical(), "cancellation corrupted the node table");
+    // Lifting the limits restores full service on the same manager.
+    m.set_limits(Limits::none());
+    let x = m.var(vars[0]);
+    assert_eq!(m.and(x, !x).unwrap(), sec_bdd::Bdd::ZERO);
+    assert!(m.check_canonical());
+}
+
+/// After an interrupted solve the SAT solver must report the reason and
+/// then answer correctly once the limits are lifted — an interrupt must
+/// never decay into `Unsat`.
+#[test]
+fn sat_solver_answers_correctly_after_interruption() {
+    let mut s = Solver::new();
+    let a = s.new_var().positive();
+    let b = s.new_var().positive();
+    s.add_clause(&[a, b]);
+    s.add_clause(&[!a, b]);
+    let token = CancellationToken::new();
+    token.cancel();
+    s.set_limits(Limits::with_token(&token));
+    assert_eq!(s.solve(), SatResult::Interrupted);
+    assert_eq!(s.interrupt_reason(), Some(Stop::Cancelled));
+    s.set_limits(Limits::none());
+    assert_eq!(s.solve(), SatResult::Sat);
+    s.add_clause(&[!b]);
+    assert_eq!(s.solve(), SatResult::Unsat);
+}
+
+/// The race is nondeterministic in *scheduling* but must be
+/// deterministic in *outcome*: verdict and winner are stable across
+/// repeated runs because each instance class is decidable by exactly one
+/// lineup member.
+#[test]
+fn portfolio_outcome_is_deterministic_across_runs() {
+    let (spec, imp) = counter_pair_onehot(4);
+    let eq_spec = registered_multiplier(3, 2);
+    let eq_imp = pipeline(&eq_spec, &PipelineOptions::retime_only(), 11);
+    for _ in 0..3 {
+        let r = sec_portfolio::run(&spec, &imp, &popts(Duration::from_secs(60))).unwrap();
+        assert_eq!(r.verdict, Verdict::Equivalent);
+        assert_eq!(r.winner, Some(EngineKind::Traversal));
+
+        let r = sec_portfolio::run(&eq_spec, &eq_imp, &popts(Duration::from_secs(60))).unwrap();
+        assert_eq!(r.verdict, Verdict::Equivalent);
+    }
+}

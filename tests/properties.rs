@@ -1,47 +1,69 @@
 //! Cross-crate property tests over fully random sequential circuits:
 //! format round trips, synthesis passes, and verifier soundness must all
 //! hold for arbitrary netlists, not just the structured generators.
+//! Randomized with seeded loops (the offline build replaces proptest),
+//! so failures reproduce deterministically from the printed case seed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sec::gen::random_aig;
 use sec::netlist::{check, parse_aiger, parse_bench, write_aiger, write_bench};
 use sec::sim::{first_output_mismatch, Trace};
 use sec::synth;
 
-/// Shape parameters for a random circuit.
-fn arb_shape() -> impl Strategy<Value = (usize, usize, usize, u64)> {
-    (0usize..4, 0usize..5, 1usize..40, any::<u64>())
-        .prop_filter("need a leaf", |(i, l, ..)| i + l > 0)
+/// Shape parameters for a random circuit: inputs, latches, gates, seed.
+fn arb_shape(rng: &mut StdRng) -> (usize, usize, usize, u64) {
+    loop {
+        let i = rng.gen_range(0..4usize);
+        let l = rng.gen_range(0..5usize);
+        if i + l == 0 {
+            continue; // need a leaf
+        }
+        let g = rng.gen_range(1..40usize);
+        return (i, l, g, rng.gen());
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_circuits_are_well_formed((i, l, g, seed) in arb_shape()) {
+#[test]
+fn random_circuits_are_well_formed() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC14C_0000 ^ case);
+        let (i, l, g, seed) = arb_shape(&mut rng);
         let aig = random_aig(i, l, g, seed);
-        prop_assert!(check(&aig).is_ok());
-        prop_assert!(aig.num_outputs() >= 1);
+        assert!(check(&aig).is_ok(), "case {case}");
+        assert!(aig.num_outputs() >= 1, "case {case}");
     }
+}
 
-    #[test]
-    fn bench_roundtrip_random((i, l, g, seed) in arb_shape()) {
+#[test]
+fn bench_roundtrip_random() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC14C_1000 ^ case);
+        let (i, l, g, seed) = arb_shape(&mut rng);
         let aig = random_aig(i, l, g, seed);
         let back = parse_bench(&write_bench(&aig)).unwrap();
         let t = Trace::random(aig.num_inputs(), 48, seed ^ 1);
-        prop_assert_eq!(first_output_mismatch(&aig, &back, &t), None);
+        assert_eq!(first_output_mismatch(&aig, &back, &t), None, "case {case}");
     }
+}
 
-    #[test]
-    fn aiger_roundtrip_random((i, l, g, seed) in arb_shape()) {
+#[test]
+fn aiger_roundtrip_random() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC14C_2000 ^ case);
+        let (i, l, g, seed) = arb_shape(&mut rng);
         let aig = random_aig(i, l, g, seed);
         let back = parse_aiger(&write_aiger(&aig)).unwrap();
         let t = Trace::random(aig.num_inputs(), 48, seed ^ 2);
-        prop_assert_eq!(first_output_mismatch(&aig, &back, &t), None);
+        assert_eq!(first_output_mismatch(&aig, &back, &t), None, "case {case}");
     }
+}
 
-    #[test]
-    fn synthesis_passes_preserve_behaviour((i, l, g, seed) in arb_shape()) {
+#[test]
+fn synthesis_passes_preserve_behaviour() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC14C_3000 ^ case);
+        let (i, l, g, seed) = arb_shape(&mut rng);
         let aig = random_aig(i, l, g, seed);
         let t = Trace::random(aig.num_inputs(), 64, seed ^ 3);
         let variants = [
@@ -55,18 +77,21 @@ proptest! {
             synth::pipeline(&aig, &synth::PipelineOptions::default(), seed),
         ];
         for (k, v) in variants.iter().enumerate() {
-            prop_assert_eq!(
+            assert_eq!(
                 first_output_mismatch(&aig, v, &t),
                 None,
-                "pass #{} changed behaviour",
-                k
+                "case {case}: pass #{k} changed behaviour"
             );
         }
     }
+}
 
-    #[test]
-    fn verifier_proves_pipeline_on_random_circuits((i, l, g, seed) in arb_shape()) {
-        use sec::core::{Checker, Options, Verdict};
+#[test]
+fn verifier_proves_pipeline_on_random_circuits() {
+    use sec::core::{Checker, Options, Verdict};
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC14C_4000 ^ case);
+        let (i, l, g, seed) = arb_shape(&mut rng);
         let aig = random_aig(i, l, g, seed);
         let imp = synth::pipeline(&aig, &synth::PipelineOptions::default(), seed ^ 5);
         let opts = Options {
@@ -76,23 +101,27 @@ proptest! {
         let r = Checker::new(&aig, &imp, opts).unwrap().run();
         // Equivalent is expected; Unknown is tolerated (incompleteness);
         // Inequivalent would be a catastrophic synth or checker bug.
-        prop_assert!(
+        assert!(
             !matches!(r.verdict, Verdict::Inequivalent(_)),
-            "false refutation on random circuit"
+            "case {case}: false refutation on random circuit"
         );
-        prop_assert!(
+        assert!(
             !matches!(r.verdict, Verdict::Unknown(_)),
-            "pipeline output should be provable: {:?}",
+            "case {case}: pipeline output should be provable: {:?}",
             r.verdict
         );
     }
+}
 
-    #[test]
-    fn verifier_never_proves_mutants_random((i, l, g, seed) in arb_shape()) {
-        use sec::core::{Checker, Options, Verdict};
+#[test]
+fn verifier_never_proves_mutants_random() {
+    use sec::core::{Checker, Options, Verdict};
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC14C_5000 ^ case);
+        let (i, l, g, seed) = arb_shape(&mut rng);
         let aig = random_aig(i, l, g, seed);
         let Some((mutant, m)) = synth::mutate_detectable(&aig, seed, 40, 64) else {
-            return Ok(());
+            continue;
         };
         let opts = Options {
             timeout: Some(std::time::Duration::from_secs(30)),
@@ -100,16 +129,19 @@ proptest! {
             ..Options::default()
         };
         let r = Checker::new(&aig, &mutant, opts).unwrap().run();
-        prop_assert!(
+        assert!(
             !matches!(r.verdict, Verdict::Equivalent),
-            "UNSOUND on `{}`",
-            m
+            "case {case}: UNSOUND on `{m}`"
         );
     }
+}
 
-    #[test]
-    fn ternary_sim_refines_binary((i, l, g, seed) in arb_shape()) {
-        use sec::sim::{eval_single, ternary_eval, Ternary};
+#[test]
+fn ternary_sim_refines_binary() {
+    use sec::sim::{eval_single, ternary_eval, Ternary};
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC14C_6000 ^ case);
+        let (i, l, g, seed) = arb_shape(&mut rng);
         // With all-definite values, ternary evaluation must agree with
         // the boolean evaluator on every node.
         let aig = random_aig(i, l, g, seed);
@@ -121,37 +153,54 @@ proptest! {
         let tst: Vec<Ternary> = state.iter().map(|&b| b.into()).collect();
         let tvals = ternary_eval(&aig, &tin, &tst);
         for v in aig.vars() {
-            prop_assert_eq!(tvals[v.index()], Ternary::from(bvals[v.index()]));
+            assert_eq!(
+                tvals[v.index()],
+                Ternary::from(bvals[v.index()]),
+                "case {case}"
+            );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn sequential_sweep_preserves_behaviour((i, l, g, seed) in arb_shape()) {
-        use sec::core::{sequential_sweep, Options};
+#[test]
+fn sequential_sweep_preserves_behaviour() {
+    use sec::core::{sequential_sweep, Options};
+    for case in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xC14C_7000 ^ case);
+        let (i, l, g, seed) = arb_shape(&mut rng);
         let aig = random_aig(i, l, g, seed);
         let opts = Options {
             timeout: Some(std::time::Duration::from_secs(20)),
             ..Options::default()
         };
         let (reduced, stats) = sequential_sweep(&aig, &opts).unwrap();
-        prop_assert!(reduced.num_ands() <= aig.num_ands() || stats.gave_up);
+        assert!(
+            reduced.num_ands() <= aig.num_ands() || stats.gave_up,
+            "case {case}"
+        );
         let t = Trace::random(aig.num_inputs(), 128, seed ^ 11);
-        prop_assert_eq!(first_output_mismatch(&aig, &reduced, &t), None);
+        assert_eq!(
+            first_output_mismatch(&aig, &reduced, &t),
+            None,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn combinational_sweep_agrees_with_exhaustive((i, g, seed) in (0usize..4, 1usize..14, any::<u64>()).prop_filter("leaf", |(i, ..)| *i > 0)) {
-        use sec::core::{combinational_equiv, CombResult};
+#[test]
+fn combinational_sweep_agrees_with_exhaustive() {
+    use sec::core::{combinational_equiv, CombResult};
+    for case in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xC14C_8000 ^ case);
+        let i = rng.gen_range(1..4usize);
+        let g = rng.gen_range(1..14usize);
+        let seed: u64 = rng.gen();
         // Latch-free circuits: combinational equivalence is decidable by
         // enumeration; the SAT sweep must agree.
         let a = random_aig(i, 0, g, seed);
         let b = synth::minterm_rewrite(&a, 0.8, seed ^ 3);
         let (r, _) = combinational_equiv(&a, &b).unwrap();
-        prop_assert_eq!(r, CombResult::Equivalent);
+        assert_eq!(r, CombResult::Equivalent, "case {case}");
         // And against a mutant of itself, refutation must be correct.
         if let Some((m, _)) = synth::mutate_detectable(&a, seed, 30, 16) {
             if m.num_latches() == a.num_latches() {
@@ -164,7 +213,7 @@ proptest! {
                         (va[x.lit.var().index()] ^ x.lit.is_complemented())
                             != (vm[y.lit.var().index()] ^ y.lit.is_complemented())
                     });
-                    prop_assert!(differs, "witness must be real");
+                    assert!(differs, "case {case}: witness must be real");
                 }
             }
         }

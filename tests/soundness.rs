@@ -70,7 +70,9 @@ fn mutants_with_disabled_extensions_still_sound() {
         let Some((mutant, m)) = mutate_detectable(&spec, seed, 60, 96) else {
             continue;
         };
-        let r = Checker::new(&spec, &mutant, opts_base.clone()).unwrap().run();
+        let r = Checker::new(&spec, &mutant, opts_base.clone())
+            .unwrap()
+            .run();
         assert!(
             !r.verdict.is_equivalent(),
             "UNSOUND with features off: `{m}`"
