@@ -192,17 +192,32 @@ impl Checker {
                     approx_latches.as_deref(),
                     &pairs,
                 )
-                .map(|s| (s.iterations, s.peak_nodes, 0u64, s.outputs_ok)),
-                Backend::Sat => {
-                    sat_backend::run_fixed_point(&self.pm.aig, &mut partition, &deadline, &pairs)
-                        .map(|s| (s.iterations, 0usize, s.conflicts, s.outputs_ok))
-                }
+                .map(|s| (s.iterations, s.peak_nodes, 0u64, 0usize, 0u64, s.outputs_ok)),
+                Backend::Sat => sat_backend::run_fixed_point(
+                    &self.pm.aig,
+                    &mut partition,
+                    &self.opts,
+                    &deadline,
+                    &pairs,
+                )
+                .map(|s| {
+                    (
+                        s.iterations,
+                        0usize,
+                        s.conflicts,
+                        s.solver_constructions,
+                        s.solver_calls,
+                        s.outputs_ok,
+                    )
+                }),
             };
             match result {
-                Ok((its, peak, conflicts, outputs_ok)) => {
+                Ok((its, peak, conflicts, constructions, calls, outputs_ok)) => {
                     stats.iterations += its;
                     stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(peak);
                     stats.sat_conflicts += conflicts;
+                    stats.sat_solver_constructions += constructions;
+                    stats.sat_solver_calls += calls;
                     if outputs_ok {
                         proven = true;
                         break;
@@ -251,6 +266,42 @@ impl Checker {
         };
         stats.time = start.elapsed();
         CheckResult { verdict, stats }
+    }
+}
+
+/// Computes the maximum signal correspondence relation of a single
+/// circuit (typically a product machine) with the configured backend and
+/// returns the final partition.
+///
+/// Exposed so tests, diagnostics, and benchmarks can compare the exact
+/// fixed point across backends: incremental SAT, monolithic SAT, and BDD
+/// must all land on the *same* partition — every counterexample-guided
+/// split preserves "the true relation refines the current partition", so
+/// any fixed point reached is the unique coarsest one refining the
+/// simulation seed.
+///
+/// # Errors
+///
+/// Returns the abort reason when the run is cancelled, times out, or
+/// exhausts a resource limit.
+pub fn correspondence_partition(aig: &Aig, opts: &Options) -> Result<Partition, String> {
+    check_circuit(aig).map_err(|e| e.to_string())?;
+    let deadline = Deadline::new(opts.timeout)
+        .with_token(opts.cancel.as_ref())
+        .with_progress(opts.progress.as_ref());
+    let mut partition = seed_partition(aig, opts);
+    let run = match opts.backend {
+        Backend::Bdd => {
+            bdd_backend::run_fixed_point(aig, &mut partition, opts, &deadline, None, &[])
+                .map(|_| ())
+        }
+        Backend::Sat => {
+            sat_backend::run_fixed_point(aig, &mut partition, opts, &deadline, &[]).map(|_| ())
+        }
+    };
+    match run {
+        Ok(()) => Ok(partition),
+        Err(abort) => Err(abort.reason()),
     }
 }
 

@@ -62,7 +62,7 @@ mod sweep;
 
 pub use bmc::bmc_refute;
 pub use comb::{combinational_equiv, CombResult, CombStats};
-pub use engine::{BuildError, Checker};
+pub use engine::{correspondence_partition, BuildError, Checker};
 pub use invariant::prove_invariants;
 pub use options::{Backend, Options, SignalScope};
 pub use partition::Partition;

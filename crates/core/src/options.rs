@@ -70,6 +70,27 @@ pub struct Options {
     /// Run sifting-based reordering when the BDD table grows (BDD backend
     /// only).
     pub sift: bool,
+    /// Incremental SAT fixed point (SAT backend only): encode the
+    /// two-frame unrolling once and keep one persistent solver across
+    /// all refinement rounds, guarding each round's correspondence
+    /// condition `Q` behind an activation literal that is retracted (a
+    /// unit `¬act`) when the partition refines. Learned clauses and
+    /// variable activities survive every round. `false` falls back to
+    /// the monolithic path that rebuilds solver and CNF per round.
+    pub sat_incremental: bool,
+    /// 64-bit words of bit-parallel counterexample amplification per
+    /// satisfiable SAT query (SAT backend only): the witness plus
+    /// `64*w - 1` bit-flipped neighbours are simulated in one pass and
+    /// every `Q`-satisfying pattern refines the partition, so one
+    /// solver call typically splits many classes. `0` disables
+    /// amplification (single-witness splitting).
+    pub sat_amplify_words: usize,
+    /// Per-query conflict budget of the incremental SAT path. When a
+    /// query exhausts it, the run falls back gracefully to the
+    /// monolithic path (fresh solver per round, no budget) from the
+    /// current partition — never misreading the budgeted query as
+    /// "unsatisfiable". `None` means no budget.
+    pub sat_conflict_budget: Option<u64>,
     /// Refute cheaply by lockstep random simulation before the fixed
     /// point (and use simulation counterexamples found during seeding).
     /// Portfolio runs disable this in engines whose role is proving, so
@@ -101,6 +122,9 @@ impl Default for Options {
             approx_group: 8,
             bmc_depth: 16,
             sift: false,
+            sat_incremental: true,
+            sat_amplify_words: 1,
+            sat_conflict_budget: None,
             sim_refute: true,
             cancel: None,
             progress: None,
@@ -116,10 +140,23 @@ impl Options {
         Options::default()
     }
 
-    /// SAT-backend configuration.
+    /// SAT-backend configuration (incremental solver, amplification on).
     pub fn sat() -> Options {
         Options {
             backend: Backend::Sat,
+            ..Options::default()
+        }
+    }
+
+    /// SAT-backend configuration with the pre-incremental behaviour:
+    /// fresh solver and CNF per refinement round, single-witness
+    /// splitting. The baseline the incremental path is benchmarked
+    /// against.
+    pub fn sat_monolithic() -> Options {
+        Options {
+            backend: Backend::Sat,
+            sat_incremental: false,
+            sat_amplify_words: 0,
             ..Options::default()
         }
     }
@@ -152,6 +189,17 @@ mod tests {
 
     #[test]
     fn sat_preset() {
-        assert_eq!(Options::sat().backend, Backend::Sat);
+        let o = Options::sat();
+        assert_eq!(o.backend, Backend::Sat);
+        assert!(o.sat_incremental);
+        assert!(o.sat_amplify_words > 0);
+    }
+
+    #[test]
+    fn sat_monolithic_preset() {
+        let o = Options::sat_monolithic();
+        assert_eq!(o.backend, Backend::Sat);
+        assert!(!o.sat_incremental);
+        assert_eq!(o.sat_amplify_words, 0);
     }
 }

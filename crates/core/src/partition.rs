@@ -119,15 +119,23 @@ impl Partition {
         let mut changed = false;
         let num = self.classes.len();
         for ci in 0..num {
-            if self.classes[ci].len() < 2 {
+            let n = self.classes[ci].len();
+            if n < 2 {
                 continue;
             }
             // Partition members by normalized value; keep the group of
-            // the representative in place.
+            // the representative in place. Both sides are pre-sized so
+            // the refinement loop never reallocates mid-split.
             let repr_val = self.normalized_value(values, self.classes[ci][0]);
-            let (keep, split): (Vec<Var>, Vec<Var>) = self.classes[ci]
-                .iter()
-                .partition(|&&v| self.normalized_value(values, v) == repr_val);
+            let mut keep: Vec<Var> = Vec::with_capacity(n);
+            let mut split: Vec<Var> = Vec::with_capacity(n);
+            for &v in &self.classes[ci] {
+                if self.normalized_value(values, v) == repr_val {
+                    keep.push(v);
+                } else {
+                    split.push(v);
+                }
+            }
             if !split.is_empty() {
                 changed = true;
                 let new_ci = self.classes.len() as u32;
@@ -139,6 +147,91 @@ impl Partition {
             }
         }
         changed
+    }
+
+    /// Globally refines the partition by up to 64 evaluation points at
+    /// once: `word_of(v)` packs one value bit per pattern, and `mask`
+    /// selects which patterns are *valid* splitting points (for the
+    /// two-frame check: patterns whose frame-0 values satisfy the
+    /// current correspondence condition — see
+    /// [`Partition::valid_word_mask`]). Members of a class whose masked
+    /// normalized words differ are separated, splitting into as many
+    /// groups as there are distinct words. Returns `true` if anything
+    /// split.
+    ///
+    /// With `mask == 0` nothing splits; with a single mask bit this
+    /// degenerates to [`Partition::refine_by_values`] on that pattern.
+    pub fn refine_by_words(&mut self, mut word_of: impl FnMut(Var) -> u64, mask: u64) -> bool {
+        if mask == 0 {
+            return false;
+        }
+        use std::collections::HashMap;
+        let mut changed = false;
+        let num = self.classes.len();
+        let mut groups: HashMap<u64, Vec<Var>> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
+        for ci in 0..num {
+            if self.classes[ci].len() < 2 {
+                continue;
+            }
+            groups.clear();
+            order.clear();
+            for &v in &self.classes[ci] {
+                let w = word_of(v);
+                let key = (if self.phase[v.index()] { w } else { !w }) & mask;
+                groups
+                    .entry(key)
+                    .or_insert_with(|| {
+                        order.push(key);
+                        Vec::new()
+                    })
+                    .push(v);
+            }
+            if groups.len() < 2 {
+                continue;
+            }
+            changed = true;
+            // The representative's group (first in insertion order)
+            // keeps the class index; the others become new classes.
+            let mut first = true;
+            for &key in &order {
+                let group = groups.remove(&key).expect("insertion order tracks groups");
+                if first {
+                    self.classes[ci] = group;
+                    first = false;
+                } else {
+                    let new_ci = self.classes.len() as u32;
+                    for v in &group {
+                        self.class_of[v.index()] = new_ci;
+                    }
+                    self.classes.push(group);
+                }
+            }
+        }
+        changed
+    }
+
+    /// The mask of patterns whose frame-0 evaluation satisfies the
+    /// correspondence condition `Q` of *this* partition: bit `k` is set
+    /// iff in pattern `k` every multi-member class agrees (normalized)
+    /// across all its members. Only those patterns may soundly drive
+    /// [`Partition::refine_by_words`] for the two-frame check —
+    /// splitting by a `Q`-violating point could separate signals the
+    /// maximum correspondence relation keeps together.
+    pub fn valid_word_mask(&self, mut word_of: impl FnMut(Var) -> u64) -> u64 {
+        let mut valid = !0u64;
+        for ci in self.multi_classes() {
+            let members = &self.classes[ci];
+            let norm = |v: Var, w: u64| if self.phase[v.index()] { w } else { !w };
+            let repr = norm(members[0], word_of(members[0]));
+            for &m in &members[1..] {
+                valid &= !(norm(m, word_of(m)) ^ repr);
+                if valid == 0 {
+                    return 0;
+                }
+            }
+        }
+        valid
     }
 
     /// Splits one class by an arbitrary grouping key. Used for the exact
@@ -154,8 +247,10 @@ impl Partition {
         }
         use std::collections::HashMap;
         let members = std::mem::take(&mut self.classes[ci]);
-        let mut groups: HashMap<K, Vec<Var>> = HashMap::new();
-        let mut order: Vec<K> = Vec::new();
+        // Pre-sized to the class: the refinement loop calls this for
+        // every class of every round, so rehash/regrow churn adds up.
+        let mut groups: HashMap<K, Vec<Var>> = HashMap::with_capacity(members.len());
+        let mut order: Vec<K> = Vec::with_capacity(members.len());
         for &v in &members {
             let k = key(v);
             match groups.entry(k) {
@@ -212,6 +307,24 @@ impl Partition {
     /// `Q ⇒ λ` check subsumes it).
     pub fn outputs_equiv(&self, pairs: &[(Lit, Lit)]) -> bool {
         pairs.iter().all(|&(a, b)| self.lit_equiv(a, b))
+    }
+
+    /// The classes in a canonical form independent of split order:
+    /// members sorted within each class, classes sorted by their first
+    /// member. Two partitions over the same signal set are equal as
+    /// equivalence relations iff their canonical classes are equal.
+    pub fn canonical_classes(&self) -> Vec<Vec<Var>> {
+        let mut classes: Vec<Vec<Var>> = self
+            .classes
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.sort();
+                c
+            })
+            .collect();
+        classes.sort();
+        classes
     }
 }
 
@@ -288,6 +401,58 @@ mod tests {
         assert_eq!(p.class_of(v(7)), Some(4));
         assert!(!p.phase(v(7)));
         assert!(p.lit_equiv(v(6).lit(), v(6).lit()));
+    }
+
+    #[test]
+    fn refine_by_words_matches_per_pattern_refinement() {
+        // 64 patterns at once must equal 64 sequential single-value
+        // refinements (same final equivalence relation).
+        let words: Vec<u64> = vec![0, 0xF0F0, !0xF0F0u64, 0xF0F0, 0xFF00, !0u64];
+        let mut by_words = sample();
+        assert!(by_words.refine_by_words(|v| words[v.index()], !0u64));
+        let mut by_values = sample();
+        for k in 0..64 {
+            let values: Vec<bool> = words.iter().map(|w| (w >> k) & 1 != 0).collect();
+            by_values.refine_by_values(&values);
+        }
+        assert_eq!(by_words.canonical_classes(), by_values.canonical_classes());
+        // Node 1 and 3 share a word (normalized: phases true) — together;
+        // node 2 has phase false and the complement word — also together.
+        assert_eq!(by_words.class_of(v(1)), by_words.class_of(v(2)));
+        assert_ne!(by_words.class_of(v(1)), by_words.class_of(v(4)));
+    }
+
+    #[test]
+    fn refine_by_words_respects_mask() {
+        let words: Vec<u64> = vec![0, 0, !0b10u64, 0, 0, 0];
+        let mut p = sample();
+        // Node 2's phase is false: its normalized word is 0b10,
+        // differing from node 1's normalized 0 in bit 1 only. Masking
+        // bit 1 out hides the difference.
+        assert!(!p.refine_by_words(|v| words[v.index()], 0b01));
+        assert!(p.refine_by_words(|v| words[v.index()], 0b11));
+        assert_ne!(p.class_of(v(1)), p.class_of(v(2)));
+        // Zero mask never splits.
+        assert!(!sample().refine_by_words(|v| words[v.index()], 0));
+    }
+
+    #[test]
+    fn valid_word_mask_filters_disagreeing_patterns() {
+        let p = sample();
+        // All classes agree everywhere: every pattern valid.
+        let agree: Vec<u64> = vec![7, 5, !5u64, 5, 9, 9];
+        assert_eq!(p.valid_word_mask(|v| agree[v.index()]), !0u64);
+        // Class {4,5} disagrees in bit 0; class {1,2,3} in bit 2.
+        let mixed: Vec<u64> = vec![7, 4, !4u64, 0, 9, 8];
+        assert_eq!(p.valid_word_mask(|v| mixed[v.index()]), !0b101u64);
+    }
+
+    #[test]
+    fn canonical_classes_ignore_order() {
+        let a = Partition::new(4, vec![vec![v(1), v(0)], vec![v(3), v(2)]], vec![true; 4]);
+        let b = Partition::new(4, vec![vec![v(2), v(3)], vec![v(0), v(1)]], vec![true; 4]);
+        assert_eq!(a.canonical_classes(), b.canonical_classes());
+        assert_eq!(a.canonical_classes()[0], vec![v(0), v(1)]);
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct CheckStats {
     pub peak_bdd_nodes: usize,
     /// SAT conflicts (0 for the BDD backend).
     pub sat_conflicts: u64,
+    /// SAT solvers constructed (0 for the BDD backend): 1 per
+    /// `run_fixed_point` on the incremental path, one per refinement
+    /// round on the monolithic path.
+    pub sat_solver_constructions: usize,
+    /// Individual SAT solve calls (0 for the BDD backend).
+    pub sat_solver_calls: u64,
     /// Percentage of specification signals (gates and registers) whose
     /// final class contains an implementation signal (the paper's
     /// `eqs (%)`).

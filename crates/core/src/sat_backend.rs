@@ -4,7 +4,7 @@
 //! conclusion sketches ("techniques based on the introduction of extra
 //! variables representing intermediate signals").
 //!
-//! Per refinement round a fresh unrolling is encoded:
+//! The unrolling encodes, once:
 //!
 //! * **frame 0** over free state inputs `s` and inputs `x₀`, with the
 //!   current classes asserted as equalities (the correspondence
@@ -14,14 +14,41 @@
 //! * an **initial frame** over its own inputs `x_I` with the registers
 //!   tied to their initial values (condition 1 of Definition 2).
 //!
-//! Satisfiable queries yield assignments that are simulated and used to
-//! split every class at once (counterexample-guided refinement).
+//! **Incremental path** (default): the solver is built once per fixed
+//! point and persists across every refinement round. `Q_{T_i}` is never
+//! asserted as hard clauses: each `(member, representative)` pair gets a
+//! persistent guard `g` with `g → (m = r)` created once per pair
+//! lifetime, and each round's activation literal `act_i` implies the
+//! live pairs' guards (one binary clause apiece), with `act_i` passed to
+//! every query as an assumption. When the round refines the partition,
+//! the unit clause `¬act_i` retracts the round; the solver, its variable
+//! activities, and all learned clauses carry over, and surviving pairs
+//! are re-activated next round at one clause each. Learnts stay valid
+//! after retraction because every clause they were derived from is still
+//! present — retraction only *satisfies* the activation clauses, it
+//! never deletes anything — and learnts over pair guards and cached
+//! difference literals keep pruning later rounds' queries.
+//!
+//! Satisfiable queries yield a witness `(s, x_t, x_{t+1})` that is
+//! **amplified**: packed with bit-flipped neighbour patterns into one
+//! 64-wide [`sec_sim`] pass, and every pattern whose frame-0 values
+//! satisfy the *current* `Q` refines the partition
+//! ([`Partition::refine_by_words`]), so one solver call can split
+//! several classes at once instead of exactly one pair.
+//!
+//! A per-query conflict budget (off by default) bounds how much the
+//! persistent solver may thrash on one query; on exhaustion the run
+//! falls back gracefully to the **monolithic path** — the original
+//! fresh-solver-per-round loop — from the current partition, which is
+//! sound because every split already applied is justified. A budgeted
+//! or interrupted query is never read as "unsatisfiable".
 
 use crate::context::{Abort, Deadline};
+use crate::options::Options;
 use crate::partition::Partition;
 use sec_netlist::{Aig, Lit, Var};
 use sec_sat::{AigCnf, SatLit, SatResult, Solver};
-use sec_sim::{eval_single, next_state_single};
+use sec_sim::{amplify_init, amplify_two_frame, eval_single, next_state_single};
 use std::collections::HashMap;
 
 /// Statistics of one fixed-point invocation.
@@ -29,6 +56,12 @@ use std::collections::HashMap;
 pub(crate) struct SatRunStats {
     pub iterations: usize,
     pub conflicts: u64,
+    /// Solvers constructed: exactly 1 on the incremental path, one per
+    /// round on the monolithic path (plus the incremental one if a
+    /// budget fall-back happened mid-run).
+    pub solver_constructions: usize,
+    /// Individual solve calls (queries).
+    pub solver_calls: u64,
     /// Theorem-1 result: does `Q_msc ⇒ λ` hold at the fixed point?
     pub outputs_ok: bool,
 }
@@ -48,6 +81,23 @@ struct Unrolling {
     x0_in: Vec<Var>,
     x1_in: Vec<Var>,
     xi_in: Vec<Var>,
+    /// Difference literals per `(member, representative, init-frame?)`
+    /// pair, reused across rounds on the incremental path. Sound
+    /// because polarity phases never change after seeding, so the
+    /// normalized literals of a pair are stable; reuse means clauses
+    /// learned about a pair in one round keep pruning the same pair's
+    /// queries in every later round.
+    pair_diffs: HashMap<(Var, Var, bool), SatLit>,
+    /// Difference literals of the Theorem-1 output checks.
+    out_diffs: HashMap<(Lit, Lit), SatLit>,
+    /// Per-pair equality guards `g → (m = r)` on frame 0, created once
+    /// when the pair `(member, representative)` first appears and
+    /// reused for as long as the pair survives refinement. Each round's
+    /// activation literal implies the guards of the currently live
+    /// pairs (one binary clause per pair), so a round's `Q_{T_i}` costs
+    /// one clause per pair instead of two, and clauses learned against
+    /// a pair's guard keep their meaning across rounds.
+    pair_guards: HashMap<(Var, Var), SatLit>,
 }
 
 impl Unrolling {
@@ -108,7 +158,36 @@ impl Unrolling {
             x0_in,
             x1_in,
             xi_in,
+            pair_diffs: HashMap::new(),
+            out_diffs: HashMap::new(),
+            pair_guards: HashMap::new(),
         }
+    }
+
+    /// The (cached) difference literal `d → (m ≠ r)` of a normalized
+    /// pair on frame 1 (`init == false`) or the initial frame.
+    fn pair_diff(&mut self, partition: &Partition, m: Var, r: Var, init: bool) -> SatLit {
+        if let Some(&d) = self.pair_diffs.get(&(m, r, init)) {
+            return d;
+        }
+        let frame = if init { &self.frame_init } else { &self.frame1 };
+        let lm = Unrolling::norm(frame, partition, m);
+        let lr = Unrolling::norm(frame, partition, r);
+        let d = self.cnf.make_diff(&mut self.solver, lm, lr);
+        self.pair_diffs.insert((m, r, init), d);
+        d
+    }
+
+    /// The (cached) difference literal of an output pair on frame 0.
+    fn out_diff(&mut self, a: Lit, b: Lit) -> SatLit {
+        if let Some(&d) = self.out_diffs.get(&(a, b)) {
+            return d;
+        }
+        let la = self.frame0[a.var().index()].complement_if(a.is_complemented());
+        let lb = self.frame0[b.var().index()].complement_if(b.is_complemented());
+        let d = self.cnf.make_diff(&mut self.solver, la, lb);
+        self.out_diffs.insert((a, b), d);
+        d
     }
 
     /// Normalized literal of a node in a frame.
@@ -121,75 +200,179 @@ impl Unrolling {
             .map(|&v| self.cnf.model_value(&self.solver, v.lit()))
             .collect()
     }
+
+    /// Asserts this round's correspondence condition `Q_{T_i}` on frame
+    /// 0 — as hard clauses (`act == None`, monolithic path) or behind
+    /// the round's activation literal (incremental path): `act` implies
+    /// every live pair's persistent equality guard. Retracting the
+    /// round (unit `¬act`) leaves the per-pair guards and their
+    /// equality clauses in place for the next round to re-activate.
+    fn assert_q(&mut self, partition: &Partition, act: Option<SatLit>) {
+        let class_ids: Vec<usize> = partition.multi_classes().collect();
+        for &ci in &class_ids {
+            let members: Vec<Var> = partition.class(ci).to_vec();
+            let rv = members[0];
+            let lr = Unrolling::norm(&self.frame0, partition, rv);
+            for &m in &members[1..] {
+                let lm = Unrolling::norm(&self.frame0, partition, m);
+                match act {
+                    Some(a) => {
+                        let g = match self.pair_guards.get(&(m, rv)) {
+                            Some(&g) => g,
+                            None => {
+                                let g = self.solver.new_var().positive();
+                                self.cnf.assert_equal_guarded(&mut self.solver, g, lm, lr);
+                                self.pair_guards.insert((m, rv), g);
+                                g
+                            }
+                        };
+                        self.solver.add_clause(&[!a, g]);
+                    }
+                    None => self.cnf.assert_equal(&mut self.solver, lm, lr),
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of one solver query.
+enum Query {
+    Sat,
+    Unsat,
+    /// The per-query conflict budget ran out (incremental path only);
+    /// the caller must fall back, never treat this as `Unsat`.
+    Budget,
 }
 
 /// Runs one query, mapping an interrupted search to the abort that
 /// caused it. An interrupted query must never read as "unsatisfiable" —
 /// that would silently drop a potential split and certify a fixed point
-/// that is not one (an unsound `Equivalent`).
-fn query(solver: &mut Solver, assumptions: &[SatLit]) -> Result<bool, Abort> {
+/// that is not one (an unsound `Equivalent`). A budget-exhausted query
+/// is surfaced as [`Query::Budget`] for the same reason.
+fn query(
+    solver: &mut Solver,
+    assumptions: &[SatLit],
+    stats: &mut SatRunStats,
+) -> Result<Query, Abort> {
+    stats.solver_calls += 1;
     match solver.solve_with_assumptions(assumptions) {
-        SatResult::Sat => Ok(true),
-        SatResult::Unsat => Ok(false),
-        SatResult::Interrupted => Err(solver
-            .interrupt_reason()
-            .map(Abort::from)
-            .unwrap_or(Abort::Timeout)),
+        SatResult::Sat => Ok(Query::Sat),
+        SatResult::Unsat => Ok(Query::Unsat),
+        SatResult::Interrupted => match solver.interrupt_reason() {
+            Some(stop) => Err(Abort::from(stop)),
+            None if solver.budget_exhausted() => Ok(Query::Budget),
+            None => Err(Abort::Timeout),
+        },
     }
 }
 
-/// Runs the greatest fixed-point iteration with the SAT engine.
-pub(crate) fn run_fixed_point(
+/// Outcome of one refinement round.
+enum Round {
+    /// At least one class split.
+    Refined,
+    /// No query was satisfiable: the partition is the fixed point.
+    NoSplit,
+    /// A query exhausted the conflict budget; fall back to monolithic.
+    Budget,
+}
+
+/// Splits the partition by a two-frame counterexample `(s, x_t,
+/// x_{t+1})`, amplified to `64 * sat_amplify_words` patterns when
+/// enabled. Only patterns whose frame-0 values satisfy the *current*
+/// correspondence condition refine the partition (the witness always
+/// does — its frame 0 satisfies the asserted, coarser `Q_{T_i}`).
+/// Returns `true` if anything split.
+fn split_by_two_frame_cex(
     aig: &Aig,
     partition: &mut Partition,
+    opts: &Options,
+    seed: u64,
+    s: &[bool],
+    xt: &[bool],
+    xt1: &[bool],
+) -> bool {
+    let words = opts.sat_amplify_words;
+    if words == 0 {
+        let s2 = next_state_single(aig, xt, s);
+        let frame2 = eval_single(aig, xt1, &s2);
+        return partition.refine_by_values(&frame2);
+    }
+    let amp = amplify_two_frame(aig, s, xt, xt1, words, seed);
+    let mut changed = false;
+    for w in 0..words {
+        let mask = partition.valid_word_mask(|v| amp.frame0.var_words(v)[w]);
+        changed |= partition.refine_by_words(|v| amp.frame1.var_words(v)[w], mask);
+    }
+    changed
+}
+
+/// Splits the partition by an initial-frame counterexample `x_I`,
+/// amplified when enabled. Every pattern is a valid splitting point —
+/// condition 1 quantifies over all inputs at the initial state.
+fn split_by_init_cex(
+    aig: &Aig,
+    partition: &mut Partition,
+    opts: &Options,
+    seed: u64,
+    xi: &[bool],
+) -> bool {
+    let words = opts.sat_amplify_words;
+    if words == 0 {
+        let vals = eval_single(aig, xi, &aig.initial_state());
+        return partition.refine_by_values(&vals);
+    }
+    let sim = amplify_init(aig, xi, words, seed);
+    let mut changed = false;
+    for w in 0..words {
+        changed |= partition.refine_by_words(|v| sim.var_words(v)[w], !0u64);
+    }
+    changed
+}
+
+/// Runs one refinement round over every multi-member class: condition-2
+/// queries on frame 1 and condition-1 queries on the initial frame,
+/// splitting on every witness. `act` carries the incremental path's
+/// activation literal (assumed in every query); `None` is the
+/// monolithic path.
+#[allow(clippy::too_many_arguments)]
+fn run_round(
+    aig: &Aig,
+    partition: &mut Partition,
+    opts: &Options,
     deadline: &Deadline,
-    output_pairs: &[(Lit, Lit)],
-) -> Result<SatRunStats, Abort> {
-    let mut stats = SatRunStats::default();
-    loop {
+    u: &mut Unrolling,
+    act: Option<SatLit>,
+    round: usize,
+    stats: &mut SatRunStats,
+) -> Result<Round, Abort> {
+    let with_act = |d: SatLit| match act {
+        Some(a) => vec![a, d],
+        None => vec![d],
+    };
+    // Deterministic per-query amplification seeds.
+    let mut query_seq = (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut changed = false;
+    let mut ci = 0;
+    while ci < partition.num_classes() {
         deadline.check()?;
-        deadline.tick();
-        stats.iterations += 1;
-        let mut u = Unrolling::build(aig);
-        // The solver polls the same deadline/token from its search loop,
-        // so a long query stops within milliseconds of cancellation.
-        u.solver.set_limits(deadline.limits());
-
-        // Assert the correspondence condition Q_{T_i} on frame 0.
-        let class_ids: Vec<usize> = partition.multi_classes().collect();
-        for &ci in &class_ids {
-            let members = partition.class(ci);
-            let r = Unrolling::norm(&u.frame0, partition, members[0]);
+        let members: Vec<Var> = partition.class(ci).to_vec();
+        if members.len() >= 2 {
+            let r = members[0];
             for &m in &members[1..] {
-                let lm = Unrolling::norm(&u.frame0, partition, m);
-                u.cnf.assert_equal(&mut u.solver, lm, r);
-            }
-        }
-
-        let mut changed = false;
-        let mut ci = 0;
-        while ci < partition.num_classes() {
-            deadline.check()?;
-            let members: Vec<Var> = partition.class(ci).to_vec();
-            if members.len() >= 2 {
-                let r = members[0];
-                for &m in &members[1..] {
-                    if partition.class_of(m) != Some(ci) {
-                        continue;
-                    }
-                    // Condition 2: next-frame disagreement under Q?
-                    let d1 = u.cnf.make_diff(
-                        &mut u.solver,
-                        Unrolling::norm(&u.frame1, partition, m),
-                        Unrolling::norm(&u.frame1, partition, r),
-                    );
-                    if query(&mut u.solver, &[d1])? {
+                if partition.class_of(m) != Some(ci) {
+                    continue;
+                }
+                query_seq = query_seq.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                // Condition 2: next-frame disagreement under Q?
+                let d1 = u.pair_diff(partition, m, r, false);
+                match query(&mut u.solver, &with_act(d1), stats)? {
+                    Query::Budget => return Ok(Round::Budget),
+                    Query::Sat => {
                         let s = u.read_inputs(&u.s_in);
                         let xt = u.read_inputs(&u.x0_in);
                         let xt1 = u.read_inputs(&u.x1_in);
-                        let s2 = next_state_single(aig, &xt, &s);
-                        let frame2 = eval_single(aig, &xt1, &s2);
-                        if !partition.refine_by_values(&frame2) {
+                        let seed = opts.seed ^ query_seq;
+                        if !split_by_two_frame_cex(aig, partition, opts, seed, &s, &xt, &xt1) {
                             return Err(Abort::Resource(
                                 "internal inconsistency: SAT counterexample did not split".into(),
                             ));
@@ -197,48 +380,195 @@ pub(crate) fn run_fixed_point(
                         changed = true;
                         continue;
                     }
-                    // Condition 1: disagreement at the initial state?
-                    let d0 = u.cnf.make_diff(
-                        &mut u.solver,
-                        Unrolling::norm(&u.frame_init, partition, m),
-                        Unrolling::norm(&u.frame_init, partition, r),
-                    );
-                    if query(&mut u.solver, &[d0])? {
+                    Query::Unsat => {}
+                }
+                // Condition 1: disagreement at the initial state?
+                let d0 = u.pair_diff(partition, m, r, true);
+                match query(&mut u.solver, &with_act(d0), stats)? {
+                    Query::Budget => return Ok(Round::Budget),
+                    Query::Sat => {
                         let xi = u.read_inputs(&u.xi_in);
-                        let vals = eval_single(aig, &xi, &aig.initial_state());
-                        if !partition.refine_by_values(&vals) {
+                        let seed = opts.seed ^ query_seq.wrapping_add(1);
+                        if !split_by_init_cex(aig, partition, opts, seed, &xi) {
                             return Err(Abort::Resource(
                                 "internal inconsistency: init counterexample did not split".into(),
                             ));
                         }
                         changed = true;
                     }
+                    Query::Unsat => {}
                 }
             }
-            ci += 1;
         }
-        if !changed {
-            // Fixed point: the solver still carries Q_{T_fix} as hard
-            // clauses on frame 0, so Theorem 1's `Q ⇒ λ` check is one
-            // more query per output pair on the *current* frame.
-            stats.outputs_ok = if partition.outputs_equiv(output_pairs) {
-                true
-            } else {
-                let mut ok = true;
-                for &(a, b) in output_pairs {
-                    let la = u.frame0[a.var().index()].complement_if(a.is_complemented());
-                    let lb = u.frame0[b.var().index()].complement_if(b.is_complemented());
-                    let d = u.cnf.make_diff(&mut u.solver, la, lb);
-                    if query(&mut u.solver, &[d])? {
-                        ok = false;
-                        break;
+        ci += 1;
+    }
+    Ok(if changed {
+        Round::Refined
+    } else {
+        Round::NoSplit
+    })
+}
+
+/// Theorem 1's `Q_msc ⇒ λ` check at the fixed point: the solver still
+/// carries `Q_{T_fix}` on frame 0 (hard or via the live activation
+/// literal), so each output pair is one more query on the current
+/// frame. Returns `None` when a query exhausted the conflict budget.
+fn check_outputs(
+    u: &mut Unrolling,
+    partition: &Partition,
+    act: Option<SatLit>,
+    output_pairs: &[(Lit, Lit)],
+    stats: &mut SatRunStats,
+) -> Result<Option<bool>, Abort> {
+    if partition.outputs_equiv(output_pairs) {
+        return Ok(Some(true));
+    }
+    for &(a, b) in output_pairs {
+        let d = u.out_diff(a, b);
+        let assumptions = match act {
+            Some(act) => vec![act, d],
+            None => vec![d],
+        };
+        match query(&mut u.solver, &assumptions, stats)? {
+            Query::Budget => return Ok(None),
+            Query::Sat => return Ok(Some(false)),
+            Query::Unsat => {}
+        }
+    }
+    Ok(Some(true))
+}
+
+/// How the incremental driver ended.
+enum Incremental {
+    /// Reached the fixed point (stats hold the verdict).
+    Done,
+    /// Conflict budget exhausted: resume on the monolithic path.
+    FallBack,
+}
+
+/// The incremental driver: one solver for the whole fixed point,
+/// per-round activation literals, learned clauses persisting across
+/// rounds.
+fn run_incremental(
+    aig: &Aig,
+    partition: &mut Partition,
+    opts: &Options,
+    deadline: &Deadline,
+    output_pairs: &[(Lit, Lit)],
+    stats: &mut SatRunStats,
+) -> Result<Incremental, Abort> {
+    let mut u = Unrolling::build(aig);
+    stats.solver_constructions += 1;
+    // The solver polls the same deadline/token from its search loop,
+    // so a long query stops within milliseconds of cancellation.
+    u.solver.set_limits(deadline.limits());
+    u.solver.set_conflict_budget(opts.sat_conflict_budget);
+    loop {
+        deadline.check()?;
+        deadline.tick();
+        stats.iterations += 1;
+        let round = stats.iterations;
+        let act = u.solver.new_var().positive();
+        u.assert_q(partition, Some(act));
+        match run_round(
+            aig,
+            partition,
+            opts,
+            deadline,
+            &mut u,
+            Some(act),
+            round,
+            stats,
+        )? {
+            Round::Budget => {
+                stats.conflicts += u.solver.stats().conflicts;
+                return Ok(Incremental::FallBack);
+            }
+            Round::NoSplit => {
+                match check_outputs(&mut u, partition, Some(act), output_pairs, stats)? {
+                    None => {
+                        stats.conflicts += u.solver.stats().conflicts;
+                        return Ok(Incremental::FallBack);
+                    }
+                    Some(ok) => {
+                        stats.outputs_ok = ok;
+                        stats.conflicts += u.solver.stats().conflicts;
+                        return Ok(Incremental::Done);
                     }
                 }
-                ok
-            };
-            stats.conflicts += u.solver.stats().conflicts;
+            }
+            Round::Refined => {
+                // Retract this round's Q: the guard can never be
+                // assumed again, and all its clauses are satisfied.
+                u.solver.add_clause(&[!act]);
+            }
+        }
+    }
+}
+
+/// The monolithic driver: the pre-incremental behaviour — a fresh
+/// solver and CNF per refinement round, hard `Q` clauses. Kept both as
+/// the `sat_incremental: false` ablation baseline and as the graceful
+/// fall-back when the incremental path exhausts its conflict budget.
+fn run_monolithic(
+    aig: &Aig,
+    partition: &mut Partition,
+    opts: &Options,
+    deadline: &Deadline,
+    output_pairs: &[(Lit, Lit)],
+    stats: &mut SatRunStats,
+) -> Result<(), Abort> {
+    loop {
+        deadline.check()?;
+        deadline.tick();
+        stats.iterations += 1;
+        let round = stats.iterations;
+        let mut u = Unrolling::build(aig);
+        stats.solver_constructions += 1;
+        u.solver.set_limits(deadline.limits());
+        u.assert_q(partition, None);
+        match run_round(aig, partition, opts, deadline, &mut u, None, round, stats)? {
+            Round::Budget => {
+                // No budget is ever set on this path.
+                return Err(Abort::Resource(
+                    "internal inconsistency: budget exhausted on the monolithic path".into(),
+                ));
+            }
+            Round::NoSplit => {
+                stats.outputs_ok = check_outputs(&mut u, partition, None, output_pairs, stats)?
+                    .expect("no budget on the monolithic path");
+                stats.conflicts += u.solver.stats().conflicts;
+                return Ok(());
+            }
+            Round::Refined => {
+                stats.conflicts += u.solver.stats().conflicts;
+            }
+        }
+    }
+}
+
+/// Runs the greatest fixed-point iteration with the SAT engine.
+///
+/// Dispatches to the incremental or monolithic driver per
+/// [`Options::sat_incremental`]; a conflict-budget exhaustion on the
+/// incremental path resumes monolithically from the current partition
+/// (sound: every split already applied is justified, and the final
+/// no-split round is always validated under its own `Q`).
+pub(crate) fn run_fixed_point(
+    aig: &Aig,
+    partition: &mut Partition,
+    opts: &Options,
+    deadline: &Deadline,
+    output_pairs: &[(Lit, Lit)],
+) -> Result<SatRunStats, Abort> {
+    let mut stats = SatRunStats::default();
+    if opts.sat_incremental {
+        if let Incremental::Done =
+            run_incremental(aig, partition, opts, deadline, output_pairs, &mut stats)?
+        {
             return Ok(stats);
         }
-        stats.conflicts += u.solver.stats().conflicts;
     }
+    run_monolithic(aig, partition, opts, deadline, output_pairs, &mut stats)?;
+    Ok(stats)
 }

@@ -24,11 +24,11 @@ pub struct SweepStats {
     pub iterations: usize,
     /// Signals merged into a representative.
     pub merged: usize,
-    /// AND gates before / after.
+    /// AND gates before the sweep.
     pub ands_before: usize,
     /// AND gates after the sweep.
     pub ands_after: usize,
-    /// Registers before / after.
+    /// Registers before the sweep.
     pub latches_before: usize,
     /// Registers after the sweep.
     pub latches_after: usize,
@@ -85,9 +85,8 @@ pub fn sequential_sweep(aig: &Aig, opts: &Options) -> Result<(Aig, SweepStats), 
             bdd_backend::run_fixed_point(aig, &mut partition, opts, &deadline, None, &[])
                 .map(|s| s.iterations)
         }
-        Backend::Sat => {
-            sat_backend::run_fixed_point(aig, &mut partition, &deadline, &[]).map(|s| s.iterations)
-        }
+        Backend::Sat => sat_backend::run_fixed_point(aig, &mut partition, opts, &deadline, &[])
+            .map(|s| s.iterations),
     };
     match fixed_point {
         Ok(its) => stats.iterations = its,

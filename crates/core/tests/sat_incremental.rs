@@ -1,0 +1,211 @@
+//! Cross-backend fixed-point identity.
+//!
+//! The maximum signal correspondence relation is a *unique* object:
+//! every counterexample-guided split preserves "the true relation
+//! refines the current partition", so whichever engine runs the
+//! iteration — incremental SAT with a persistent solver, the monolithic
+//! fresh-solver-per-round SAT path, or BDDs — must land on exactly the
+//! same final partition (same classes, same phases). These tests pin
+//! that down on product machines of seeded circuit pairs, including
+//! under counterexample amplification and under a conflict budget that
+//! forces the incremental path to fall back mid-run.
+//!
+//! Cancellation must surface as `Unknown`: an interrupted SAT query is
+//! never read as "unsatisfiable", so a cancelled run can never certify
+//! a bogus fixed point.
+
+use sec_core::{correspondence_partition, Checker, Options, Partition, Verdict};
+use sec_gen::{counter, mixed, CounterKind};
+use sec_limits::CancellationToken;
+use sec_netlist::{Aig, ProductMachine, Var};
+use sec_synth::{forward_retime, unshare_latch_cones, RetimeOptions};
+
+/// Order-independent identity of a partition: canonical classes plus
+/// the polarity normalization of every node.
+fn fingerprint(aig: &Aig, p: &Partition) -> (Vec<Vec<Var>>, Vec<bool>) {
+    let phases = aig.vars().map(|v| p.phase(v)).collect();
+    (p.canonical_classes(), phases)
+}
+
+/// Product machines of equivalent pairs with real sequential
+/// redundancy, small enough for the BDD backend to finish instantly.
+fn product_machines() -> Vec<Aig> {
+    let mut pms = Vec::new();
+    for (a, b) in [
+        {
+            let spec = counter(5, CounterKind::Binary);
+            let imp = forward_retime(&spec, &RetimeOptions::default(), 1);
+            (spec, imp)
+        },
+        {
+            let spec = mixed(10, 3);
+            let imp = unshare_latch_cones(&spec, 0.9, 3);
+            (spec, imp)
+        },
+        {
+            let spec = counter(4, CounterKind::Gray);
+            (spec.clone(), spec)
+        },
+    ] {
+        pms.push(ProductMachine::build(&a, &b).unwrap().aig);
+    }
+    pms
+}
+
+#[test]
+fn all_sat_variants_match_the_bdd_fixed_point() {
+    let variants: Vec<(&str, Options)> = vec![
+        ("incremental", Options::sat()),
+        ("monolithic", Options::sat_monolithic()),
+        (
+            "incremental, wide amplification",
+            Options {
+                sat_amplify_words: 4,
+                ..Options::sat()
+            },
+        ),
+        (
+            "incremental, no amplification",
+            Options {
+                sat_amplify_words: 0,
+                ..Options::sat()
+            },
+        ),
+        (
+            // A 1-conflict budget trips on the first hard query and
+            // falls back to the monolithic path mid-run: the mixed
+            // trajectory must still reach the same fixed point.
+            "incremental, tiny conflict budget",
+            Options {
+                sat_conflict_budget: Some(1),
+                ..Options::sat()
+            },
+        ),
+    ];
+    for (i, aig) in product_machines().into_iter().enumerate() {
+        let reference = correspondence_partition(&aig, &Options::default()).unwrap();
+        let want = fingerprint(&aig, &reference);
+        for (name, opts) in &variants {
+            let got = correspondence_partition(&aig, opts).unwrap();
+            assert_eq!(
+                fingerprint(&aig, &got),
+                want,
+                "pair {i}: SAT variant '{name}' diverged from the BDD fixed point"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_builds_one_solver_monolithic_one_per_round() {
+    let spec = mixed(10, 3);
+    let imp = unshare_latch_cones(&spec, 0.9, 3);
+    // retime_rounds: 0 so the fixed point runs exactly once.
+    let inc = Checker::new(
+        &spec,
+        &imp,
+        Options {
+            retime_rounds: 0,
+            ..Options::sat()
+        },
+    )
+    .unwrap()
+    .run();
+    let mono = Checker::new(
+        &spec,
+        &imp,
+        Options {
+            retime_rounds: 0,
+            ..Options::sat_monolithic()
+        },
+    )
+    .unwrap()
+    .run();
+    assert_eq!(inc.verdict, Verdict::Equivalent);
+    assert_eq!(mono.verdict, Verdict::Equivalent);
+    assert_eq!(
+        inc.stats.sat_solver_constructions, 1,
+        "incremental path must build exactly one solver per fixed point"
+    );
+    assert_eq!(
+        mono.stats.sat_solver_constructions, mono.stats.iterations,
+        "monolithic path builds one solver per refinement round"
+    );
+    assert!(inc.stats.sat_solver_calls > 0);
+}
+
+#[test]
+fn precancelled_run_returns_unknown() {
+    let spec = counter(6, CounterKind::Binary);
+    let imp = forward_retime(&spec, &RetimeOptions::default(), 1);
+    let token = CancellationToken::new();
+    token.cancel();
+    for base in [Options::sat(), Options::sat_monolithic()] {
+        let r = Checker::new(
+            &spec,
+            &imp,
+            Options {
+                cancel: Some(token.clone()),
+                bmc_depth: 0,
+                ..base
+            },
+        )
+        .unwrap()
+        .run();
+        assert!(
+            matches!(r.verdict, Verdict::Unknown(_)),
+            "cancelled run must be Unknown, got {:?}",
+            r.verdict
+        );
+    }
+    let pm = ProductMachine::build(&spec, &imp).unwrap();
+    let err = correspondence_partition(
+        &pm.aig,
+        &Options {
+            cancel: Some(token),
+            ..Options::sat()
+        },
+    )
+    .unwrap_err();
+    assert!(!err.is_empty());
+}
+
+#[test]
+fn midrun_cancellation_never_yields_a_wrong_verdict() {
+    // Equivalent pair; cancel at staggered points of the run. Whatever
+    // the timing, the verdict is Equivalent (finished first) or Unknown
+    // (cancelled first) — never Inequivalent, and an interrupted query
+    // must never be read as Unsat (which could certify Equivalent on a
+    // partition that is not a fixed point; cross-checked here by the
+    // identity test above).
+    let spec = mixed(14, 5);
+    let imp = unshare_latch_cones(&spec, 0.9, 4);
+    for delay_us in [0u64, 50, 200, 1000, 5000] {
+        let token = CancellationToken::new();
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                token.cancel();
+            })
+        };
+        let r = Checker::new(
+            &spec,
+            &imp,
+            Options {
+                cancel: Some(token),
+                bmc_depth: 0,
+                sim_refute: false,
+                ..Options::sat()
+            },
+        )
+        .unwrap()
+        .run();
+        canceller.join().unwrap();
+        assert!(
+            matches!(r.verdict, Verdict::Equivalent | Verdict::Unknown(_)),
+            "delay {delay_us}us: got {:?}",
+            r.verdict
+        );
+    }
+}

@@ -201,6 +201,11 @@ pub struct EngineReport {
     pub peak_bdd_nodes: usize,
     /// SAT conflicts.
     pub sat_conflicts: u64,
+    /// SAT solvers constructed (1 per fixed point on the incremental
+    /// path, one per refinement round on the monolithic path).
+    pub sat_solver_constructions: u64,
+    /// Individual SAT solve calls.
+    pub sat_solver_calls: u64,
     /// The engine's own wall-clock time.
     pub time: Duration,
 }
@@ -430,6 +435,8 @@ fn run_engine(
         iterations: 0,
         peak_bdd_nodes: 0,
         sat_conflicts: 0,
+        sat_solver_constructions: 0,
+        sat_solver_calls: 0,
         time: Duration::ZERO,
     };
     match engine {
@@ -458,6 +465,8 @@ fn run_engine(
                     report.iterations = r.stats.iterations as u64;
                     report.peak_bdd_nodes = r.stats.peak_bdd_nodes;
                     report.sat_conflicts = r.stats.sat_conflicts;
+                    report.sat_solver_constructions = r.stats.sat_solver_constructions as u64;
+                    report.sat_solver_calls = r.stats.sat_solver_calls;
                 }
                 Err(e) => report.verdict = Verdict::Unknown(format!("build error: {e}")),
             }

@@ -84,6 +84,23 @@ impl AigCnf {
         solver.add_clause(&[la, !lb]);
     }
 
+    /// Adds clauses forcing `a = b` whenever the guard literal `act` is
+    /// true: `act → (a = b)`.
+    ///
+    /// This is the activation-literal form of
+    /// [`assert_equal`](AigCnf::assert_equal): asserting `act` as a solve
+    /// assumption enables the equality, and adding the unit clause `¬act`
+    /// later *retracts* it permanently without touching the rest of the
+    /// clause database. Clauses learnt while the guard was assumed remain
+    /// valid afterwards — they are implied by the guarded clauses, which
+    /// are never deleted, only satisfied by `¬act`.
+    pub fn assert_equal_guarded(&self, solver: &mut Solver, act: SatLit, a: Lit, b: Lit) {
+        let la = self.lit(a);
+        let lb = self.lit(b);
+        solver.add_clause(&[!act, !la, lb]);
+        solver.add_clause(&[!act, la, !lb]);
+    }
+
     /// Creates a fresh literal `d` with `d → (a ≠ b)`, suitable as a solve
     /// assumption asking for a witness distinguishing `a` from `b`.
     pub fn make_diff(&self, solver: &mut Solver, a: Lit, b: Lit) -> SatLit {
@@ -173,6 +190,29 @@ mod tests {
         let r = solver.solve_with_assumptions(&[cnf.lit(a), cnf.lit(b)]);
         assert_eq!(r, SatResult::Unsat);
         let r = solver.solve_with_assumptions(&[cnf.lit(a), cnf.lit(!b)]);
+        assert_eq!(r, SatResult::Sat);
+    }
+
+    #[test]
+    fn guarded_equality_activates_and_retracts() {
+        let (aig, _) = sample();
+        let a = aig.inputs()[0].lit();
+        let b = aig.inputs()[1].lit();
+        let mut solver = Solver::new();
+        let cnf = AigCnf::encode(&mut solver, &aig);
+        let act = solver.new_var().positive();
+        cnf.assert_equal_guarded(&mut solver, act, a, !b);
+        // Guard assumed: behaves like a hard equality.
+        let r = solver.solve_with_assumptions(&[act, cnf.lit(a), cnf.lit(b)]);
+        assert_eq!(r, SatResult::Unsat);
+        let r = solver.solve_with_assumptions(&[act, cnf.lit(a), cnf.lit(!b)]);
+        assert_eq!(r, SatResult::Sat);
+        // Guard not assumed: the equality does not constrain.
+        let r = solver.solve_with_assumptions(&[cnf.lit(a), cnf.lit(b)]);
+        assert_eq!(r, SatResult::Sat);
+        // Retracted by the unit ¬act: a = b is free forever after.
+        solver.add_clause(&[!act]);
+        let r = solver.solve_with_assumptions(&[cnf.lit(a), cnf.lit(b)]);
         assert_eq!(r, SatResult::Sat);
     }
 

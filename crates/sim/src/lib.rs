@@ -3,6 +3,10 @@
 //! Bit-parallel simulation for sequential and-inverter graphs:
 //!
 //! * [`BitSim`] — 64-way parallel combinational/sequential evaluation;
+//! * [`amplify_two_frame`] / [`amplify_init`] — bit-parallel
+//!   counterexample amplification: one SAT witness plus 63+ perturbed
+//!   neighbours evaluated in a single pass, so one solver call can
+//!   refine many correspondence classes;
 //! * [`Signatures`] — random sequential simulation with polarity-normalized
 //!   signatures, used to seed the signal-correspondence partition (paper
 //!   Sec. 4);
@@ -32,11 +36,13 @@
 
 #![warn(missing_docs)]
 
+mod amplify;
 mod bitsim;
 mod signature;
 mod ternary;
 mod trace;
 
+pub use amplify::{amplify_init, amplify_two_frame, AmplifiedCex};
 pub use bitsim::{eval_single, next_state_single, BitSim};
 pub use signature::Signatures;
 pub use ternary::{initializes, ternary_eval, ternary_outputs_agree, Ternary, TernarySim};
