@@ -4,6 +4,7 @@
 use crate::cache::Cache;
 use crate::node::{Bdd, BddVar, NodeData, NIL, TERMINAL_VAR};
 use sec_limits::{Limits, Stop};
+use sec_obs::Obs;
 use std::fmt;
 
 /// Error returned when an operation halts before producing a result:
@@ -129,6 +130,12 @@ pub struct BddManager {
     pub(crate) last_gc_live: usize,
     /// Cooperative cancellation/deadline, polled on bounded node creation.
     limits: Limits,
+    /// Total unique-table insertions since creation (monotonic, unlike
+    /// the live count): the source of the `bdd_nodes_allocated` counter.
+    allocated: u64,
+    /// Observability handle (off by default); only rare events
+    /// (`bdd.gc`) are emitted directly from the manager.
+    obs: Obs,
 }
 
 impl Default for BddManager {
@@ -163,6 +170,8 @@ impl BddManager {
             peak_live: 1,
             last_gc_live: 1,
             limits: Limits::none(),
+            allocated: 0,
+            obs: Obs::off(),
         }
     }
 
@@ -176,6 +185,20 @@ impl BddManager {
     /// leave the tables inconsistent).
     pub fn set_limits(&mut self, limits: Limits) {
         self.limits = limits;
+    }
+
+    /// Attaches an observability handle. The node-creation hot path
+    /// stays uninstrumented (allocation totals are kept in a plain
+    /// counter, see [`BddManager::allocated_nodes`]); only garbage
+    /// collections emit a `bdd.gc` event.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Total cooperative-limit polls this manager has performed —
+    /// the source of the `cancellation_polls` counter.
+    pub fn limit_polls(&self) -> u64 {
+        self.limits.polls()
     }
 
     /// Appends a new variable at the bottom of the current order.
@@ -288,6 +311,13 @@ impl BddManager {
         self.nodes.len() - self.free.len()
     }
 
+    /// Total unique-table insertions since creation. Monotonic — GC
+    /// does not decrease it — so it measures allocation pressure where
+    /// [`BddManager::peak_live_nodes`] measures residency.
+    pub fn allocated_nodes(&self) -> u64 {
+        self.allocated
+    }
+
     /// High-water mark of [`BddManager::live_nodes`] since creation.
     #[inline]
     pub fn peak_live_nodes(&self) -> usize {
@@ -370,6 +400,7 @@ impl BddManager {
                 i
             }
         };
+        self.allocated += 1;
         let st = &mut self.subtables[var as usize];
         self.nodes[idx as usize].next = st.buckets[b];
         st.buckets[b] = idx;
@@ -428,6 +459,7 @@ impl BddManager {
     /// sweeps the rest; clears the computed table. Returns the number of
     /// live nodes afterwards.
     pub fn gc(&mut self, roots: &[Bdd]) -> usize {
+        let live_before = self.live_nodes();
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
         let mut stack: Vec<u32> = Vec::with_capacity(256);
@@ -485,6 +517,13 @@ impl BddManager {
         }
         self.cache.clear();
         self.last_gc_live = self.live_nodes();
+        self.obs.add(sec_obs::Counter::BddGcRuns, 1);
+        sec_obs::event!(
+            self.obs,
+            "bdd.gc",
+            live_before = live_before,
+            live_after = self.last_gc_live,
+        );
         self.last_gc_live
     }
 

@@ -14,8 +14,10 @@
 use sec_core::{Checker, Options, Verdict};
 use sec_gen::{counter, mixed, CounterKind};
 use sec_netlist::Aig;
+use sec_obs::{Obs, Recorder};
 use sec_synth::{forward_retime, unshare_latch_cones, RetimeOptions};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One configuration's measurements on one circuit pair.
@@ -26,6 +28,9 @@ struct Run {
     conflicts: u64,
     wall_ms: f64,
     verdict: String,
+    /// All nonzero event counters of the timed run, straight from the
+    /// recorder the `CheckStats` fields above are derived from.
+    events: Vec<(&'static str, u64)>,
 }
 
 fn measure(spec: &Aig, imp: &Aig, base: Options) -> Run {
@@ -37,6 +42,10 @@ fn measure(spec: &Aig, imp: &Aig, base: Options) -> Run {
         sim_refute: false,
         ..base
     };
+    // Wall-clock is measured with the default null sink (the production
+    // configuration); a separate recorder-attached run collects the
+    // event totals. The counters are deterministic per configuration,
+    // so the two runs count the same work.
     let mut wall = Vec::new();
     let mut last = None;
     for _ in 0..3 {
@@ -45,7 +54,17 @@ fn measure(spec: &Aig, imp: &Aig, base: Options) -> Run {
         wall.push(t0.elapsed().as_secs_f64() * 1e3);
         last = Some(r);
     }
+    let recorder = Recorder::new();
+    let counted = Options {
+        obs: Obs::multi(vec![Arc::new(recorder.clone())]),
+        ..opts.clone()
+    };
+    let rc = Checker::new(spec, imp, counted).unwrap().run();
     let r = last.unwrap();
+    assert_eq!(
+        rc.stats.iterations, r.stats.iterations,
+        "instrumented run must do identical work"
+    );
     wall.sort_by(|a, b| a.partial_cmp(b).unwrap());
     Run {
         rounds: r.stats.iterations,
@@ -58,16 +77,28 @@ fn measure(spec: &Aig, imp: &Aig, base: Options) -> Run {
             Verdict::Inequivalent(_) => "inequivalent".into(),
             Verdict::Unknown(_) => "unknown".into(),
         },
+        events: recorder.nonzero_counters(),
     }
 }
 
 fn json_run(out: &mut String, name: &str, r: &Run) {
+    let events: Vec<String> = r
+        .events
+        .iter()
+        .map(|(n, v)| format!("\"{n}\": {v}"))
+        .collect();
     write!(
         out,
         "    \"{name}\": {{ \"rounds\": {}, \"solver_constructions\": {}, \
          \"solver_calls\": {}, \"conflicts\": {}, \"wall_ms\": {:.3}, \
-         \"verdict\": \"{}\" }}",
-        r.rounds, r.solver_constructions, r.solver_calls, r.conflicts, r.wall_ms, r.verdict
+         \"verdict\": \"{}\",\n      \"events\": {{ {} }} }}",
+        r.rounds,
+        r.solver_constructions,
+        r.solver_calls,
+        r.conflicts,
+        r.wall_ms,
+        r.verdict,
+        events.join(", ")
     )
     .unwrap();
 }

@@ -17,17 +17,23 @@
 //!   --timeout SECS      per-row budget for the proposed method
 //!   --trav-timeout SECS per-row budget for the baseline
 //!   --retime-only       instances without combinational optimization
+//!   --trace-json FILE   stream every engine event as NDJSON to FILE
+//!   --stats             print whole-run event-counter totals after the table
 //! ```
 
 use sec_bench::{print_table, run_row, RunConfig};
 use sec_core::Backend;
 use sec_gen::iscas_alike_suite;
+use sec_obs::{NdjsonSink, Obs, Recorder, Sink};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = RunConfig::default();
     let mut max_regs = usize::MAX;
+    let mut trace_path: Option<String> = None;
+    let mut show_stats = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -58,12 +64,33 @@ fn main() {
                 cfg.traversal_timeout =
                     Duration::from_secs(args[i].parse().expect("--trav-timeout SECS"));
             }
+            "--trace-json" => {
+                i += 1;
+                trace_path = Some(args[i].clone());
+            }
+            "--stats" => show_stats = true,
             other => {
                 eprintln!("unknown option `{other}` (see the doc comment)");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+
+    // One recorder / event stream covers the whole table: per-row
+    // attribution comes from the timestamps and (portfolio) engine tags.
+    let recorder = show_stats.then(Recorder::new);
+    let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+    if let Some(path) = &trace_path {
+        sinks.push(Arc::new(
+            NdjsonSink::create(path).expect("--trace-json FILE must be creatable"),
+        ));
+    }
+    if let Some(r) = &recorder {
+        sinks.push(Arc::new(r.clone()));
+    }
+    if !sinks.is_empty() {
+        cfg.obs = Obs::multi(sinks);
     }
 
     let backend = if cfg.use_portfolio {
@@ -87,6 +114,12 @@ fn main() {
     }
     println!();
     print_table(&rows);
+    if let Some(r) = &recorder {
+        println!("\nevent-counter totals over the whole run:");
+        for (name, v) in r.nonzero_counters() {
+            println!("  {name:<26} {v}");
+        }
+    }
     println!(
         "\nExpected shape (paper): traversal fails on deep/large rows (s838-style\n\
          counters, wide mixed circuits); the proposed method proves everything\n\

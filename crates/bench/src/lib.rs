@@ -7,6 +7,7 @@ pub mod harness;
 use sec_core::{Backend, Checker, Options, Verdict};
 use sec_gen::SuiteEntry;
 use sec_netlist::Aig;
+use sec_obs::Obs;
 use sec_portfolio::PortfolioOptions;
 use sec_synth::{pipeline, PipelineOptions, RetimeOptions};
 use sec_traversal::{check_equivalence, TraversalOptions, TraversalOutcome};
@@ -41,6 +42,9 @@ pub struct RunConfig {
     pub optimize: bool,
     /// Seed for instance creation.
     pub seed: u64,
+    /// Observability handle threaded into every method run (`table1
+    /// --trace-json` / `--stats`). Defaults to the inert [`Obs::off`].
+    pub obs: Obs,
 }
 
 impl Default for RunConfig {
@@ -58,6 +62,7 @@ impl Default for RunConfig {
             run_traversal: true,
             optimize: true,
             seed: 0xDA7E,
+            obs: Obs::off(),
         }
     }
 }
@@ -125,6 +130,7 @@ pub fn run_proposed(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         node_limit: cfg.node_limit,
         timeout: Some(cfg.timeout),
         bmc_depth: 0, // the paper's tool proves or gives up; no BMC here
+        obs: cfg.obs.clone(),
         ..Options::default()
     };
     let r = Checker::new(spec, imp, opts)
@@ -155,6 +161,7 @@ pub fn run_portfolio(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         seed: cfg.seed,
         node_limit: cfg.node_limit,
         traversal_node_limit: cfg.traversal_node_limit,
+        obs: cfg.obs.clone(),
         ..PortfolioOptions::default()
     };
     let r = sec_portfolio::run(spec, imp, &opts).expect("suite instances are well-formed");
@@ -195,6 +202,7 @@ pub fn run_traversal(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         timeout: Some(cfg.traversal_timeout),
         cancel: None,
         progress: None,
+        obs: cfg.obs.clone(),
     };
     let t0 = std::time::Instant::now();
     let (out, stats) = check_equivalence(spec, imp, &opts).expect("interfaces match");

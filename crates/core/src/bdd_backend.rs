@@ -13,16 +13,8 @@ use crate::options::Options;
 use crate::partition::Partition;
 use sec_bdd::{Bdd, BddManager, BddVar, Substitution};
 use sec_netlist::{Aig, Node, Var};
+use sec_obs::{span, Counter, Gauge, Obs};
 use sec_sim::{eval_single, next_state_single};
-
-/// Statistics of one fixed-point invocation.
-#[derive(Clone, Copy, Debug, Default)]
-pub(crate) struct BddRunStats {
-    pub iterations: usize,
-    pub peak_nodes: usize,
-    /// Theorem-1 result: does `Q_msc ⇒ λ` hold at the fixed point?
-    pub outputs_ok: bool,
-}
 
 struct BddContext {
     mgr: BddManager,
@@ -49,6 +41,7 @@ impl BddContext {
         // allocator, so even a single huge apply stops within
         // milliseconds of cancellation.
         mgr.set_limits(deadline.limits());
+        mgr.set_obs(opts.obs.clone());
         // Order the state variables so that candidate-equivalent latches
         // (same simulation class) are adjacent — the analogue of the
         // corresponding-register interleaving every BDD-based checker
@@ -215,7 +208,8 @@ fn funcdep_subst(
 
 /// Runs the greatest fixed-point iteration with the BDD engine, refining
 /// `partition` in place to the maximum signal correspondence relation
-/// (over the current signal set).
+/// (over the current signal set). Returns the Theorem-1 verdict
+/// (`Q_msc ⇒ λ`) at the fixed point.
 pub(crate) fn run_fixed_point(
     aig: &Aig,
     partition: &mut Partition,
@@ -223,16 +217,47 @@ pub(crate) fn run_fixed_point(
     deadline: &Deadline,
     approx_spec_latches: Option<&[usize]>,
     output_pairs: &[(sec_netlist::Lit, sec_netlist::Lit)],
-) -> Result<BddRunStats, Abort> {
+) -> Result<bool, Abort> {
+    let obs = &opts.obs;
     let mut ctx = BddContext::build(aig, partition, opts, deadline)?;
-    let mut stats = BddRunStats::default();
+    let result = fixed_point(
+        aig,
+        partition,
+        opts,
+        deadline,
+        approx_spec_latches,
+        output_pairs,
+        &mut ctx,
+        obs,
+    );
+    // Flush the manager's whole-lifetime totals once, abort or not, so
+    // an interrupted fixed point still reports its allocation pressure
+    // and poll activity.
+    obs.gauge_max(Gauge::PeakBddNodes, ctx.mgr.peak_live_nodes() as u64);
+    obs.add(Counter::BddNodesAllocated, ctx.mgr.allocated_nodes());
+    obs.add(Counter::CancellationPolls, ctx.mgr.limit_polls());
+    result
+}
 
-    refine_t0(&mut ctx, aig, partition)?;
+/// The fixed-point loop proper, split out so the caller can meter the
+/// manager exactly once regardless of how the loop ends.
+#[allow(clippy::too_many_arguments)]
+fn fixed_point(
+    aig: &Aig,
+    partition: &mut Partition,
+    opts: &Options,
+    deadline: &Deadline,
+    approx_spec_latches: Option<&[usize]>,
+    output_pairs: &[(sec_netlist::Lit, sec_netlist::Lit)],
+    ctx: &mut BddContext,
+    obs: &Obs,
+) -> Result<bool, Abort> {
+    refine_t0(ctx, aig, partition)?;
 
     // Optional reachability over-approximation (computed once; it is an
     // inductive invariant independent of the partition).
     let s_over = match approx_spec_latches {
-        Some(latches) => approx_reach(&mut ctx, aig, latches, opts.approx_group, deadline)?,
+        Some(latches) => approx_reach(ctx, aig, latches, opts.approx_group, deadline)?,
         None => Bdd::ONE,
     };
 
@@ -242,14 +267,18 @@ pub(crate) fn run_fixed_point(
         ctx.mgr.sift(&roots, 2.0);
     }
 
+    let mut round_no = 0usize;
     loop {
         deadline.check()?;
         deadline.tick();
-        stats.iterations += 1;
+        round_no += 1;
+        obs.add(Counter::Rounds, 1);
+        let mut sp = span!(obs, "round", round = round_no, backend = "bdd");
+        let classes_before = partition.num_classes();
 
         // Functional-dependency substitution for this round.
         let (subst, ordered) = if opts.functional_deps {
-            funcdep_subst(&ctx, aig, partition)
+            funcdep_subst(ctx, aig, partition)
         } else {
             (Substitution::new(), Vec::new())
         };
@@ -290,7 +319,7 @@ pub(crate) fn run_fixed_point(
             roots
         };
         if ctx.mgr.live_nodes() > opts.node_limit / 4 {
-            let roots = gc_roots(&ctx, &fc, &nc, q);
+            let roots = gc_roots(ctx, &fc, &nc, q);
             ctx.mgr.gc(&roots);
         }
 
@@ -303,7 +332,7 @@ pub(crate) fn run_fixed_point(
         while ci < partition.num_classes() {
             deadline.check()?;
             if ctx.mgr.live_nodes() > opts.node_limit / 2 {
-                let roots = gc_roots(&ctx, &fc, &nc, q);
+                let roots = gc_roots(ctx, &fc, &nc, q);
                 ctx.mgr.gc(&roots);
             }
             let members: Vec<Var> = partition.class(ci).to_vec();
@@ -346,8 +375,16 @@ pub(crate) fn run_fixed_point(
             ci += 1;
         }
 
+        // Close the round's observability window before housekeeping:
+        // the splits delta is final once the check loop ends.
+        let splits = (partition.num_classes() - classes_before) as u64;
+        obs.add(Counter::Splits, splits);
+        sp.record("splits", splits);
+        sp.record("classes", partition.num_classes());
+        drop(sp);
+
         // Housekeeping between rounds.
-        stats.peak_nodes = stats.peak_nodes.max(ctx.mgr.peak_live_nodes());
+        obs.gauge_max(Gauge::PeakBddNodes, ctx.mgr.peak_live_nodes() as u64);
         if ctx.mgr.live_nodes() > opts.node_limit / 2 {
             let mut roots = ctx.roots();
             roots.push(s_over);
@@ -360,7 +397,7 @@ pub(crate) fn run_fixed_point(
             // all Q-satisfying points. (The substitution is sound here:
             // real violating points survive composition, as in the
             // refinement checks.)
-            stats.outputs_ok = partition.outputs_equiv(output_pairs) || {
+            let outputs_ok = partition.outputs_equiv(output_pairs) || {
                 let mut ok = true;
                 for &(a, b) in output_pairs {
                     let fa = fc[a.var().index()].complement_if(partition.sign(a));
@@ -374,11 +411,9 @@ pub(crate) fn run_fixed_point(
                 }
                 ok
             };
-            break;
+            return Ok(outputs_ok);
         }
     }
-    stats.peak_nodes = stats.peak_nodes.max(ctx.mgr.peak_live_nodes());
-    Ok(stats)
 }
 
 /// Builds the machine-by-machine over-approximation of the reachable

@@ -4,14 +4,16 @@
 //! sound but incomplete, so "not proven" is turned into a concrete
 //! counterexample whenever one exists within the depth bound.
 
-use crate::context::{Abort, Deadline};
+use crate::context::{Abort, Deadline, SatMeter};
 use crate::engine::BuildError;
 use crate::options::Options;
 use crate::result::{CheckResult, CheckStats, Verdict};
 use sec_netlist::{check as check_circuit, Aig, Lit, ProductMachine, Var};
+use sec_obs::{event, Counter, Obs, Recorder};
 use sec_sat::{AigCnf, SatResult, Solver};
 use sec_sim::Trace;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Bounded model checking as a standalone refutation-only engine, for
@@ -38,7 +40,9 @@ pub fn bmc_refute(spec: &Aig, impl_: &Aig, opts: &Options) -> Result<CheckResult
         .with_token(opts.cancel.as_ref())
         .with_progress(opts.progress.as_ref());
     let depth = opts.bmc_depth.max(1);
-    let verdict = match bounded_check(&pm, depth, &deadline) {
+    let recorder = Recorder::new();
+    let obs = opts.obs.and_sink(Arc::new(recorder.clone()));
+    let verdict = match bounded_check(&pm, depth, &deadline, &obs) {
         Ok(Some(trace)) => Verdict::Inequivalent(trace),
         Ok(None) => Verdict::Unknown(format!(
             "no counterexample within {depth} frames (BMC cannot prove equivalence)"
@@ -46,7 +50,12 @@ pub fn bmc_refute(spec: &Aig, impl_: &Aig, opts: &Options) -> Result<CheckResult
         Err(abort) => Verdict::Unknown(abort.reason()),
     };
     let stats = CheckStats {
-        iterations: depth,
+        // Frames actually unrolled (an interrupted run reports how far
+        // it got, not the configured bound).
+        iterations: recorder.counter(Counter::BmcFrames) as usize,
+        sat_conflicts: recorder.counter(Counter::SatConflicts),
+        sat_solver_constructions: recorder.counter(Counter::SatSolverConstructions) as usize,
+        sat_solver_calls: recorder.counter(Counter::SatSolverCalls),
         time: start.elapsed(),
         ..CheckStats::default()
     };
@@ -60,6 +69,7 @@ pub(crate) fn bounded_check(
     pm: &ProductMachine,
     depth: usize,
     deadline: &Deadline,
+    obs: &Obs,
 ) -> Result<Option<Trace>, Abort> {
     let aig = &pm.aig;
     let mut u = Aig::new();
@@ -67,6 +77,9 @@ pub(crate) fn bounded_check(
     // The solver polls the same deadline/token from its search loop, so
     // deep frames stop within milliseconds of cancellation.
     solver.set_limits(deadline.limits());
+    solver.set_obs(obs.clone());
+    obs.add(Counter::SatSolverConstructions, 1);
+    let mut meter = SatMeter::new(obs);
     let mut cnf = AigCnf::encode(&mut solver, &u);
 
     // Current-frame state literals in the unrolled circuit; frame 0 uses
@@ -89,60 +102,78 @@ pub(crate) fn bounded_check(
         roots.push(i);
     }
 
-    for frame in 0..depth {
-        deadline.check()?;
-        deadline.tick();
-        let inputs: Vec<Var> = (0..aig.num_inputs())
-            .map(|i| u.add_input(format!("x{frame}_{i}")))
-            .collect();
-        let mut map: HashMap<Var, Lit> = HashMap::new();
-        for (k, &v) in aig.inputs().iter().enumerate() {
-            map.insert(v, inputs[k].lit());
-        }
-        for (i, &v) in aig.latches().iter().enumerate() {
-            map.insert(v, state[i]);
-        }
-        let mapped = u.import_cone(aig, &roots, &mut map);
-        let (next_state, outs) = mapped.split_at(next_lits.len());
-
-        // Miter for this frame: some output pair differs.
-        let mut diffs = Vec::with_capacity(pm.output_pairs.len());
-        for pair in outs.chunks(2) {
-            diffs.push(u.xor(pair[0], pair[1]));
-        }
-        let miter = u.or_many(&diffs);
-        cnf.extend(&mut solver, &u);
-        frame_inputs.push(inputs);
-
-        if miter != Lit::FALSE {
-            match solver.solve_with_assumptions(&[cnf.lit(miter)]) {
-                SatResult::Unsat => {}
-                // An interrupted query must never read as "no
-                // counterexample at this depth".
-                SatResult::Interrupted => {
-                    return Err(solver
-                        .interrupt_reason()
-                        .map(Abort::from)
-                        .unwrap_or(Abort::Timeout));
-                }
-                SatResult::Sat => {
-                    let trace = Trace::new(
-                        frame_inputs
-                            .iter()
-                            .map(|vars| {
-                                vars.iter()
-                                    .map(|&v| cnf.model_value(&solver, v.lit()))
-                                    .collect()
-                            })
-                            .collect(),
-                    );
-                    return Ok(Some(trace));
-                }
+    let result = 'frames: {
+        for frame in 0..depth {
+            if let Err(a) = deadline.check() {
+                break 'frames Err(a);
             }
+            deadline.tick();
+            // Bumped at frame start, like the `rounds` counter: an
+            // interrupted frame is still counted, so the number of
+            // `bmc.frame` events always equals the counter.
+            obs.add(Counter::BmcFrames, 1);
+            let inputs: Vec<Var> = (0..aig.num_inputs())
+                .map(|i| u.add_input(format!("x{frame}_{i}")))
+                .collect();
+            let mut map: HashMap<Var, Lit> = HashMap::new();
+            for (k, &v) in aig.inputs().iter().enumerate() {
+                map.insert(v, inputs[k].lit());
+            }
+            for (i, &v) in aig.latches().iter().enumerate() {
+                map.insert(v, state[i]);
+            }
+            let mapped = u.import_cone(aig, &roots, &mut map);
+            let (next_state, outs) = mapped.split_at(next_lits.len());
+
+            // Miter for this frame: some output pair differs.
+            let mut diffs = Vec::with_capacity(pm.output_pairs.len());
+            for pair in outs.chunks(2) {
+                diffs.push(u.xor(pair[0], pair[1]));
+            }
+            let miter = u.or_many(&diffs);
+            cnf.extend(&mut solver, &u);
+            frame_inputs.push(inputs);
+
+            let mut verdict = "unsat";
+            if miter != Lit::FALSE {
+                obs.add(Counter::SatSolverCalls, 1);
+                match solver.solve_with_assumptions(&[cnf.lit(miter)]) {
+                    SatResult::Unsat => {}
+                    // An interrupted query must never read as "no
+                    // counterexample at this depth".
+                    SatResult::Interrupted => {
+                        event!(obs, "bmc.frame", frame = frame, verdict = "interrupted");
+                        break 'frames Err(solver
+                            .interrupt_reason()
+                            .map(Abort::from)
+                            .unwrap_or(Abort::Timeout));
+                    }
+                    SatResult::Sat => {
+                        let trace = Trace::new(
+                            frame_inputs
+                                .iter()
+                                .map(|vars| {
+                                    vars.iter()
+                                        .map(|&v| cnf.model_value(&solver, v.lit()))
+                                        .collect()
+                                })
+                                .collect(),
+                        );
+                        event!(obs, "bmc.frame", frame = frame, verdict = "sat");
+                        break 'frames Ok(Some(trace));
+                    }
+                }
+            } else {
+                verdict = "trivial";
+            }
+            event!(obs, "bmc.frame", frame = frame, verdict = verdict);
+            state = next_state.to_vec();
         }
-        state = next_state.to_vec();
-    }
-    Ok(None)
+        Ok(None)
+    };
+    // One flush covers normal exit, refutation and interruption alike.
+    meter.flush(&solver);
+    result
 }
 
 #[cfg(test)]
@@ -158,7 +189,7 @@ mod tests {
     fn equivalent_circuits_have_no_cex() {
         let spec = counter(4, CounterKind::Binary);
         let pm = ProductMachine::build(&spec, &spec.clone()).unwrap();
-        let r = bounded_check(&pm, 8, &Deadline::new(None)).unwrap();
+        let r = bounded_check(&pm, 8, &Deadline::new(None), &Obs::off()).unwrap();
         assert!(r.is_none());
     }
 
@@ -167,7 +198,7 @@ mod tests {
         let spec = counter(4, CounterKind::Binary);
         let mutant = mutate(&spec, Mutation::InvertNext(1));
         let pm = ProductMachine::build(&spec, &mutant).unwrap();
-        let r = bounded_check(&pm, 10, &Deadline::new(None)).unwrap();
+        let r = bounded_check(&pm, 10, &Deadline::new(None), &Obs::off()).unwrap();
         let trace = r.expect("mutant must be refuted within 10 frames");
         assert!(first_output_mismatch(&spec, &mutant, &trace).is_some());
     }
@@ -181,7 +212,7 @@ mod tests {
         // init of the top bit — differs at frame 0 on output q3.
         let mutant = mutate(&spec, Mutation::FlipInit(3));
         let pm = ProductMachine::build(&spec, &mutant).unwrap();
-        let r = bounded_check(&pm, 1, &Deadline::new(None)).unwrap();
+        let r = bounded_check(&pm, 1, &Deadline::new(None), &Obs::off()).unwrap();
         assert!(r.is_some(), "init difference visible in frame 0");
     }
 }

@@ -1,6 +1,8 @@
 //! Small shared runtime plumbing: deadlines, cancellation and aborts.
 
 use sec_limits::{CancellationToken, Limits, ProgressCounter, Stop};
+use sec_obs::{Counter, Obs};
+use sec_sat::{SatStats, Solver};
 use std::time::{Duration, Instant};
 
 /// Reason a backend gave up.
@@ -108,6 +110,52 @@ impl Deadline {
             Some(end) => base.with_deadline(end),
             None => base,
         }
+    }
+}
+
+/// Flushes a solver's internal search statistics into observability
+/// counters as *deltas*, so the hot search loop itself stays
+/// uninstrumented. Call [`SatMeter::flush`] at query/round boundaries
+/// and once more before the solver is dropped; each call only adds
+/// what accrued since the previous one, so flushing is idempotent per
+/// unit of work even across aborts.
+pub(crate) struct SatMeter {
+    obs: Obs,
+    last: SatStats,
+    last_polls: u64,
+}
+
+impl SatMeter {
+    /// A meter for one solver's lifetime (start all deltas at zero).
+    pub(crate) fn new(obs: &Obs) -> SatMeter {
+        SatMeter {
+            obs: obs.clone(),
+            last: SatStats::default(),
+            last_polls: 0,
+        }
+    }
+
+    /// Adds everything the solver accrued since the last flush.
+    pub(crate) fn flush(&mut self, solver: &Solver) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let s = solver.stats();
+        self.obs
+            .add(Counter::SatConflicts, s.conflicts - self.last.conflicts);
+        self.obs
+            .add(Counter::SatDecisions, s.decisions - self.last.decisions);
+        self.obs.add(
+            Counter::SatPropagations,
+            s.propagations - self.last.propagations,
+        );
+        self.obs
+            .add(Counter::SatRestarts, s.restarts - self.last.restarts);
+        let polls = solver.limit_polls();
+        self.obs
+            .add(Counter::CancellationPolls, polls - self.last_polls);
+        self.last = s;
+        self.last_polls = polls;
     }
 }
 

@@ -23,8 +23,10 @@ use rand::{Rng, SeedableRng};
 use sec_netlist::{
     check as check_circuit, Aig, CheckError, ProductError, ProductMachine, Side, Var,
 };
+use sec_obs::{event, Counter, Gauge, Recorder};
 use sec_sim::{eval_single, first_output_mismatch, Signatures, Trace};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Error constructing a [`Checker`].
@@ -142,6 +144,24 @@ impl Checker {
     /// Runs the check to a verdict.
     pub fn run(mut self) -> CheckResult {
         let start = Instant::now();
+        // Tee an in-memory recorder behind whatever sinks the caller
+        // configured: every backend reads `opts.obs`, so the same
+        // counters feed both the event stream and the derived stats.
+        let recorder = Recorder::new();
+        self.opts.obs = self.opts.obs.and_sink(Arc::new(recorder.clone()));
+        let obs = self.opts.obs.clone();
+        let backend_name = match self.opts.backend {
+            Backend::Bdd => "bdd",
+            Backend::Sat => "sat",
+        };
+        event!(
+            obs,
+            "check.start",
+            backend = backend_name,
+            signals = self.pm.aig.num_nodes(),
+            latches = self.pm.aig.num_latches(),
+            output_pairs = self.pm.output_pairs.len()
+        );
         let deadline = Deadline::new(self.opts.timeout)
             .with_token(self.opts.cancel.as_ref())
             .with_progress(self.opts.progress.as_ref());
@@ -153,6 +173,12 @@ impl Checker {
                 let t = Trace::random(self.spec.num_inputs(), 64, self.opts.seed ^ (k << 32) | 1);
                 if first_output_mismatch(&self.spec, &self.impl_, &t).is_some() {
                     stats.time = start.elapsed();
+                    event!(
+                        obs,
+                        "check.end",
+                        verdict = "inequivalent",
+                        by = "simulation"
+                    );
                     return CheckResult {
                         verdict: Verdict::Inequivalent(t),
                         stats,
@@ -180,6 +206,7 @@ impl Checker {
         let mut partition = self.seed_partition(&self.pm.aig);
         let mut aborted: Option<Abort> = None;
         let mut proven = false;
+        let mut retimes = 0usize;
 
         loop {
             let pairs = self.pm.output_pairs.clone();
@@ -191,67 +218,47 @@ impl Checker {
                     &deadline,
                     approx_latches.as_deref(),
                     &pairs,
-                )
-                .map(|s| (s.iterations, s.peak_nodes, 0u64, 0usize, 0u64, s.outputs_ok)),
+                ),
                 Backend::Sat => sat_backend::run_fixed_point(
                     &self.pm.aig,
                     &mut partition,
                     &self.opts,
                     &deadline,
                     &pairs,
-                )
-                .map(|s| {
-                    (
-                        s.iterations,
-                        0usize,
-                        s.conflicts,
-                        s.solver_constructions,
-                        s.solver_calls,
-                        s.outputs_ok,
-                    )
-                }),
+                ),
             };
             match result {
-                Ok((its, peak, conflicts, constructions, calls, outputs_ok)) => {
-                    stats.iterations += its;
-                    stats.peak_bdd_nodes = stats.peak_bdd_nodes.max(peak);
-                    stats.sat_conflicts += conflicts;
-                    stats.sat_solver_constructions += constructions;
-                    stats.sat_solver_calls += calls;
-                    if outputs_ok {
-                        proven = true;
-                        break;
-                    }
+                Ok(true) => {
+                    proven = true;
+                    break;
                 }
+                Ok(false) => {}
                 Err(abort) => {
                     aborted = Some(abort);
                     break;
                 }
             }
-            if stats.retime_invocations >= self.opts.retime_rounds
-                || self.opts.scope == SignalScope::RegistersOnly
-            {
+            if retimes >= self.opts.retime_rounds || self.opts.scope == SignalScope::RegistersOnly {
                 break;
             }
             let created = extend_retimed(&mut self.pm.aig, &mut self.sides);
             if created.is_empty() {
                 break;
             }
-            stats.retime_invocations += 1;
+            retimes += 1;
+            obs.add(Counter::RetimeExtensions, 1);
+            event!(obs, "retime.extend", added = created.len());
             partition = self.seed_partition(&self.pm.aig);
         }
-
-        stats.eqs_percent = self.eqs_percent(&partition);
-        stats.classes = partition.num_classes();
-        stats.signals = partition.num_signals();
 
         let verdict = if proven {
             Verdict::Equivalent
         } else {
             // Try to refute within the BMC bound; otherwise report why we
-            // could not decide.
+            // could not decide. The fallback shares the run's recorder,
+            // so its frames and SAT work show up in the stats below.
             let refuted = if self.opts.bmc_depth > 0 {
-                bounded_check(&self.pm, self.opts.bmc_depth, &deadline).unwrap_or_default()
+                bounded_check(&self.pm, self.opts.bmc_depth, &deadline, &obs).unwrap_or_default()
             } else {
                 None
             };
@@ -264,7 +271,32 @@ impl Checker {
                 ),
             }
         };
+
+        // Everything countable is derived from the recorder — after the
+        // BMC fallback, so its solver work is included.
+        stats.iterations = recorder.counter(Counter::Rounds) as usize;
+        stats.retime_invocations = recorder.counter(Counter::RetimeExtensions) as usize;
+        stats.splits = recorder.counter(Counter::Splits);
+        stats.peak_bdd_nodes = recorder.gauge(Gauge::PeakBddNodes) as usize;
+        stats.sat_conflicts = recorder.counter(Counter::SatConflicts);
+        stats.sat_solver_constructions = recorder.counter(Counter::SatSolverConstructions) as usize;
+        stats.sat_solver_calls = recorder.counter(Counter::SatSolverCalls);
+        stats.eqs_percent = self.eqs_percent(&partition);
+        stats.classes = partition.num_classes();
+        stats.signals = partition.num_signals();
         stats.time = start.elapsed();
+        let verdict_name = match &verdict {
+            Verdict::Equivalent => "equivalent",
+            Verdict::Inequivalent(_) => "inequivalent",
+            Verdict::Unknown(_) => "unknown",
+        };
+        event!(
+            obs,
+            "check.end",
+            verdict = verdict_name,
+            rounds = stats.iterations,
+            classes = stats.classes
+        );
         CheckResult { verdict, stats }
     }
 }

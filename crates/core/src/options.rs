@@ -1,6 +1,7 @@
 //! Configuration of the signal-correspondence checker.
 
 use sec_limits::{CancellationToken, ProgressCounter};
+use sec_obs::Obs;
 use std::time::Duration;
 
 /// Which engine performs the combinational checks of the fixed-point
@@ -13,7 +14,12 @@ pub enum Backend {
     /// A CDCL SAT solver over a two-frame Tseitin unrolling — the
     /// "introduction of extra variables representing intermediate
     /// signals" the paper's conclusion anticipates (and what modern
-    /// `scorr`-style tools do).
+    /// `scorr`-style tools do). By default the unrolling is encoded
+    /// once and one persistent solver serves every refinement round
+    /// ([`Options::sat_incremental`]); the historical
+    /// fresh-solver-per-round behaviour survives only as the
+    /// [`Options::sat_monolithic`] ablation baseline and as the
+    /// conflict-budget fall-back path.
     Sat,
 }
 
@@ -104,6 +110,13 @@ pub struct Options {
     /// an observer on another thread (the portfolio orchestrator) can
     /// emit live progress events.
     pub progress: Option<ProgressCounter>,
+    /// Observability handle (see [`sec_obs`]). The checker tees its own
+    /// in-memory recorder onto whatever sinks this carries and derives
+    /// [`CheckStats`](crate::CheckStats) from the recorded counters, so
+    /// an NDJSON sink here sees exactly the events the stats are built
+    /// from. The default [`Obs::off`] handle costs one branch per
+    /// emission site.
+    pub obs: Obs,
 }
 
 impl Default for Options {
@@ -128,6 +141,7 @@ impl Default for Options {
             sim_refute: true,
             cancel: None,
             progress: None,
+            obs: Obs::off(),
         }
     }
 }

@@ -25,23 +25,36 @@ impl Verdict {
 
 /// Statistics of a [`Checker`](crate::Checker) run, mirroring the columns
 /// of the paper's Table 1.
+///
+/// Every numeric field except the partition summary
+/// (`eqs_percent`/`classes`/`signals`) and `time` is *derived* from the
+/// run's [`sec_obs::Recorder`] — the same counters an NDJSON trace
+/// (`--trace-json`) streams — so the event totals and the stats can
+/// never drift apart. Field-by-field reference: `docs/STATS.md`.
 #[derive(Clone, Debug, Default)]
 pub struct CheckStats {
     /// Fixed-point refinement iterations, summed over retiming rounds
-    /// (the paper's `#its`).
+    /// (the paper's `#its`). Derived from the `rounds` counter, which is
+    /// bumped at round *start* — an aborted round is counted, and the
+    /// number of `round` events in a trace equals this field exactly.
     pub iterations: usize,
     /// Times the retiming extension added logic (the parenthesized number
     /// in the paper's `#its` column).
     pub retime_invocations: usize,
+    /// Equivalence classes created by counterexample-guided splitting,
+    /// summed over all rounds (the `splits` counter).
+    pub splits: u64,
     /// Peak live BDD nodes (0 for the SAT backend).
     pub peak_bdd_nodes: usize,
-    /// SAT conflicts (0 for the BDD backend).
+    /// SAT conflicts, summed over every solver the run constructed —
+    /// including the BMC-fallback solver, so a BDD-backend run that
+    /// ends in BMC reports nonzero conflicts.
     pub sat_conflicts: u64,
-    /// SAT solvers constructed (0 for the BDD backend): 1 per
-    /// `run_fixed_point` on the incremental path, one per refinement
-    /// round on the monolithic path.
+    /// SAT solvers constructed: 1 per fixed point on the incremental
+    /// path, one per refinement round on the monolithic path, plus one
+    /// for the BMC fallback when it runs.
     pub sat_solver_constructions: usize,
-    /// Individual SAT solve calls (0 for the BDD backend).
+    /// Individual SAT solve calls across all constructed solvers.
     pub sat_solver_calls: u64,
     /// Percentage of specification signals (gates and registers) whose
     /// final class contains an implementation signal (the paper's

@@ -43,28 +43,14 @@
 //! sound because every split already applied is justified. A budgeted
 //! or interrupted query is never read as "unsatisfiable".
 
-use crate::context::{Abort, Deadline};
+use crate::context::{Abort, Deadline, SatMeter};
 use crate::options::Options;
 use crate::partition::Partition;
 use sec_netlist::{Aig, Lit, Var};
+use sec_obs::{span, Counter, Obs};
 use sec_sat::{AigCnf, SatLit, SatResult, Solver};
 use sec_sim::{amplify_init, amplify_two_frame, eval_single, next_state_single};
 use std::collections::HashMap;
-
-/// Statistics of one fixed-point invocation.
-#[derive(Clone, Copy, Debug, Default)]
-pub(crate) struct SatRunStats {
-    pub iterations: usize,
-    pub conflicts: u64,
-    /// Solvers constructed: exactly 1 on the incremental path, one per
-    /// round on the monolithic path (plus the incremental one if a
-    /// budget fall-back happened mid-run).
-    pub solver_constructions: usize,
-    /// Individual solve calls (queries).
-    pub solver_calls: u64,
-    /// Theorem-1 result: does `Q_msc ⇒ λ` hold at the fixed point?
-    pub outputs_ok: bool,
-}
 
 /// The two-frame (+ initial frame) unrolling of the product machine,
 /// encoded in a fresh solver.
@@ -249,12 +235,8 @@ enum Query {
 /// that would silently drop a potential split and certify a fixed point
 /// that is not one (an unsound `Equivalent`). A budget-exhausted query
 /// is surfaced as [`Query::Budget`] for the same reason.
-fn query(
-    solver: &mut Solver,
-    assumptions: &[SatLit],
-    stats: &mut SatRunStats,
-) -> Result<Query, Abort> {
-    stats.solver_calls += 1;
+fn query(solver: &mut Solver, assumptions: &[SatLit], obs: &Obs) -> Result<Query, Abort> {
+    obs.add(Counter::SatSolverCalls, 1);
     match solver.solve_with_assumptions(assumptions) {
         SatResult::Sat => Ok(Query::Sat),
         SatResult::Unsat => Ok(Query::Unsat),
@@ -282,6 +264,7 @@ enum Round {
 /// correspondence condition refine the partition (the witness always
 /// does — its frame 0 satisfies the asserted, coarser `Q_{T_i}`).
 /// Returns `true` if anything split.
+#[allow(clippy::too_many_arguments)]
 fn split_by_two_frame_cex(
     aig: &Aig,
     partition: &mut Partition,
@@ -290,6 +273,7 @@ fn split_by_two_frame_cex(
     s: &[bool],
     xt: &[bool],
     xt1: &[bool],
+    obs: &Obs,
 ) -> bool {
     let words = opts.sat_amplify_words;
     if words == 0 {
@@ -298,10 +282,15 @@ fn split_by_two_frame_cex(
         return partition.refine_by_values(&frame2);
     }
     let amp = amplify_two_frame(aig, s, xt, xt1, words, seed);
+    obs.add(Counter::AmplifyPatterns, 64 * words as u64);
     let mut changed = false;
     for w in 0..words {
         let mask = partition.valid_word_mask(|v| amp.frame0.var_words(v)[w]);
-        changed |= partition.refine_by_words(|v| amp.frame1.var_words(v)[w], mask);
+        let hit = partition.refine_by_words(|v| amp.frame1.var_words(v)[w], mask);
+        if hit {
+            obs.add(Counter::AmplifyWordHits, 1);
+        }
+        changed |= hit;
     }
     changed
 }
@@ -315,6 +304,7 @@ fn split_by_init_cex(
     opts: &Options,
     seed: u64,
     xi: &[bool],
+    obs: &Obs,
 ) -> bool {
     let words = opts.sat_amplify_words;
     if words == 0 {
@@ -322,9 +312,14 @@ fn split_by_init_cex(
         return partition.refine_by_values(&vals);
     }
     let sim = amplify_init(aig, xi, words, seed);
+    obs.add(Counter::AmplifyPatterns, 64 * words as u64);
     let mut changed = false;
     for w in 0..words {
-        changed |= partition.refine_by_words(|v| sim.var_words(v)[w], !0u64);
+        let hit = partition.refine_by_words(|v| sim.var_words(v)[w], !0u64);
+        if hit {
+            obs.add(Counter::AmplifyWordHits, 1);
+        }
+        changed |= hit;
     }
     changed
 }
@@ -343,7 +338,7 @@ fn run_round(
     u: &mut Unrolling,
     act: Option<SatLit>,
     round: usize,
-    stats: &mut SatRunStats,
+    obs: &Obs,
 ) -> Result<Round, Abort> {
     let with_act = |d: SatLit| match act {
         Some(a) => vec![a, d],
@@ -365,14 +360,14 @@ fn run_round(
                 query_seq = query_seq.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 // Condition 2: next-frame disagreement under Q?
                 let d1 = u.pair_diff(partition, m, r, false);
-                match query(&mut u.solver, &with_act(d1), stats)? {
+                match query(&mut u.solver, &with_act(d1), obs)? {
                     Query::Budget => return Ok(Round::Budget),
                     Query::Sat => {
                         let s = u.read_inputs(&u.s_in);
                         let xt = u.read_inputs(&u.x0_in);
                         let xt1 = u.read_inputs(&u.x1_in);
                         let seed = opts.seed ^ query_seq;
-                        if !split_by_two_frame_cex(aig, partition, opts, seed, &s, &xt, &xt1) {
+                        if !split_by_two_frame_cex(aig, partition, opts, seed, &s, &xt, &xt1, obs) {
                             return Err(Abort::Resource(
                                 "internal inconsistency: SAT counterexample did not split".into(),
                             ));
@@ -384,12 +379,12 @@ fn run_round(
                 }
                 // Condition 1: disagreement at the initial state?
                 let d0 = u.pair_diff(partition, m, r, true);
-                match query(&mut u.solver, &with_act(d0), stats)? {
+                match query(&mut u.solver, &with_act(d0), obs)? {
                     Query::Budget => return Ok(Round::Budget),
                     Query::Sat => {
                         let xi = u.read_inputs(&u.xi_in);
                         let seed = opts.seed ^ query_seq.wrapping_add(1);
-                        if !split_by_init_cex(aig, partition, opts, seed, &xi) {
+                        if !split_by_init_cex(aig, partition, opts, seed, &xi, obs) {
                             return Err(Abort::Resource(
                                 "internal inconsistency: init counterexample did not split".into(),
                             ));
@@ -418,7 +413,7 @@ fn check_outputs(
     partition: &Partition,
     act: Option<SatLit>,
     output_pairs: &[(Lit, Lit)],
-    stats: &mut SatRunStats,
+    obs: &Obs,
 ) -> Result<Option<bool>, Abort> {
     if partition.outputs_equiv(output_pairs) {
         return Ok(Some(true));
@@ -429,7 +424,7 @@ fn check_outputs(
             Some(act) => vec![act, d],
             None => vec![d],
         };
-        match query(&mut u.solver, &assumptions, stats)? {
+        match query(&mut u.solver, &assumptions, obs)? {
             Query::Budget => return Ok(None),
             Query::Sat => return Ok(Some(false)),
             Query::Unsat => {}
@@ -440,10 +435,30 @@ fn check_outputs(
 
 /// How the incremental driver ended.
 enum Incremental {
-    /// Reached the fixed point (stats hold the verdict).
-    Done,
+    /// Reached the fixed point; carries the Theorem-1 verdict
+    /// (`Q_msc ⇒ λ`).
+    Done(bool),
     /// Conflict budget exhausted: resume on the monolithic path.
     FallBack,
+}
+
+/// Opens this round's span and bumps the `rounds` counter; the caller
+/// records the round's splits before the span drops. Counting at round
+/// *start* keeps `round` events and derived iteration counts equal to
+/// the old hand-incremented semantics even when the round aborts.
+fn open_round(obs: &Obs, round: usize) -> sec_obs::Span {
+    obs.add(Counter::Rounds, 1);
+    span!(obs, "round", round = round, backend = "sat")
+}
+
+/// Records a finished round's refinement outcome on its span and in the
+/// `splits` counter (classes only ever split, so the class-count delta
+/// is exactly the number of new classes).
+fn close_round(obs: &Obs, sp: &mut sec_obs::Span, partition: &Partition, classes_before: usize) {
+    let splits = (partition.num_classes() - classes_before) as u64;
+    obs.add(Counter::Splits, splits);
+    sp.record("splits", splits);
+    sp.record("classes", partition.num_classes());
 }
 
 /// The incremental driver: one solver for the whole fixed point,
@@ -455,99 +470,118 @@ fn run_incremental(
     opts: &Options,
     deadline: &Deadline,
     output_pairs: &[(Lit, Lit)],
-    stats: &mut SatRunStats,
+    obs: &Obs,
 ) -> Result<Incremental, Abort> {
     let mut u = Unrolling::build(aig);
-    stats.solver_constructions += 1;
+    obs.add(Counter::SatSolverConstructions, 1);
     // The solver polls the same deadline/token from its search loop,
     // so a long query stops within milliseconds of cancellation.
     u.solver.set_limits(deadline.limits());
+    u.solver.set_obs(obs.clone());
     u.solver.set_conflict_budget(opts.sat_conflict_budget);
-    loop {
-        deadline.check()?;
-        deadline.tick();
-        stats.iterations += 1;
-        let round = stats.iterations;
-        let act = u.solver.new_var().positive();
-        u.assert_q(partition, Some(act));
-        match run_round(
-            aig,
-            partition,
-            opts,
-            deadline,
-            &mut u,
-            Some(act),
-            round,
-            stats,
-        )? {
-            Round::Budget => {
-                stats.conflicts += u.solver.stats().conflicts;
-                return Ok(Incremental::FallBack);
+    let mut meter = SatMeter::new(obs);
+    let mut round_no = 0usize;
+    let result = 'run: {
+        loop {
+            if let Err(e) = deadline.check() {
+                break 'run Err(e);
             }
-            Round::NoSplit => {
-                match check_outputs(&mut u, partition, Some(act), output_pairs, stats)? {
-                    None => {
-                        stats.conflicts += u.solver.stats().conflicts;
-                        return Ok(Incremental::FallBack);
-                    }
-                    Some(ok) => {
-                        stats.outputs_ok = ok;
-                        stats.conflicts += u.solver.stats().conflicts;
-                        return Ok(Incremental::Done);
-                    }
+            deadline.tick();
+            round_no += 1;
+            let mut sp = open_round(obs, round_no);
+            let act = u.solver.new_var().positive();
+            u.assert_q(partition, Some(act));
+            let classes_before = partition.num_classes();
+            let round = run_round(
+                aig,
+                partition,
+                opts,
+                deadline,
+                &mut u,
+                Some(act),
+                round_no,
+                obs,
+            );
+            close_round(obs, &mut sp, partition, classes_before);
+            drop(sp);
+            match round {
+                Err(e) => break 'run Err(e),
+                Ok(Round::Budget) => break 'run Ok(Incremental::FallBack),
+                Ok(Round::NoSplit) => {
+                    break 'run match check_outputs(&mut u, partition, Some(act), output_pairs, obs)
+                    {
+                        Err(e) => Err(e),
+                        Ok(None) => Ok(Incremental::FallBack),
+                        Ok(Some(ok)) => Ok(Incremental::Done(ok)),
+                    };
+                }
+                Ok(Round::Refined) => {
+                    // Retract this round's Q: the guard can never be
+                    // assumed again, and all its clauses are satisfied.
+                    u.solver.add_clause(&[!act]);
                 }
             }
-            Round::Refined => {
-                // Retract this round's Q: the guard can never be
-                // assumed again, and all its clauses are satisfied.
-                u.solver.add_clause(&[!act]);
-            }
         }
-    }
+    };
+    // One flush covers the whole solver lifetime — including an abort
+    // mid-round, so trace totals never undercount interrupted work.
+    meter.flush(&u.solver);
+    result
 }
 
 /// The monolithic driver: the pre-incremental behaviour — a fresh
 /// solver and CNF per refinement round, hard `Q` clauses. Kept both as
 /// the `sat_incremental: false` ablation baseline and as the graceful
 /// fall-back when the incremental path exhausts its conflict budget.
+/// Returns the Theorem-1 verdict at the fixed point.
 fn run_monolithic(
     aig: &Aig,
     partition: &mut Partition,
     opts: &Options,
     deadline: &Deadline,
     output_pairs: &[(Lit, Lit)],
-    stats: &mut SatRunStats,
-) -> Result<(), Abort> {
+    obs: &Obs,
+) -> Result<bool, Abort> {
+    let mut round_no = 0usize;
     loop {
         deadline.check()?;
         deadline.tick();
-        stats.iterations += 1;
-        let round = stats.iterations;
+        round_no += 1;
+        let mut sp = open_round(obs, round_no);
         let mut u = Unrolling::build(aig);
-        stats.solver_constructions += 1;
+        obs.add(Counter::SatSolverConstructions, 1);
         u.solver.set_limits(deadline.limits());
+        u.solver.set_obs(obs.clone());
         u.assert_q(partition, None);
-        match run_round(aig, partition, opts, deadline, &mut u, None, round, stats)? {
-            Round::Budget => {
+        let mut meter = SatMeter::new(obs);
+        let classes_before = partition.num_classes();
+        let round = run_round(aig, partition, opts, deadline, &mut u, None, round_no, obs);
+        close_round(obs, &mut sp, partition, classes_before);
+        drop(sp);
+        let outcome = match round {
+            Err(e) => Err(e),
+            Ok(Round::Budget) => {
                 // No budget is ever set on this path.
-                return Err(Abort::Resource(
+                Err(Abort::Resource(
                     "internal inconsistency: budget exhausted on the monolithic path".into(),
-                ));
+                ))
             }
-            Round::NoSplit => {
-                stats.outputs_ok = check_outputs(&mut u, partition, None, output_pairs, stats)?
-                    .expect("no budget on the monolithic path");
-                stats.conflicts += u.solver.stats().conflicts;
-                return Ok(());
-            }
-            Round::Refined => {
-                stats.conflicts += u.solver.stats().conflicts;
-            }
+            Ok(Round::NoSplit) => check_outputs(&mut u, partition, None, output_pairs, obs)
+                .map(|ok| Some(ok.expect("no budget on the monolithic path"))),
+            Ok(Round::Refined) => Ok(None),
+        };
+        // This round's solver is dropped on the next iteration: flush
+        // its totals now, abort or not.
+        meter.flush(&u.solver);
+        match outcome? {
+            Some(ok) => return Ok(ok),
+            None => continue,
         }
     }
 }
 
-/// Runs the greatest fixed-point iteration with the SAT engine.
+/// Runs the greatest fixed-point iteration with the SAT engine,
+/// returning the Theorem-1 verdict (`Q_msc ⇒ λ`) at the fixed point.
 ///
 /// Dispatches to the incremental or monolithic driver per
 /// [`Options::sat_incremental`]; a conflict-budget exhaustion on the
@@ -560,15 +594,15 @@ pub(crate) fn run_fixed_point(
     opts: &Options,
     deadline: &Deadline,
     output_pairs: &[(Lit, Lit)],
-) -> Result<SatRunStats, Abort> {
-    let mut stats = SatRunStats::default();
+) -> Result<bool, Abort> {
+    let obs = &opts.obs;
     if opts.sat_incremental {
-        if let Incremental::Done =
-            run_incremental(aig, partition, opts, deadline, output_pairs, &mut stats)?
+        if let Incremental::Done(ok) =
+            run_incremental(aig, partition, opts, deadline, output_pairs, obs)?
         {
-            return Ok(stats);
+            return Ok(ok);
         }
+        sec_obs::event!(obs, "sat.fallback", reason = "conflict budget exhausted");
     }
-    run_monolithic(aig, partition, opts, deadline, output_pairs, &mut stats)?;
-    Ok(stats)
+    run_monolithic(aig, partition, opts, deadline, output_pairs, obs)
 }

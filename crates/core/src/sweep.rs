@@ -16,6 +16,8 @@ use crate::engine::seed_partition;
 use crate::options::{Backend, Options};
 use crate::{bdd_backend, sat_backend};
 use sec_netlist::{check as check_circuit, Aig, CheckError, Lit, Node};
+use sec_obs::{Counter, Recorder};
+use std::sync::Arc;
 
 /// Statistics of a [`sequential_sweep`] run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -79,23 +81,25 @@ pub fn sequential_sweep(aig: &Aig, opts: &Options) -> Result<(Aig, SweepStats), 
         ..SweepStats::default()
     };
     let deadline = Deadline::new(opts.timeout);
+    // Local recorder tee so the iteration count comes from the same
+    // `rounds` counter every other consumer of the backends uses.
+    let recorder = Recorder::new();
+    let mut opts = opts.clone();
+    opts.obs = opts.obs.and_sink(Arc::new(recorder.clone()));
+    let opts = &opts;
     let mut partition = seed_partition(aig, opts);
     let fixed_point = match opts.backend {
         Backend::Bdd => {
             bdd_backend::run_fixed_point(aig, &mut partition, opts, &deadline, None, &[])
-                .map(|s| s.iterations)
         }
-        Backend::Sat => sat_backend::run_fixed_point(aig, &mut partition, opts, &deadline, &[])
-            .map(|s| s.iterations),
+        Backend::Sat => sat_backend::run_fixed_point(aig, &mut partition, opts, &deadline, &[]),
     };
-    match fixed_point {
-        Ok(its) => stats.iterations = its,
-        Err(_) => {
-            stats.gave_up = true;
-            stats.ands_after = stats.ands_before;
-            stats.latches_after = stats.latches_before;
-            return Ok((aig.clone(), stats));
-        }
+    stats.iterations = recorder.counter(Counter::Rounds) as usize;
+    if fixed_point.is_err() {
+        stats.gave_up = true;
+        stats.ands_after = stats.ands_before;
+        stats.latches_after = stats.latches_before;
+        return Ok((aig.clone(), stats));
     }
 
     // Rebuild, redirecting every non-representative signal to its class

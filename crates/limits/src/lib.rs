@@ -15,6 +15,34 @@
 //! `Instant::now` costs an order of magnitude more than the load.
 //! Worst-case detection latency is `POLL_STRIDE × cost-per-step`, well
 //! under a millisecond for every engine in the workspace.
+//!
+//! Each `Limits` value counts its own polls ([`Limits::polls`]); the
+//! engines surface the tally through `sec-obs` as the
+//! `cancellation_polls` counter, which turns "is the hot loop actually
+//! polling?" from a code-reading exercise into a number in `--stats`.
+//!
+//! # Usage
+//!
+//! ```
+//! use sec_limits::{CancellationToken, Limits, Stop};
+//! use std::time::Duration;
+//!
+//! // The orchestrator side: one token shared by all workers.
+//! let token = CancellationToken::new();
+//!
+//! // The engine side: a per-engine Limits polled from the hot loop.
+//! let mut limits = Limits::with_token(&token).with_timeout(Some(Duration::from_secs(60)));
+//! let mut step = |limits: &mut Limits| -> Result<(), Stop> {
+//!     limits.check()?; // ~1 ns when not cancelled
+//!     // ...one unit of work...
+//!     Ok(())
+//! };
+//! assert_eq!(step(&mut limits), Ok(()));
+//!
+//! token.cancel(); // first verdict arrived; stop the losers
+//! assert_eq!(step(&mut limits), Err(Stop::Cancelled));
+//! assert_eq!(limits.polls(), 2);
+//! ```
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -120,6 +148,9 @@ pub struct Limits {
     deadline: Option<Instant>,
     /// Calls remaining until the next wall-clock read.
     countdown: u32,
+    /// Total `check`/`check_now` calls on this value (observability:
+    /// surfaced as the `cancellation_polls` counter).
+    polls: u64,
 }
 
 impl Limits {
@@ -130,6 +161,7 @@ impl Limits {
             token: None,
             deadline: None,
             countdown: POLL_STRIDE,
+            polls: 0,
         }
     }
 
@@ -165,6 +197,7 @@ impl Limits {
     /// [`POLL_STRIDE`] calls.
     #[inline]
     pub fn check(&mut self) -> Result<(), Stop> {
+        self.polls += 1;
         if let Some(t) = &self.token {
             if t.is_cancelled() {
                 return Err(Stop::Cancelled);
@@ -186,12 +219,20 @@ impl Limits {
     /// steps.
     #[inline]
     pub fn check_now(&mut self) -> Result<(), Stop> {
+        self.polls += 1;
         if let Some(t) = &self.token {
             if t.is_cancelled() {
                 return Err(Stop::Cancelled);
             }
         }
         self.check_deadline_now()
+    }
+
+    /// Total [`check`](Limits::check)/[`check_now`](Limits::check_now)
+    /// calls made on this value. Engine-local (clones count
+    /// separately), so the owner of the hot loop reads its own tally.
+    pub fn polls(&self) -> u64 {
+        self.polls
     }
 
     #[inline]
@@ -264,6 +305,22 @@ mod tests {
         c.bump();
         c.bump();
         assert_eq!(c2.get(), 2);
+    }
+
+    #[test]
+    fn polls_are_counted_per_value() {
+        let mut l = Limits::none();
+        assert_eq!(l.polls(), 0);
+        for _ in 0..5 {
+            let _ = l.check();
+        }
+        let _ = l.check_now();
+        assert_eq!(l.polls(), 6);
+        // Clones start from the clone point's tally, independently.
+        let mut l2 = l.clone();
+        let _ = l2.check();
+        assert_eq!(l.polls(), 6);
+        assert_eq!(l2.polls(), 7);
     }
 
     #[test]

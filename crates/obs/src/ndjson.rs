@@ -1,0 +1,89 @@
+//! The NDJSON event-stream sink behind the CLI's `--trace-json`.
+
+use crate::json::event_line;
+use crate::{Sink, Value};
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Writes one JSON object per line:
+/// `{"t_us":123,"ev":"round","engine":"sat-corr","round":3,...}`.
+///
+/// Every line is written with a single unbuffered `write_all` — the
+/// CLI exits via `std::process::exit`, which skips destructors, so a
+/// buffered writer would silently truncate the stream. Events are
+/// coarse (round/frame/race boundaries), so the syscall per line is
+/// noise.
+pub struct NdjsonSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl NdjsonSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<NdjsonSink> {
+        Ok(NdjsonSink::from_writer(File::create(path)?))
+    }
+
+    /// Streams to an arbitrary writer (tests use `Vec<u8>` via a
+    /// shared buffer; the CLI can point this at stderr).
+    pub fn from_writer(w: impl Write + Send + 'static) -> NdjsonSink {
+        NdjsonSink {
+            out: Mutex::new(Box::new(w)),
+        }
+    }
+}
+
+impl Sink for NdjsonSink {
+    fn event(
+        &self,
+        at_us: u64,
+        scope: Option<&'static str>,
+        name: &str,
+        fields: &[(&'static str, Value)],
+    ) {
+        let mut line = event_line(at_us, scope, name, fields);
+        line.push('\n');
+        let mut out = self.out.lock().unwrap();
+        // A torn trace is strictly worse than a missing one; losing an
+        // event to a full disk must not abort the check itself.
+        let _ = out.write_all(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{event, Obs};
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writes_one_json_object_per_line() {
+        let buf = SharedBuf::default();
+        let obs = Obs::single(NdjsonSink::from_writer(buf.clone())).scoped("bmc");
+        event!(obs, "bmc.frame", frame = 1u64);
+        event!(obs, "bmc.frame", frame = 2u64);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"ev\":\"bmc.frame\""));
+        assert!(lines[0].contains("\"engine\":\"bmc\""));
+        assert!(lines[1].contains("\"frame\":2"));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! The in-memory recorder sink — the source `CheckStats` and
+//! `EngineReport` are derived from.
+
+use crate::{Counter, Gauge, Sink, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One captured event (only kept when the recorder was built with
+/// [`Recorder::with_events`]).
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    /// Microseconds since the process-wide epoch.
+    pub at_us: u64,
+    /// The emitting handle's scope (engine name), if any.
+    pub scope: Option<&'static str>,
+    /// Event name.
+    pub name: String,
+    /// Event fields, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+struct RecorderInner {
+    counters: [AtomicU64; Counter::COUNT],
+    gauges: [AtomicU64; Gauge::COUNT],
+    events: Option<Mutex<Vec<EventRecord>>>,
+}
+
+/// Accumulates counters and gauges with relaxed atomics; optionally
+/// also captures every event in memory. Cloning shares the underlying
+/// storage, so engines can hold the sink while the caller keeps a
+/// handle to read results from.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A counters/gauges-only recorder (events are dropped). This is
+    /// what the engines use internally to derive their stats structs.
+    pub fn new() -> Recorder {
+        Recorder::build(false)
+    }
+
+    /// A recorder that additionally captures every event in memory —
+    /// for tests and in-process inspection.
+    pub fn with_events() -> Recorder {
+        Recorder::build(true)
+    }
+
+    fn build(keep_events: bool) -> Recorder {
+        Recorder {
+            inner: Arc::new(RecorderInner {
+                counters: std::array::from_fn(|_| AtomicU64::new(0)),
+                gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+                events: keep_events.then(|| Mutex::new(Vec::new())),
+            }),
+        }
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.inner.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Current value of a high-water-mark gauge.
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.inner.gauges[gauge as usize].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all non-zero counters as `(name, value)` pairs, in
+    /// declaration order — what `--stats` prints.
+    pub fn nonzero_counters(&self) -> Vec<(&'static str, u64)> {
+        let mut out = Vec::new();
+        for &c in Counter::ALL {
+            let v = self.counter(c);
+            if v != 0 {
+                out.push((c.name(), v));
+            }
+        }
+        for &g in Gauge::ALL {
+            let v = self.gauge(g);
+            if v != 0 {
+                out.push((g.name(), v));
+            }
+        }
+        out
+    }
+
+    /// The captured events (empty unless built with
+    /// [`Recorder::with_events`]).
+    pub fn events(&self) -> Vec<EventRecord> {
+        match &self.inner.events {
+            Some(events) => events.lock().unwrap().clone(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl Sink for Recorder {
+    fn event(
+        &self,
+        at_us: u64,
+        scope: Option<&'static str>,
+        name: &str,
+        fields: &[(&'static str, Value)],
+    ) {
+        if let Some(events) = &self.inner.events {
+            events.lock().unwrap().push(EventRecord {
+                at_us,
+                scope,
+                name: name.to_string(),
+                fields: fields.to_vec(),
+            });
+        }
+    }
+
+    fn add(&self, counter: Counter, delta: u64) {
+        self.inner.counters[counter as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn gauge_max(&self, gauge: Gauge, value: u64) {
+        self.inner.gauges[gauge as usize].fetch_max(value, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,50 @@
+//! The [`Sink`] trait and the null implementation.
+
+use crate::{Counter, Gauge, Value};
+
+/// Where events and counter updates go. Implementations must be
+/// thread-safe: the portfolio fans one sink out to four engine threads.
+///
+/// Counter/gauge updates have default no-op implementations so
+/// event-only sinks (like [`crate::NdjsonSink`]) ignore the
+/// high-frequency numeric traffic for free.
+pub trait Sink: Send + Sync {
+    /// A point event. `at_us` is microseconds since the process-wide
+    /// epoch; `scope` is the emitting handle's attribution label (the
+    /// engine name under the portfolio).
+    fn event(
+        &self,
+        at_us: u64,
+        scope: Option<&'static str>,
+        name: &str,
+        fields: &[(&'static str, Value)],
+    );
+
+    /// Adds `delta` to a monotonic counter.
+    fn add(&self, counter: Counter, delta: u64) {
+        let _ = (counter, delta);
+    }
+
+    /// Raises a high-water-mark gauge to at least `value`.
+    fn gauge_max(&self, gauge: Gauge, value: u64) {
+        let _ = (gauge, value);
+    }
+}
+
+/// A sink that discards everything. [`crate::Obs::off`] is cheaper
+/// (no dispatch at all); this exists for plumbing that insists on a
+/// live handle — e.g. overhead measurements of the dispatch path
+/// itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn event(
+        &self,
+        _at_us: u64,
+        _scope: Option<&'static str>,
+        _name: &str,
+        _fields: &[(&'static str, Value)],
+    ) {
+    }
+}

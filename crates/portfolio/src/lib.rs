@@ -50,6 +50,7 @@
 
 use sec_core::{bmc_refute, Backend, BuildError, Checker, Options as CoreOptions, Verdict};
 use sec_netlist::{check as check_circuit, Aig, ProductMachine};
+use sec_obs::{event, Obs};
 use sec_traversal::{check_equivalence, TraversalOptions, TraversalOutcome};
 use std::fmt;
 use std::sync::mpsc;
@@ -120,6 +121,12 @@ pub struct PortfolioOptions {
     pub node_limit: usize,
     /// BDD node budget of the traversal engine.
     pub traversal_node_limit: usize,
+    /// Observability handle. The orchestrator emits the race timeline
+    /// (`race.start`, `engine.spawn`, `engine.verdict`, `race.cancel`,
+    /// `race.timeout`, `race.end`) on it directly; each engine gets a
+    /// handle scoped to its [`EngineKind::name`], so every event an
+    /// engine emits carries an `"engine"` attribution field.
+    pub obs: Obs,
 }
 
 impl Default for PortfolioOptions {
@@ -132,6 +139,7 @@ impl Default for PortfolioOptions {
             bmc_depth: 64,
             node_limit: 16 << 20,
             traversal_node_limit: 4 << 20,
+            obs: Obs::off(),
         }
     }
 }
@@ -197,6 +205,9 @@ pub struct EngineReport {
     /// Coarse work units completed (refinement rounds, frames, image
     /// steps).
     pub iterations: u64,
+    /// Equivalence classes created by counterexample-guided splitting
+    /// (0 for the BMC and traversal engines).
+    pub splits: u64,
     /// Peak live BDD nodes.
     pub peak_bdd_nodes: usize,
     /// SAT conflicts.
@@ -272,6 +283,8 @@ pub fn run_with_events(
         (None, g) => g,
     };
     let token = CancellationToken::new();
+    let obs = &opts.obs;
+    event!(obs, "race.start", engines = lineup_names(&opts.engines));
 
     let mut events: Vec<ProgressEvent> = Vec::new();
     let mut reports: Vec<EngineReport> = Vec::new();
@@ -289,9 +302,21 @@ pub fn run_with_events(
             let tx = tx.clone();
             let token = token.clone();
             let counter = counter.clone();
+            event!(obs, "engine.spawn", engine = engine.name());
+            // Everything the engine emits carries its name.
+            let eobs = opts.obs.scoped(engine.name());
             s.spawn(move || {
                 let _ = tx.send(Msg::Started(engine, start.elapsed()));
-                let report = run_engine(engine, spec, impl_, opts, &token, &counter, engine_budget);
+                let report = run_engine(
+                    engine,
+                    spec,
+                    impl_,
+                    opts,
+                    &token,
+                    &counter,
+                    engine_budget,
+                    eobs,
+                );
                 let _ = tx.send(Msg::Done(Box::new(report), start.elapsed()));
             });
         }
@@ -333,12 +358,20 @@ pub fn run_with_events(
                         peak_bdd_nodes: report.peak_bdd_nodes,
                         sat_conflicts: report.sat_conflicts,
                     };
+                    event!(
+                        obs,
+                        "engine.verdict",
+                        engine = report.engine.name(),
+                        verdict = verdict_label(&report.verdict),
+                        iterations = report.iterations
+                    );
                     on_event(&ev);
                     events.push(ev);
                     if winner.is_none() && definitive(&report.verdict) {
                         winner = Some(report.engine);
                         final_verdict = Some(report.verdict.clone());
                         token.cancel();
+                        event!(obs, "race.cancel", winner = report.engine.name());
                         let ev = ProgressEvent::Cancelling {
                             winner: report.engine,
                             at: start.elapsed(),
@@ -359,6 +392,7 @@ pub fn run_with_events(
                     if Instant::now() >= end {
                         timed_out = true;
                         token.cancel();
+                        event!(obs, "race.timeout");
                         let ev = ProgressEvent::GlobalTimeout {
                             at: start.elapsed(),
                         };
@@ -383,6 +417,12 @@ pub fn run_with_events(
         Some(v) => v,
         None => Verdict::Unknown(degradation_reason(&reports)),
     };
+    event!(
+        obs,
+        "race.end",
+        winner = winner.map(|w| w.name()).unwrap_or("none"),
+        verdict = verdict_label(&verdict)
+    );
     Ok(PortfolioResult {
         verdict,
         winner,
@@ -390,6 +430,14 @@ pub fn run_with_events(
         events,
         time: start.elapsed(),
     })
+}
+
+fn lineup_names(engines: &[EngineKind]) -> String {
+    engines
+        .iter()
+        .map(|e| e.name())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 enum Msg {
@@ -417,8 +465,20 @@ fn degradation_reason(reports: &[EngineReport]) -> String {
     format!("no engine was definitive — {}", parts.join("; "))
 }
 
+/// Copies every stat a [`CheckStats`](sec_core::CheckStats) carries
+/// into the report — the single place where the two schemas meet.
+fn fill_from_stats(report: &mut EngineReport, stats: &sec_core::CheckStats) {
+    report.iterations = stats.iterations as u64;
+    report.splits = stats.splits;
+    report.peak_bdd_nodes = stats.peak_bdd_nodes;
+    report.sat_conflicts = stats.sat_conflicts;
+    report.sat_solver_constructions = stats.sat_solver_constructions as u64;
+    report.sat_solver_calls = stats.sat_solver_calls;
+}
+
 /// Runs one engine to completion (or cancellation) on the caller's
 /// thread.
+#[allow(clippy::too_many_arguments)]
 fn run_engine(
     engine: EngineKind,
     spec: &Aig,
@@ -427,12 +487,14 @@ fn run_engine(
     token: &CancellationToken,
     counter: &ProgressCounter,
     budget: Option<Duration>,
+    obs: Obs,
 ) -> EngineReport {
     let t0 = Instant::now();
     let mut report = EngineReport {
         engine,
         verdict: Verdict::Unknown("not run".to_string()),
         iterations: 0,
+        splits: 0,
         peak_bdd_nodes: 0,
         sat_conflicts: 0,
         sat_solver_constructions: 0,
@@ -456,17 +518,14 @@ fn run_engine(
                 bmc_depth: 0,
                 cancel: Some(token.clone()),
                 progress: Some(counter.clone()),
+                obs,
                 ..CoreOptions::default()
             };
             match Checker::new(spec, impl_, copts) {
                 Ok(checker) => {
                     let r = checker.run();
                     report.verdict = r.verdict;
-                    report.iterations = r.stats.iterations as u64;
-                    report.peak_bdd_nodes = r.stats.peak_bdd_nodes;
-                    report.sat_conflicts = r.stats.sat_conflicts;
-                    report.sat_solver_constructions = r.stats.sat_solver_constructions as u64;
-                    report.sat_solver_calls = r.stats.sat_solver_calls;
+                    fill_from_stats(&mut report, &r.stats);
                 }
                 Err(e) => report.verdict = Verdict::Unknown(format!("build error: {e}")),
             }
@@ -478,13 +537,13 @@ fn run_engine(
                 timeout: budget,
                 cancel: Some(token.clone()),
                 progress: Some(counter.clone()),
+                obs,
                 ..CoreOptions::default()
             };
             match bmc_refute(spec, impl_, &copts) {
                 Ok(r) => {
                     report.verdict = r.verdict;
-                    report.iterations = counter.get();
-                    report.sat_conflicts = r.stats.sat_conflicts;
+                    fill_from_stats(&mut report, &r.stats);
                 }
                 Err(e) => report.verdict = Verdict::Unknown(format!("build error: {e}")),
             }
@@ -498,6 +557,7 @@ fn run_engine(
                 timeout: budget,
                 cancel: Some(token.clone()),
                 progress: Some(counter.clone()),
+                obs,
             };
             match check_equivalence(spec, impl_, &topts) {
                 Ok((outcome, stats)) => {

@@ -6,6 +6,7 @@
 use crate::heap::VarHeap;
 use crate::types::{SatLit, SatResult, SatVar, Value};
 use sec_limits::{Limits, Stop};
+use sec_obs::{event, Obs};
 
 type CRef = u32;
 const CREF_NONE: CRef = u32::MAX;
@@ -83,6 +84,10 @@ pub struct Solver {
     conflict_budget: Option<u64>,
     /// Whether the last solve was cut short by the conflict budget.
     budget_exhausted: bool,
+    /// Observability handle (off by default). Only coarse search events
+    /// (restarts, learnt-db reductions) are emitted directly; callers
+    /// flush [`SatStats`] deltas into counters at query boundaries.
+    obs: Obs,
 }
 
 impl Default for Solver {
@@ -136,6 +141,7 @@ impl Solver {
             interrupt: None,
             conflict_budget: None,
             budget_exhausted: false,
+            obs: Obs::off(),
         }
     }
 
@@ -148,6 +154,20 @@ impl Solver {
     /// fresh limits).
     pub fn set_limits(&mut self, limits: Limits) {
         self.limits = limits;
+    }
+
+    /// Attaches an observability handle. The inner search loop stays
+    /// uninstrumented; only rare events (`sat.restart`, `sat.reduce_db`)
+    /// are emitted, so a disabled handle costs one branch per restart.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Total cooperative-limit polls this solver has performed
+    /// (conflict, restart and decision checks) — the source of the
+    /// `cancellation_polls` counter.
+    pub fn limit_polls(&self) -> u64 {
+        self.limits.polls()
     }
 
     /// Why the last solve call returned [`SatResult::Interrupted`]
@@ -604,6 +624,12 @@ impl Solver {
                 if self.learnt_refs.len() as f64 > self.max_learnts {
                     self.reduce_db();
                     self.max_learnts *= 1.3;
+                    event!(
+                        self.obs,
+                        "sat.reduce_db",
+                        deleted_learnts = self.stats.deleted_learnts,
+                        kept = self.learnt_refs.len(),
+                    );
                 }
             } else if conflicts_budget == 0 {
                 // Restarts are rare and conflict-bounded: take the
@@ -613,6 +639,12 @@ impl Solver {
                     return self.interrupted(stop);
                 }
                 self.stats.restarts += 1;
+                event!(
+                    self.obs,
+                    "sat.restart",
+                    restarts = self.stats.restarts,
+                    conflicts = self.stats.conflicts,
+                );
                 conflicts_budget = RESTART_BASE * luby(self.stats.restarts + 1);
                 self.cancel_until(0);
             } else if self.decision_level() < assumptions.len() {

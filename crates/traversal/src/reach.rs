@@ -7,6 +7,7 @@ use crate::symbolic::SymbolicMachine;
 use sec_bdd::{Bdd, BddHalt, BddVar, Substitution};
 use sec_limits::{CancellationToken, Limits, ProgressCounter};
 use sec_netlist::{Aig, ProductError, ProductMachine};
+use sec_obs::{event, Counter, Gauge, Obs};
 use sec_sim::Trace;
 use std::time::{Duration, Instant};
 
@@ -33,6 +34,10 @@ pub struct TraversalOptions {
     /// another thread (the portfolio orchestrator) can emit live
     /// progress events.
     pub progress: Option<ProgressCounter>,
+    /// Observability handle: `trav.step` / `trav.collapse` events plus
+    /// image-step, BDD-allocation and poll counters flow through it.
+    /// Defaults to the inert [`Obs::off`].
+    pub obs: Obs,
 }
 
 impl Default for TraversalOptions {
@@ -45,6 +50,7 @@ impl Default for TraversalOptions {
             timeout: Some(Duration::from_secs(600)),
             cancel: None,
             progress: None,
+            obs: Obs::off(),
         }
     }
 }
@@ -119,6 +125,25 @@ fn run(
         limits = limits.with_deadline(start + t);
     }
     sm.mgr.set_limits(limits);
+    sm.mgr.set_obs(opts.obs.clone());
+    let result = traverse(&mut sm, pm, opts, start, stats);
+    // One flush covers every exit path, BDD overflow included.
+    stats.peak_nodes = sm.mgr.peak_live_nodes();
+    let obs = &opts.obs;
+    obs.gauge_max(Gauge::PeakBddNodes, sm.mgr.peak_live_nodes() as u64);
+    obs.add(Counter::BddNodesAllocated, sm.mgr.allocated_nodes());
+    obs.add(Counter::CancellationPolls, sm.mgr.limit_polls());
+    result
+}
+
+fn traverse(
+    sm: &mut SymbolicMachine,
+    pm: &ProductMachine,
+    opts: &TraversalOptions,
+    start: Instant,
+    stats: &mut TraversalStats,
+) -> Result<TraversalOutcome, BddHalt> {
+    let obs = &opts.obs;
     let n = pm.aig.num_latches();
 
     // Optional register-correspondence collapse.
@@ -126,11 +151,17 @@ fn run(
     let mut miter = sm.miter_ok;
     let mut subst = None;
     if opts.register_correspondence && n > 0 {
-        let rc = register_correspondence(&mut sm, pm)?;
+        let rc = register_correspondence(sm, pm)?;
         stats.collapsed_registers = rc.collapsed();
+        event!(
+            obs,
+            "trav.collapse",
+            collapsed = rc.collapsed(),
+            latches = n
+        );
         if rc.collapsed() > 0 {
             kept = rc.kept_latches();
-            subst = Some(rc.substitution(&sm, pm)?);
+            subst = Some(rc.substitution(sm, pm)?);
         }
     }
     let mut delta = Vec::with_capacity(kept.len());
@@ -202,28 +233,31 @@ fn run(
     loop {
         if let Some(tok) = &opts.cancel {
             if tok.is_cancelled() {
-                stats.peak_nodes = sm.mgr.peak_live_nodes();
                 return Ok(TraversalOutcome::ResourceOut("cancelled".to_string()));
             }
         }
         if let Some(t) = opts.timeout {
             if start.elapsed() > t {
-                stats.peak_nodes = sm.mgr.peak_live_nodes();
                 return Ok(TraversalOutcome::ResourceOut("timeout".to_string()));
             }
         }
         // Does the frontier contain a violating (state, input) pair?
         let bad = sm.mgr.and(frontier, !miter)?;
         if bad != Bdd::ZERO {
-            stats.peak_nodes = sm.mgr.peak_live_nodes();
-            let trace = reconstruct(&mut sm, &kept, &delta, &rings, bad)?;
+            let trace = reconstruct(sm, &kept, &delta, &rings, bad)?;
             return Ok(TraversalOutcome::Inequivalent(trace));
         }
         if stats.iterations >= opts.max_iterations {
-            stats.peak_nodes = sm.mgr.peak_live_nodes();
             return Ok(TraversalOutcome::ResourceOut("iteration cap".to_string()));
         }
         stats.iterations += 1;
+        obs.add(Counter::TraversalImageSteps, 1);
+        event!(
+            obs,
+            "trav.step",
+            step = stats.iterations,
+            live_nodes = sm.mgr.live_nodes()
+        );
         if let Some(p) = &opts.progress {
             p.bump();
         }
@@ -236,7 +270,6 @@ fn run(
         let img = sm.mgr.compose(a, &rename)?;
         let new = sm.mgr.and(img, !reached)?;
         if new == Bdd::ZERO {
-            stats.peak_nodes = sm.mgr.peak_live_nodes();
             return Ok(TraversalOutcome::Equivalent);
         }
         reached = sm.mgr.or(reached, img)?;
@@ -311,6 +344,7 @@ mod tests {
             timeout: Some(Duration::from_secs(60)),
             cancel: None,
             progress: None,
+            obs: Obs::off(),
         }
     }
 

@@ -15,10 +15,12 @@
 
 use sec::core::{Backend, Checker, Options, SignalScope, Verdict};
 use sec::netlist::{analysis, dot, parse_aiger, parse_bench, write_aiger, write_bench, Aig};
+use sec::obs::{NdjsonSink, Obs, Recorder, Sink};
 use sec::portfolio::{self, EngineKind, PortfolioOptions, ProgressEvent};
 use sec::sim::Trace;
 use sec::synth::{pipeline, PipelineOptions};
 use std::process::exit;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Process exit codes of `sec check`: the verdict is machine-readable
@@ -35,7 +37,7 @@ fn usage() -> ! {
          sec check <spec> <impl> [--engine bdd|sat|portfolio] [--scope all|regs]\n           \
          [--no-sim-seed] [--no-funcdep] [--approx-reach] [--retime-rounds N]\n           \
          [--timeout SECS] [--engine-timeout SECS] [--node-limit N]\n           \
-         [--bmc-depth N] [--seed N] [--json]\n  \
+         [--bmc-depth N] [--seed N] [--json] [--stats] [--trace-json FILE]\n  \
          sec info <circuit>\n  \
          sec optimize <in> <out> [--seed N] [--retime-only]\n  \
          sec sweep <in> <out> [--backend bdd|sat]\n  \
@@ -173,6 +175,8 @@ fn cmd_check(args: &[String]) {
     let mut engine = CheckEngine::Solo;
     let mut engine_timeout: Option<Duration> = None;
     let mut json = false;
+    let mut show_stats = false;
+    let mut trace_path: Option<String> = None;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -215,6 +219,10 @@ fn cmd_check(args: &[String]) {
             "--no-funcdep" => opts.functional_deps = false,
             "--approx-reach" => opts.approx_reach = true,
             "--json" => json = true,
+            "--stats" => show_stats = true,
+            "--trace-json" => {
+                trace_path = Some(take_value(args, &mut i, "--trace-json").to_string())
+            }
             "--retime-rounds" => {
                 opts.retime_rounds = take_value(args, &mut i, "--retime-rounds")
                     .parse()
@@ -254,13 +262,54 @@ fn cmd_check(args: &[String]) {
         }
         i += 1;
     }
+    // Optional observability sinks: an NDJSON event stream on disk and
+    // an in-memory recorder for the `--stats` counter dump. Both see
+    // the exact same events.
+    let recorder = show_stats.then(Recorder::new);
+    let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+    if let Some(path) = &trace_path {
+        match NdjsonSink::create(path) {
+            Ok(s) => sinks.push(Arc::new(s)),
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                exit(EXIT_USAGE)
+            }
+        }
+    }
+    if let Some(r) = &recorder {
+        sinks.push(Arc::new(r.clone()));
+    }
+    if !sinks.is_empty() {
+        opts.obs = Obs::multi(sinks);
+    }
     match engine {
-        CheckEngine::Solo => check_solo(&spec, &imp, opts, json),
-        CheckEngine::Portfolio => check_portfolio(&spec, &imp, &opts, engine_timeout, json),
+        CheckEngine::Solo => check_solo(&spec, &imp, opts, json, recorder),
+        CheckEngine::Portfolio => {
+            check_portfolio(&spec, &imp, &opts, engine_timeout, json, recorder)
+        }
     }
 }
 
-fn check_solo(spec: &Aig, imp: &Aig, opts: Options, json: bool) -> ! {
+/// `{"name":count,...}` of every counter a recorder saw.
+fn counters_json(recorder: &Recorder) -> String {
+    let parts: Vec<String> = recorder
+        .nonzero_counters()
+        .iter()
+        .map(|(name, v)| format!("\"{name}\":{v}"))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Human-readable `--stats` counter block (stderr-free, after the
+/// stats line, before the verdict).
+fn print_counters(recorder: &Recorder) {
+    println!("counters:");
+    for (name, v) in recorder.nonzero_counters() {
+        println!("  {name:<26} {v}");
+    }
+}
+
+fn check_solo(spec: &Aig, imp: &Aig, opts: Options, json: bool, recorder: Option<Recorder>) -> ! {
     let backend = opts.backend;
     let checker = Checker::new(spec, imp, opts).unwrap_or_else(|e| {
         eprintln!("cannot compare: {e}");
@@ -268,9 +317,14 @@ fn check_solo(spec: &Aig, imp: &Aig, opts: Options, json: bool) -> ! {
     });
     let r = checker.run();
     if json {
+        let counters = recorder
+            .as_ref()
+            .map(|rec| format!(",\"counters\":{}", counters_json(rec)))
+            .unwrap_or_default();
         println!(
             "{{{},\"engine\":\"{}\",\"stats\":{{\"iterations\":{},\"retime_invocations\":{},\
-             \"peak_bdd_nodes\":{},\"sat_conflicts\":{},\"eqs_percent\":{:.1},\"time_ms\":{}}}}}",
+             \"splits\":{},\"peak_bdd_nodes\":{},\"sat_conflicts\":{},\"eqs_percent\":{:.1},\
+             \"time_ms\":{}}}{}}}",
             verdict_json_fields(&r.verdict),
             match backend {
                 Backend::Bdd => "bdd",
@@ -278,21 +332,27 @@ fn check_solo(spec: &Aig, imp: &Aig, opts: Options, json: bool) -> ! {
             },
             r.stats.iterations,
             r.stats.retime_invocations,
+            r.stats.splits,
             r.stats.peak_bdd_nodes,
             r.stats.sat_conflicts,
             r.stats.eqs_percent,
             r.stats.time.as_millis(),
+            counters,
         );
         exit(verdict_exit_code(&r.verdict))
     }
     println!(
-        "iterations={} retime_invocations={} peak_bdd_nodes={} eqs={:.1}% time={:?}",
+        "iterations={} retime_invocations={} splits={} peak_bdd_nodes={} eqs={:.1}% time={:?}",
         r.stats.iterations,
         r.stats.retime_invocations,
+        r.stats.splits,
         r.stats.peak_bdd_nodes,
         r.stats.eqs_percent,
         r.stats.time
     );
+    if let Some(rec) = &recorder {
+        print_counters(rec);
+    }
     exit(print_verdict(&r.verdict))
 }
 
@@ -302,6 +362,7 @@ fn check_portfolio(
     opts: &Options,
     engine_timeout: Option<Duration>,
     json: bool,
+    recorder: Option<Recorder>,
 ) -> ! {
     let popts = PortfolioOptions {
         engines: EngineKind::ALL.to_vec(),
@@ -314,6 +375,7 @@ fn check_portfolio(
             opts.bmc_depth
         },
         node_limit: opts.node_limit,
+        obs: opts.obs.clone(),
         ..PortfolioOptions::default()
     };
     let on_event = |ev: &ProgressEvent| {
@@ -350,19 +412,24 @@ fn check_portfolio(
             .iter()
             .map(|rep| {
                 format!(
-                    "{{\"name\":\"{}\",{},\"iterations\":{},\"peak_bdd_nodes\":{},\
+                    "{{\"name\":\"{}\",{},\"iterations\":{},\"splits\":{},\"peak_bdd_nodes\":{},\
                      \"sat_conflicts\":{},\"time_ms\":{}}}",
                     rep.engine,
                     verdict_json_fields(&rep.verdict),
                     rep.iterations,
+                    rep.splits,
                     rep.peak_bdd_nodes,
                     rep.sat_conflicts,
                     rep.time.as_millis(),
                 )
             })
             .collect();
+        let counters = recorder
+            .as_ref()
+            .map(|rec| format!(",\"counters\":{}", counters_json(rec)))
+            .unwrap_or_default();
         println!(
-            "{{{},\"engine\":\"portfolio\",\"winner\":{},\"time_ms\":{},\"engines\":[{}]}}",
+            "{{{},\"engine\":\"portfolio\",\"winner\":{},\"time_ms\":{},\"engines\":[{}]{}}}",
             verdict_json_fields(&r.verdict),
             match r.winner {
                 Some(w) => format!("\"{w}\""),
@@ -370,18 +437,22 @@ fn check_portfolio(
             },
             r.time.as_millis(),
             engines.join(","),
+            counters,
         );
         exit(verdict_exit_code(&r.verdict))
     }
     for rep in &r.reports {
         println!(
-            "engine {:<9} iterations={} peak_bdd_nodes={} sat_conflicts={} time={:?}",
-            rep.engine, rep.iterations, rep.peak_bdd_nodes, rep.sat_conflicts, rep.time
+            "engine {:<9} iterations={} splits={} peak_bdd_nodes={} sat_conflicts={} time={:?}",
+            rep.engine, rep.iterations, rep.splits, rep.peak_bdd_nodes, rep.sat_conflicts, rep.time
         );
     }
     match r.winner {
         Some(w) => println!("winner={w} time={:?}", r.time),
         None => println!("winner=none time={:?}", r.time),
+    }
+    if let Some(rec) = &recorder {
+        print_counters(rec);
     }
     exit(print_verdict(&r.verdict))
 }

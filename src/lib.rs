@@ -15,6 +15,7 @@
 //! * [`core`] — the signal-correspondence fixed-point engine itself
 //! * [`limits`] — cooperative cancellation tokens and deadlines
 //! * [`portfolio`] — parallel multi-engine racing with first-definitive-wins
+//! * [`obs`] — spans, counters and NDJSON event streams across all engines
 //!
 //! ## Quickstart
 //!
@@ -38,6 +39,7 @@ pub use sec_core as core;
 pub use sec_gen as gen;
 pub use sec_limits as limits;
 pub use sec_netlist as netlist;
+pub use sec_obs as obs;
 pub use sec_portfolio as portfolio;
 pub use sec_sat as sat;
 pub use sec_sim as sim;

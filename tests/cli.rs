@@ -119,6 +119,59 @@ fn check_portfolio_engine_wins_and_reports() {
 }
 
 #[test]
+fn check_stats_and_trace_json_flags() {
+    let spec = write_tmp("spec_obs.bench", TOGGLE);
+    let trace = std::env::temp_dir().join("sec-cli-tests/solo_trace.ndjson");
+    let out = Command::new(SEC)
+        .args(["check"])
+        .arg(&spec)
+        .arg(&spec)
+        .args(["--stats", "--trace-json"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("counters:"), "{text}");
+    assert!(text.contains("rounds"), "{text}");
+    let events = fs::read_to_string(&trace).unwrap();
+    assert!(!events.is_empty());
+    for line in events.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"ev\":"), "{line}");
+    }
+    assert!(events.contains("\"ev\":\"check.end\""), "{events}");
+
+    // JSON output carries the counters as a nested object.
+    let out = Command::new(SEC)
+        .args(["check"])
+        .arg(&spec)
+        .arg(&spec)
+        .args(["--json", "--stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"counters\":{"), "{text}");
+
+    // The portfolio path streams the race timeline.
+    let trace = std::env::temp_dir().join("sec-cli-tests/race_trace.ndjson");
+    let out = Command::new(SEC)
+        .args(["check"])
+        .arg(&spec)
+        .arg(&spec)
+        .args(["--engine", "portfolio", "--timeout", "60", "--trace-json"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let events = fs::read_to_string(&trace).unwrap();
+    assert!(events.contains("\"ev\":\"race.start\""), "{events}");
+    assert!(events.contains("\"ev\":\"engine.spawn\""), "{events}");
+    assert!(events.contains("\"ev\":\"race.end\""), "{events}");
+}
+
+#[test]
 fn optimize_then_check_roundtrip() {
     let spec = write_tmp("spec_opt.bench", TOGGLE);
     let imp = std::env::temp_dir().join("sec-cli-tests/impl_opt.bench");
