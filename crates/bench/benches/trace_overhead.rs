@@ -1,0 +1,130 @@
+//! Overhead of the trace instrumentation: latency histograms and
+//! progress heartbeats vs the null sink.
+//!
+//! Two layers of measurement, written to `BENCH_trace_overhead.json` at
+//! the repository root:
+//!
+//! * **Per-site micro cost** — the disabled (null-sink) price of one
+//!   instrumentation site, in nanoseconds: a `Obs::observe` call, a
+//!   `Obs::timer`/`observe_elapsed` pair, and one `ProgressTicker`
+//!   poll. DESIGN.md §9 budgets 1–2 ns per site; the numbers here keep
+//!   that bound honest.
+//! * **Whole-check macro cost** — median wall-clock of the same SAT
+//!   fixed point under three configurations: null sink, recorder
+//!   (histograms live), and recorder plus sub-millisecond heartbeats.
+//!   The instrumented runs must do identical work (same rounds), so
+//!   any delta is pure instrumentation.
+//!
+//! Not a criterion loop on purpose: per-site costs are tight loops over
+//! fixed iteration counts, and the macro rows are medians of full runs.
+
+use sec_core::{Checker, Options};
+use sec_gen::{counter, CounterKind};
+use sec_netlist::Aig;
+use sec_obs::{Histogram, Obs, ProgressTicker, Recorder};
+use sec_synth::{forward_retime, RetimeOptions};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MICRO_ITERS: u64 = 20_000_000;
+const MACRO_RUNS: usize = 5;
+
+/// Nanoseconds per iteration of `f` over [`MICRO_ITERS`] calls.
+fn ns_per_iter(mut f: impl FnMut(u64)) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..MICRO_ITERS {
+        f(i);
+    }
+    t0.elapsed().as_nanos() as f64 / MICRO_ITERS as f64
+}
+
+/// Median wall-clock of the check under `opts`, plus the rounds it took
+/// (identical across configurations, asserted by the caller).
+fn measure(spec: &Aig, imp: &Aig, opts: &Options) -> (f64, usize) {
+    let mut wall = Vec::with_capacity(MACRO_RUNS);
+    let mut rounds = 0;
+    for _ in 0..MACRO_RUNS {
+        let t0 = Instant::now();
+        let r = Checker::new(spec, imp, opts.clone()).unwrap().run();
+        wall.push(t0.elapsed().as_secs_f64() * 1e3);
+        rounds = r.stats.iterations;
+    }
+    wall.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (wall[wall.len() / 2], rounds)
+}
+
+fn main() {
+    // --- per-site micro costs on a disabled handle -------------------
+    let off = Obs::off();
+    let observe_ns = ns_per_iter(|i| off.observe(Histogram::SatCallUs, black_box(i & 1023)));
+    let timer_ns = ns_per_iter(|_| {
+        let t = off.timer();
+        off.observe_elapsed(Histogram::SatCallUs, black_box(t));
+    });
+    let mut ticker = ProgressTicker::disabled();
+    let ticker_ns = ns_per_iter(|_| {
+        black_box(ticker.ready());
+    });
+    println!(
+        "null-sink per-site cost: observe {observe_ns:.2} ns, \
+         timer+observe_elapsed {timer_ns:.2} ns, ticker poll {ticker_ns:.2} ns"
+    );
+
+    // --- whole-check macro cost --------------------------------------
+    let spec = counter(8, CounterKind::Binary);
+    let imp = forward_retime(&spec, &RetimeOptions::default(), 1);
+    let base = Options {
+        retime_rounds: 0,
+        bmc_depth: 0,
+        sim_refute: false,
+        ..Options::sat()
+    };
+    let (null_ms, null_rounds) = measure(&spec, &imp, &base);
+    let hist = Options {
+        obs: Obs::multi(vec![Arc::new(Recorder::new())]),
+        ..base.clone()
+    };
+    let (hist_ms, hist_rounds) = measure(&spec, &imp, &hist);
+    let beat = Options {
+        obs: Obs::multi(vec![Arc::new(Recorder::new())]),
+        progress_interval: Some(Duration::from_micros(100)),
+        ..base.clone()
+    };
+    let (beat_ms, beat_rounds) = measure(&spec, &imp, &beat);
+    assert_eq!(
+        null_rounds, hist_rounds,
+        "instrumented run must do identical work"
+    );
+    assert_eq!(
+        null_rounds, beat_rounds,
+        "heartbeats must not change the work done"
+    );
+    println!(
+        "counter8_retimed ({null_rounds} rounds): null {null_ms:.3} ms, \
+         histograms {hist_ms:.3} ms, +heartbeats {beat_ms:.3} ms"
+    );
+
+    let mut out = String::from("{\n  \"benchmark\": \"trace_overhead\",\n");
+    writeln!(
+        out,
+        "  \"null_site_ns\": {{ \"observe\": {observe_ns:.3}, \
+         \"timer_observe_elapsed\": {timer_ns:.3}, \"ticker_poll\": {ticker_ns:.3} }},"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"check_wall_ms\": {{ \"pair\": \"counter8_retimed\", \"rounds\": {null_rounds}, \
+         \"null_sink\": {null_ms:.3}, \"histograms\": {hist_ms:.3}, \
+         \"heartbeats_100us\": {beat_ms:.3} }}\n}}"
+    )
+    .unwrap();
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_trace_overhead.json"
+    );
+    std::fs::write(path, &out).expect("write BENCH_trace_overhead.json");
+    println!("wrote {path}");
+}

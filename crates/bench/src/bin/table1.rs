@@ -19,14 +19,48 @@
 //!   --retime-only       instances without combinational optimization
 //!   --trace-json FILE   stream every engine event as NDJSON to FILE
 //!   --stats             print whole-run event-counter totals after the table
+//!   --progress[=SECS]   live heartbeat lines on stderr while rows run
 //! ```
 
 use sec_bench::{print_table, run_row, RunConfig};
 use sec_core::Backend;
 use sec_gen::iscas_alike_suite;
-use sec_obs::{NdjsonSink, Obs, Recorder, Sink};
+use sec_obs::{NdjsonSink, Obs, Recorder, Sink, Value};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Renders `progress` heartbeat events as live stderr lines; all other
+/// events pass through silently.
+struct HeartbeatSink;
+
+impl Sink for HeartbeatSink {
+    fn event(
+        &self,
+        at_us: u64,
+        scope: Option<&'static str>,
+        name: &str,
+        fields: &[(&'static str, Value)],
+    ) {
+        if name != "progress" {
+            return;
+        }
+        let mut line = format!("[{:>8.3}s]", at_us as f64 / 1e6);
+        if let Some(s) = scope {
+            line.push_str(&format!(" {s}"));
+        }
+        for (k, v) in fields {
+            let rendered = match v {
+                Value::U64(n) => n.to_string(),
+                Value::I64(n) => n.to_string(),
+                Value::F64(x) => format!("{x:.3}"),
+                Value::Bool(b) => b.to_string(),
+                Value::Str(s) => s.clone(),
+            };
+            line.push_str(&format!(" {k}={rendered}"));
+        }
+        eprintln!("{line}");
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +103,13 @@ fn main() {
                 trace_path = Some(args[i].clone());
             }
             "--stats" => show_stats = true,
+            s if s == "--progress" || s.starts_with("--progress=") => {
+                let secs = match s.strip_prefix("--progress=") {
+                    Some(v) => v.parse::<f64>().expect("--progress=SECS"),
+                    None => 1.0,
+                };
+                cfg.progress_interval = Some(Duration::from_secs_f64(secs));
+            }
             other => {
                 eprintln!("unknown option `{other}` (see the doc comment)");
                 std::process::exit(2);
@@ -88,6 +129,9 @@ fn main() {
     }
     if let Some(r) = &recorder {
         sinks.push(Arc::new(r.clone()));
+    }
+    if cfg.progress_interval.is_some() {
+        sinks.push(Arc::new(HeartbeatSink));
     }
     if !sinks.is_empty() {
         cfg.obs = Obs::multi(sinks);

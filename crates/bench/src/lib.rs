@@ -42,6 +42,9 @@ pub struct RunConfig {
     pub optimize: bool,
     /// Seed for instance creation.
     pub seed: u64,
+    /// Interval between `progress` heartbeat events emitted from the
+    /// engines' hot loops (`table1 --progress[=SECS]`).
+    pub progress_interval: Option<Duration>,
     /// Observability handle threaded into every method run (`table1
     /// --trace-json` / `--stats`). Defaults to the inert [`Obs::off`].
     pub obs: Obs,
@@ -62,6 +65,7 @@ impl Default for RunConfig {
             run_traversal: true,
             optimize: true,
             seed: 0xDA7E,
+            progress_interval: None,
             obs: Obs::off(),
         }
     }
@@ -130,6 +134,7 @@ pub fn run_proposed(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         node_limit: cfg.node_limit,
         timeout: Some(cfg.timeout),
         bmc_depth: 0, // the paper's tool proves or gives up; no BMC here
+        progress_interval: cfg.progress_interval,
         obs: cfg.obs.clone(),
         ..Options::default()
     };
@@ -161,6 +166,7 @@ pub fn run_portfolio(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         seed: cfg.seed,
         node_limit: cfg.node_limit,
         traversal_node_limit: cfg.traversal_node_limit,
+        progress_interval: cfg.progress_interval,
         obs: cfg.obs.clone(),
         ..PortfolioOptions::default()
     };
@@ -202,6 +208,7 @@ pub fn run_traversal(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         timeout: Some(cfg.traversal_timeout),
         cancel: None,
         progress: None,
+        progress_interval: cfg.progress_interval,
         obs: cfg.obs.clone(),
     };
     let t0 = std::time::Instant::now();

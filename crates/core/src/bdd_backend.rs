@@ -13,7 +13,7 @@ use crate::options::Options;
 use crate::partition::Partition;
 use sec_bdd::{Bdd, BddManager, BddVar, Substitution};
 use sec_netlist::{Aig, Node, Var};
-use sec_obs::{span, Counter, Gauge, Obs};
+use sec_obs::{event, span, Counter, Gauge, Histogram, Obs, ProgressTicker};
 use sec_sim::{eval_single, next_state_single};
 
 struct BddContext {
@@ -268,6 +268,7 @@ fn fixed_point(
     }
 
     let mut round_no = 0usize;
+    let mut ticker = ProgressTicker::new(opts.progress_interval.filter(|_| obs.is_enabled()));
     loop {
         deadline.check()?;
         deadline.tick();
@@ -331,6 +332,15 @@ fn fixed_point(
         let mut ci = 0;
         while ci < partition.num_classes() {
             deadline.check()?;
+            if ticker.ready() {
+                event!(
+                    obs,
+                    "progress",
+                    round = round_no,
+                    classes = partition.num_classes(),
+                    elapsed_ms = ticker.elapsed_ms()
+                );
+            }
             if ctx.mgr.live_nodes() > opts.node_limit / 2 {
                 let roots = gc_roots(ctx, &fc, &nc, q);
                 ctx.mgr.gc(&roots);
@@ -342,8 +352,10 @@ fn fixed_point(
                     if partition.class_of(m) != Some(ci) {
                         continue; // moved by an earlier split this round
                     }
+                    let t0 = obs.timer();
                     let diff = ctx.mgr.xor(nc[m.index()], nc[r.index()])?;
                     let viol = ctx.mgr.and(q, diff)?;
+                    obs.observe_elapsed(Histogram::BddOpUs, t0);
                     if viol == Bdd::ZERO {
                         continue;
                     }

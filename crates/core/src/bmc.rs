@@ -9,12 +9,12 @@ use crate::engine::BuildError;
 use crate::options::Options;
 use crate::result::{CheckResult, CheckStats, Verdict};
 use sec_netlist::{check as check_circuit, Aig, Lit, ProductMachine, Var};
-use sec_obs::{event, Counter, Obs, Recorder};
+use sec_obs::{emit_snapshot, event, Counter, Obs, ProgressTicker, Recorder};
 use sec_sat::{AigCnf, SatResult, Solver};
 use sec_sim::Trace;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Bounded model checking as a standalone refutation-only engine, for
 /// use as a portfolio member: unrolls the product machine frame by frame
@@ -42,13 +42,16 @@ pub fn bmc_refute(spec: &Aig, impl_: &Aig, opts: &Options) -> Result<CheckResult
     let depth = opts.bmc_depth.max(1);
     let recorder = Recorder::new();
     let obs = opts.obs.and_sink(Arc::new(recorder.clone()));
-    let verdict = match bounded_check(&pm, depth, &deadline, &obs) {
+    let verdict = match bounded_check(&pm, depth, &deadline, &obs, opts.progress_interval) {
         Ok(Some(trace)) => Verdict::Inequivalent(trace),
         Ok(None) => Verdict::Unknown(format!(
             "no counterexample within {depth} frames (BMC cannot prove equivalence)"
         )),
         Err(abort) => Verdict::Unknown(abort.reason()),
     };
+    // Terminal snapshot: the trace alone reconstructs the counters
+    // below without access to the in-memory recorder.
+    emit_snapshot(&obs, &recorder, "bmc");
     let stats = CheckStats {
         // Frames actually unrolled (an interrupted run reports how far
         // it got, not the configured bound).
@@ -70,8 +73,10 @@ pub(crate) fn bounded_check(
     depth: usize,
     deadline: &Deadline,
     obs: &Obs,
+    progress_interval: Option<Duration>,
 ) -> Result<Option<Trace>, Abort> {
     let aig = &pm.aig;
+    let mut ticker = ProgressTicker::new(progress_interval.filter(|_| obs.is_enabled()));
     let mut u = Aig::new();
     let mut solver = Solver::new();
     // The solver polls the same deadline/token from its search loop, so
@@ -112,6 +117,15 @@ pub(crate) fn bounded_check(
             // interrupted frame is still counted, so the number of
             // `bmc.frame` events always equals the counter.
             obs.add(Counter::BmcFrames, 1);
+            if ticker.ready() {
+                event!(
+                    obs,
+                    "progress",
+                    round = frame,
+                    conflicts = solver.stats().conflicts,
+                    elapsed_ms = ticker.elapsed_ms()
+                );
+            }
             let inputs: Vec<Var> = (0..aig.num_inputs())
                 .map(|i| u.add_input(format!("x{frame}_{i}")))
                 .collect();
@@ -189,7 +203,7 @@ mod tests {
     fn equivalent_circuits_have_no_cex() {
         let spec = counter(4, CounterKind::Binary);
         let pm = ProductMachine::build(&spec, &spec.clone()).unwrap();
-        let r = bounded_check(&pm, 8, &Deadline::new(None), &Obs::off()).unwrap();
+        let r = bounded_check(&pm, 8, &Deadline::new(None), &Obs::off(), None).unwrap();
         assert!(r.is_none());
     }
 
@@ -198,7 +212,7 @@ mod tests {
         let spec = counter(4, CounterKind::Binary);
         let mutant = mutate(&spec, Mutation::InvertNext(1));
         let pm = ProductMachine::build(&spec, &mutant).unwrap();
-        let r = bounded_check(&pm, 10, &Deadline::new(None), &Obs::off()).unwrap();
+        let r = bounded_check(&pm, 10, &Deadline::new(None), &Obs::off(), None).unwrap();
         let trace = r.expect("mutant must be refuted within 10 frames");
         assert!(first_output_mismatch(&spec, &mutant, &trace).is_some());
     }
@@ -212,7 +226,7 @@ mod tests {
         // init of the top bit — differs at frame 0 on output q3.
         let mutant = mutate(&spec, Mutation::FlipInit(3));
         let pm = ProductMachine::build(&spec, &mutant).unwrap();
-        let r = bounded_check(&pm, 1, &Deadline::new(None), &Obs::off()).unwrap();
+        let r = bounded_check(&pm, 1, &Deadline::new(None), &Obs::off(), None).unwrap();
         assert!(r.is_some(), "init difference visible in frame 0");
     }
 }

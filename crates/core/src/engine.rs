@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 use sec_netlist::{
     check as check_circuit, Aig, CheckError, ProductError, ProductMachine, Side, Var,
 };
-use sec_obs::{event, Counter, Gauge, Recorder};
+use sec_obs::{emit_snapshot, event, Counter, Gauge, Recorder};
 use sec_sim::{eval_single, first_output_mismatch, Signatures, Trace};
 use std::fmt;
 use std::sync::Arc;
@@ -258,7 +258,14 @@ impl Checker {
             // could not decide. The fallback shares the run's recorder,
             // so its frames and SAT work show up in the stats below.
             let refuted = if self.opts.bmc_depth > 0 {
-                bounded_check(&self.pm, self.opts.bmc_depth, &deadline, &obs).unwrap_or_default()
+                bounded_check(
+                    &self.pm,
+                    self.opts.bmc_depth,
+                    &deadline,
+                    &obs,
+                    self.opts.progress_interval,
+                )
+                .unwrap_or_default()
             } else {
                 None
             };
@@ -290,12 +297,19 @@ impl Checker {
             Verdict::Inequivalent(_) => "inequivalent",
             Verdict::Unknown(_) => "unknown",
         };
+        // Flush the recorder's final counters, gauges and histograms
+        // into the stream, so a `--trace-json` capture is
+        // self-contained: `sec trace summary` reconstructs the stats
+        // without in-process access to the recorder.
+        emit_snapshot(&obs, &recorder, "check");
         event!(
             obs,
             "check.end",
             verdict = verdict_name,
             rounds = stats.iterations,
-            classes = stats.classes
+            classes = stats.classes,
+            signals = stats.signals,
+            eqs_percent = stats.eqs_percent
         );
         CheckResult { verdict, stats }
     }

@@ -110,6 +110,12 @@ pub struct Options {
     /// an observer on another thread (the portfolio orchestrator) can
     /// emit live progress events.
     pub progress: Option<ProgressCounter>,
+    /// Interval between `progress` heartbeat events emitted from the
+    /// fixed-point/BMC hot loops through [`Options::obs`] (the CLI's
+    /// `--progress[=SECS]` renders them as live stderr lines). `None`
+    /// — the default — emits none and keeps the loops at one branch
+    /// per poll.
+    pub progress_interval: Option<Duration>,
     /// Observability handle (see [`sec_obs`]). The checker tees its own
     /// in-memory recorder onto whatever sinks this carries and derives
     /// [`CheckStats`](crate::CheckStats) from the recorded counters, so
@@ -141,6 +147,7 @@ impl Default for Options {
             sim_refute: true,
             cancel: None,
             progress: None,
+            progress_interval: None,
             obs: Obs::off(),
         }
     }

@@ -47,7 +47,7 @@ use crate::context::{Abort, Deadline, SatMeter};
 use crate::options::Options;
 use crate::partition::Partition;
 use sec_netlist::{Aig, Lit, Var};
-use sec_obs::{span, Counter, Obs};
+use sec_obs::{event, span, Counter, Obs, ProgressTicker};
 use sec_sat::{AigCnf, SatLit, SatResult, Solver};
 use sec_sim::{amplify_init, amplify_two_frame, eval_single, next_state_single};
 use std::collections::HashMap;
@@ -339,6 +339,7 @@ fn run_round(
     act: Option<SatLit>,
     round: usize,
     obs: &Obs,
+    ticker: &mut ProgressTicker,
 ) -> Result<Round, Abort> {
     let with_act = |d: SatLit| match act {
         Some(a) => vec![a, d],
@@ -350,6 +351,18 @@ fn run_round(
     let mut ci = 0;
     while ci < partition.num_classes() {
         deadline.check()?;
+        // Heartbeat from inside the round, so a single long round
+        // still reports live progress at the configured interval.
+        if ticker.ready() {
+            event!(
+                obs,
+                "progress",
+                round = round,
+                classes = partition.num_classes(),
+                conflicts = u.solver.stats().conflicts,
+                elapsed_ms = ticker.elapsed_ms()
+            );
+        }
         let members: Vec<Var> = partition.class(ci).to_vec();
         if members.len() >= 2 {
             let r = members[0];
@@ -471,6 +484,7 @@ fn run_incremental(
     deadline: &Deadline,
     output_pairs: &[(Lit, Lit)],
     obs: &Obs,
+    ticker: &mut ProgressTicker,
 ) -> Result<Incremental, Abort> {
     let mut u = Unrolling::build(aig);
     obs.add(Counter::SatSolverConstructions, 1);
@@ -501,6 +515,7 @@ fn run_incremental(
                 Some(act),
                 round_no,
                 obs,
+                ticker,
             );
             close_round(obs, &mut sp, partition, classes_before);
             drop(sp);
@@ -541,6 +556,7 @@ fn run_monolithic(
     deadline: &Deadline,
     output_pairs: &[(Lit, Lit)],
     obs: &Obs,
+    ticker: &mut ProgressTicker,
 ) -> Result<bool, Abort> {
     let mut round_no = 0usize;
     loop {
@@ -555,7 +571,9 @@ fn run_monolithic(
         u.assert_q(partition, None);
         let mut meter = SatMeter::new(obs);
         let classes_before = partition.num_classes();
-        let round = run_round(aig, partition, opts, deadline, &mut u, None, round_no, obs);
+        let round = run_round(
+            aig, partition, opts, deadline, &mut u, None, round_no, obs, ticker,
+        );
         close_round(obs, &mut sp, partition, classes_before);
         drop(sp);
         let outcome = match round {
@@ -596,13 +614,30 @@ pub(crate) fn run_fixed_point(
     output_pairs: &[(Lit, Lit)],
 ) -> Result<bool, Abort> {
     let obs = &opts.obs;
+    // Heartbeats only make sense with somewhere to send them; gating
+    // on the handle keeps the disabled-path cost at one branch.
+    let mut ticker = ProgressTicker::new(opts.progress_interval.filter(|_| obs.is_enabled()));
     if opts.sat_incremental {
-        if let Incremental::Done(ok) =
-            run_incremental(aig, partition, opts, deadline, output_pairs, obs)?
-        {
+        if let Incremental::Done(ok) = run_incremental(
+            aig,
+            partition,
+            opts,
+            deadline,
+            output_pairs,
+            obs,
+            &mut ticker,
+        )? {
             return Ok(ok);
         }
         sec_obs::event!(obs, "sat.fallback", reason = "conflict budget exhausted");
     }
-    run_monolithic(aig, partition, opts, deadline, output_pairs, obs)
+    run_monolithic(
+        aig,
+        partition,
+        opts,
+        deadline,
+        output_pairs,
+        obs,
+        &mut ticker,
+    )
 }

@@ -16,7 +16,7 @@ use crate::engine::seed_partition;
 use crate::options::{Backend, Options};
 use crate::{bdd_backend, sat_backend};
 use sec_netlist::{check as check_circuit, Aig, CheckError, Lit, Node};
-use sec_obs::{Counter, Recorder};
+use sec_obs::{emit_snapshot, Counter, Recorder};
 use std::sync::Arc;
 
 /// Statistics of a [`sequential_sweep`] run.
@@ -95,6 +95,8 @@ pub fn sequential_sweep(aig: &Aig, opts: &Options) -> Result<(Aig, SweepStats), 
         Backend::Sat => sat_backend::run_fixed_point(aig, &mut partition, opts, &deadline, &[]),
     };
     stats.iterations = recorder.counter(Counter::Rounds) as usize;
+    // Terminal snapshot so a trace of the sweep is self-contained.
+    emit_snapshot(&opts.obs, &recorder, "sweep");
     if fixed_point.is_err() {
         stats.gave_up = true;
         stats.ands_after = stats.ands_before;

@@ -34,7 +34,9 @@ pub(crate) fn push_value(out: &mut String, v: &Value) {
         }
         Value::F64(x) => {
             if x.is_finite() {
-                let _ = write!(out, "{x}");
+                // Debug, not Display: `1.0` must print as "1.0" so a
+                // parser round-trips it as a float, not an integer.
+                let _ = write!(out, "{x:?}");
             } else {
                 out.push_str("null");
             }
@@ -80,6 +82,22 @@ mod tests {
         let mut s = String::new();
         push_escaped(&mut s, "a\"b\\c\nd\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip_as_floats() {
+        let mut s = String::new();
+        push_value(&mut s, &Value::F64(1.0));
+        assert_eq!(s, "1.0");
+        s.clear();
+        push_value(&mut s, &Value::F64(f64::INFINITY));
+        assert_eq!(s, "null");
+        s.clear();
+        push_value(&mut s, &Value::F64(f64::NEG_INFINITY));
+        assert_eq!(s, "null");
+        s.clear();
+        push_value(&mut s, &Value::F64(0.1));
+        assert_eq!(s.parse::<f64>().unwrap(), 0.1);
     }
 
     #[test]

@@ -65,13 +65,13 @@ mod recorder;
 mod sink;
 
 pub use ndjson::NdjsonSink;
-pub use recorder::{EventRecord, Recorder};
+pub use recorder::{EventRecord, HistogramSnapshot, Recorder};
 pub use sink::{NullSink, Sink};
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A field value attached to an event or span.
 #[derive(Clone, Debug, PartialEq)]
@@ -213,6 +213,23 @@ counters! {
     enum Gauge {
         /// Peak live BDD nodes across every manager of the run.
         PeakBddNodes => "peak_bdd_nodes",
+    }
+}
+
+counters! {
+    /// Log-bucketed latency histograms. [`Obs::observe`] records one
+    /// sample; the [`Recorder`] accumulates power-of-two buckets with
+    /// relaxed atomics (so portfolio threads sharing one recorder merge
+    /// for free) and [`Recorder::histogram`] derives
+    /// p50/p90/p99/max from them.
+    enum Histogram {
+        /// Wall-clock microseconds of one SAT solve call
+        /// (`solve_with_assumptions`), budget-aborted calls included.
+        SatCallUs => "sat_call_us",
+        /// Wall-clock microseconds of one BDD operation batch of the
+        /// fixed point (a per-pair equivalence check or a
+        /// class-function composition).
+        BddOpUs => "bdd_op_us",
     }
 }
 
@@ -365,6 +382,39 @@ impl Obs {
         }
     }
 
+    /// Records one histogram sample (a latency in microseconds).
+    #[inline]
+    pub fn observe(&self, hist: Histogram, value: u64) {
+        if let Some(inner) = &self.inner {
+            if inner.enabled.load(Ordering::Relaxed) {
+                for s in &inner.sinks {
+                    s.observe(hist, value);
+                }
+            }
+        }
+    }
+
+    /// Starts a latency measurement: `Some(now)` when enabled, `None`
+    /// when disabled — the disabled path never reads the clock, keeping
+    /// the null-sink cost at one branch per call site.
+    #[inline]
+    pub fn timer(&self) -> Option<Instant> {
+        if self.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Completes a measurement started with [`Obs::timer`], recording
+    /// the elapsed whole microseconds into `hist`.
+    #[inline]
+    pub fn observe_elapsed(&self, hist: Histogram, start: Option<Instant>) {
+        if let Some(t0) = start {
+            self.observe(hist, t0.elapsed().as_micros() as u64);
+        }
+    }
+
     /// Opens a span: a monotonic timer that emits one event named
     /// `name` with a `dur_us` field when the returned guard drops.
     /// Prefer the [`span!`] macro, which skips field construction on a
@@ -428,6 +478,116 @@ impl Drop for Span {
             ));
             obs.event(self.name, &fields);
         }
+    }
+}
+
+/// Serializes a recorder's accumulated state into the event stream:
+/// one `stats.snapshot` event carrying every non-zero counter and
+/// gauge as a field (plus the `unit` of work the recorder covered —
+/// `check`, `bmc`, `sweep`, `race`, `traversal`) followed by one
+/// `hist.snapshot` event per non-empty histogram (count/sum/max,
+/// p50/p90/p99, and the raw buckets as a compact `"i:count ..."`
+/// string so downstream tools can merge snapshots exactly).
+///
+/// Engines call this right before their terminal event, making a
+/// `--trace-json` capture self-contained: `sec trace summary`
+/// reconstructs the derived stats without in-process access to the
+/// [`Recorder`]. Trace-wide totals are defined as the sum over
+/// *unscoped* snapshots — scoped (per-engine) snapshots are detail,
+/// already included in the portfolio orchestrator's race-wide one.
+pub fn emit_snapshot(obs: &Obs, recorder: &Recorder, unit: &str) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let mut fields: Vec<(&'static str, Value)> = vec![("unit", Value::Str(unit.to_string()))];
+    for (name, v) in recorder.nonzero_counters() {
+        fields.push((name, Value::U64(v)));
+    }
+    obs.event("stats.snapshot", &fields);
+    for (name, h) in recorder.nonempty_histograms() {
+        use fmt::Write as _;
+        let mut buckets = String::new();
+        for (i, &b) in h.buckets.iter().enumerate() {
+            if b != 0 {
+                if !buckets.is_empty() {
+                    buckets.push(' ');
+                }
+                let _ = write!(buckets, "{i}:{b}");
+            }
+        }
+        obs.event(
+            "hist.snapshot",
+            &[
+                ("name", Value::Str(name.to_string())),
+                ("count", Value::U64(h.count)),
+                ("sum", Value::U64(h.sum)),
+                ("max", Value::U64(h.max)),
+                ("p50", Value::U64(h.quantile(0.50))),
+                ("p90", Value::U64(h.quantile(0.90))),
+                ("p99", Value::U64(h.quantile(0.99))),
+                ("buckets", Value::Str(buckets)),
+            ],
+        );
+    }
+}
+
+/// Paces periodic `progress` heartbeat events from a long-running
+/// loop.
+///
+/// Constructed once per fixed point from the configured interval
+/// (`None` — the default when `--progress` is absent — never fires and
+/// costs one branch per [`ProgressTicker::ready`] poll, preserving the
+/// null-sink overhead bound). The first heartbeat is due one full
+/// interval after construction; each firing re-arms the next.
+#[derive(Debug)]
+pub struct ProgressTicker {
+    interval: Option<Duration>,
+    start: Instant,
+    next: Instant,
+}
+
+impl ProgressTicker {
+    /// A ticker firing every `interval`, or never when `None`.
+    pub fn new(interval: Option<Duration>) -> ProgressTicker {
+        let start = Instant::now();
+        ProgressTicker {
+            interval,
+            start,
+            next: start + interval.unwrap_or(Duration::ZERO),
+        }
+    }
+
+    /// A ticker that never fires.
+    pub fn disabled() -> ProgressTicker {
+        ProgressTicker::new(None)
+    }
+
+    /// Whether this ticker can ever fire.
+    pub fn is_enabled(&self) -> bool {
+        self.interval.is_some()
+    }
+
+    /// Polls the ticker: `true` when a heartbeat is due (and arms the
+    /// next one). A disabled ticker returns `false` without reading
+    /// the clock.
+    #[inline]
+    pub fn ready(&mut self) -> bool {
+        let Some(interval) = self.interval else {
+            return false;
+        };
+        let now = Instant::now();
+        if now >= self.next {
+            self.next = now + interval;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole milliseconds since the ticker was constructed (the loop's
+    /// start) — the `elapsed_ms` field of `progress` events.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
     }
 }
 
@@ -534,6 +694,94 @@ mod tests {
         let obs = Obs::off().and_sink(Arc::new(c.clone()));
         obs.add(Counter::Splits, 1);
         assert_eq!(c.counter(Counter::Splits), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_quantiles_and_merge() {
+        let rec = Recorder::new();
+        let obs = Obs::single(rec.clone());
+        // 90 fast samples, 9 medium, 1 slow.
+        for _ in 0..90 {
+            obs.observe(Histogram::SatCallUs, 3);
+        }
+        for _ in 0..9 {
+            obs.observe(Histogram::SatCallUs, 100);
+        }
+        obs.observe(Histogram::SatCallUs, 5000);
+        let h = rec.histogram(Histogram::SatCallUs);
+        assert_eq!(h.count, 100);
+        assert_eq!(h.sum, 90 * 3 + 9 * 100 + 5000);
+        assert_eq!(h.max, 5000);
+        // p50 lands in the [2,3] bucket, p99 in the 5000 sample's
+        // bucket but clamped to the observed max.
+        assert_eq!(h.quantile(0.50), 3);
+        assert_eq!(h.quantile(0.99), 127);
+        assert_eq!(h.quantile(1.0), 5000);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+
+        // Bucket boundaries: 0 is its own bucket; powers of two open
+        // a new one.
+        assert_eq!(HistogramSnapshot::bucket_index(0), 0);
+        assert_eq!(HistogramSnapshot::bucket_index(1), 1);
+        assert_eq!(HistogramSnapshot::bucket_index(2), 2);
+        assert_eq!(HistogramSnapshot::bucket_index(3), 2);
+        assert_eq!(HistogramSnapshot::bucket_index(4), 3);
+        assert_eq!(HistogramSnapshot::bucket_index(u64::MAX), 63);
+        assert_eq!(HistogramSnapshot::bucket_upper(2), 3);
+
+        // Merging two snapshots equals recording into one.
+        let rec2 = Recorder::new();
+        let obs2 = Obs::single(rec2.clone());
+        obs2.observe(Histogram::SatCallUs, 7);
+        let mut merged = h.clone();
+        merged.merge(&rec2.histogram(Histogram::SatCallUs));
+        assert_eq!(merged.count, 101);
+        assert_eq!(merged.max, 5000);
+        assert_eq!(merged.sum, h.sum + 7);
+        assert!((merged.mean() - merged.sum as f64 / 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_serializes_recorder_state() {
+        let rec = Recorder::new();
+        let obs = Obs::single(rec.clone());
+        obs.add(Counter::Rounds, 2);
+        obs.gauge_max(Gauge::PeakBddNodes, 64);
+        obs.observe(Histogram::SatCallUs, 3);
+        obs.observe(Histogram::SatCallUs, 9);
+        let cap = Recorder::with_events();
+        let teed = obs.and_sink(Arc::new(cap.clone()));
+        emit_snapshot(&teed, &rec, "check");
+        let evs = cap.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "stats.snapshot");
+        let fields = &evs[0].fields;
+        assert!(fields.contains(&("unit", Value::Str("check".into()))));
+        assert!(fields.contains(&("rounds", Value::U64(2))));
+        assert!(fields.contains(&("peak_bdd_nodes", Value::U64(64))));
+        assert_eq!(evs[1].name, "hist.snapshot");
+        let fields = &evs[1].fields;
+        assert!(fields.contains(&("name", Value::Str("sat_call_us".into()))));
+        assert!(fields.contains(&("count", Value::U64(2))));
+        assert!(fields.contains(&("max", Value::U64(9))));
+        assert!(fields.contains(&("buckets", Value::Str("2:1 4:1".into()))));
+        // A disabled handle emits nothing.
+        emit_snapshot(&Obs::off(), &rec, "check");
+    }
+
+    #[test]
+    fn progress_ticker_paces_and_disables() {
+        let mut off = ProgressTicker::disabled();
+        assert!(!off.is_enabled());
+        assert!(!off.ready());
+
+        let mut t = ProgressTicker::new(Some(Duration::from_millis(1)));
+        assert!(t.is_enabled());
+        assert!(!t.ready(), "first heartbeat only after a full interval");
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(t.ready());
+        assert!(!t.ready(), "firing re-arms the interval");
+        let _ = t.elapsed_ms();
     }
 
     #[test]

@@ -1,9 +1,120 @@
 //! The in-memory recorder sink — the source `CheckStats` and
 //! `EngineReport` are derived from.
 
-use crate::{Counter, Gauge, Sink, Value};
+use crate::{Counter, Gauge, Histogram, Sink, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Number of power-of-two histogram buckets: bucket 0 holds the value
+/// 0, bucket `i ≥ 1` holds values in `[2^(i-1), 2^i - 1]`, and the top
+/// bucket absorbs everything above.
+pub(crate) const HIST_BUCKETS: usize = 64;
+
+/// A point-in-time copy of one log-bucketed histogram — what
+/// [`Recorder::histogram`] returns and what `hist.snapshot` events are
+/// serialized from. Bucket layout is fixed (power-of-two), so
+/// snapshots from different threads or runs merge exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+    /// Largest sample value.
+    pub max: u64,
+    /// Per-bucket sample counts (see [`HistogramSnapshot::bucket_index`]).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The bucket a sample value falls into: 0 for 0, otherwise
+    /// `floor(log2(value)) + 1`, clamped to the top bucket.
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i`'s value range.
+    pub fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ if i >= HIST_BUCKETS - 1 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` (in `0.0..=1.0`): the upper bound of
+    /// the bucket containing the rank-`⌈q·count⌉` sample, clamped to
+    /// the observed maximum. 0 when empty. The log-bucket layout bounds
+    /// the relative error at 2×.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self`. Exact — the bucket layout is shared.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+/// Lock-free accumulation storage for one histogram.
+struct HistStore {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl HistStore {
+    fn new() -> HistStore {
+        HistStore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
 
 /// One captured event (only kept when the recorder was built with
 /// [`Recorder::with_events`]).
@@ -22,6 +133,7 @@ pub struct EventRecord {
 struct RecorderInner {
     counters: [AtomicU64; Counter::COUNT],
     gauges: [AtomicU64; Gauge::COUNT],
+    hists: [HistStore; Histogram::COUNT],
     events: Option<Mutex<Vec<EventRecord>>>,
 }
 
@@ -58,6 +170,7 @@ impl Recorder {
             inner: Arc::new(RecorderInner {
                 counters: std::array::from_fn(|_| AtomicU64::new(0)),
                 gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+                hists: std::array::from_fn(|_| HistStore::new()),
                 events: keep_events.then(|| Mutex::new(Vec::new())),
             }),
         }
@@ -90,6 +203,27 @@ impl Recorder {
             }
         }
         out
+    }
+
+    /// A point-in-time copy of one histogram's accumulated buckets.
+    pub fn histogram(&self, hist: Histogram) -> HistogramSnapshot {
+        let h = &self.inner.hists[hist as usize];
+        HistogramSnapshot {
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum.load(Ordering::Relaxed),
+            max: h.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| h.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Snapshots of every histogram that received at least one sample,
+    /// as `(name, snapshot)` pairs in declaration order.
+    pub fn nonempty_histograms(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        Histogram::ALL
+            .iter()
+            .map(|&h| (h.name(), self.histogram(h)))
+            .filter(|(_, s)| !s.is_empty())
+            .collect()
     }
 
     /// The captured events (empty unless built with
@@ -126,5 +260,13 @@ impl Sink for Recorder {
 
     fn gauge_max(&self, gauge: Gauge, value: u64) {
         self.inner.gauges[gauge as usize].fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn observe(&self, hist: Histogram, value: u64) {
+        let h = &self.inner.hists[hist as usize];
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(value, Ordering::Relaxed);
+        h.max.fetch_max(value, Ordering::Relaxed);
+        h.buckets[HistogramSnapshot::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
     }
 }

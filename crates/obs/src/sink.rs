@@ -1,6 +1,6 @@
 //! The [`Sink`] trait and the null implementation.
 
-use crate::{Counter, Gauge, Value};
+use crate::{Counter, Gauge, Histogram, Value};
 
 /// Where events and counter updates go. Implementations must be
 /// thread-safe: the portfolio fans one sink out to four engine threads.
@@ -28,6 +28,11 @@ pub trait Sink: Send + Sync {
     /// Raises a high-water-mark gauge to at least `value`.
     fn gauge_max(&self, gauge: Gauge, value: u64) {
         let _ = (gauge, value);
+    }
+
+    /// Records one histogram sample.
+    fn observe(&self, hist: Histogram, value: u64) {
+        let _ = (hist, value);
     }
 }
 

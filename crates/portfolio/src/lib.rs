@@ -50,10 +50,10 @@
 
 use sec_core::{bmc_refute, Backend, BuildError, Checker, Options as CoreOptions, Verdict};
 use sec_netlist::{check as check_circuit, Aig, ProductMachine};
-use sec_obs::{event, Obs};
+use sec_obs::{emit_snapshot, event, Obs, Recorder};
 use sec_traversal::{check_equivalence, TraversalOptions, TraversalOutcome};
 use std::fmt;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 pub use sec_limits::{CancellationToken, Limits, ProgressCounter, Stop};
@@ -121,6 +121,10 @@ pub struct PortfolioOptions {
     pub node_limit: usize,
     /// BDD node budget of the traversal engine.
     pub traversal_node_limit: usize,
+    /// Interval between `progress` heartbeat events emitted from every
+    /// engine's hot loop (scoped to the engine's name). `None` — the
+    /// default — emits none.
+    pub progress_interval: Option<Duration>,
     /// Observability handle. The orchestrator emits the race timeline
     /// (`race.start`, `engine.spawn`, `engine.verdict`, `race.cancel`,
     /// `race.timeout`, `race.end`) on it directly; each engine gets a
@@ -139,6 +143,7 @@ impl Default for PortfolioOptions {
             bmc_depth: 64,
             node_limit: 16 << 20,
             traversal_node_limit: 4 << 20,
+            progress_interval: None,
             obs: Obs::off(),
         }
     }
@@ -274,6 +279,22 @@ pub fn run_with_events(
     check_circuit(spec)?;
     check_circuit(impl_)?;
     ProductMachine::build(spec, impl_)?;
+
+    // Tee a race-wide recorder *before* the per-engine scoping below,
+    // so every engine's counters accumulate into it and the terminal
+    // unscoped `stats.snapshot` covers the whole race. Zero cost when
+    // observability is off.
+    let race_recorder = Recorder::new();
+    let teed;
+    let opts = if opts.obs.is_enabled() {
+        teed = PortfolioOptions {
+            obs: opts.obs.and_sink(Arc::new(race_recorder.clone())),
+            ..opts.clone()
+        };
+        &teed
+    } else {
+        opts
+    };
 
     let start = Instant::now();
     let global_deadline = opts.timeout.map(|t| start + t);
@@ -417,6 +438,9 @@ pub fn run_with_events(
         Some(v) => v,
         None => Verdict::Unknown(degradation_reason(&reports)),
     };
+    // Terminal unscoped snapshot: a trace of the race is self-contained
+    // (includes every engine's counters via the shared recorder).
+    emit_snapshot(obs, &race_recorder, "race");
     event!(
         obs,
         "race.end",
@@ -518,6 +542,7 @@ fn run_engine(
                 bmc_depth: 0,
                 cancel: Some(token.clone()),
                 progress: Some(counter.clone()),
+                progress_interval: opts.progress_interval,
                 obs,
                 ..CoreOptions::default()
             };
@@ -537,6 +562,7 @@ fn run_engine(
                 timeout: budget,
                 cancel: Some(token.clone()),
                 progress: Some(counter.clone()),
+                progress_interval: opts.progress_interval,
                 obs,
                 ..CoreOptions::default()
             };
@@ -557,6 +583,7 @@ fn run_engine(
                 timeout: budget,
                 cancel: Some(token.clone()),
                 progress: Some(counter.clone()),
+                progress_interval: opts.progress_interval,
                 obs,
             };
             match check_equivalence(spec, impl_, &topts) {

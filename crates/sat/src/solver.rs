@@ -6,7 +6,7 @@
 use crate::heap::VarHeap;
 use crate::types::{SatLit, SatResult, SatVar, Value};
 use sec_limits::{Limits, Stop};
-use sec_obs::{event, Obs};
+use sec_obs::{event, Histogram, Obs};
 
 type CRef = u32;
 const CREF_NONE: CRef = u32::MAX;
@@ -574,6 +574,15 @@ impl Solver {
     /// available through [`Solver::model_value`]; the solver can be reused
     /// incrementally afterwards (assumptions do not persist).
     pub fn solve_with_assumptions(&mut self, assumptions: &[SatLit]) -> SatResult {
+        // Per-call latency lands in the `sat_call_us` histogram; the
+        // timer is `None` (no clock read) when observability is off.
+        let t0 = self.obs.timer();
+        let r = self.solve_inner(assumptions);
+        self.obs.observe_elapsed(Histogram::SatCallUs, t0);
+        r
+    }
+
+    fn solve_inner(&mut self, assumptions: &[SatLit]) -> SatResult {
         self.interrupt = None;
         self.budget_exhausted = false;
         if !self.ok {

@@ -1,0 +1,158 @@
+//! Folded-stack export of the span tree, in the format flamegraph
+//! tooling consumes (one `scope;outer;inner self_us` line per unique
+//! stack).
+//!
+//! Spans emit one event *at drop* carrying `dur_us`, so a span's
+//! interval is `[t_us - dur_us, t_us]`. Nesting is reconstructed from
+//! interval containment per attribution scope (engine threads
+//! interleave in the stream but never share a stack).
+
+use crate::parse::Trace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One reconstructed span interval.
+struct SpanIv {
+    start: u64,
+    end: u64,
+    /// Position in the stream — on identical intervals the later event
+    /// is the parent (inner guards drop first).
+    idx: usize,
+    name: String,
+}
+
+/// An open ancestor frame during the containment sweep.
+struct Frame {
+    start: u64,
+    end: u64,
+    /// `scope;...;name` path of this frame.
+    path: String,
+    /// This frame's own duration.
+    dur: u64,
+    /// Summed durations of its direct children (for self time).
+    child_us: u64,
+}
+
+/// Folds a trace's span events into `(stack, self_us)` pairs,
+/// aggregated over identical stacks and sorted by stack path. The
+/// first frame of every stack is the scope (`main` for unscoped
+/// events). Self time is the span's duration minus its direct
+/// children's durations.
+pub fn folded(trace: &Trace) -> Vec<(String, u64)> {
+    let mut by_scope: BTreeMap<String, Vec<SpanIv>> = BTreeMap::new();
+    for (idx, ev) in trace.events.iter().enumerate() {
+        let Some(dur) = ev.u64("dur_us") else {
+            continue;
+        };
+        let scope = ev.engine.clone().unwrap_or_else(|| "main".to_string());
+        by_scope.entry(scope).or_default().push(SpanIv {
+            start: ev.t_us.saturating_sub(dur),
+            end: ev.t_us,
+            idx,
+            name: ev.ev.clone(),
+        });
+    }
+
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for (scope, mut spans) in by_scope {
+        // Parents start no later and end no earlier than their
+        // children; visiting by (start asc, end desc, stream order
+        // desc) puts every parent before its children.
+        spans.sort_by(|a, b| {
+            a.start
+                .cmp(&b.start)
+                .then(b.end.cmp(&a.end))
+                .then(b.idx.cmp(&a.idx))
+        });
+        let mut stack: Vec<Frame> = Vec::new();
+        for sp in spans {
+            // Pop every open frame that does not contain this span.
+            while let Some(top) = stack.last() {
+                if top.start <= sp.start && sp.end <= top.end {
+                    break;
+                }
+                pop_frame(&mut stack, &mut stacks);
+            }
+            let dur = sp.end - sp.start;
+            let path = match stack.last_mut() {
+                Some(parent) => {
+                    parent.child_us += dur;
+                    format!("{};{}", parent.path, sp.name)
+                }
+                None => format!("{scope};{}", sp.name),
+            };
+            stack.push(Frame {
+                start: sp.start,
+                end: sp.end,
+                path,
+                dur,
+                child_us: 0,
+            });
+        }
+        while !stack.is_empty() {
+            pop_frame(&mut stack, &mut stacks);
+        }
+    }
+    stacks.into_iter().collect()
+}
+
+/// Closes the innermost open frame, crediting its self time.
+fn pop_frame(stack: &mut Vec<Frame>, stacks: &mut BTreeMap<String, u64>) {
+    let f = stack.pop().expect("caller checked non-empty");
+    *stacks.entry(f.path).or_insert(0) += f.dur.saturating_sub(f.child_us);
+}
+
+/// Renders folded stacks as the text `sec trace flame` prints: one
+/// `stack self_us` line per unique stack.
+pub fn render_folded(folded: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (stack, self_us) in folded {
+        let _ = writeln!(out, "{stack} {self_us}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::Trace;
+
+    #[test]
+    fn nests_by_containment_and_credits_self_time() {
+        // run spans [0,100]; two rounds [10,40] and [50,90] inside it;
+        // a solve [20,30] inside the first round. Emission order is
+        // drop order: inner first.
+        let t = Trace::parse_strict(concat!(
+            "{\"t_us\":30,\"ev\":\"solve\",\"dur_us\":10}\n",
+            "{\"t_us\":40,\"ev\":\"round\",\"dur_us\":30}\n",
+            "{\"t_us\":90,\"ev\":\"round\",\"dur_us\":40}\n",
+            "{\"t_us\":100,\"ev\":\"run\",\"dur_us\":100}\n",
+        ))
+        .unwrap();
+        let f = folded(&t);
+        let get = |k: &str| f.iter().find(|(s, _)| s == k).map(|(_, v)| *v);
+        assert_eq!(get("main;run"), Some(30), "100 - 30 - 40 child time");
+        assert_eq!(get("main;run;round"), Some(60), "(30-10) + 40");
+        assert_eq!(get("main;run;round;solve"), Some(10));
+    }
+
+    #[test]
+    fn scopes_get_separate_stacks() {
+        let t = Trace::parse_strict(concat!(
+            "{\"t_us\":10,\"ev\":\"round\",\"engine\":\"bdd-corr\",\"dur_us\":10}\n",
+            "{\"t_us\":12,\"ev\":\"round\",\"engine\":\"sat-corr\",\"dur_us\":8}\n",
+            "{\"t_us\":20,\"ev\":\"check.start\"}\n",
+        ))
+        .unwrap();
+        let f = folded(&t);
+        assert_eq!(
+            f,
+            vec![
+                ("bdd-corr;round".to_string(), 10),
+                ("sat-corr;round".to_string(), 8),
+            ]
+        );
+        let text = render_folded(&f);
+        assert!(text.contains("bdd-corr;round 10\n"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # sec-trace — the read side of `sec` observability
+//!
+//! `sec-obs` (the write side) streams every engine's fixed-point
+//! trajectory as NDJSON behind `--trace-json`; this crate consumes
+//! those streams. It is dependency-free like the writer: a hand-rolled
+//! JSON parser with strict (line/column diagnostics) and tolerant
+//! (skip-and-count) modes, plus three analyses behind the `sec trace`
+//! CLI family:
+//!
+//! * [`summarize`] — per-engine/per-phase digest: rounds, splits,
+//!   classes, counter totals from `stats.snapshot` events, latency
+//!   histograms from `hist.snapshot` events, and an internal
+//!   reconciliation of the event stream against the snapshot counters
+//!   (the same invariant `CheckStats` derivation relies on);
+//! * [`diff`] — two traces → per-counter deltas with configurable
+//!   regression thresholds, for CI gating against a golden trace;
+//! * [`folded`] — folded-stack export of the span tree for flamegraph
+//!   tooling.
+//!
+//! The NDJSON schema is documented in `DESIGN.md §9`; the CLI surface
+//! in `docs/TRACE.md`.
+//!
+//! ```
+//! use sec_trace::{summarize, Trace};
+//!
+//! let trace = Trace::parse_strict(
+//!     "{\"t_us\":5,\"ev\":\"round\",\"round\":1,\"splits\":2}\n\
+//!      {\"t_us\":9,\"ev\":\"check.end\",\"verdict\":\"equivalent\"}\n",
+//! )
+//! .unwrap();
+//! let summary = summarize(&trace);
+//! assert_eq!(summary.engine(None).unwrap().rounds, 1);
+//! assert_eq!(summary.checks[0].verdict, "equivalent");
+//! ```
+
+#![warn(missing_docs)]
+
+mod diff;
+mod flame;
+mod parse;
+mod summary;
+
+pub use diff::{diff, render_diff, CounterDelta, DiffOptions, PhaseDelta, TraceDiff};
+pub use flame::{folded, render_folded};
+pub use parse::{Event, Json, ParseError, Trace};
+pub use summary::{
+    render_summary, summarize, CheckOutcome, EngineSummary, HistAgg, PhaseAgg, TraceSummary,
+};

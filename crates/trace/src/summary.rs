@@ -1,0 +1,533 @@
+//! Per-engine/per-phase trace summarization and reconciliation against
+//! the counters recorded in `stats.snapshot` events.
+
+use crate::parse::Trace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of log buckets in a `hist.snapshot` payload (mirrors
+/// `sec-obs`; this crate is dependency-free, so the layout constant is
+/// restated here).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Aggregated wall-clock of one span name (`round`, ...) within one
+/// scope.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseAgg {
+    /// Spans seen.
+    pub count: u64,
+    /// Summed `dur_us` across them.
+    pub total_us: u64,
+}
+
+/// A latency histogram rebuilt from one or more `hist.snapshot`
+/// events. Merging is exact because every snapshot shares the
+/// power-of-two bucket layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistAgg {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of sample values.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Per-bucket counts (bucket 0 holds the value 0; bucket `i ≥ 1`
+    /// holds `[2^(i-1), 2^i - 1]`).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistAgg {
+    fn default() -> HistAgg {
+        HistAgg {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistAgg {
+    /// Folds one `hist.snapshot` payload (count/sum/max plus the
+    /// compact `"bucket:count ..."` string) into this aggregate.
+    fn merge_snapshot(&mut self, count: u64, sum: u64, max: u64, buckets: &str) {
+        self.count += count;
+        self.sum += sum;
+        self.max = self.max.max(max);
+        for part in buckets.split_whitespace() {
+            if let Some((i, c)) = part.split_once(':') {
+                if let (Ok(i), Ok(c)) = (i.parse::<usize>(), c.parse::<u64>()) {
+                    if i < HIST_BUCKETS {
+                        self.buckets[i] += c;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q`: the containing bucket's upper bound,
+    /// clamped to the observed maximum (same estimator as `sec-obs`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                let upper = match i {
+                    0 => 0,
+                    _ if i >= HIST_BUCKETS - 1 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Everything one attribution scope (engine, or the unscoped
+/// orchestrator/solo stream) did in a trace.
+#[derive(Clone, Debug, Default)]
+pub struct EngineSummary {
+    /// The scope (`None` = unscoped).
+    pub engine: Option<String>,
+    /// Events attributed to the scope.
+    pub events: u64,
+    /// `round` events (fixed-point refinement rounds).
+    pub rounds: u64,
+    /// Summed `splits` fields of completed rounds.
+    pub splits: u64,
+    /// Last `classes` field seen on a `round` or `check.end` event.
+    pub classes: Option<u64>,
+    /// Last verdict seen (`check.end`, `engine.verdict`, or
+    /// `race.end`).
+    pub verdict: Option<String>,
+    /// Counters/gauges summed from this scope's `stats.snapshot`
+    /// events, by stable counter name.
+    pub counters: BTreeMap<String, u64>,
+    /// Wall-clock per span name (any event carrying `dur_us`).
+    pub phases: BTreeMap<String, PhaseAgg>,
+    /// Latency histograms rebuilt from `hist.snapshot` events.
+    pub hists: BTreeMap<String, HistAgg>,
+    /// `progress` heartbeat events seen.
+    pub progress: u64,
+}
+
+/// Outcome of one `check.end` (or `race.end`) event — the fields the
+/// CLI's `--stats`/`--json` output is reconciled against.
+#[derive(Clone, Debug, Default)]
+pub struct CheckOutcome {
+    /// Scope the check ran under.
+    pub engine: Option<String>,
+    /// `equivalent` / `inequivalent` / `unknown`.
+    pub verdict: String,
+    /// Refinement rounds reported at the end.
+    pub rounds: Option<u64>,
+    /// Final equivalence-class count.
+    pub classes: Option<u64>,
+    /// Signals participating in the correspondence.
+    pub signals: Option<u64>,
+    /// Percentage of signals proved equivalent to another.
+    pub eqs_percent: Option<f64>,
+    /// Shortcut attribution (`simulation` when lockstep simulation
+    /// refuted before the fixed point).
+    pub by: Option<String>,
+}
+
+/// The full digest of one trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Non-blank lines in the input.
+    pub lines: usize,
+    /// Parsed events.
+    pub events: usize,
+    /// Malformed lines skipped by the tolerant parser.
+    pub skipped: usize,
+    /// Span of the event timestamps (last − first), in microseconds.
+    pub duration_us: u64,
+    /// Totals summed over *unscoped* `stats.snapshot` events — the
+    /// trace-wide counter reconstruction. (Scoped snapshots are
+    /// per-engine detail: under the portfolio the orchestrator's
+    /// unscoped snapshot already includes every engine's counters.)
+    pub totals: BTreeMap<String, u64>,
+    /// Per-scope digests, unscoped first, then by first appearance.
+    pub engines: Vec<EngineSummary>,
+    /// Every `check.end`/`race.end` outcome, in stream order.
+    pub checks: Vec<CheckOutcome>,
+    /// Internal-consistency mismatches (event stream vs snapshot
+    /// counters); empty when the trace reconciles.
+    pub mismatches: Vec<String>,
+}
+
+impl TraceSummary {
+    /// Convenience: a trace-wide counter total (0 when absent — absent
+    /// and zero are the same thing, snapshots only carry non-zero
+    /// counters).
+    pub fn total(&self, counter: &str) -> u64 {
+        self.totals.get(counter).copied().unwrap_or(0)
+    }
+
+    /// The digest of one scope, if present.
+    pub fn engine(&self, engine: Option<&str>) -> Option<&EngineSummary> {
+        self.engines.iter().find(|e| e.engine.as_deref() == engine)
+    }
+}
+
+/// Digests a parsed trace.
+pub fn summarize(trace: &Trace) -> TraceSummary {
+    let mut summary = TraceSummary {
+        lines: trace.lines,
+        events: trace.events.len(),
+        skipped: trace.skipped,
+        ..TraceSummary::default()
+    };
+    let mut scopes: Vec<Option<String>> = Vec::new();
+    let mut by_scope: BTreeMap<Option<String>, EngineSummary> = BTreeMap::new();
+    let (mut t_min, mut t_max) = (u64::MAX, 0u64);
+
+    for ev in &trace.events {
+        t_min = t_min.min(ev.t_us);
+        t_max = t_max.max(ev.t_us);
+        if !scopes.contains(&ev.engine) {
+            scopes.push(ev.engine.clone());
+        }
+        let scope = by_scope
+            .entry(ev.engine.clone())
+            .or_insert_with(|| EngineSummary {
+                engine: ev.engine.clone(),
+                ..EngineSummary::default()
+            });
+        scope.events += 1;
+
+        if let Some(dur) = ev.u64("dur_us") {
+            let phase = scope.phases.entry(ev.ev.clone()).or_default();
+            phase.count += 1;
+            phase.total_us += dur;
+        }
+
+        match ev.ev.as_str() {
+            "round" => {
+                scope.rounds += 1;
+                // Aborted rounds emit without `splits` (the counter was
+                // likewise never bumped), so the sum still reconciles.
+                scope.splits += ev.u64("splits").unwrap_or(0);
+                if let Some(c) = ev.u64("classes") {
+                    scope.classes = Some(c);
+                }
+            }
+            "progress" => scope.progress += 1,
+            "stats.snapshot" => {
+                for (key, val) in &ev.fields {
+                    if key == "unit" {
+                        continue;
+                    }
+                    if let Some(v) = val.as_u64() {
+                        *scope.counters.entry(key.clone()).or_insert(0) += v;
+                        if ev.engine.is_none() {
+                            *summary.totals.entry(key.clone()).or_insert(0) += v;
+                        }
+                    }
+                }
+            }
+            "hist.snapshot" => {
+                if let (Some(name), Some(count), Some(sum), Some(max)) = (
+                    ev.str("name"),
+                    ev.u64("count"),
+                    ev.u64("sum"),
+                    ev.u64("max"),
+                ) {
+                    scope
+                        .hists
+                        .entry(name.to_string())
+                        .or_default()
+                        .merge_snapshot(count, sum, max, ev.str("buckets").unwrap_or(""));
+                }
+            }
+            "check.end" | "race.end" => {
+                let verdict = ev
+                    .str("verdict")
+                    .or_else(|| ev.str("winner").map(|_| "unknown"))
+                    .unwrap_or("unknown")
+                    .to_string();
+                scope.verdict = Some(verdict.clone());
+                if let Some(c) = ev.u64("classes") {
+                    scope.classes = Some(c);
+                }
+                summary.checks.push(CheckOutcome {
+                    engine: ev.engine.clone(),
+                    verdict,
+                    rounds: ev.u64("rounds"),
+                    classes: ev.u64("classes"),
+                    signals: ev.u64("signals"),
+                    eqs_percent: ev.f64("eqs_percent"),
+                    by: ev.str("by").map(str::to_string),
+                });
+            }
+            "engine.verdict" => {
+                // The orchestrator names the engine in an `engine`
+                // field, which doubles as the envelope's scope
+                // attribution — the verdict lands on that engine's
+                // summary directly.
+                if let Some(v) = ev.str("verdict") {
+                    scope.verdict = Some(v.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if t_max >= t_min && t_min != u64::MAX {
+        summary.duration_us = t_max - t_min;
+    }
+
+    // Event stream vs snapshot counters: `round` events and their
+    // `splits` fields must sum to the trace-wide counters — the same
+    // invariant `CheckStats` derivation relies on.
+    let (mut rounds, mut splits) = (0u64, 0u64);
+    for s in by_scope.values() {
+        rounds += s.rounds;
+        splits += s.splits;
+    }
+    for (name, seen, counted) in [
+        ("rounds", rounds, summary.total("rounds")),
+        ("splits", splits, summary.total("splits")),
+    ] {
+        if !summary.totals.is_empty() && seen != counted {
+            summary.mismatches.push(format!(
+                "{name}: {seen} from events vs {counted} from stats.snapshot"
+            ));
+        }
+    }
+
+    summary.engines = scopes
+        .into_iter()
+        .map(|k| by_scope.remove(&k).expect("scope digest exists"))
+        .collect();
+    summary.engines.sort_by_key(|e| e.engine.is_some() as usize);
+    summary
+}
+
+fn fmt_us(us: u64) -> String {
+    if us < 10_000 {
+        format!("{us}µs")
+    } else if us < 10_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
+    }
+}
+
+fn scope_label(engine: &Option<String>) -> &str {
+    engine.as_deref().unwrap_or("(main)")
+}
+
+/// Renders a summary as the human-readable report `sec trace summary`
+/// prints.
+pub fn render_summary(s: &TraceSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} events on {} lines ({} skipped), spanning {}",
+        s.events,
+        s.lines,
+        s.skipped,
+        fmt_us(s.duration_us)
+    );
+
+    for c in &s.checks {
+        let mut line = format!("verdict [{}]: {}", scope_label(&c.engine), c.verdict);
+        if let Some(by) = &c.by {
+            let _ = write!(line, " (by {by})");
+        }
+        if let Some(r) = c.rounds {
+            let _ = write!(line, " rounds={r}");
+        }
+        if let Some(cl) = c.classes {
+            let _ = write!(line, " classes={cl}");
+        }
+        if let Some(sg) = c.signals {
+            let _ = write!(line, " signals={sg}");
+        }
+        if let Some(p) = c.eqs_percent {
+            let _ = write!(line, " eqs={p:.1}%");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+
+    if !s.totals.is_empty() {
+        let _ = writeln!(out, "totals (unscoped stats.snapshot):");
+        for (name, v) in &s.totals {
+            let _ = writeln!(out, "  {name:<26} {v}");
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "{:<12} {:>7} {:>7} {:>7} {:>8} {:>9}  verdict",
+        "engine", "events", "rounds", "splits", "classes", "progress"
+    );
+    for e in &s.engines {
+        let classes = e
+            .classes
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>7} {:>7} {:>8} {:>9}  {}",
+            scope_label(&e.engine),
+            e.events,
+            e.rounds,
+            e.splits,
+            classes,
+            e.progress,
+            e.verdict.as_deref().unwrap_or("-")
+        );
+    }
+
+    let mut wrote_header = false;
+    for e in &s.engines {
+        for (name, p) in &e.phases {
+            if !wrote_header {
+                let _ = writeln!(out, "phases (wall-clock from span events):");
+                wrote_header = true;
+            }
+            let _ = writeln!(
+                out,
+                "  [{}] {:<14} {:>6} × total {}",
+                scope_label(&e.engine),
+                name,
+                p.count,
+                fmt_us(p.total_us)
+            );
+        }
+    }
+
+    let mut wrote_header = false;
+    for e in &s.engines {
+        for (name, h) in &e.hists {
+            if !wrote_header {
+                let _ = writeln!(out, "latency histograms:");
+                wrote_header = true;
+            }
+            let _ = writeln!(
+                out,
+                "  [{}] {:<12} n={:<7} p50={} p90={} p99={} max={} mean={:.1}µs",
+                scope_label(&e.engine),
+                name,
+                h.count,
+                fmt_us(h.quantile(0.50)),
+                fmt_us(h.quantile(0.90)),
+                fmt_us(h.quantile(0.99)),
+                fmt_us(h.max),
+                h.mean()
+            );
+        }
+    }
+
+    for m in &s.mismatches {
+        let _ = writeln!(out, "RECONCILIATION MISMATCH: {m}");
+    }
+    if s.mismatches.is_empty() && !s.totals.is_empty() {
+        let _ = writeln!(
+            out,
+            "reconciliation: event stream matches snapshot counters"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::Trace;
+
+    fn demo_trace() -> Trace {
+        Trace::parse_strict(concat!(
+            "{\"t_us\":1,\"ev\":\"check.start\",\"backend\":\"sat\",\"signals\":10}\n",
+            "{\"t_us\":5,\"ev\":\"round\",\"round\":1,\"splits\":2,\"classes\":5,\"dur_us\":4}\n",
+            "{\"t_us\":6,\"ev\":\"progress\",\"round\":1,\"classes\":5,\"elapsed_ms\":1}\n",
+            "{\"t_us\":9,\"ev\":\"round\",\"round\":2,\"splits\":0,\"classes\":5,\"dur_us\":3}\n",
+            "{\"t_us\":10,\"ev\":\"hist.snapshot\",\"name\":\"sat_call_us\",\"count\":3,",
+            "\"sum\":9,\"max\":5,\"p50\":3,\"p90\":5,\"p99\":5,\"buckets\":\"2:2 3:1\"}\n",
+            "{\"t_us\":11,\"ev\":\"stats.snapshot\",\"unit\":\"check\",\"rounds\":2,",
+            "\"splits\":2,\"sat_conflicts\":7}\n",
+            "{\"t_us\":12,\"ev\":\"check.end\",\"verdict\":\"equivalent\",\"rounds\":2,",
+            "\"classes\":5,\"signals\":10,\"eqs_percent\":50.0}\n",
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn summarizes_and_reconciles() {
+        let s = summarize(&demo_trace());
+        assert_eq!(s.events, 7);
+        assert_eq!(s.duration_us, 11);
+        assert_eq!(s.total("rounds"), 2);
+        assert_eq!(s.total("splits"), 2);
+        assert_eq!(s.total("sat_conflicts"), 7);
+        assert!(s.mismatches.is_empty(), "{:?}", s.mismatches);
+
+        let main = s.engine(None).unwrap();
+        assert_eq!(main.rounds, 2);
+        assert_eq!(main.splits, 2);
+        assert_eq!(main.classes, Some(5));
+        assert_eq!(main.progress, 1);
+        assert_eq!(main.verdict.as_deref(), Some("equivalent"));
+        assert_eq!(main.phases["round"].count, 2);
+        assert_eq!(main.phases["round"].total_us, 7);
+        let h = &main.hists["sat_call_us"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 5);
+
+        assert_eq!(s.checks.len(), 1);
+        assert_eq!(s.checks[0].verdict, "equivalent");
+        assert_eq!(s.checks[0].eqs_percent, Some(50.0));
+
+        let text = render_summary(&s);
+        assert!(text.contains("equivalent"));
+        assert!(text.contains("sat_call_us"));
+        assert!(text.contains("reconciliation: event stream matches"));
+    }
+
+    #[test]
+    fn mismatch_is_reported() {
+        let t = Trace::parse_strict(concat!(
+            "{\"t_us\":1,\"ev\":\"round\",\"round\":1,\"splits\":1}\n",
+            "{\"t_us\":2,\"ev\":\"stats.snapshot\",\"unit\":\"check\",\"rounds\":2,\"splits\":1}\n",
+        ))
+        .unwrap();
+        let s = summarize(&t);
+        assert_eq!(s.mismatches.len(), 1);
+        assert!(s.mismatches[0].contains("rounds"));
+        assert!(render_summary(&s).contains("RECONCILIATION MISMATCH"));
+    }
+
+    #[test]
+    fn scoped_snapshots_do_not_pollute_totals() {
+        let t = Trace::parse_strict(concat!(
+            "{\"t_us\":1,\"ev\":\"round\",\"engine\":\"sat-corr\",\"round\":1,\"splits\":3}\n",
+            "{\"t_us\":2,\"ev\":\"stats.snapshot\",\"engine\":\"sat-corr\",\"unit\":\"check\",",
+            "\"rounds\":1,\"splits\":3}\n",
+            "{\"t_us\":3,\"ev\":\"stats.snapshot\",\"unit\":\"race\",\"rounds\":1,\"splits\":3}\n",
+        ))
+        .unwrap();
+        let s = summarize(&t);
+        assert_eq!(s.total("rounds"), 1, "only the unscoped snapshot counts");
+        let eng = s.engine(Some("sat-corr")).unwrap();
+        assert_eq!(eng.counters["splits"], 3);
+        assert!(s.mismatches.is_empty(), "{:?}", s.mismatches);
+    }
+}

@@ -1,0 +1,105 @@
+//! Round-trip tests: events serialized by `sec-obs`'s NDJSON sink must
+//! parse back losslessly through `sec-trace`'s strict parser — including
+//! hostile event/field names, non-finite floats, and the terminal
+//! `stats.snapshot` / `hist.snapshot` events.
+
+use sec_obs::{emit_snapshot, Counter, Histogram, NdjsonSink, Obs, Recorder, Sink, Value};
+use sec_trace::{summarize, Json, Trace};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A `Write` handle over a shared buffer, so the test can read back what
+/// the sink wrote.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn hostile_events_round_trip_strictly() {
+    let buf = SharedBuf::default();
+    let sink = NdjsonSink::from_writer(buf.clone());
+    // Drive the sink directly: event names and string values with
+    // control characters, quotes, backslashes; NaN and infinities.
+    sink.event(
+        7,
+        Some("bdd-corr"),
+        "weird\"name\nwith\tcontrol\u{1}",
+        &[
+            ("note", Value::Str("a\"b\\c\nd\r\u{1f}".into())),
+            ("nan", Value::F64(f64::NAN)),
+            ("inf", Value::F64(f64::INFINITY)),
+            ("ninf", Value::F64(f64::NEG_INFINITY)),
+            ("big", Value::U64(u64::MAX)),
+            ("neg", Value::I64(-42)),
+            ("frac", Value::F64(1.0)),
+            ("yes", Value::Bool(true)),
+        ],
+    );
+    sink.event(8, None, "plain", &[]);
+
+    let trace = Trace::parse_strict(&buf.contents()).expect("sink output must be valid JSON");
+    assert_eq!(trace.events.len(), 2);
+    let ev = &trace.events[0];
+    assert_eq!(ev.t_us, 7);
+    assert_eq!(ev.ev, "weird\"name\nwith\tcontrol\u{1}");
+    assert_eq!(ev.engine.as_deref(), Some("bdd-corr"));
+    assert_eq!(ev.str("note"), Some("a\"b\\c\nd\r\u{1f}"));
+    // Non-finite floats serialize as null — valid JSON, value lost by
+    // design.
+    assert_eq!(ev.field("nan"), Some(&Json::Null));
+    assert_eq!(ev.field("inf"), Some(&Json::Null));
+    assert_eq!(ev.field("ninf"), Some(&Json::Null));
+    assert_eq!(ev.u64("big"), Some(u64::MAX));
+    assert_eq!(ev.field("neg"), Some(&Json::I64(-42)));
+    // `1.0` must come back as a float, not the integer 1.
+    assert_eq!(ev.field("frac"), Some(&Json::F64(1.0)));
+    assert_eq!(ev.field("yes"), Some(&Json::Bool(true)));
+    assert_eq!(trace.events[1].engine, None);
+}
+
+#[test]
+fn snapshot_round_trips_into_summary() {
+    let buf = SharedBuf::default();
+    let recorder = Recorder::new();
+    let obs = Obs::multi(vec![
+        Arc::new(NdjsonSink::from_writer(buf.clone())) as Arc<dyn Sink>,
+        Arc::new(recorder.clone()),
+    ]);
+    obs.add(Counter::Rounds, 3);
+    obs.add(Counter::SatConflicts, 41);
+    for v in [1u64, 3, 9, 100, 5000] {
+        obs.observe(Histogram::SatCallUs, v);
+    }
+    emit_snapshot(&obs, &recorder, "check");
+
+    let trace = Trace::parse_strict(&buf.contents()).expect("snapshot events must be valid JSON");
+    let summary = summarize(&trace);
+    // Counters reconstruct exactly from the unscoped snapshot.
+    assert_eq!(summary.total("rounds"), 3);
+    assert_eq!(summary.total("sat_conflicts"), 41);
+    // The histogram reconstructs count/sum/max and quantile estimates.
+    let scope = summary.engine(None).expect("unscoped scope present");
+    let h = scope.hists.get("sat_call_us").expect("histogram present");
+    assert_eq!(h.count, 5);
+    assert_eq!(h.sum, 1 + 3 + 9 + 100 + 5000);
+    assert_eq!(h.max, 5000);
+    let ref_hist = recorder.histogram(Histogram::SatCallUs);
+    for q in [0.5, 0.9, 0.99] {
+        assert_eq!(h.quantile(q), ref_hist.quantile(q), "q={q}");
+    }
+}

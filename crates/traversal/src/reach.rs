@@ -7,8 +7,9 @@ use crate::symbolic::SymbolicMachine;
 use sec_bdd::{Bdd, BddHalt, BddVar, Substitution};
 use sec_limits::{CancellationToken, Limits, ProgressCounter};
 use sec_netlist::{Aig, ProductError, ProductMachine};
-use sec_obs::{event, Counter, Gauge, Obs};
+use sec_obs::{emit_snapshot, event, Counter, Gauge, Obs, ProgressTicker, Recorder};
 use sec_sim::Trace;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Options for [`check_equivalence`].
@@ -34,6 +35,10 @@ pub struct TraversalOptions {
     /// another thread (the portfolio orchestrator) can emit live
     /// progress events.
     pub progress: Option<ProgressCounter>,
+    /// Interval between `progress` heartbeat events emitted from the
+    /// traversal loop through [`TraversalOptions::obs`]. `None` — the
+    /// default — emits none and keeps the loop at one branch per step.
+    pub progress_interval: Option<Duration>,
     /// Observability handle: `trav.step` / `trav.collapse` events plus
     /// image-step, BDD-allocation and poll counters flow through it.
     /// Defaults to the inert [`Obs::off`].
@@ -50,6 +55,7 @@ impl Default for TraversalOptions {
             timeout: Some(Duration::from_secs(600)),
             cancel: None,
             progress: None,
+            progress_interval: None,
             obs: Obs::off(),
         }
     }
@@ -94,7 +100,19 @@ pub fn check_equivalence(
     let pm = ProductMachine::build(spec, impl_)?;
     let start = Instant::now();
     let mut stats = TraversalStats::default();
+    // Tee a recorder when observability is on so the run closes with a
+    // self-contained `stats.snapshot` event; stay zero-cost otherwise.
+    let tee = opts.obs.is_enabled().then(|| {
+        let recorder = Recorder::new();
+        let mut teed = opts.clone();
+        teed.obs = opts.obs.and_sink(Arc::new(recorder.clone()));
+        (teed, recorder)
+    });
+    let opts = tee.as_ref().map_or(opts, |(o, _)| o);
     let outcome = run(&pm, opts, start, &mut stats);
+    if let Some((teed, recorder)) = &tee {
+        emit_snapshot(&teed.obs, recorder, "traversal");
+    }
     stats.time = start.elapsed();
     Ok((
         match outcome {
@@ -218,6 +236,7 @@ fn traverse(
         rename.set(sm.next_vars[i], sm.mgr.var(sm.state_vars[i]));
     }
 
+    let mut ticker = ProgressTicker::new(opts.progress_interval.filter(|_| obs.is_enabled()));
     let init = sm.initial_state(pm, &kept)?;
     let mut reached = init;
     let mut frontier = init;
@@ -260,6 +279,15 @@ fn traverse(
         );
         if let Some(p) = &opts.progress {
             p.bump();
+        }
+        if ticker.ready() {
+            event!(
+                obs,
+                "progress",
+                round = stats.iterations,
+                nodes = sm.mgr.live_nodes(),
+                elapsed_ms = ticker.elapsed_ms()
+            );
         }
 
         // Image of the frontier.
@@ -344,6 +372,7 @@ mod tests {
             timeout: Some(Duration::from_secs(60)),
             cancel: None,
             progress: None,
+            progress_interval: None,
             obs: Obs::off(),
         }
     }

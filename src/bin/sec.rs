@@ -8,6 +8,9 @@
 //! sec sweep <in> <out> [options]      merge sequentially equivalent logic
 //! sec dot <circuit>                   write Graphviz to stdout
 //! sec sat <file.cnf>                  solve a DIMACS CNF
+//! sec trace summary <trace>           digest an NDJSON trace
+//! sec trace diff <base> <new>         compare two traces, gate on regressions
+//! sec trace flame <trace>             folded-stack export of the span tree
 //! ```
 //!
 //! Circuits are read in ISCAS'89 `.bench` or ASCII AIGER `.aag` format
@@ -15,7 +18,7 @@
 
 use sec::core::{Backend, Checker, Options, SignalScope, Verdict};
 use sec::netlist::{analysis, dot, parse_aiger, parse_bench, write_aiger, write_bench, Aig};
-use sec::obs::{NdjsonSink, Obs, Recorder, Sink};
+use sec::obs::{NdjsonSink, Obs, Recorder, Sink, Value};
 use sec::portfolio::{self, EngineKind, PortfolioOptions, ProgressEvent};
 use sec::sim::Trace;
 use sec::synth::{pipeline, PipelineOptions};
@@ -37,13 +40,19 @@ fn usage() -> ! {
          sec check <spec> <impl> [--engine bdd|sat|portfolio] [--scope all|regs]\n           \
          [--no-sim-seed] [--no-funcdep] [--approx-reach] [--retime-rounds N]\n           \
          [--timeout SECS] [--engine-timeout SECS] [--node-limit N]\n           \
-         [--bmc-depth N] [--seed N] [--json] [--stats] [--trace-json FILE]\n  \
+         [--bmc-depth N] [--seed N] [--json] [--stats] [--trace-json FILE]\n           \
+         [--progress[=SECS]]\n  \
          sec info <circuit>\n  \
          sec optimize <in> <out> [--seed N] [--retime-only]\n  \
          sec sweep <in> <out> [--backend bdd|sat]\n  \
          sec dot <circuit>\n  \
-         sec sat <file.cnf>\n\n\
+         sec sat <file.cnf>\n  \
+         sec trace summary <trace.ndjson> [--strict]\n  \
+         sec trace diff <base.ndjson> <new.ndjson> [--strict]\n           \
+         [--threshold NAME=PCT]... [--default-threshold PCT]\n  \
+         sec trace flame <trace.ndjson> [--strict]\n\n\
          check exit codes: 0 equivalent, 1 not equivalent, 2 unknown, 3 error\n\
+         trace exit codes: 0 ok, 1 regression/mismatch, 2 parse error, 3 usage\n\
          circuit formats: ISCAS'89 .bench, ASCII AIGER .aag"
     );
     exit(EXIT_USAGE)
@@ -75,6 +84,7 @@ fn main() {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("sat") => cmd_sat(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => usage(),
     }
 }
@@ -218,6 +228,20 @@ fn cmd_check(args: &[String]) {
             "--no-sim-seed" => opts.sim_cycles = 0,
             "--no-funcdep" => opts.functional_deps = false,
             "--approx-reach" => opts.approx_reach = true,
+            s if s == "--progress" || s.starts_with("--progress=") => {
+                let secs = match s.strip_prefix("--progress=") {
+                    Some(v) => v
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|s| *s > 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--progress needs a positive interval in seconds");
+                            exit(EXIT_USAGE)
+                        }),
+                    None => 1.0,
+                };
+                opts.progress_interval = Some(Duration::from_secs_f64(secs));
+            }
             "--json" => json = true,
             "--stats" => show_stats = true,
             "--trace-json" => {
@@ -279,6 +303,9 @@ fn cmd_check(args: &[String]) {
     if let Some(r) = &recorder {
         sinks.push(Arc::new(r.clone()));
     }
+    if opts.progress_interval.is_some() {
+        sinks.push(Arc::new(HeartbeatSink));
+    }
     if !sinks.is_empty() {
         opts.obs = Obs::multi(sinks);
     }
@@ -287,6 +314,40 @@ fn cmd_check(args: &[String]) {
         CheckEngine::Portfolio => {
             check_portfolio(&spec, &imp, &opts, engine_timeout, json, recorder)
         }
+    }
+}
+
+/// Renders `progress` heartbeat events as live stderr lines while a
+/// check runs. Every other event passes through silently, so this sink
+/// can ride alongside an NDJSON sink on the same handle.
+struct HeartbeatSink;
+
+impl Sink for HeartbeatSink {
+    fn event(
+        &self,
+        at_us: u64,
+        scope: Option<&'static str>,
+        name: &str,
+        fields: &[(&'static str, Value)],
+    ) {
+        if name != "progress" {
+            return;
+        }
+        let mut line = format!("[{:>8.3}s]", at_us as f64 / 1e6);
+        if let Some(s) = scope {
+            line.push_str(&format!(" {s}"));
+        }
+        for (k, v) in fields {
+            let rendered = match v {
+                Value::U64(n) => n.to_string(),
+                Value::I64(n) => n.to_string(),
+                Value::F64(x) => format!("{x:.3}"),
+                Value::Bool(b) => b.to_string(),
+                Value::Str(s) => s.clone(),
+            };
+            line.push_str(&format!(" {k}={rendered}"));
+        }
+        eprintln!("{line}");
     }
 }
 
@@ -375,6 +436,7 @@ fn check_portfolio(
             opts.bmc_depth
         },
         node_limit: opts.node_limit,
+        progress_interval: opts.progress_interval,
         obs: opts.obs.clone(),
         ..PortfolioOptions::default()
     };
@@ -598,4 +660,118 @@ fn cmd_sat(args: &[String]) {
             exit(1)
         }
     }
+}
+
+/// Reads and parses an NDJSON trace. Tolerant by default (malformed
+/// lines are skipped and counted); `--strict` fails on the first bad
+/// line with a line/column diagnostic. Exit code 2 on any failure.
+fn load_trace(path: &str, strict: bool) -> sec::trace::Trace {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(EXIT_UNKNOWN)
+    });
+    if strict {
+        sec::trace::Trace::parse_strict(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(EXIT_UNKNOWN)
+        })
+    } else {
+        sec::trace::Trace::parse_tolerant(&text)
+    }
+}
+
+fn cmd_trace(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("summary") => cmd_trace_summary(&args[1..]),
+        Some("diff") => cmd_trace_diff(&args[1..]),
+        Some("flame") => cmd_trace_flame(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Splits `args` into (positional paths, strict flag), rejecting
+/// anything else.
+fn trace_paths(
+    args: &[String],
+    want: usize,
+    allow: &[&str],
+) -> (Vec<String>, Vec<(String, String)>) {
+    let mut paths = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--strict" {
+            flags.push(("--strict".to_string(), String::new()));
+        } else if allow.contains(&a) {
+            let v = take_value(args, &mut i, a).to_string();
+            flags.push((a.to_string(), v));
+        } else if a.starts_with("--") {
+            eprintln!("unknown option `{a}`");
+            exit(EXIT_USAGE)
+        } else {
+            paths.push(a.to_string());
+        }
+        i += 1;
+    }
+    if paths.len() != want {
+        usage();
+    }
+    (paths, flags)
+}
+
+fn cmd_trace_summary(args: &[String]) {
+    let (paths, flags) = trace_paths(args, 1, &[]);
+    let strict = flags.iter().any(|(f, _)| f == "--strict");
+    let trace = load_trace(&paths[0], strict);
+    let summary = sec::trace::summarize(&trace);
+    print!("{}", sec::trace::render_summary(&summary));
+    if !summary.mismatches.is_empty() {
+        exit(EXIT_INEQUIVALENT)
+    }
+    exit(EXIT_EQUIVALENT)
+}
+
+fn cmd_trace_diff(args: &[String]) {
+    let (paths, flags) = trace_paths(args, 2, &["--threshold", "--default-threshold"]);
+    let strict = flags.iter().any(|(f, _)| f == "--strict");
+    let mut dopts = sec::trace::DiffOptions::default();
+    for (flag, value) in &flags {
+        match flag.as_str() {
+            "--threshold" => {
+                let Some((name, pct)) = value.split_once('=') else {
+                    eprintln!("--threshold needs NAME=PCT");
+                    exit(EXIT_USAGE)
+                };
+                let pct: f64 = pct.parse().unwrap_or_else(|_| {
+                    eprintln!("--threshold percentage `{pct}` is not a number");
+                    exit(EXIT_USAGE)
+                });
+                dopts.thresholds.insert(name.to_string(), pct);
+            }
+            "--default-threshold" => {
+                let pct: f64 = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--default-threshold `{value}` is not a number");
+                    exit(EXIT_USAGE)
+                });
+                dopts.default_threshold_pct = Some(pct);
+            }
+            _ => {}
+        }
+    }
+    let base = sec::trace::summarize(&load_trace(&paths[0], strict));
+    let new = sec::trace::summarize(&load_trace(&paths[1], strict));
+    let d = sec::trace::diff(&base, &new, &dopts);
+    print!("{}", sec::trace::render_diff(&d));
+    if d.regressed() {
+        exit(EXIT_INEQUIVALENT)
+    }
+    exit(EXIT_EQUIVALENT)
+}
+
+fn cmd_trace_flame(args: &[String]) {
+    let (paths, flags) = trace_paths(args, 1, &[]);
+    let strict = flags.iter().any(|(f, _)| f == "--strict");
+    let trace = load_trace(&paths[0], strict);
+    print!("{}", sec::trace::render_folded(&sec::trace::folded(&trace)));
 }

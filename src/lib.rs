@@ -15,7 +15,8 @@
 //! * [`core`] — the signal-correspondence fixed-point engine itself
 //! * [`limits`] — cooperative cancellation tokens and deadlines
 //! * [`portfolio`] — parallel multi-engine racing with first-definitive-wins
-//! * [`obs`] — spans, counters and NDJSON event streams across all engines
+//! * [`obs`] — spans, counters, histograms and NDJSON event streams across all engines
+//! * [`trace`] — the read side: NDJSON parsing, summaries, diffs, flame export
 //!
 //! ## Quickstart
 //!
@@ -44,4 +45,5 @@ pub use sec_portfolio as portfolio;
 pub use sec_sat as sat;
 pub use sec_sim as sim;
 pub use sec_synth as synth;
+pub use sec_trace as trace;
 pub use sec_traversal as traversal;

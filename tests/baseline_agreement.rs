@@ -18,6 +18,7 @@ fn traversal_opts() -> TraversalOptions {
         timeout: Some(std::time::Duration::from_secs(120)),
         cancel: None,
         progress: None,
+        progress_interval: None,
         obs: sec_obs::Obs::off(),
     }
 }

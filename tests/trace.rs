@@ -1,0 +1,246 @@
+//! End-to-end trace analysis: `--trace-json`-style captures parsed with
+//! `sec::trace` must reconstruct the derived statistics field for field
+//! — for solo backends and for every member of a portfolio race,
+//! cancelled losers included — and `progress` heartbeats must appear
+//! without changing any verdict.
+
+use sec::core::{Backend, Checker, Options, Verdict};
+use sec::gen::{counter, CounterKind};
+use sec::obs::{NdjsonSink, Obs, Sink};
+use sec::portfolio::{self, EngineKind, PortfolioOptions};
+use sec::synth::{forward_retime, RetimeOptions};
+use sec::trace::{summarize, Trace, TraceSummary};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn equivalent_pair() -> (sec::netlist::Aig, sec::netlist::Aig) {
+    let spec = counter(6, CounterKind::Binary);
+    let imp = forward_retime(&spec, &RetimeOptions::default(), 1);
+    (spec, imp)
+}
+
+fn traced_obs(buf: &SharedBuf) -> Obs {
+    Obs::multi(vec![
+        Arc::new(NdjsonSink::from_writer(buf.clone())) as Arc<dyn Sink>
+    ])
+}
+
+fn parse_summary(buf: &SharedBuf) -> TraceSummary {
+    let trace = Trace::parse_strict(&buf.contents()).expect("trace must be strictly valid");
+    summarize(&trace)
+}
+
+#[test]
+fn solo_backends_reconcile_field_for_field() {
+    let (spec, imp) = equivalent_pair();
+    for backend in [Backend::Bdd, Backend::Sat] {
+        let buf = SharedBuf::default();
+        let opts = Options {
+            backend,
+            obs: traced_obs(&buf),
+            ..Options::default()
+        };
+        let r = Checker::new(&spec, &imp, opts).unwrap().run();
+        assert_eq!(r.verdict, Verdict::Equivalent, "{backend:?}");
+
+        let s = parse_summary(&buf);
+        assert!(
+            s.mismatches.is_empty(),
+            "{backend:?}: reconciliation mismatches: {:?}",
+            s.mismatches
+        );
+        // Counters reconstruct from the terminal `stats.snapshot`.
+        assert_eq!(
+            s.total("rounds") as usize,
+            r.stats.iterations,
+            "{backend:?}"
+        );
+        assert_eq!(s.total("splits"), r.stats.splits, "{backend:?}");
+        assert_eq!(
+            s.total("retime_extensions") as usize,
+            r.stats.retime_invocations,
+            "{backend:?}"
+        );
+        assert_eq!(
+            s.total("sat_conflicts"),
+            r.stats.sat_conflicts,
+            "{backend:?}"
+        );
+        assert_eq!(
+            s.total("sat_solver_constructions") as usize,
+            r.stats.sat_solver_constructions,
+            "{backend:?}"
+        );
+        assert_eq!(
+            s.total("sat_solver_calls"),
+            r.stats.sat_solver_calls,
+            "{backend:?}"
+        );
+        assert_eq!(
+            s.total("peak_bdd_nodes") as usize,
+            r.stats.peak_bdd_nodes,
+            "{backend:?}"
+        );
+        // The enriched `check.end` carries the partition-shaped stats.
+        assert_eq!(s.checks.len(), 1, "{backend:?}");
+        let c = &s.checks[0];
+        assert_eq!(c.verdict, "equivalent", "{backend:?}");
+        assert_eq!(c.rounds, Some(r.stats.iterations as u64), "{backend:?}");
+        assert_eq!(c.classes, Some(r.stats.classes as u64), "{backend:?}");
+        assert_eq!(c.signals, Some(r.stats.signals as u64), "{backend:?}");
+        let eqs = c.eqs_percent.expect("eqs_percent present");
+        assert!(
+            (eqs - r.stats.eqs_percent).abs() < 1e-9,
+            "{backend:?}: {} vs {}",
+            eqs,
+            r.stats.eqs_percent
+        );
+        // SAT latency histograms appear exactly when the solver ran.
+        let unscoped = s.engine(None).unwrap();
+        if backend == Backend::Sat {
+            let h = unscoped.hists.get("sat_call_us").expect("sat histogram");
+            assert_eq!(h.count, r.stats.sat_solver_calls);
+            assert!(h.quantile(0.5) <= h.quantile(0.99));
+            assert!(h.quantile(0.99) <= h.max);
+        } else {
+            assert!(unscoped.hists.contains_key("bdd_op_us"));
+        }
+    }
+}
+
+#[test]
+fn portfolio_trace_reconciles_every_engine_including_losers() {
+    let (spec, imp) = equivalent_pair();
+    let buf = SharedBuf::default();
+    let opts = PortfolioOptions {
+        obs: traced_obs(&buf),
+        timeout: Some(Duration::from_secs(120)),
+        ..PortfolioOptions::default()
+    };
+    let r = portfolio::run(&spec, &imp, &opts).unwrap();
+    assert_eq!(r.verdict, Verdict::Equivalent);
+
+    let s = parse_summary(&buf);
+    assert!(
+        s.mismatches.is_empty(),
+        "reconciliation mismatches: {:?}",
+        s.mismatches
+    );
+    let winner = r.winner.expect("definitive verdict");
+
+    for report in &r.reports {
+        let name = report.engine.name();
+        let es = s
+            .engine(Some(name))
+            .unwrap_or_else(|| panic!("{name}: no scoped events in trace"));
+        // Each engine's terminal scoped snapshot mirrors its report —
+        // the cancelled losers' partial counts included.
+        let counters = &es.counters;
+        let get = |k: &str| counters.get(k).copied().unwrap_or(0);
+        match report.engine {
+            EngineKind::BddCorr | EngineKind::SatCorr => {
+                assert_eq!(get("rounds"), report.iterations, "{name}");
+                assert_eq!(es.rounds, report.iterations, "{name}: round events");
+                assert_eq!(get("splits"), report.splits, "{name}");
+                assert_eq!(es.splits, report.splits, "{name}: splits fields");
+            }
+            EngineKind::Bmc => {
+                assert_eq!(get("bmc_frames"), report.iterations, "{name}");
+            }
+            EngineKind::Traversal => {
+                assert_eq!(get("traversal_image_steps"), report.iterations, "{name}");
+            }
+        }
+        assert_eq!(get("sat_conflicts"), report.sat_conflicts, "{name}");
+        assert_eq!(get("sat_solver_calls"), report.sat_solver_calls, "{name}");
+        assert_eq!(
+            get("sat_solver_constructions"),
+            report.sat_solver_constructions,
+            "{name}"
+        );
+        assert_eq!(
+            get("peak_bdd_nodes") as usize,
+            report.peak_bdd_nodes,
+            "{name}"
+        );
+    }
+    // At least one loser was cancelled and still reconciled above.
+    assert!(r.reports.iter().any(|rep| rep.engine != winner));
+    // The race-wide unscoped snapshot covers every engine: totals are
+    // at least each engine's own contribution.
+    let total_iterations: u64 = r
+        .reports
+        .iter()
+        .filter(|rep| matches!(rep.engine, EngineKind::BddCorr | EngineKind::SatCorr))
+        .map(|rep| rep.iterations)
+        .sum();
+    assert_eq!(s.total("rounds"), total_iterations);
+}
+
+#[test]
+fn heartbeats_appear_without_changing_the_verdict() {
+    let (spec, imp) = equivalent_pair();
+    for backend in [Backend::Bdd, Backend::Sat] {
+        let quiet = Checker::new(
+            &spec,
+            &imp,
+            Options {
+                backend,
+                ..Options::default()
+            },
+        )
+        .unwrap()
+        .run();
+
+        let buf = SharedBuf::default();
+        let noisy = Checker::new(
+            &spec,
+            &imp,
+            Options {
+                backend,
+                // Sub-microsecond interval: every ticker poll fires, so
+                // the test is deterministic however fast the run is.
+                progress_interval: Some(Duration::from_nanos(1)),
+                obs: traced_obs(&buf),
+                ..Options::default()
+            },
+        )
+        .unwrap()
+        .run();
+
+        assert_eq!(quiet.verdict, noisy.verdict, "{backend:?}");
+        assert_eq!(
+            quiet.stats.iterations, noisy.stats.iterations,
+            "{backend:?}"
+        );
+        assert_eq!(quiet.stats.splits, noisy.stats.splits, "{backend:?}");
+        assert_eq!(quiet.stats.classes, noisy.stats.classes, "{backend:?}");
+
+        let s = parse_summary(&buf);
+        let unscoped = s.engine(None).unwrap();
+        assert!(
+            unscoped.progress > 0,
+            "{backend:?}: no progress heartbeats captured"
+        );
+    }
+}
