@@ -8,7 +8,7 @@
 
 use sec_bench::harness::{BenchmarkId, Criterion};
 use sec_bench::{criterion_group, criterion_main};
-use sec_core::{Backend, Checker, Options, Verdict};
+use sec_core::{Backend, Checker, Options, OptionsBuilder, Verdict};
 use sec_gen::{counter, mixed, CounterKind};
 use sec_netlist::Aig;
 use sec_synth::{pipeline, PipelineOptions};
@@ -41,16 +41,7 @@ fn bench_backends(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{backend:?}")),
             &backend,
             |b, &backend| {
-                b.iter(|| {
-                    check(
-                        &spec,
-                        &imp,
-                        Options {
-                            backend,
-                            ..Options::default()
-                        },
-                    )
-                })
+                b.iter(|| check(&spec, &imp, OptionsBuilder::new().backend(backend).build()))
             },
         );
     }
@@ -67,10 +58,7 @@ fn bench_sim_seeding(c: &mut Criterion) {
                 check(
                     &spec,
                     &imp,
-                    Options {
-                        sim_cycles: cycles,
-                        ..Options::default()
-                    },
+                    OptionsBuilder::new().sim_cycles(cycles).build(),
                 )
             })
         });
@@ -88,10 +76,7 @@ fn bench_functional_deps(c: &mut Criterion) {
                 check(
                     &spec,
                     &imp,
-                    Options {
-                        functional_deps: fd,
-                        ..Options::default()
-                    },
+                    OptionsBuilder::new().functional_deps(fd).build(),
                 )
             })
         });

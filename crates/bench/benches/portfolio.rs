@@ -9,7 +9,7 @@
 
 use sec_bench::harness::{BenchmarkId, Criterion};
 use sec_bench::{criterion_group, criterion_main};
-use sec_core::{bmc_refute, Checker, Options, Verdict};
+use sec_core::{bmc_refute, Checker, Options, OptionsBuilder, Verdict};
 use sec_gen::{counter, counter_pair_onehot, registered_multiplier, CounterKind};
 use sec_portfolio::PortfolioOptions;
 use sec_synth::{mutate_detectable, pipeline, PipelineOptions};
@@ -83,10 +83,7 @@ fn bench_mutated_instance(c: &mut Criterion) {
         mutate_detectable(&spec, 0xBADC0DE, 64, 16).expect("a detectable mutation exists");
     g.bench_with_input(BenchmarkId::new("solo_bmc", w), &w, |b, _| {
         b.iter(|| {
-            let opts = Options {
-                bmc_depth: 64,
-                ..Options::default()
-            };
+            let opts = OptionsBuilder::new().bmc_depth(64).build();
             let r = bmc_refute(&spec, &mutant, &opts).unwrap();
             assert!(matches!(r.verdict, Verdict::Inequivalent(_)));
         })

@@ -18,7 +18,7 @@
 //! Not a criterion loop on purpose: per-site costs are tight loops over
 //! fixed iteration counts, and the macro rows are medians of full runs.
 
-use sec_core::{Checker, Options};
+use sec_core::{Checker, Options, OptionsBuilder};
 use sec_gen::{counter, CounterKind};
 use sec_netlist::Aig;
 use sec_obs::{Histogram, Obs, ProgressTicker, Recorder};
@@ -75,23 +75,18 @@ fn main() {
     // --- whole-check macro cost --------------------------------------
     let spec = counter(8, CounterKind::Binary);
     let imp = forward_retime(&spec, &RetimeOptions::default(), 1);
-    let base = Options {
-        retime_rounds: 0,
-        bmc_depth: 0,
-        sim_refute: false,
-        ..Options::sat()
-    };
+    let base = OptionsBuilder::sat()
+        .retime_rounds(0)
+        .bmc_depth(0)
+        .sim_refute(false)
+        .build();
     let (null_ms, null_rounds) = measure(&spec, &imp, &base);
-    let hist = Options {
-        obs: Obs::multi(vec![Arc::new(Recorder::new())]),
-        ..base.clone()
-    };
+    let mut hist = base.clone();
+    hist.obs = Obs::multi(vec![Arc::new(Recorder::new())]);
     let (hist_ms, hist_rounds) = measure(&spec, &imp, &hist);
-    let beat = Options {
-        obs: Obs::multi(vec![Arc::new(Recorder::new())]),
-        progress_interval: Some(Duration::from_micros(100)),
-        ..base.clone()
-    };
+    let mut beat = base.clone();
+    beat.obs = Obs::multi(vec![Arc::new(Recorder::new())]);
+    beat.progress_interval = Some(Duration::from_micros(100));
     let (beat_ms, beat_rounds) = measure(&spec, &imp, &beat);
     assert_eq!(
         null_rounds, hist_rounds,

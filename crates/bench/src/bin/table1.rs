@@ -16,6 +16,7 @@
 //!   --skip-traversal    only run the proposed method
 //!   --timeout SECS      per-row budget for the proposed method
 //!   --trav-timeout SECS per-row budget for the baseline
+//!   --jobs N            shard SAT refinement rounds over N workers
 //!   --retime-only       instances without combinational optimization
 //!   --trace-json FILE   stream every engine event as NDJSON to FILE
 //!   --stats             print whole-run event-counter totals after the table
@@ -97,6 +98,11 @@ fn main() {
                 i += 1;
                 cfg.traversal_timeout =
                     Duration::from_secs(args[i].parse().expect("--trav-timeout SECS"));
+            }
+            "--jobs" => {
+                i += 1;
+                cfg.jobs = args[i].parse().expect("--jobs N");
+                assert!(cfg.jobs >= 1, "--jobs needs a positive worker count");
             }
             "--trace-json" => {
                 i += 1;

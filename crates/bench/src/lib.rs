@@ -42,6 +42,9 @@ pub struct RunConfig {
     pub optimize: bool,
     /// Seed for instance creation.
     pub seed: u64,
+    /// Worker threads for the SAT backend's sharded refinement rounds
+    /// (`table1 --jobs N`); 1 is single-threaded.
+    pub jobs: usize,
     /// Interval between `progress` heartbeat events emitted from the
     /// engines' hot loops (`table1 --progress[=SECS]`).
     pub progress_interval: Option<Duration>,
@@ -65,6 +68,7 @@ impl Default for RunConfig {
             run_traversal: true,
             optimize: true,
             seed: 0xDA7E,
+            jobs: 1,
             progress_interval: None,
             obs: Obs::off(),
         }
@@ -107,6 +111,9 @@ pub struct MethodResult {
     pub eqs_percent: f64,
     /// Winning engine name (portfolio runs only).
     pub winner: Option<String>,
+    /// The full run statistics (solo proposed-method runs only), so
+    /// `table1 --json` can emit the canonical `stats::to_json` object.
+    pub stats: Option<sec_core::CheckStats>,
 }
 
 /// One table row: both methods on one benchmark.
@@ -126,35 +133,41 @@ pub struct Row {
 
 /// Runs the proposed method on an instance.
 pub fn run_proposed(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
-    let opts = Options {
-        backend: cfg.backend,
-        sim_cycles: if cfg.sim_seed { 16 } else { 0 },
-        functional_deps: cfg.functional_deps,
-        approx_reach: cfg.approx_reach,
-        node_limit: cfg.node_limit,
-        timeout: Some(cfg.timeout),
-        bmc_depth: 0, // the paper's tool proves or gives up; no BMC here
-        progress_interval: cfg.progress_interval,
-        obs: cfg.obs.clone(),
-        ..Options::default()
-    };
+    let opts = Options::builder()
+        .backend(cfg.backend)
+        .jobs(cfg.jobs)
+        .sim_cycles(if cfg.sim_seed { 16 } else { 0 })
+        .functional_deps(cfg.functional_deps)
+        .approx_reach(cfg.approx_reach)
+        .node_limit(cfg.node_limit)
+        .timeout(Some(cfg.timeout))
+        .bmc_depth(0) // the paper's tool proves or gives up; no BMC here
+        .progress_interval(cfg.progress_interval)
+        .obs(cfg.obs.clone())
+        .build();
     let r = Checker::new(spec, imp, opts)
         .expect("suite instances are well-formed")
         .run();
     MethodResult {
-        status: match &r.verdict {
-            Verdict::Equivalent => "EQ".to_string(),
-            Verdict::Inequivalent(_) => "NEQ".to_string(),
-            Verdict::Unknown(w) if w.contains("overflow") => "fail(mem)".to_string(),
-            Verdict::Unknown(w) if w.contains("timeout") => "fail(time)".to_string(),
-            Verdict::Unknown(_) => "fail(incomplete)".to_string(),
-        },
+        status: verdict_status(&r.verdict),
         secs: r.stats.time.as_secs_f64(),
         nodes: r.stats.peak_bdd_nodes,
         iterations: r.stats.iterations,
         retime_invocations: r.stats.retime_invocations,
         eqs_percent: r.stats.eqs_percent,
         winner: None,
+        stats: Some(r.stats),
+    }
+}
+
+/// The table's status cell for a verdict.
+fn verdict_status(v: &Verdict) -> String {
+    match v {
+        Verdict::Equivalent => "EQ".to_string(),
+        Verdict::Inequivalent(_) => "NEQ".to_string(),
+        Verdict::Unknown(w) if w.contains("overflow") => "fail(mem)".to_string(),
+        Verdict::Unknown(w) if w.contains("timeout") => "fail(time)".to_string(),
+        _ => "fail(incomplete)".to_string(),
     }
 }
 
@@ -164,6 +177,7 @@ pub fn run_portfolio(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
     let opts = PortfolioOptions {
         timeout: Some(cfg.timeout),
         seed: cfg.seed,
+        jobs: cfg.jobs,
         node_limit: cfg.node_limit,
         traversal_node_limit: cfg.traversal_node_limit,
         progress_interval: cfg.progress_interval,
@@ -175,13 +189,7 @@ pub fn run_portfolio(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         .winner
         .and_then(|w| r.reports.iter().find(|rep| rep.engine == w));
     MethodResult {
-        status: match &r.verdict {
-            Verdict::Equivalent => "EQ".to_string(),
-            Verdict::Inequivalent(_) => "NEQ".to_string(),
-            Verdict::Unknown(w) if w.contains("overflow") => "fail(mem)".to_string(),
-            Verdict::Unknown(w) if w.contains("timeout") => "fail(time)".to_string(),
-            Verdict::Unknown(_) => "fail(incomplete)".to_string(),
-        },
+        status: verdict_status(&r.verdict),
         secs: r.time.as_secs_f64(),
         nodes: r
             .reports
@@ -195,6 +203,7 @@ pub fn run_portfolio(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         retime_invocations: 0,
         eqs_percent: 0.0,
         winner: r.winner.map(|w| w.name().to_string()),
+        stats: None,
     }
 }
 
@@ -226,6 +235,7 @@ pub fn run_traversal(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
         retime_invocations: 0,
         eqs_percent: 0.0,
         winner: None,
+        stats: None,
     }
 }
 

@@ -13,6 +13,7 @@
 use crate::bdd_backend;
 use crate::bmc::bounded_check;
 use crate::context::{Abort, Deadline};
+use crate::error::SecError;
 use crate::options::{Backend, Options, SignalScope};
 use crate::partition::Partition;
 use crate::result::{CheckResult, CheckStats, Verdict};
@@ -74,7 +75,7 @@ impl From<CheckError> for BuildError {
 /// let imp = forward_retime(&spec, &RetimeOptions::default(), 1);
 /// let result = Checker::new(&spec, &imp, Options::default())?.run();
 /// assert_eq!(result.verdict, Verdict::Equivalent);
-/// # Ok::<(), sec_core::BuildError>(())
+/// # Ok::<(), sec_core::SecError>(())
 /// ```
 #[derive(Debug)]
 pub struct Checker {
@@ -90,12 +91,12 @@ impl Checker {
     ///
     /// # Errors
     ///
-    /// Returns [`BuildError`] when the interfaces mismatch or a circuit
-    /// is malformed.
-    pub fn new(spec: &Aig, impl_: &Aig, opts: Options) -> Result<Checker, BuildError> {
-        check_circuit(spec)?;
-        check_circuit(impl_)?;
-        let pm = ProductMachine::build(spec, impl_)?;
+    /// Returns [`SecError::Build`] when the interfaces mismatch or a
+    /// circuit is malformed.
+    pub fn new(spec: &Aig, impl_: &Aig, opts: Options) -> Result<Checker, SecError> {
+        check_circuit(spec).map_err(BuildError::from)?;
+        check_circuit(impl_).map_err(BuildError::from)?;
+        let pm = ProductMachine::build(spec, impl_).map_err(BuildError::from)?;
         let sides = pm.side_of.clone();
         Ok(Checker {
             spec: spec.clone(),
@@ -328,10 +329,11 @@ impl Checker {
 ///
 /// # Errors
 ///
-/// Returns the abort reason when the run is cancelled, times out, or
-/// exhausts a resource limit.
-pub fn correspondence_partition(aig: &Aig, opts: &Options) -> Result<Partition, String> {
-    check_circuit(aig).map_err(|e| e.to_string())?;
+/// Returns [`SecError::Build`] for a malformed circuit, and
+/// [`SecError::Cancelled`] / [`SecError::Timeout`] /
+/// [`SecError::Resource`] when the run aborts.
+pub fn correspondence_partition(aig: &Aig, opts: &Options) -> Result<Partition, SecError> {
+    check_circuit(aig).map_err(BuildError::from)?;
     let deadline = Deadline::new(opts.timeout)
         .with_token(opts.cancel.as_ref())
         .with_progress(opts.progress.as_ref());
@@ -347,7 +349,7 @@ pub fn correspondence_partition(aig: &Aig, opts: &Options) -> Result<Partition, 
     };
     match run {
         Ok(()) => Ok(partition),
-        Err(abort) => Err(abort.reason()),
+        Err(abort) => Err(abort.into()),
     }
 }
 
@@ -397,7 +399,7 @@ mod tests {
         let mut b = counter(4, CounterKind::Binary);
         b.add_input("extra");
         let e = Checker::new(&a, &b, Options::default()).unwrap_err();
-        assert!(matches!(e, BuildError::Product(_)));
+        assert!(matches!(e, SecError::Build(BuildError::Product(_))));
         assert!(!e.to_string().is_empty());
     }
 
@@ -408,7 +410,7 @@ mod tests {
         // Same interface but a dangling latch.
         let _ = b.add_latch(false);
         let e = Checker::new(&a, &b, Options::default()).unwrap_err();
-        assert!(matches!(e, BuildError::Circuit(_)));
+        assert!(matches!(e, SecError::Build(BuildError::Circuit(_))));
     }
 
     #[test]

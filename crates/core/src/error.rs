@@ -1,0 +1,102 @@
+//! The unified public error type.
+
+use crate::context::Abort;
+use crate::engine::BuildError;
+use std::fmt;
+
+/// Everything that can go wrong in a `sec-core` entry point: build-time
+/// problems ([`BuildError`]) and runtime aborts (cancellation, timeout,
+/// resource exhaustion) behind one typed enum.
+///
+/// Marked `#[non_exhaustive]`: match with a wildcard arm so future
+/// failure kinds are not breaking changes (see `docs/API.md`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SecError {
+    /// Constructing the problem failed (interface mismatch, malformed
+    /// circuit).
+    Build(BuildError),
+    /// The run was cancelled via its [`CancellationToken`]
+    /// (`sec_limits::CancellationToken`).
+    ///
+    /// [`CancellationToken`]: sec_limits::CancellationToken
+    Cancelled,
+    /// The run exceeded its wall-clock budget.
+    Timeout,
+    /// The run exhausted a resource limit; the string says which.
+    Resource(String),
+}
+
+impl fmt::Display for SecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecError::Build(e) => write!(f, "{e}"),
+            SecError::Cancelled => write!(f, "cancelled"),
+            SecError::Timeout => write!(f, "timeout"),
+            SecError::Resource(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for SecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SecError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for SecError {
+    fn from(e: BuildError) -> SecError {
+        SecError::Build(e)
+    }
+}
+
+impl From<Abort> for SecError {
+    fn from(abort: Abort) -> SecError {
+        match abort {
+            Abort::Cancelled => SecError::Cancelled,
+            Abort::Timeout => SecError::Timeout,
+            Abort::Resource(s) => SecError::Resource(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        assert_eq!(SecError::Cancelled.to_string(), "cancelled");
+        assert_eq!(SecError::Timeout.to_string(), "timeout");
+        assert_eq!(SecError::Resource("x".into()).to_string(), "x");
+        assert!(SecError::Cancelled.source().is_none());
+    }
+
+    #[test]
+    fn aborts_convert() {
+        assert_eq!(SecError::from(Abort::Cancelled), SecError::Cancelled);
+        assert_eq!(SecError::from(Abort::Timeout), SecError::Timeout);
+        assert_eq!(
+            SecError::from(Abort::Resource("nodes".into())),
+            SecError::Resource("nodes".into())
+        );
+    }
+
+    #[test]
+    fn build_errors_convert_and_chain() {
+        let mut a = sec_gen::counter(3, sec_gen::CounterKind::Binary);
+        let _ = a.add_latch(false);
+        let build = crate::Checker::new(&a, &a.clone(), crate::Options::default()).unwrap_err();
+        let SecError::Build(inner) = &build else {
+            panic!("expected a build error, got {build:?}");
+        };
+        assert_eq!(build.to_string(), inner.to_string());
+        assert!(build.source().is_some());
+        let roundtrip: SecError = inner.clone().into();
+        assert_eq!(roundtrip, build);
+    }
+}

@@ -9,7 +9,8 @@
 //! technique entered modern model checkers (`ssw`-strengthened
 //! induction).
 
-use crate::engine::{BuildError, Checker};
+use crate::engine::Checker;
+use crate::error::SecError;
 use crate::options::Options;
 use crate::result::CheckResult;
 use sec_netlist::{Aig, Lit};
@@ -25,7 +26,7 @@ use sec_netlist::{Aig, Lit};
 ///
 /// # Errors
 ///
-/// Returns [`BuildError`] if the circuit is malformed.
+/// Returns [`SecError::Build`] if the circuit is malformed.
 ///
 /// # Examples
 ///
@@ -41,9 +42,9 @@ use sec_netlist::{Aig, Lit};
 /// aig.add_output(sec_netlist::Lit::TRUE, "tautology");
 /// let r = prove_invariants(&aig, Options::default())?;
 /// assert_eq!(r.verdict, Verdict::Equivalent);
-/// # Ok::<(), sec_core::BuildError>(())
+/// # Ok::<(), sec_core::SecError>(())
 /// ```
-pub fn prove_invariants(aig: &Aig, opts: Options) -> Result<CheckResult, BuildError> {
+pub fn prove_invariants(aig: &Aig, opts: Options) -> Result<CheckResult, SecError> {
     // The constant-true twin: same interface, outputs tied to 1.
     let mut twin = Aig::new();
     for &v in aig.inputs() {

@@ -42,7 +42,7 @@
 //! assert_eq!(result.verdict, Verdict::Equivalent);
 //! println!("{} iterations, {:.0}% matched signals",
 //!          result.stats.iterations, result.stats.eqs_percent);
-//! # Ok::<(), sec_core::BuildError>(())
+//! # Ok::<(), sec_core::SecError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -52,19 +52,22 @@ mod bmc;
 mod comb;
 mod context;
 mod engine;
+mod error;
 mod invariant;
 mod options;
 mod partition;
 mod result;
 mod retime_ext;
 mod sat_backend;
+pub mod stats;
 mod sweep;
 
 pub use bmc::bmc_refute;
 pub use comb::{combinational_equiv, CombResult, CombStats};
 pub use engine::{correspondence_partition, BuildError, Checker};
+pub use error::SecError;
 pub use invariant::prove_invariants;
-pub use options::{Backend, Options, SignalScope};
+pub use options::{Backend, Options, OptionsBuilder, SignalScope};
 pub use partition::Partition;
 pub use result::{CheckResult, CheckStats, Verdict};
 pub use sweep::{sequential_sweep, SweepStats};

@@ -6,7 +6,11 @@ use std::time::Duration;
 
 /// Which engine performs the combinational checks of the fixed-point
 /// iteration.
+///
+/// Non-exhaustive: future backends must not be breaking changes, so
+/// downstream `match`es need a wildcard arm (see `docs/API.md`).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
 pub enum Backend {
     /// BDDs over state and input variables, as in the paper's original
     /// implementation.
@@ -24,7 +28,10 @@ pub enum Backend {
 }
 
 /// Which signals participate in the correspondence relation.
+///
+/// Non-exhaustive for the same reason as [`Backend`].
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
 pub enum SignalScope {
     /// Every signal of the product machine — the paper's method.
     All,
@@ -36,7 +43,14 @@ pub enum SignalScope {
 }
 
 /// Options of the [`Checker`](crate::Checker).
+///
+/// The struct is `#[non_exhaustive]`: construct it through a preset
+/// ([`Options::default`], [`Options::sat`], …) or the fluent
+/// [`Options::builder`] and adjust public fields in place — new knobs
+/// then stop being breaking changes for downstream crates (see
+/// `docs/API.md` for the migration pattern).
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct Options {
     /// The combinational-check engine.
     pub backend: Backend,
@@ -44,6 +58,16 @@ pub struct Options {
     pub scope: SignalScope,
     /// RNG seed (reference input vector, simulation patterns).
     pub seed: u64,
+    /// Worker threads for **sharded parallel refinement rounds**
+    /// (incremental SAT path only; the BDD and monolithic paths stay
+    /// serial). `1` — the default — is exactly the single-threaded
+    /// behaviour. With `N > 1`, each round's candidate-pair checks are
+    /// partitioned round-robin across `N` workers, each owning its own
+    /// incremental solver cloned from the shared two-frame CNF
+    /// encoding; workers return counterexample word-patterns which the
+    /// driver merges deterministically in canonical pair order, so the
+    /// final partition and verdict are identical for every jobs count.
+    pub jobs: usize,
     /// Cycles of random sequential simulation used to seed the candidate
     /// partition (paper Sec. 4). `0` disables seeding: the iteration then
     /// starts from the single all-signals class.
@@ -131,6 +155,7 @@ impl Default for Options {
             backend: Backend::Bdd,
             scope: SignalScope::All,
             seed: 0xEC98,
+            jobs: 1,
             sim_cycles: 16,
             sim_words: 2,
             retime_rounds: 4,
@@ -192,6 +217,140 @@ impl Options {
             retime_rounds: 0,
             ..Options::default()
         }
+    }
+
+    /// A fluent builder starting from [`Options::default`]. Preset
+    /// entry points ([`OptionsBuilder::sat`], [`OptionsBuilder::paper`],
+    /// …) start from the corresponding preset instead.
+    ///
+    /// ```
+    /// use sec_core::{Backend, Options};
+    ///
+    /// let opts = Options::builder().backend(Backend::Sat).jobs(4).build();
+    /// assert_eq!(opts.backend, Backend::Sat);
+    /// assert_eq!(opts.jobs, 4);
+    /// ```
+    pub fn builder() -> OptionsBuilder {
+        OptionsBuilder::new()
+    }
+}
+
+/// Generates one consuming-`self` setter per option field.
+macro_rules! setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.opts.$name = value;
+                self
+            }
+        )+
+    };
+}
+
+/// Fluent construction of [`Options`], the forward-compatible
+/// alternative to struct literals now that `Options` is
+/// `#[non_exhaustive]`.
+///
+/// Entry points mirror the presets; every public field has a setter.
+///
+/// ```
+/// use sec_core::OptionsBuilder;
+///
+/// let opts = OptionsBuilder::sat().jobs(4).sat_amplify_words(2).build();
+/// assert!(opts.sat_incremental);
+/// assert_eq!(opts.jobs, 4);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OptionsBuilder {
+    opts: Options,
+}
+
+impl OptionsBuilder {
+    /// Starts from [`Options::default`].
+    pub fn new() -> OptionsBuilder {
+        OptionsBuilder::default()
+    }
+
+    /// Starts from the [`Options::paper`] preset.
+    pub fn paper() -> OptionsBuilder {
+        OptionsBuilder {
+            opts: Options::paper(),
+        }
+    }
+
+    /// Starts from the [`Options::sat`] preset.
+    pub fn sat() -> OptionsBuilder {
+        OptionsBuilder {
+            opts: Options::sat(),
+        }
+    }
+
+    /// Starts from the [`Options::sat_monolithic`] preset.
+    pub fn sat_monolithic() -> OptionsBuilder {
+        OptionsBuilder {
+            opts: Options::sat_monolithic(),
+        }
+    }
+
+    /// Starts from the [`Options::register_correspondence`] preset.
+    pub fn register_correspondence() -> OptionsBuilder {
+        OptionsBuilder {
+            opts: Options::register_correspondence(),
+        }
+    }
+
+    setters! {
+        /// Sets the combinational-check engine.
+        backend: Backend,
+        /// Sets which signals enter the set `F`.
+        scope: SignalScope,
+        /// Sets the RNG seed.
+        seed: u64,
+        /// Sets the worker count of the sharded refinement rounds
+        /// (see [`Options::jobs`]).
+        jobs: usize,
+        /// Sets the simulation-seeding cycle count (`0` disables).
+        sim_cycles: usize,
+        /// Sets the simulation pattern width in 64-bit words.
+        sim_words: usize,
+        /// Sets the retiming-extension round cap (`0` disables).
+        retime_rounds: usize,
+        /// Sets the BDD node budget.
+        node_limit: usize,
+        /// Sets the wall-clock budget (`None` removes it).
+        timeout: Option<Duration>,
+        /// Enables/disables functional-dependency substitution.
+        functional_deps: bool,
+        /// Enables/disables the reachability over-approximation.
+        approx_reach: bool,
+        /// Sets the latch-group size of the over-approximation.
+        approx_group: usize,
+        /// Sets the BMC fallback depth (`0` disables).
+        bmc_depth: usize,
+        /// Enables/disables sifting-based BDD reordering.
+        sift: bool,
+        /// Enables/disables the incremental SAT fixed point.
+        sat_incremental: bool,
+        /// Sets the amplification width in words (`0` disables).
+        sat_amplify_words: usize,
+        /// Sets the per-query conflict budget of the incremental path.
+        sat_conflict_budget: Option<u64>,
+        /// Enables/disables cheap simulation refutation.
+        sim_refute: bool,
+        /// Attaches a cooperative cancellation token.
+        cancel: Option<CancellationToken>,
+        /// Attaches a shared progress counter.
+        progress: Option<ProgressCounter>,
+        /// Sets the heartbeat interval (`None` disables heartbeats).
+        progress_interval: Option<Duration>,
+        /// Attaches an observability handle.
+        obs: Obs,
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Options {
+        self.opts
     }
 }
 

@@ -4,7 +4,12 @@ use sec_sim::Trace;
 use std::time::Duration;
 
 /// The verdict of a sequential equivalence check.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm
+/// so future verdict refinements are not breaking changes (see
+/// `docs/API.md`).
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Verdict {
     /// Equivalence proven: a signal correspondence relation covering all
     /// output pairs was found (sound — Theorem 1 of the paper).

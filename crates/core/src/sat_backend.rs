@@ -46,6 +46,7 @@
 use crate::context::{Abort, Deadline, SatMeter};
 use crate::options::Options;
 use crate::partition::Partition;
+use sec_limits::CancellationToken;
 use sec_netlist::{Aig, Lit, Var};
 use sec_obs::{event, span, Counter, Obs, ProgressTicker};
 use sec_sat::{AigCnf, SatLit, SatResult, Solver};
@@ -54,6 +55,11 @@ use std::collections::HashMap;
 
 /// The two-frame (+ initial frame) unrolling of the product machine,
 /// encoded in a fresh solver.
+///
+/// `Clone` snapshots the whole encoding — solver included — which is
+/// how the sharded path hands each worker its own solver over the
+/// shared CNF: encode once, clone per worker.
+#[derive(Clone)]
 struct Unrolling {
     solver: Solver,
     cnf: AigCnf,
@@ -544,6 +550,342 @@ fn run_incremental(
     result
 }
 
+/// A witness a worker carried out of its shard, keyed by the canonical
+/// sequence number of the pair whose query produced it. Workers return
+/// these raw input assignments — never partition mutations — so the
+/// driver alone refines, in ascending-`seq` order.
+enum CexKind {
+    /// Condition-2 witness `(s, x_t, x_{t+1})`.
+    TwoFrame {
+        s: Vec<bool>,
+        xt: Vec<bool>,
+        xt1: Vec<bool>,
+    },
+    /// Condition-1 witness `x_I`.
+    Init { xi: Vec<bool> },
+}
+
+struct WorkerCex {
+    seq: u64,
+    kind: CexKind,
+}
+
+/// What one worker's round produced.
+enum WorkerRound {
+    /// Swept its shard; carries the first witness found, if any (the
+    /// worker stops at its first counterexample — the round is going to
+    /// refine anyway, so the rest of the shard would be re-queried
+    /// against a stale `Q`).
+    Done(Option<WorkerCex>),
+    /// A query exhausted the per-query conflict budget.
+    Budget,
+    /// A real abort: external cancellation, timeout, or resource limit
+    /// (never the pool's own stop flag — see [`sibling_or_abort`]).
+    Abort(Abort),
+}
+
+/// One sharded worker's persistent state: its own solver over the
+/// shared CNF, living for the whole fixed point like the incremental
+/// path's single solver.
+struct Worker {
+    u: Unrolling,
+    meter: SatMeter,
+    /// The previous round's activation literal, retracted at the start
+    /// of the next round (or left active for the final Theorem-1 check
+    /// on worker 0).
+    prev_act: Option<SatLit>,
+}
+
+/// Maps an interrupted worker query to what it means for the round. The
+/// worker's solver watches *two* flags — the external deadline/token and
+/// the pool's stop token — and both surface as an interrupt, so re-check
+/// the external deadline to tell them apart: if it is clean, a sibling
+/// tripped the pool flag (budget or abort elsewhere) and this worker
+/// just stops quietly; interruption is never read as `Unsat`.
+fn sibling_or_abort(abort: Abort, deadline: &Deadline) -> WorkerRound {
+    match deadline.check() {
+        Err(real) => WorkerRound::Abort(real),
+        Ok(()) => match abort {
+            Abort::Cancelled => WorkerRound::Done(None),
+            other => WorkerRound::Abort(other),
+        },
+    }
+}
+
+/// Sweeps one worker's shard for one round: condition-2 then
+/// condition-1 per pair, in canonical order, stopping at the first
+/// witness. The second component counts solver calls, for the drain
+/// event.
+fn worker_sweep(
+    w: &mut Worker,
+    act: SatLit,
+    shard: &[(u64, Var, Var)],
+    partition: &Partition,
+    deadline: &Deadline,
+    stop: &CancellationToken,
+    obs: &Obs,
+) -> (WorkerRound, u64) {
+    let mut queries = 0u64;
+    for &(seq, m, r) in shard {
+        if stop.is_cancelled() {
+            return (WorkerRound::Done(None), queries);
+        }
+        for init in [false, true] {
+            let d = w.u.pair_diff(partition, m, r, init);
+            queries += 1;
+            match query(&mut w.u.solver, &[act, d], obs) {
+                Err(a) => return (sibling_or_abort(a, deadline), queries),
+                Ok(Query::Budget) => return (WorkerRound::Budget, queries),
+                Ok(Query::Unsat) => {}
+                Ok(Query::Sat) => {
+                    obs.add(Counter::WorkerCexes, 1);
+                    let kind = if init {
+                        CexKind::Init {
+                            xi: w.u.read_inputs(&w.u.xi_in),
+                        }
+                    } else {
+                        CexKind::TwoFrame {
+                            s: w.u.read_inputs(&w.u.s_in),
+                            xt: w.u.read_inputs(&w.u.x0_in),
+                            xt1: w.u.read_inputs(&w.u.x1_in),
+                        }
+                    };
+                    return (WorkerRound::Done(Some(WorkerCex { seq, kind })), queries);
+                }
+            }
+        }
+    }
+    (WorkerRound::Done(None), queries)
+}
+
+/// One worker's round, run on its own thread: retract last round's `Q`,
+/// assert this round's under a fresh activation literal, sweep the
+/// shard. A worker that ends the round abnormally trips the pool stop
+/// flag so its siblings cut their sweeps short.
+#[allow(clippy::too_many_arguments)]
+fn worker_round(
+    w: &mut Worker,
+    wid: usize,
+    shard: &[(u64, Var, Var)],
+    partition: &Partition,
+    deadline: &Deadline,
+    stop: &CancellationToken,
+    round: usize,
+    obs: &Obs,
+) -> WorkerRound {
+    // The solver polls the external deadline/token *and* the pool stop
+    // flag from its search loop.
+    w.u.solver.set_limits(deadline.limits().also_token(stop));
+    if let Some(prev) = w.prev_act.take() {
+        w.u.solver.add_clause(&[!prev]);
+    }
+    let act = w.u.solver.new_var().positive();
+    w.u.assert_q(partition, Some(act));
+    w.prev_act = Some(act);
+    obs.add(Counter::WorkerSpawns, 1);
+    event!(
+        obs,
+        "worker.spawn",
+        worker = wid,
+        round = round,
+        pairs = shard.len()
+    );
+    let (out, queries) = worker_sweep(w, act, shard, partition, deadline, stop, obs);
+    if !matches!(out, WorkerRound::Done(_)) {
+        stop.cancel();
+    }
+    event!(
+        obs,
+        "worker.drain",
+        worker = wid,
+        round = round,
+        queries = queries,
+        found = matches!(&out, WorkerRound::Done(Some(_)))
+    );
+    out
+}
+
+/// The sharded driver: `opts.jobs` workers, each owning a clone of the
+/// two-frame encoding (solver included), splitting every round's
+/// candidate pairs by `seq % jobs` over a canonical enumeration.
+/// Workers return raw witnesses; only this driver mutates the
+/// partition, merging the witnesses in ascending `seq` order — and
+/// since every counterexample-guided split preserves "the true relation
+/// refines the current partition", the fixed point reached is the
+/// unique coarsest one refining the seed: the final partition and
+/// verdict are bit-identical for every jobs count, even though round
+/// boundaries differ.
+///
+/// On any worker exhausting its conflict budget the round's witnesses
+/// are discarded and the caller falls back to the monolithic path from
+/// the round-start partition — deterministic regardless of how far the
+/// sibling workers got before the stop flag reached them.
+fn run_sharded(
+    aig: &Aig,
+    partition: &mut Partition,
+    opts: &Options,
+    deadline: &Deadline,
+    output_pairs: &[(Lit, Lit)],
+    obs: &Obs,
+    ticker: &mut ProgressTicker,
+) -> Result<Incremental, Abort> {
+    let jobs = opts.jobs.max(1);
+    // Encode once, clone per worker: each worker gets its own solver
+    // over the shared CNF and keeps it for the whole fixed point, so
+    // clauses it learns about its pairs persist across rounds.
+    let base = Unrolling::build(aig);
+    let mut workers: Vec<Worker> = (0..jobs)
+        .map(|_| {
+            let mut u = base.clone();
+            obs.add(Counter::SatSolverConstructions, 1);
+            u.solver.set_obs(obs.clone());
+            u.solver.set_conflict_budget(opts.sat_conflict_budget);
+            Worker {
+                u,
+                meter: SatMeter::new(obs),
+                prev_act: None,
+            }
+        })
+        .collect();
+    drop(base);
+    let mut round_no = 0usize;
+    let result = 'run: {
+        loop {
+            if let Err(e) = deadline.check() {
+                break 'run Err(e);
+            }
+            deadline.tick();
+            round_no += 1;
+            if ticker.ready() {
+                event!(
+                    obs,
+                    "progress",
+                    round = round_no,
+                    classes = partition.num_classes(),
+                    elapsed_ms = ticker.elapsed_ms()
+                );
+            }
+            let mut sp = open_round(obs, round_no);
+            // Canonical pair enumeration: multi-member classes in
+            // ascending order, members against their representative.
+            // The global sequence number is both the shard key and the
+            // deterministic merge order.
+            let mut shards: Vec<Vec<(u64, Var, Var)>> = vec![Vec::new(); jobs];
+            let mut seq = 0u64;
+            let class_ids: Vec<usize> = partition.multi_classes().collect();
+            for &ci in &class_ids {
+                let members = partition.class(ci);
+                let r = members[0];
+                for &m in &members[1..] {
+                    shards[(seq % jobs as u64) as usize].push((seq, m, r));
+                    seq += 1;
+                }
+            }
+            let classes_before = partition.num_classes();
+            let part: &Partition = partition;
+            let outcomes: Vec<WorkerRound> = std::thread::scope(|s| {
+                let stop = CancellationToken::new();
+                let handles: Vec<_> = workers
+                    .iter_mut()
+                    .zip(&shards)
+                    .enumerate()
+                    .map(|(wid, (w, shard))| {
+                        let stop = stop.clone();
+                        s.spawn(move || {
+                            worker_round(w, wid, shard, part, deadline, &stop, round_no, obs)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sharded worker panicked"))
+                    .collect()
+            });
+            let mut abort: Option<Abort> = None;
+            let mut budget = false;
+            let mut cexes: Vec<WorkerCex> = Vec::new();
+            for out in outcomes {
+                match out {
+                    WorkerRound::Abort(a) => abort = Some(abort.unwrap_or(a)),
+                    WorkerRound::Budget => budget = true,
+                    WorkerRound::Done(c) => cexes.extend(c),
+                }
+            }
+            if let Some(a) = abort {
+                close_round(obs, &mut sp, partition, classes_before);
+                break 'run Err(a);
+            }
+            if budget {
+                close_round(obs, &mut sp, partition, classes_before);
+                break 'run Ok(Incremental::FallBack);
+            }
+            if cexes.is_empty() {
+                // Every worker swept its whole shard without a witness
+                // and the shards cover all pairs: fixed point. Worker
+                // 0's round `Q` is still active for the Theorem-1
+                // output check.
+                close_round(obs, &mut sp, partition, classes_before);
+                drop(sp);
+                let act = workers[0].prev_act;
+                let checked = check_outputs(&mut workers[0].u, partition, act, output_pairs, obs);
+                break 'run match checked {
+                    Err(e) => Err(e),
+                    Ok(None) => Ok(Incremental::FallBack),
+                    Ok(Some(ok)) => Ok(Incremental::Done(ok)),
+                };
+            }
+            // Merge: refine by every witness in canonical order, each
+            // with the seed its pair's query would use regardless of
+            // which worker ran it. A later witness may legitimately
+            // split nothing (an earlier one may already have separated
+            // its pair), but the lowest-`seq` witness satisfies the
+            // asserted round-start `Q` and violates its pair's
+            // equality, so the round as a whole must refine.
+            cexes.sort_by_key(|c| c.seq);
+            let mut changed = false;
+            for c in &cexes {
+                let query_seq = (round_no as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((c.seq + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                changed |= match &c.kind {
+                    CexKind::TwoFrame { s, xt, xt1 } => split_by_two_frame_cex(
+                        aig,
+                        partition,
+                        opts,
+                        opts.seed ^ query_seq,
+                        s,
+                        xt,
+                        xt1,
+                        obs,
+                    ),
+                    CexKind::Init { xi } => split_by_init_cex(
+                        aig,
+                        partition,
+                        opts,
+                        opts.seed ^ query_seq.wrapping_add(1),
+                        xi,
+                        obs,
+                    ),
+                };
+            }
+            close_round(obs, &mut sp, partition, classes_before);
+            drop(sp);
+            if !changed {
+                break 'run Err(Abort::Resource(
+                    "internal inconsistency: sharded counterexamples did not split".into(),
+                ));
+            }
+        }
+    };
+    // Flush every worker's solver totals — conflicts, decisions,
+    // propagations, polls — exactly once, abort or not; the recorder
+    // merges the per-thread `sat_call_us` histograms itself.
+    for w in &mut workers {
+        w.meter.flush(&w.u.solver);
+    }
+    result
+}
+
 /// The monolithic driver: the pre-incremental behaviour — a fresh
 /// solver and CNF per refinement round, hard `Q` clauses. Kept both as
 /// the `sat_incremental: false` ablation baseline and as the graceful
@@ -618,15 +960,31 @@ pub(crate) fn run_fixed_point(
     // on the handle keeps the disabled-path cost at one branch.
     let mut ticker = ProgressTicker::new(opts.progress_interval.filter(|_| obs.is_enabled()));
     if opts.sat_incremental {
-        if let Incremental::Done(ok) = run_incremental(
-            aig,
-            partition,
-            opts,
-            deadline,
-            output_pairs,
-            obs,
-            &mut ticker,
-        )? {
+        // The sharded pool is an incremental-path variant: per-worker
+        // persistent solvers over one shared encoding. `jobs == 1` is
+        // exactly the single-threaded driver, untouched.
+        let inc = if opts.jobs > 1 {
+            run_sharded(
+                aig,
+                partition,
+                opts,
+                deadline,
+                output_pairs,
+                obs,
+                &mut ticker,
+            )
+        } else {
+            run_incremental(
+                aig,
+                partition,
+                opts,
+                deadline,
+                output_pairs,
+                obs,
+                &mut ticker,
+            )
+        };
+        if let Incremental::Done(ok) = inc? {
             return Ok(ok);
         }
         sec_obs::event!(obs, "sat.fallback", reason = "conflict budget exhausted");

@@ -14,7 +14,7 @@
 //! never read as "unsatisfiable", so a cancelled run can never certify
 //! a bogus fixed point.
 
-use sec_core::{correspondence_partition, Checker, Options, Partition, Verdict};
+use sec_core::{correspondence_partition, Checker, Options, OptionsBuilder, Partition, Verdict};
 use sec_gen::{counter, mixed, CounterKind};
 use sec_limits::CancellationToken;
 use sec_netlist::{Aig, ProductMachine, Var};
@@ -59,27 +59,18 @@ fn all_sat_variants_match_the_bdd_fixed_point() {
         ("monolithic", Options::sat_monolithic()),
         (
             "incremental, wide amplification",
-            Options {
-                sat_amplify_words: 4,
-                ..Options::sat()
-            },
+            OptionsBuilder::sat().sat_amplify_words(4).build(),
         ),
         (
             "incremental, no amplification",
-            Options {
-                sat_amplify_words: 0,
-                ..Options::sat()
-            },
+            OptionsBuilder::sat().sat_amplify_words(0).build(),
         ),
         (
             // A 1-conflict budget trips on the first hard query and
             // falls back to the monolithic path mid-run: the mixed
             // trajectory must still reach the same fixed point.
             "incremental, tiny conflict budget",
-            Options {
-                sat_conflict_budget: Some(1),
-                ..Options::sat()
-            },
+            OptionsBuilder::sat().sat_conflict_budget(Some(1)).build(),
         ),
     ];
     for (i, aig) in product_machines().into_iter().enumerate() {
@@ -101,23 +92,13 @@ fn incremental_builds_one_solver_monolithic_one_per_round() {
     let spec = mixed(10, 3);
     let imp = unshare_latch_cones(&spec, 0.9, 3);
     // retime_rounds: 0 so the fixed point runs exactly once.
-    let inc = Checker::new(
-        &spec,
-        &imp,
-        Options {
-            retime_rounds: 0,
-            ..Options::sat()
-        },
-    )
-    .unwrap()
-    .run();
+    let inc = Checker::new(&spec, &imp, OptionsBuilder::sat().retime_rounds(0).build())
+        .unwrap()
+        .run();
     let mono = Checker::new(
         &spec,
         &imp,
-        Options {
-            retime_rounds: 0,
-            ..Options::sat_monolithic()
-        },
+        OptionsBuilder::sat_monolithic().retime_rounds(0).build(),
     )
     .unwrap()
     .run();
@@ -141,17 +122,10 @@ fn precancelled_run_returns_unknown() {
     let token = CancellationToken::new();
     token.cancel();
     for base in [Options::sat(), Options::sat_monolithic()] {
-        let r = Checker::new(
-            &spec,
-            &imp,
-            Options {
-                cancel: Some(token.clone()),
-                bmc_depth: 0,
-                ..base
-            },
-        )
-        .unwrap()
-        .run();
+        let mut opts = base;
+        opts.cancel = Some(token.clone());
+        opts.bmc_depth = 0;
+        let r = Checker::new(&spec, &imp, opts).unwrap().run();
         assert!(
             matches!(r.verdict, Verdict::Unknown(_)),
             "cancelled run must be Unknown, got {:?}",
@@ -159,15 +133,9 @@ fn precancelled_run_returns_unknown() {
         );
     }
     let pm = ProductMachine::build(&spec, &imp).unwrap();
-    let err = correspondence_partition(
-        &pm.aig,
-        &Options {
-            cancel: Some(token),
-            ..Options::sat()
-        },
-    )
-    .unwrap_err();
-    assert!(!err.is_empty());
+    let err = correspondence_partition(&pm.aig, &OptionsBuilder::sat().cancel(Some(token)).build())
+        .unwrap_err();
+    assert_eq!(err, sec_core::SecError::Cancelled);
 }
 
 #[test]
@@ -192,12 +160,11 @@ fn midrun_cancellation_never_yields_a_wrong_verdict() {
         let r = Checker::new(
             &spec,
             &imp,
-            Options {
-                cancel: Some(token),
-                bmc_depth: 0,
-                sim_refute: false,
-                ..Options::sat()
-            },
+            OptionsBuilder::sat()
+                .cancel(Some(token))
+                .bmc_depth(0)
+                .sim_refute(false)
+                .build(),
         )
         .unwrap()
         .run();

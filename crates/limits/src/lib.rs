@@ -145,6 +145,12 @@ pub const POLL_STRIDE: u32 = 1024;
 #[derive(Clone, Debug, Default)]
 pub struct Limits {
     token: Option<CancellationToken>,
+    /// A second token checked alongside the primary one. The sharded
+    /// fixed-point rounds use it as a worker-pool stop flag layered on
+    /// top of the run's external token: either flag interrupts the
+    /// solver, and the worker disambiguates afterwards by consulting
+    /// the external limits alone.
+    extra_token: Option<CancellationToken>,
     deadline: Option<Instant>,
     /// Calls remaining until the next wall-clock read.
     countdown: u32,
@@ -159,6 +165,7 @@ impl Limits {
     pub const fn none() -> Self {
         Limits {
             token: None,
+            extra_token: None,
             deadline: None,
             countdown: POLL_STRIDE,
             polls: 0,
@@ -179,6 +186,18 @@ impl Limits {
         self
     }
 
+    /// Layers a second cancellation token on top of whatever is already
+    /// attached: a trip of *either* token reports [`Stop::Cancelled`].
+    /// Used by the sharded refinement rounds to stop sibling workers
+    /// without cancelling the whole run.
+    pub fn also_token(mut self, token: &CancellationToken) -> Self {
+        match self.token {
+            None => self.token = Some(token.clone()),
+            Some(_) => self.extra_token = Some(token.clone()),
+        }
+        self
+    }
+
     /// Adds a deadline `budget` from now. A `None` budget leaves the
     /// limits unchanged (no deadline).
     pub fn with_timeout(self, budget: Option<Duration>) -> Self {
@@ -190,7 +209,13 @@ impl Limits {
 
     /// Whether neither a token nor a deadline is attached.
     pub fn is_unlimited(&self) -> bool {
-        self.token.is_none() && self.deadline.is_none()
+        self.token.is_none() && self.extra_token.is_none() && self.deadline.is_none()
+    }
+
+    #[inline]
+    fn token_tripped(&self) -> bool {
+        self.token.as_ref().is_some_and(|t| t.is_cancelled())
+            || self.extra_token.as_ref().is_some_and(|t| t.is_cancelled())
     }
 
     /// The cheap hot-loop poll: token every call, clock every
@@ -198,10 +223,8 @@ impl Limits {
     #[inline]
     pub fn check(&mut self) -> Result<(), Stop> {
         self.polls += 1;
-        if let Some(t) = &self.token {
-            if t.is_cancelled() {
-                return Err(Stop::Cancelled);
-            }
+        if self.token_tripped() {
+            return Err(Stop::Cancelled);
         }
         if self.deadline.is_some() {
             self.countdown = self.countdown.wrapping_sub(1);
@@ -220,10 +243,8 @@ impl Limits {
     #[inline]
     pub fn check_now(&mut self) -> Result<(), Stop> {
         self.polls += 1;
-        if let Some(t) = &self.token {
-            if t.is_cancelled() {
-                return Err(Stop::Cancelled);
-            }
+        if self.token_tripped() {
+            return Err(Stop::Cancelled);
         }
         self.check_deadline_now()
     }
@@ -288,6 +309,28 @@ mod tests {
             assert_eq!(l.check(), Ok(()));
         }
         assert_eq!(l.check_now(), Ok(()));
+    }
+
+    #[test]
+    fn either_layered_token_cancels() {
+        let outer = CancellationToken::new();
+        let inner = CancellationToken::new();
+        // Layered on top of an existing token: either flag trips.
+        let mut l = Limits::with_token(&outer).also_token(&inner);
+        assert!(!l.is_unlimited());
+        assert_eq!(l.check(), Ok(()));
+        inner.cancel();
+        assert_eq!(l.check(), Err(Stop::Cancelled));
+        assert_eq!(l.check_now(), Err(Stop::Cancelled));
+        let mut l2 = Limits::with_token(&outer).also_token(&CancellationToken::new());
+        outer.cancel();
+        assert_eq!(l2.check(), Err(Stop::Cancelled));
+        // Layered onto empty limits: fills the primary slot.
+        let solo = CancellationToken::new();
+        let mut l3 = Limits::none().also_token(&solo);
+        assert_eq!(l3.check(), Ok(()));
+        solo.cancel();
+        assert_eq!(l3.check_now(), Err(Stop::Cancelled));
     }
 
     #[test]

@@ -205,6 +205,13 @@ counters! {
         BmcFrames => "bmc_frames",
         /// Symbolic-traversal image steps.
         TraversalImageSteps => "traversal_image_steps",
+        /// Worker solvers spawned into sharded refinement rounds
+        /// (`jobs` per SAT fixed point when sharding is on).
+        WorkerSpawns => "worker_spawns",
+        /// Counterexamples returned by shard workers to the merging
+        /// driver (before deterministic re-validation against the live
+        /// partition).
+        WorkerCexes => "worker_cexes",
     }
 }
 

@@ -43,12 +43,14 @@
 //! let result = run(&spec, &spec.clone(), &PortfolioOptions::default())?;
 //! assert_eq!(result.verdict, Verdict::Equivalent);
 //! println!("won by {}", result.winner.unwrap());
-//! # Ok::<(), sec_core::BuildError>(())
+//! # Ok::<(), sec_core::SecError>(())
 //! ```
 
 #![warn(missing_docs)]
 
-use sec_core::{bmc_refute, Backend, BuildError, Checker, Options as CoreOptions, Verdict};
+use sec_core::{
+    bmc_refute, stats::JsonObject, Backend, BuildError, Checker, OptionsBuilder, SecError, Verdict,
+};
 use sec_netlist::{check as check_circuit, Aig, ProductMachine};
 use sec_obs::{emit_snapshot, event, Obs, Recorder};
 use sec_traversal::{check_equivalence, TraversalOptions, TraversalOutcome};
@@ -115,6 +117,10 @@ pub struct PortfolioOptions {
     pub engine_timeout: Option<Duration>,
     /// RNG seed forwarded to the correspondence engines.
     pub seed: u64,
+    /// Worker threads of the SAT correspondence engine's sharded
+    /// refinement rounds (forwarded to [`sec_core::Options::jobs`]);
+    /// `1` keeps that engine single-threaded.
+    pub jobs: usize,
     /// Frame bound of the BMC engine.
     pub bmc_depth: usize,
     /// BDD node budget of the correspondence engines.
@@ -140,6 +146,7 @@ impl Default for PortfolioOptions {
             timeout: Some(Duration::from_secs(600)),
             engine_timeout: None,
             seed: 0xEC98,
+            jobs: 1,
             bmc_depth: 64,
             node_limit: 16 << 20,
             traversal_node_limit: 4 << 20,
@@ -226,6 +233,30 @@ pub struct EngineReport {
     pub time: Duration,
 }
 
+impl EngineReport {
+    /// The canonical JSON object of the report, built on the same
+    /// [`JsonObject`] the `sec-core` stats renderer uses. Counterexample
+    /// traces are not embedded — the race's winning verdict carries the
+    /// trace; per-engine reports only label their outcome.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new().str("name", self.engine.name());
+        obj = match &self.verdict {
+            Verdict::Equivalent => obj.str("verdict", "equivalent"),
+            Verdict::Inequivalent(_) => obj.str("verdict", "inequivalent"),
+            Verdict::Unknown(reason) => obj.str("verdict", "unknown").str("reason", reason),
+            _ => obj.str("verdict", "unknown"),
+        };
+        obj.u64("iterations", self.iterations)
+            .u64("splits", self.splits)
+            .usize("peak_bdd_nodes", self.peak_bdd_nodes)
+            .u64("sat_conflicts", self.sat_conflicts)
+            .u64("sat_solver_constructions", self.sat_solver_constructions)
+            .u64("sat_solver_calls", self.sat_solver_calls)
+            .u64("time_ms", self.time.as_millis() as u64)
+            .finish()
+    }
+}
+
 /// The outcome of a portfolio race.
 #[derive(Clone, Debug)]
 pub struct PortfolioResult {
@@ -252,13 +283,9 @@ fn definitive(v: &Verdict) -> bool {
 ///
 /// # Errors
 ///
-/// Returns [`BuildError`] when the interfaces mismatch or a circuit is
-/// malformed — checked up front, before any engine starts.
-pub fn run(
-    spec: &Aig,
-    impl_: &Aig,
-    opts: &PortfolioOptions,
-) -> Result<PortfolioResult, BuildError> {
+/// Returns [`SecError::Build`] when the interfaces mismatch or a
+/// circuit is malformed — checked up front, before any engine starts.
+pub fn run(spec: &Aig, impl_: &Aig, opts: &PortfolioOptions) -> Result<PortfolioResult, SecError> {
     run_with_events(spec, impl_, opts, |_| {})
 }
 
@@ -267,18 +294,18 @@ pub fn run(
 ///
 /// # Errors
 ///
-/// Returns [`BuildError`] when the interfaces mismatch or a circuit is
-/// malformed.
+/// Returns [`SecError::Build`] when the interfaces mismatch or a
+/// circuit is malformed.
 pub fn run_with_events(
     spec: &Aig,
     impl_: &Aig,
     opts: &PortfolioOptions,
     mut on_event: impl FnMut(&ProgressEvent),
-) -> Result<PortfolioResult, BuildError> {
+) -> Result<PortfolioResult, SecError> {
     // Validate once, up front, so engine threads cannot fail to build.
-    check_circuit(spec)?;
-    check_circuit(impl_)?;
-    ProductMachine::build(spec, impl_)?;
+    check_circuit(spec).map_err(BuildError::from)?;
+    check_circuit(impl_).map_err(BuildError::from)?;
+    ProductMachine::build(spec, impl_).map_err(BuildError::from)?;
 
     // Tee a race-wide recorder *before* the per-engine scoping below,
     // so every engine's counters accumulate into it and the terminal
@@ -474,6 +501,9 @@ fn verdict_label(v: &Verdict) -> String {
         Verdict::Equivalent => "equivalent".to_string(),
         Verdict::Inequivalent(_) => "inequivalent".to_string(),
         Verdict::Unknown(r) => format!("unknown: {r}"),
+        // `Verdict` is non-exhaustive; treat future refinements as
+        // non-definitive until this crate learns about them.
+        _ => "unknown".to_string(),
     }
 }
 
@@ -527,25 +557,25 @@ fn run_engine(
     };
     match engine {
         EngineKind::BddCorr | EngineKind::SatCorr => {
-            let copts = CoreOptions {
-                backend: if engine == EngineKind::BddCorr {
+            let copts = OptionsBuilder::new()
+                .backend(if engine == EngineKind::BddCorr {
                     Backend::Bdd
                 } else {
                     Backend::Sat
-                },
-                seed: opts.seed,
-                node_limit: opts.node_limit,
-                timeout: budget,
+                })
+                .seed(opts.seed)
+                .jobs(opts.jobs)
+                .node_limit(opts.node_limit)
+                .timeout(budget)
                 // Refutation belongs to the dedicated BMC engine, so a
                 // win always names the method that decided.
-                sim_refute: false,
-                bmc_depth: 0,
-                cancel: Some(token.clone()),
-                progress: Some(counter.clone()),
-                progress_interval: opts.progress_interval,
-                obs,
-                ..CoreOptions::default()
-            };
+                .sim_refute(false)
+                .bmc_depth(0)
+                .cancel(Some(token.clone()))
+                .progress(Some(counter.clone()))
+                .progress_interval(opts.progress_interval)
+                .obs(obs)
+                .build();
             match Checker::new(spec, impl_, copts) {
                 Ok(checker) => {
                     let r = checker.run();
@@ -556,16 +586,15 @@ fn run_engine(
             }
         }
         EngineKind::Bmc => {
-            let copts = CoreOptions {
-                seed: opts.seed,
-                bmc_depth: opts.bmc_depth.max(1),
-                timeout: budget,
-                cancel: Some(token.clone()),
-                progress: Some(counter.clone()),
-                progress_interval: opts.progress_interval,
-                obs,
-                ..CoreOptions::default()
-            };
+            let copts = OptionsBuilder::new()
+                .seed(opts.seed)
+                .bmc_depth(opts.bmc_depth.max(1))
+                .timeout(budget)
+                .cancel(Some(token.clone()))
+                .progress(Some(counter.clone()))
+                .progress_interval(opts.progress_interval)
+                .obs(obs)
+                .build();
             match bmc_refute(spec, impl_, &copts) {
                 Ok(r) => {
                     report.verdict = r.verdict;
@@ -634,7 +663,7 @@ mod tests {
         let mut b = counter(4, CounterKind::Binary);
         b.add_input("extra");
         let e = run(&a, &b, &PortfolioOptions::default()).unwrap_err();
-        assert!(matches!(e, BuildError::Product(_)));
+        assert!(matches!(e, SecError::Build(BuildError::Product(_))));
     }
 
     #[test]

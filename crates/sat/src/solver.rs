@@ -42,6 +42,14 @@ pub struct SatStats {
 
 /// A CDCL SAT solver.
 ///
+/// `Solver` is `Clone`: cloning snapshots the entire solver state —
+/// clause database (including learnt clauses), variable activities,
+/// saved phases and statistics — so a formula can be encoded once and
+/// fanned out to several independent solvers. The sharded
+/// correspondence rounds in `sec-core` clone one encoded two-frame
+/// unrolling per worker; each clone then evolves (learns, asserts
+/// round guards) on its own thread without any locking.
+///
 /// # Examples
 ///
 /// ```
@@ -55,7 +63,7 @@ pub struct SatStats {
 /// assert_eq!(s.solve(), SatResult::Sat);
 /// assert_eq!(s.model_value(b.positive()), true);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Solver {
     clauses: Vec<Clause>,
     learnt_refs: Vec<CRef>,
@@ -877,6 +885,28 @@ mod tests {
         s.set_conflict_budget(Some(1));
         assert_eq!(s.solve(), SatResult::Sat);
         assert!(!s.budget_exhausted());
+    }
+
+    #[test]
+    fn cloned_solver_diverges_independently() {
+        // Encode once, clone per worker: both clones stay correct and
+        // neither sees the other's added clauses.
+        let mut base = Solver::new();
+        let v = lits(&mut base, 3);
+        base.add_clause(&[v[0], v[1], v[2]]);
+        let mut a = base.clone();
+        let mut b = base;
+        a.add_clause(&[!v[0]]);
+        a.add_clause(&[!v[1]]);
+        assert_eq!(a.solve(), SatResult::Sat);
+        assert!(a.model_value(v[2]));
+        b.add_clause(&[!v[2]]);
+        b.add_clause(&[!v[1]]);
+        assert_eq!(b.solve(), SatResult::Sat);
+        assert!(b.model_value(v[0]));
+        a.add_clause(&[!v[2]]);
+        assert_eq!(a.solve(), SatResult::Unsat);
+        assert_eq!(b.solve(), SatResult::Sat);
     }
 
     #[test]

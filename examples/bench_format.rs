@@ -74,6 +74,7 @@ fn main() {
             Verdict::Equivalent => "EQUIVALENT".to_string(),
             Verdict::Inequivalent(t) => format!("INEQUIVALENT ({}-step witness)", t.len()),
             Verdict::Unknown(s) => format!("UNKNOWN: {s}"),
+            other => format!("{other:?}"),
         },
         r.stats.iterations,
         r.stats.eqs_percent,

@@ -9,7 +9,7 @@
 //! cargo run --release --example incompleteness
 //! ```
 
-use sec::core::{Checker, Options, Verdict};
+use sec::core::{Checker, OptionsBuilder, Verdict};
 use sec::gen::counter_pair_onehot;
 use sec::traversal::{check_equivalence, TraversalOptions, TraversalOutcome};
 
@@ -21,10 +21,8 @@ fn main() {
         ring.num_latches()
     );
 
-    let opts = Options {
-        bmc_depth: 0, // report the raw incompleteness, don't try to refute
-        ..Options::default()
-    };
+    // bmc_depth 0: report the raw incompleteness, don't try to refute.
+    let opts = OptionsBuilder::new().bmc_depth(0).build();
     let r = Checker::new(&bin, &ring, opts).unwrap().run();
     match &r.verdict {
         Verdict::Unknown(reason) => {

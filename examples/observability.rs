@@ -6,7 +6,7 @@
 //! cargo run --release --example observability
 //! ```
 
-use sec::core::{Checker, Options, Verdict};
+use sec::core::{Checker, Options, OptionsBuilder, Verdict};
 use sec::gen::{counter, CounterKind};
 use sec::obs::{Counter, NdjsonSink, Obs, Recorder, Sink};
 use sec::synth::{forward_retime, RetimeOptions};
@@ -41,10 +41,9 @@ fn main() {
     //    stats recorder onto the same handle, so what we record here is
     //    exactly what `CheckStats` is derived from.
     let recorder = Recorder::new();
-    let opts = Options {
-        obs: Obs::single(recorder.clone()),
-        ..Options::sat()
-    };
+    let opts = OptionsBuilder::sat()
+        .obs(Obs::single(recorder.clone()))
+        .build();
     let result = Checker::new(&spec, &imp, opts).unwrap().run();
     println!(
         "verdict: {:?} in {} rounds",
@@ -58,10 +57,9 @@ fn main() {
     // 2. An NDJSON sink streams the same events as one JSON object per
     //    line — what the CLI's `--trace-json` writes.
     let path = std::env::temp_dir().join("sec-observability-example.ndjson");
-    let opts = Options {
-        obs: Obs::single(NdjsonSink::create(&path).expect("temp file")),
-        ..Options::sat()
-    };
+    let opts = OptionsBuilder::sat()
+        .obs(Obs::single(NdjsonSink::create(&path).expect("temp file")))
+        .build();
     Checker::new(&spec, &imp, opts).unwrap().run();
     let trace = std::fs::read_to_string(&path).unwrap();
     println!("\nfirst NDJSON events of {}:", path.display());
@@ -85,19 +83,19 @@ fn main() {
     //    recorder + NDJSON. Events are confined to round/frame
     //    boundaries, so the differences drown in run-to-run noise.
     let n = 7;
-    let base = Options {
-        retime_rounds: 0,
-        bmc_depth: 0,
-        sim_refute: false,
-        ..Options::sat()
-    };
+    let base = OptionsBuilder::sat()
+        .retime_rounds(0)
+        .bmc_depth(0)
+        .sim_refute(false)
+        .build();
     let t_off = median_run_ms(&spec, &imp, &base, n);
     let t_rec = median_run_ms(
         &spec,
         &imp,
-        &Options {
-            obs: Obs::single(Recorder::new()),
-            ..base.clone()
+        &{
+            let mut o = base.clone();
+            o.obs = Obs::single(Recorder::new());
+            o
         },
         n,
     );
@@ -108,9 +106,10 @@ fn main() {
     let t_full = median_run_ms(
         &spec,
         &imp,
-        &Options {
-            obs: Obs::multi(sinks),
-            ..base.clone()
+        &{
+            let mut o = base.clone();
+            o.obs = Obs::multi(sinks);
+            o
         },
         n,
     );

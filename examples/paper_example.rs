@@ -8,7 +8,7 @@
 //! cargo run --release --example paper_example
 //! ```
 
-use sec::core::{Backend, Checker, Options, Verdict};
+use sec::core::{Backend, Checker, OptionsBuilder, Verdict};
 use sec::netlist::Aig;
 use sec::sim::{first_output_mismatch, Trace};
 
@@ -45,10 +45,7 @@ fn main() {
     println!("   outputs agree on every cycle\n");
 
     for backend in [Backend::Bdd, Backend::Sat] {
-        let opts = Options {
-            backend,
-            ..Options::default()
-        };
+        let opts = OptionsBuilder::new().backend(backend).build();
         let r = Checker::new(&spec, &imp, opts).unwrap().run();
         println!("-- {backend:?} backend --");
         println!(

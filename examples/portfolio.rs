@@ -47,6 +47,7 @@ fn race(label: &str, spec: &sec::netlist::Aig, imp: &sec::netlist::Aig) {
         Verdict::Equivalent => "EQUIVALENT".to_string(),
         Verdict::Inequivalent(t) => format!("INEQUIVALENT ({}-frame counterexample)", t.len()),
         Verdict::Unknown(reason) => format!("UNKNOWN — {reason}"),
+        other => format!("{other:?}"),
     };
     match r.winner {
         Some(w) => println!("  {verdict}, won by {w} in {:.3}s\n", r.time.as_secs_f64()),

@@ -46,6 +46,7 @@ fn main() {
             )
         }
         Verdict::Unknown(reason) => println!("verdict: UNKNOWN ({reason})"),
+        other => println!("verdict: {other:?}"),
     }
     println!(
         "stats:  {} fixed-point iterations, {} retiming extensions, \

@@ -40,8 +40,8 @@ fn usage() -> ! {
          sec check <spec> <impl> [--engine bdd|sat|portfolio] [--scope all|regs]\n           \
          [--no-sim-seed] [--no-funcdep] [--approx-reach] [--retime-rounds N]\n           \
          [--timeout SECS] [--engine-timeout SECS] [--node-limit N]\n           \
-         [--bmc-depth N] [--seed N] [--json] [--stats] [--trace-json FILE]\n           \
-         [--progress[=SECS]]\n  \
+         [--bmc-depth N] [--seed N] [--jobs N] [--json] [--stats]\n           \
+         [--trace-json FILE] [--progress[=SECS]]\n  \
          sec info <circuit>\n  \
          sec optimize <in> <out> [--seed N] [--retime-only]\n  \
          sec sweep <in> <out> [--backend bdd|sat]\n  \
@@ -142,6 +142,10 @@ fn print_verdict(verdict: &Verdict) -> i32 {
             println!("UNKNOWN: {reason}");
             EXIT_UNKNOWN
         }
+        other => {
+            println!("UNKNOWN verdict kind: {other:?}");
+            EXIT_UNKNOWN
+        }
     }
 }
 
@@ -158,6 +162,10 @@ fn verdict_json_fields(verdict: &Verdict) -> String {
             "\"verdict\":\"unknown\",\"reason\":\"{}\"",
             json_escape(reason)
         ),
+        other => format!(
+            "\"verdict\":\"unknown\",\"reason\":\"{}\"",
+            json_escape(&format!("{other:?}"))
+        ),
     }
 }
 
@@ -165,7 +173,7 @@ fn verdict_exit_code(verdict: &Verdict) -> i32 {
     match verdict {
         Verdict::Equivalent => EXIT_EQUIVALENT,
         Verdict::Inequivalent(_) => EXIT_INEQUIVALENT,
-        Verdict::Unknown(_) => EXIT_UNKNOWN,
+        _ => EXIT_UNKNOWN,
     }
 }
 
@@ -279,6 +287,16 @@ fn cmd_check(args: &[String]) {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
+            "--jobs" => {
+                opts.jobs = take_value(args, &mut i, "--jobs")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a positive worker count");
+                        exit(EXIT_USAGE)
+                    })
+            }
             other => {
                 eprintln!("unknown option `{other}`");
                 exit(EXIT_USAGE)
@@ -383,21 +401,14 @@ fn check_solo(spec: &Aig, imp: &Aig, opts: Options, json: bool, recorder: Option
             .map(|rec| format!(",\"counters\":{}", counters_json(rec)))
             .unwrap_or_default();
         println!(
-            "{{{},\"engine\":\"{}\",\"stats\":{{\"iterations\":{},\"retime_invocations\":{},\
-             \"splits\":{},\"peak_bdd_nodes\":{},\"sat_conflicts\":{},\"eqs_percent\":{:.1},\
-             \"time_ms\":{}}}{}}}",
+            "{{{},\"engine\":\"{}\",\"stats\":{}{}}}",
             verdict_json_fields(&r.verdict),
             match backend {
                 Backend::Bdd => "bdd",
                 Backend::Sat => "sat",
+                _ => "unknown",
             },
-            r.stats.iterations,
-            r.stats.retime_invocations,
-            r.stats.splits,
-            r.stats.peak_bdd_nodes,
-            r.stats.sat_conflicts,
-            r.stats.eqs_percent,
-            r.stats.time.as_millis(),
+            sec::core::stats::to_json(&r.stats),
             counters,
         );
         exit(verdict_exit_code(&r.verdict))
@@ -436,6 +447,7 @@ fn check_portfolio(
             opts.bmc_depth
         },
         node_limit: opts.node_limit,
+        jobs: opts.jobs,
         progress_interval: opts.progress_interval,
         obs: opts.obs.clone(),
         ..PortfolioOptions::default()
@@ -469,23 +481,7 @@ fn check_portfolio(
         exit(EXIT_USAGE)
     });
     if json {
-        let engines: Vec<String> = r
-            .reports
-            .iter()
-            .map(|rep| {
-                format!(
-                    "{{\"name\":\"{}\",{},\"iterations\":{},\"splits\":{},\"peak_bdd_nodes\":{},\
-                     \"sat_conflicts\":{},\"time_ms\":{}}}",
-                    rep.engine,
-                    verdict_json_fields(&rep.verdict),
-                    rep.iterations,
-                    rep.splits,
-                    rep.peak_bdd_nodes,
-                    rep.sat_conflicts,
-                    rep.time.as_millis(),
-                )
-            })
-            .collect();
+        let engines: Vec<String> = r.reports.iter().map(|rep| rep.to_json()).collect();
         let counters = recorder
             .as_ref()
             .map(|rec| format!(",\"counters\":{}", counters_json(rec)))

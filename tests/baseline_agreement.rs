@@ -3,7 +3,7 @@
 //! and on the genuinely incomplete instance, traversal proves what
 //! signal correspondence cannot (the paper's Sec. 6 discussion).
 
-use sec_core::{Checker, Options, Verdict};
+use sec_core::{Checker, Options, OptionsBuilder, Verdict};
 use sec_gen::{counter, counter_pair_onehot, crc, fsm_pair_reencoded, mixed, CounterKind};
 use sec_sim::first_output_mismatch;
 use sec_synth::{mutate_detectable, pipeline, PipelineOptions};
@@ -62,10 +62,8 @@ fn incompleteness_binary_vs_onehot() {
     // binary/one-hot counter pair has no internal equivalences, so the
     // fixed point cannot prove it — while exact traversal can.
     let (bin, ring) = counter_pair_onehot(3);
-    let opts = Options {
-        bmc_depth: 0, // we want the raw Unknown, not a BMC attempt
-        ..Options::default()
-    };
+    // bmc_depth 0: we want the raw Unknown, not a BMC attempt.
+    let opts = OptionsBuilder::new().bmc_depth(0).build();
     let core = Checker::new(&bin, &ring, opts).unwrap().run();
     assert!(
         matches!(core.verdict, Verdict::Unknown(_)),
@@ -153,10 +151,9 @@ fn register_correspondence_scope_matches_history() {
         let v7 = fig2_imp.and(v6.lit(), x);
         fig2_imp.add_output(v7, "out");
     }
-    let opts = sec_core::Options {
-        bmc_depth: 0,
-        ..CoreOptions::register_correspondence()
-    };
+    let opts = sec_core::OptionsBuilder::register_correspondence()
+        .bmc_depth(0)
+        .build();
     let r = Checker::new(&fig2_spec, &fig2_imp, opts).unwrap().run();
     assert!(
         matches!(r.verdict, Verdict::Unknown(_)),

@@ -2,7 +2,7 @@
 //! verified by signal correspondence with every option combination that
 //! matters, on both backends.
 
-use sec_core::{Backend, Checker, Options, Verdict};
+use sec_core::{Backend, Checker, Options, OptionsBuilder, Verdict};
 use sec_gen::{
     arbiter, counter, crc, lfsr, mixed, pipeline as gen_pipeline, random_fsm, seq_multiplier,
     CounterKind,
@@ -73,13 +73,12 @@ fn option_matrix_all_prove() {
         for sim_cycles in [0usize, 16] {
             for functional_deps in [false, true] {
                 for approx_reach in [false, true] {
-                    let opts = Options {
-                        backend,
-                        sim_cycles,
-                        functional_deps,
-                        approx_reach,
-                        ..Options::default()
-                    };
+                    let opts = OptionsBuilder::new()
+                        .backend(backend)
+                        .sim_cycles(sim_cycles)
+                        .functional_deps(functional_deps)
+                        .approx_reach(approx_reach)
+                        .build();
                     let r = Checker::new(&spec, &imp, opts).unwrap().run();
                     assert_eq!(
                         r.verdict,
@@ -97,16 +96,9 @@ fn sim_seeding_reduces_iterations() {
     let spec = mixed(30, 7);
     let imp = pipeline(&spec, &PipelineOptions::retime_only(), 13);
     let with = Checker::new(&spec, &imp, Options::default()).unwrap().run();
-    let without = Checker::new(
-        &spec,
-        &imp,
-        Options {
-            sim_cycles: 0,
-            ..Options::default()
-        },
-    )
-    .unwrap()
-    .run();
+    let without = Checker::new(&spec, &imp, OptionsBuilder::new().sim_cycles(0).build())
+        .unwrap()
+        .run();
     assert_eq!(with.verdict, Verdict::Equivalent);
     assert_eq!(without.verdict, Verdict::Equivalent);
     // The paper's Sec. 4 claim: simulation gives a better initial

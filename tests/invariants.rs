@@ -3,7 +3,7 @@
 //! baseline's options behave, and the final correspondence relation of an
 //! equivalent run holds on every simulated reachable state.
 
-use sec::core::{Checker, Options, Verdict};
+use sec::core::{Checker, Options, OptionsBuilder, Verdict};
 use sec::gen::{counter, mixed, random_fsm, CounterKind};
 use sec::sim::Trace;
 use sec::synth::{pipeline, PipelineOptions};
@@ -25,11 +25,10 @@ fn approx_reach_never_blocks_a_proof() {
     {
         let imp = pipeline(&spec, &PipelineOptions::default(), 31 + k as u64);
         for group in [1usize, 4, 12] {
-            let opts = Options {
-                approx_reach: true,
-                approx_group: group,
-                ..Options::default()
-            };
+            let opts = OptionsBuilder::new()
+                .approx_reach(true)
+                .approx_group(group)
+                .build();
             let r = Checker::new(&spec, &imp, opts).unwrap().run();
             assert_eq!(
                 r.verdict,
@@ -91,12 +90,11 @@ fn timeout_is_respected() {
     // not hang (the multiplier core would otherwise run for a while).
     let spec = sec::gen::registered_multiplier(10, 10);
     let imp = pipeline(&spec, &PipelineOptions::retime_only(), 3);
-    let opts = Options {
-        timeout: Some(Duration::from_millis(0)),
-        bmc_depth: 0,
-        sim_cycles: 1,
-        ..Options::default()
-    };
+    let opts = OptionsBuilder::new()
+        .timeout(Some(Duration::from_millis(0)))
+        .bmc_depth(0)
+        .sim_cycles(1)
+        .build();
     let t0 = Instant::now();
     let r = Checker::new(&spec, &imp, opts).unwrap().run();
     assert!(

@@ -2,7 +2,7 @@
 //! *exactly* with the derived statistics, and instrumentation must
 //! never change what an engine computes.
 
-use sec::core::{correspondence_partition, Backend, Checker, Options, Partition, Verdict};
+use sec::core::{correspondence_partition, Backend, Checker, OptionsBuilder, Partition, Verdict};
 use sec::gen::{counter, CounterKind};
 use sec::obs::{NdjsonSink, Obs, Recorder, Sink};
 use sec::portfolio::{self, EngineKind, PortfolioOptions};
@@ -77,10 +77,7 @@ fn solo_trace_reconciles_exactly_with_stats() {
         Arc::new(NdjsonSink::from_writer(buf.clone())),
         Arc::new(recorder.clone()),
     ];
-    let opts = Options {
-        obs: Obs::multi(sinks),
-        ..Options::sat()
-    };
+    let opts = OptionsBuilder::sat().obs(Obs::multi(sinks)).build();
     let result = Checker::new(&spec, &imp, opts).unwrap().run();
     assert_eq!(result.verdict, Verdict::Equivalent);
 
@@ -242,18 +239,13 @@ fn canonical(p: &Partition) -> Vec<Vec<usize>> {
 fn null_sink_runs_are_identical_to_instrumented_runs() {
     let (spec, imp) = equivalent_pair();
     for backend in [Backend::Bdd, Backend::Sat] {
-        let base = Options {
-            backend,
-            ..Options::default()
-        };
+        let base = OptionsBuilder::new().backend(backend).build();
         let off = Checker::new(&spec, &imp, base.clone()).unwrap().run();
-        let instrumented = Options {
-            obs: Obs::multi(vec![
-                Arc::new(NdjsonSink::from_writer(SharedBuf::default())) as Arc<dyn Sink>,
-                Arc::new(Recorder::with_events()),
-            ]),
-            ..base.clone()
-        };
+        let mut instrumented = base.clone();
+        instrumented.obs = Obs::multi(vec![
+            Arc::new(NdjsonSink::from_writer(SharedBuf::default())) as Arc<dyn Sink>,
+            Arc::new(Recorder::with_events()),
+        ]);
         let on = Checker::new(&spec, &imp, instrumented).unwrap().run();
         assert_eq!(off.verdict, on.verdict, "{backend:?}");
         assert_eq!(off.stats.iterations, on.stats.iterations, "{backend:?}");
@@ -271,13 +263,11 @@ fn null_sink_runs_are_identical_to_instrumented_runs() {
 
         // The refined partition itself is bit-identical, class by class.
         let p_off = correspondence_partition(&spec, &base).unwrap();
-        let p_on = correspondence_partition(
-            &spec,
-            &Options {
-                obs: Obs::multi(vec![Arc::new(Recorder::new()) as Arc<dyn Sink>]),
-                ..base.clone()
-            },
-        )
+        let p_on = correspondence_partition(&spec, &{
+            let mut o = base.clone();
+            o.obs = Obs::multi(vec![Arc::new(Recorder::new()) as Arc<dyn Sink>]);
+            o
+        })
         .unwrap();
         assert_eq!(canonical(&p_off), canonical(&p_on), "{backend:?}");
     }

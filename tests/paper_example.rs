@@ -5,7 +5,7 @@
 //! `{{f3, f6}, {f4, f7}}` on a retimed pair), and the lag-1 retiming
 //! extension of Fig. 3.
 
-use sec_core::{Checker, Options, Verdict};
+use sec_core::{Checker, Options, OptionsBuilder, Verdict};
 use sec_netlist::Aig;
 use sec_sim::{first_output_mismatch, Trace};
 
@@ -68,10 +68,7 @@ fn fig2_proven_by_signal_correspondence_sat() {
 
 #[test]
 fn fig2_proven_without_simulation_seeding() {
-    let opts = Options {
-        sim_cycles: 0,
-        ..Options::default()
-    };
+    let opts = OptionsBuilder::new().sim_cycles(0).build();
     let r = Checker::new(&fig2_spec(), &fig2_impl(), opts)
         .unwrap()
         .run();
@@ -132,11 +129,7 @@ fn lag2_needs_the_retiming_extension() {
     assert_eq!(first_output_mismatch(&spec, &imp, &t), None);
 
     // Without the extension the fixed point cannot close.
-    let no_ext = Options {
-        retime_rounds: 0,
-        bmc_depth: 8,
-        ..Options::default()
-    };
+    let no_ext = OptionsBuilder::new().retime_rounds(0).bmc_depth(8).build();
     let r = Checker::new(&spec, &imp, no_ext).unwrap().run();
     assert!(
         matches!(r.verdict, Verdict::Unknown(_)),

@@ -4,7 +4,7 @@
 //! change the verdict.
 
 use sec_bdd::{BddHalt, BddManager};
-use sec_core::{Checker, Options, Verdict};
+use sec_core::{Checker, OptionsBuilder, Verdict};
 use sec_gen::arith;
 use sec_gen::{counter, counter_pair_onehot, registered_multiplier, CounterKind};
 use sec_limits::{CancellationToken, Limits, Stop};
@@ -167,13 +167,12 @@ fn cancelled_checker_returns_unknown() {
     let (spec, imp) = deep_counter_pair();
     let token = CancellationToken::new();
     token.cancel();
-    let opts = Options {
-        cancel: Some(token),
-        timeout: None,
-        bmc_depth: 0,
-        sim_refute: false,
-        ..Options::default()
-    };
+    let opts = OptionsBuilder::new()
+        .cancel(Some(token))
+        .timeout(None)
+        .bmc_depth(0)
+        .sim_refute(false)
+        .build();
     let t0 = Instant::now();
     let r = Checker::new(&spec, &imp, opts).unwrap().run();
     match &r.verdict {

@@ -88,16 +88,15 @@ fn synthesis_passes_preserve_behaviour() {
 
 #[test]
 fn verifier_proves_pipeline_on_random_circuits() {
-    use sec::core::{Checker, Options, Verdict};
+    use sec::core::{Checker, OptionsBuilder, Verdict};
     for case in 0..64u64 {
         let mut rng = StdRng::seed_from_u64(0xC14C_4000 ^ case);
         let (i, l, g, seed) = arb_shape(&mut rng);
         let aig = random_aig(i, l, g, seed);
         let imp = synth::pipeline(&aig, &synth::PipelineOptions::default(), seed ^ 5);
-        let opts = Options {
-            timeout: Some(std::time::Duration::from_secs(30)),
-            ..Options::default()
-        };
+        let opts = OptionsBuilder::new()
+            .timeout(Some(std::time::Duration::from_secs(30)))
+            .build();
         let r = Checker::new(&aig, &imp, opts).unwrap().run();
         // Equivalent is expected; Unknown is tolerated (incompleteness);
         // Inequivalent would be a catastrophic synth or checker bug.
@@ -115,7 +114,7 @@ fn verifier_proves_pipeline_on_random_circuits() {
 
 #[test]
 fn verifier_never_proves_mutants_random() {
-    use sec::core::{Checker, Options, Verdict};
+    use sec::core::{Checker, OptionsBuilder, Verdict};
     for case in 0..64u64 {
         let mut rng = StdRng::seed_from_u64(0xC14C_5000 ^ case);
         let (i, l, g, seed) = arb_shape(&mut rng);
@@ -123,11 +122,10 @@ fn verifier_never_proves_mutants_random() {
         let Some((mutant, m)) = synth::mutate_detectable(&aig, seed, 40, 64) else {
             continue;
         };
-        let opts = Options {
-            timeout: Some(std::time::Duration::from_secs(30)),
-            bmc_depth: 20,
-            ..Options::default()
-        };
+        let opts = OptionsBuilder::new()
+            .timeout(Some(std::time::Duration::from_secs(30)))
+            .bmc_depth(20)
+            .build();
         let r = Checker::new(&aig, &mutant, opts).unwrap().run();
         assert!(
             !matches!(r.verdict, Verdict::Equivalent),
@@ -164,15 +162,14 @@ fn ternary_sim_refines_binary() {
 
 #[test]
 fn sequential_sweep_preserves_behaviour() {
-    use sec::core::{sequential_sweep, Options};
+    use sec::core::{sequential_sweep, OptionsBuilder};
     for case in 0..32u64 {
         let mut rng = StdRng::seed_from_u64(0xC14C_7000 ^ case);
         let (i, l, g, seed) = arb_shape(&mut rng);
         let aig = random_aig(i, l, g, seed);
-        let opts = Options {
-            timeout: Some(std::time::Duration::from_secs(20)),
-            ..Options::default()
-        };
+        let opts = OptionsBuilder::new()
+            .timeout(Some(std::time::Duration::from_secs(20)))
+            .build();
         let (reduced, stats) = sequential_sweep(&aig, &opts).unwrap();
         assert!(
             reduced.num_ands() <= aig.num_ands() || stats.gave_up,

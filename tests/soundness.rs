@@ -4,7 +4,7 @@
 //! option combinations; we also check that the final correspondence
 //! classes of equivalent runs hold on long random executions.
 
-use sec_core::{Backend, Checker, Options, Verdict};
+use sec_core::{Backend, Checker, Options, OptionsBuilder, Verdict};
 use sec_gen::{counter, crc, mixed, random_fsm, CounterKind};
 use sec_netlist::Aig;
 use sec_sim::first_output_mismatch;
@@ -28,11 +28,7 @@ fn mutants_are_never_proven_equivalent() {
                 continue;
             };
             for backend in [Backend::Bdd, Backend::Sat] {
-                let opts = Options {
-                    backend,
-                    bmc_depth: 24,
-                    ..Options::default()
-                };
+                let opts = OptionsBuilder::new().backend(backend).bmc_depth(24).build();
                 let r = Checker::new(&spec, &mutant, opts).unwrap().run();
                 match r.verdict {
                     Verdict::Equivalent => {
@@ -44,9 +40,10 @@ fn mutants_are_never_proven_equivalent() {
                             "{name}: returned trace is not a witness"
                         );
                     }
-                    Verdict::Unknown(_) => {
-                        // Acceptable (incomplete method, bounded BMC), but
-                        // our mutants are all shallow: flag it.
+                    _ => {
+                        // Unknown is acceptable in principle (incomplete
+                        // method, bounded BMC), but our mutants are all
+                        // shallow: flag it.
                         panic!("{name} mutant `{m}` escaped BMC depth 24 — deepen the bound")
                     }
                 }
@@ -59,13 +56,12 @@ fn mutants_are_never_proven_equivalent() {
 fn mutants_with_disabled_extensions_still_sound() {
     // Turning off every accuracy feature must not affect soundness.
     let spec = mixed(16, 8);
-    let opts_base = Options {
-        sim_cycles: 0,
-        retime_rounds: 0,
-        functional_deps: false,
-        bmc_depth: 24,
-        ..Options::default()
-    };
+    let opts_base = OptionsBuilder::new()
+        .sim_cycles(0)
+        .retime_rounds(0)
+        .functional_deps(false)
+        .bmc_depth(24)
+        .build();
     for seed in 0..6u64 {
         let Some((mutant, m)) = mutate_detectable(&spec, seed, 60, 96) else {
             continue;

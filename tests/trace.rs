@@ -4,7 +4,7 @@
 //! cancelled losers included — and `progress` heartbeats must appear
 //! without changing any verdict.
 
-use sec::core::{Backend, Checker, Options, Verdict};
+use sec::core::{Backend, Checker, OptionsBuilder, Verdict};
 use sec::gen::{counter, CounterKind};
 use sec::obs::{NdjsonSink, Obs, Sink};
 use sec::portfolio::{self, EngineKind, PortfolioOptions};
@@ -55,11 +55,10 @@ fn solo_backends_reconcile_field_for_field() {
     let (spec, imp) = equivalent_pair();
     for backend in [Backend::Bdd, Backend::Sat] {
         let buf = SharedBuf::default();
-        let opts = Options {
-            backend,
-            obs: traced_obs(&buf),
-            ..Options::default()
-        };
+        let opts = OptionsBuilder::new()
+            .backend(backend)
+            .obs(traced_obs(&buf))
+            .build();
         let r = Checker::new(&spec, &imp, opts).unwrap().run();
         assert_eq!(r.verdict, Verdict::Equivalent, "{backend:?}");
 
@@ -201,29 +200,21 @@ fn portfolio_trace_reconciles_every_engine_including_losers() {
 fn heartbeats_appear_without_changing_the_verdict() {
     let (spec, imp) = equivalent_pair();
     for backend in [Backend::Bdd, Backend::Sat] {
-        let quiet = Checker::new(
-            &spec,
-            &imp,
-            Options {
-                backend,
-                ..Options::default()
-            },
-        )
-        .unwrap()
-        .run();
+        let quiet = Checker::new(&spec, &imp, OptionsBuilder::new().backend(backend).build())
+            .unwrap()
+            .run();
 
         let buf = SharedBuf::default();
         let noisy = Checker::new(
             &spec,
             &imp,
-            Options {
-                backend,
-                // Sub-microsecond interval: every ticker poll fires, so
-                // the test is deterministic however fast the run is.
-                progress_interval: Some(Duration::from_nanos(1)),
-                obs: traced_obs(&buf),
-                ..Options::default()
-            },
+            // Sub-microsecond interval: every ticker poll fires, so
+            // the test is deterministic however fast the run is.
+            OptionsBuilder::new()
+                .backend(backend)
+                .progress_interval(Some(Duration::from_nanos(1)))
+                .obs(traced_obs(&buf))
+                .build(),
         )
         .unwrap()
         .run();
