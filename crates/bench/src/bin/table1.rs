@@ -101,8 +101,20 @@ fn main() {
             }
             "--jobs" => {
                 i += 1;
-                cfg.jobs = args[i].parse().expect("--jobs N");
-                assert!(cfg.jobs >= 1, "--jobs needs a positive worker count");
+                let requested: usize =
+                    args[i].parse().ok().filter(|n| *n >= 1).unwrap_or_else(|| {
+                        eprintln!(
+                            "--jobs needs a worker count of at least 1, got `{}` \
+                             (hint: pass --jobs 1 for a serial run, or omit the flag)",
+                            args[i]
+                        );
+                        std::process::exit(3);
+                    });
+                let (jobs, warning) = sec_limits::effective_jobs(requested);
+                if let Some(w) = warning {
+                    eprintln!("{w}");
+                }
+                cfg.jobs = jobs;
             }
             "--trace-json" => {
                 i += 1;

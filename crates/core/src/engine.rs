@@ -15,7 +15,7 @@ use crate::bmc::bounded_check;
 use crate::context::{Abort, Deadline};
 use crate::error::SecError;
 use crate::options::{Backend, Options, SignalScope};
-use crate::partition::Partition;
+use crate::partition::{Partition, PartitionSnapshot};
 use crate::result::{CheckResult, CheckStats, Verdict};
 use crate::retime_ext::extend_retimed;
 use crate::sat_backend;
@@ -143,7 +143,31 @@ impl Checker {
     }
 
     /// Runs the check to a verdict.
-    pub fn run(mut self) -> CheckResult {
+    pub fn run(self) -> CheckResult {
+        self.run_seeded(None).0
+    }
+
+    /// Runs the check, optionally seeding the initial partition from a
+    /// snapshot of an earlier run, and returns the final partition
+    /// snapshot alongside the verdict.
+    ///
+    /// The seed is applied by *intersecting* it with the fresh
+    /// simulation-seeded partition ([`Partition::refine_by_snapshot`]),
+    /// which is sound from any starting point: splitting never merges,
+    /// and only the verified fixed-point check proves equivalence. A
+    /// seed taken over a different node numbering (mismatched
+    /// `num_nodes`) is ignored; callers wanting a stronger guarantee
+    /// gate on [`sec_netlist::ordered_digest`] equality of the inputs.
+    ///
+    /// The returned snapshot captures the partition at the end of the
+    /// run — the proven correspondence relation when the verdict is
+    /// `Equivalent` — and is empty when the run refuted by simulation
+    /// before any partition was built. `sec serve` persists it per
+    /// structural fingerprint to warm-start future checks.
+    pub fn run_seeded(
+        mut self,
+        seed: Option<&PartitionSnapshot>,
+    ) -> (CheckResult, PartitionSnapshot) {
         let start = Instant::now();
         // Tee an in-memory recorder behind whatever sinks the caller
         // configured: every backend reads `opts.obs`, so the same
@@ -180,10 +204,13 @@ impl Checker {
                         verdict = "inequivalent",
                         by = "simulation"
                     );
-                    return CheckResult {
-                        verdict: Verdict::Inequivalent(t),
-                        stats,
-                    };
+                    return (
+                        CheckResult {
+                            verdict: Verdict::Inequivalent(t),
+                            stats,
+                        },
+                        PartitionSnapshot::empty(),
+                    );
                 }
             }
         }
@@ -205,6 +232,16 @@ impl Checker {
             };
 
         let mut partition = self.seed_partition(&self.pm.aig);
+        if let Some(snap) = seed.filter(|s| !s.is_empty()) {
+            let applied = partition.refine_by_snapshot(snap);
+            event!(
+                obs,
+                "partition.seed_reuse",
+                applied = applied,
+                classes = partition.num_classes(),
+                snapshot_classes = snap.classes.len()
+            );
+        }
         let mut aborted: Option<Abort> = None;
         let mut proven = false;
         let mut retimes = 0usize;
@@ -312,7 +349,8 @@ impl Checker {
             signals = stats.signals,
             eqs_percent = stats.eqs_percent
         );
-        CheckResult { verdict, stats }
+        let snapshot = partition.snapshot();
+        (CheckResult { verdict, stats }, snapshot)
     }
 }
 
@@ -430,6 +468,30 @@ mod tests {
         let r = Checker::new(&a, &a.clone(), Options::sat()).unwrap().run();
         assert_eq!(r.verdict, Verdict::Equivalent);
         assert_eq!(r.stats.peak_bdd_nodes, 0);
+    }
+
+    #[test]
+    fn seeded_rerun_agrees_with_cold_run() {
+        let a = counter(5, CounterKind::Binary);
+        let (cold, snap) = Checker::new(&a, &a.clone(), Options::sat())
+            .unwrap()
+            .run_seeded(None);
+        assert_eq!(cold.verdict, Verdict::Equivalent);
+        assert!(!snap.is_empty());
+        // Warm-starting from the proven partition must reach the same
+        // verdict and the same final relation.
+        let (warm, snap2) = Checker::new(&a, &a.clone(), Options::sat())
+            .unwrap()
+            .run_seeded(Some(&snap));
+        assert_eq!(warm.verdict, Verdict::Equivalent);
+        assert_eq!(snap, snap2);
+        // A seed over a different node numbering is ignored, not
+        // misapplied.
+        let b = counter(6, CounterKind::Binary);
+        let (other, _) = Checker::new(&b, &b.clone(), Options::sat())
+            .unwrap()
+            .run_seeded(Some(&snap));
+        assert_eq!(other.verdict, Verdict::Equivalent);
     }
 
     #[test]

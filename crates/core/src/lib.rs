@@ -68,6 +68,6 @@ pub use engine::{correspondence_partition, BuildError, Checker};
 pub use error::SecError;
 pub use invariant::prove_invariants;
 pub use options::{Backend, Options, OptionsBuilder, SignalScope};
-pub use partition::Partition;
+pub use partition::{Partition, PartitionSnapshot};
 pub use result::{CheckResult, CheckStats, Verdict};
 pub use sweep::{sequential_sweep, SweepStats};

@@ -326,6 +326,99 @@ impl Partition {
         classes.sort();
         classes
     }
+
+    /// Captures the partition as an owned, index-based snapshot that
+    /// can outlive the check (and the process, via serialization).
+    pub fn snapshot(&self) -> PartitionSnapshot {
+        PartitionSnapshot {
+            num_nodes: self.class_of.len(),
+            classes: self
+                .canonical_classes()
+                .into_iter()
+                .map(|c| c.into_iter().map(|v| v.index() as u32).collect())
+                .collect(),
+            phase: self.phase.clone(),
+        }
+    }
+
+    /// Refines this partition by intersecting it with a snapshot taken
+    /// from an earlier run over the *same node numbering*: members of a
+    /// class that the snapshot separates (different snapshot class, or
+    /// a disagreeing relative phase) are split apart. Returns `true` if
+    /// anything split.
+    ///
+    /// This is how a cached fixed point accelerates a fresh check.
+    /// Splitting is always sound — only the verified fixed-point check
+    /// proves equivalence, so a seed that is too fine merely costs
+    /// completeness the engine would re-establish anyway — and the
+    /// snapshot *is* a previously verified correspondence relation, so
+    /// intersecting with it skips the rounds that originally derived
+    /// those splits.
+    pub fn refine_by_snapshot(&mut self, snap: &PartitionSnapshot) -> bool {
+        if snap.num_nodes != self.class_of.len() {
+            return false;
+        }
+        // Snapshot class index per node (u32::MAX = untracked there).
+        let mut snap_class = vec![u32::MAX; snap.num_nodes];
+        for (ci, class) in snap.classes.iter().enumerate() {
+            for &v in class {
+                if (v as usize) < snap.num_nodes {
+                    snap_class[v as usize] = ci as u32;
+                }
+            }
+        }
+        // `split_class_by_key` borrows self mutably; read phases from a
+        // local copy inside the key closure.
+        let phase = self.phase.clone();
+        let mut changed = false;
+        for ci in 0..self.classes.len() {
+            changed |= self.split_class_by_key(ci, |v| {
+                let i = v.index();
+                // Key on (snapshot class, phase agreement): two signals
+                // stay together only if the snapshot classed them
+                // together *and* their phase relation matches the
+                // snapshot's, so polarity-mismatched pairs split too.
+                (snap_class[i], phase[i] == snap.phase[i])
+            });
+        }
+        changed
+    }
+}
+
+/// An owned capture of a [`Partition`]: the proven (or last-known)
+/// correspondence classes of one check, keyed by concrete node index.
+///
+/// Snapshots come out of [`Checker::run_seeded`](crate::Checker) and go
+/// back in to seed a later check over a structurally identical product
+/// machine — the `sec serve` cache stores one per fingerprint. They are
+/// only meaningful for a graph with the same node numbering; callers
+/// gate reuse on [`sec_netlist::ordered_digest`] equality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionSnapshot {
+    /// Size of the node table the snapshot was taken over.
+    pub num_nodes: usize,
+    /// Canonical classes (members sorted, classes sorted by first
+    /// member), as raw node indices.
+    pub classes: Vec<Vec<u32>>,
+    /// Reference-point value per node.
+    pub phase: Vec<bool>,
+}
+
+impl PartitionSnapshot {
+    /// A snapshot carrying no reuse information (e.g. from a run that
+    /// refuted by simulation before any partition existed).
+    pub fn empty() -> PartitionSnapshot {
+        PartitionSnapshot {
+            num_nodes: 0,
+            classes: Vec::new(),
+            phase: Vec::new(),
+        }
+    }
+
+    /// Whether the snapshot carries any classes at all.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -460,5 +553,50 @@ mod tests {
         let p = sample();
         let multis: Vec<usize> = p.multi_classes().collect();
         assert_eq!(multis, vec![1, 2]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_canonical() {
+        let snap = sample().snapshot();
+        assert_eq!(snap.num_nodes, 6);
+        assert_eq!(snap.classes, vec![vec![0], vec![1, 2, 3], vec![4, 5]]);
+        assert!(!snap.is_empty());
+        assert!(PartitionSnapshot::empty().is_empty());
+    }
+
+    #[test]
+    fn refine_by_snapshot_intersects() {
+        // Snapshot separates node 3 from {1,2}; intersecting a fresh
+        // coarse partition with it reproduces that split.
+        let mut fine = sample();
+        let values = vec![false, true, false, false, true, true];
+        fine.refine_by_values(&values);
+        let snap = fine.snapshot();
+
+        let mut fresh = sample();
+        assert!(fresh.refine_by_snapshot(&snap));
+        assert_eq!(fresh.canonical_classes(), fine.canonical_classes());
+        // Idempotent: intersecting again changes nothing.
+        assert!(!fresh.refine_by_snapshot(&snap));
+        // A mismatched node count is silently ignored.
+        let mut other = sample();
+        assert!(!other.refine_by_snapshot(&PartitionSnapshot::empty()));
+        assert_eq!(other.num_classes(), 3);
+    }
+
+    #[test]
+    fn refine_by_snapshot_splits_phase_mismatches() {
+        // Same classes, but node 2's phase flips relative to the
+        // snapshot: its normalized relation to the class inverts, so it
+        // must not stay merged.
+        let snap = sample().snapshot();
+        let mut flipped = Partition::new(
+            6,
+            vec![vec![v(0)], vec![v(1), v(2), v(3)], vec![v(4), v(5)]],
+            vec![true, true, true, true, true, true],
+        );
+        assert!(flipped.refine_by_snapshot(&snap));
+        assert_ne!(flipped.class_of(v(1)), flipped.class_of(v(2)));
+        assert_eq!(flipped.class_of(v(1)), flipped.class_of(v(3)));
     }
 }

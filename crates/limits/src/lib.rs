@@ -265,9 +265,53 @@ impl Limits {
     }
 }
 
+/// Sanity-clamps a requested worker count against the machine.
+///
+/// Returns the count to actually use plus a warning message when the
+/// request was clamped. Worker counts beyond 4× the available
+/// parallelism only add scheduling overhead and memory, so they are
+/// treated as typos (`--jobs 4000` for `--jobs 4`) rather than obeyed.
+/// Zero is *not* handled here — callers must reject it as a usage
+/// error before calling, because "no workers" is a request that can
+/// never be satisfied rather than one to round to something sensible.
+///
+/// # Examples
+///
+/// ```
+/// let (jobs, warning) = sec_limits::effective_jobs(2);
+/// assert_eq!(jobs, 2);
+/// assert!(warning.is_none());
+/// ```
+pub fn effective_jobs(requested: usize) -> (usize, Option<String>) {
+    assert!(requested >= 1, "reject --jobs 0 before calling");
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cap = available.saturating_mul(4);
+    if requested > cap {
+        let warning = format!(
+            "warning: --jobs {requested} exceeds 4x available parallelism \
+             ({available}); clamping to {cap}"
+        );
+        (cap, Some(warning))
+    } else {
+        (requested, None)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn effective_jobs_clamps_only_absurd_requests() {
+        let (jobs, warning) = effective_jobs(1);
+        assert_eq!(jobs, 1);
+        assert!(warning.is_none());
+        let (jobs, warning) = effective_jobs(1_000_000);
+        assert!(jobs < 1_000_000);
+        assert!(warning.unwrap().contains("clamping"));
+    }
 
     #[test]
     fn unlimited_always_passes() {

@@ -1,0 +1,335 @@
+//! Canonical structural fingerprints of sequential AIGs.
+//!
+//! A [`Fingerprint`] is a 128-bit hash of an [`Aig`]'s *structure*:
+//! two circuits that differ only in signal names or in the order gates
+//! and latches were declared hash identically, while any change to the
+//! logic (a different gate, a flipped initial value, a rewired output)
+//! changes the hash with overwhelming probability.
+//!
+//! The construction is iterative label refinement in the style of
+//! Weisfeiler–Lehman graph hashing: every node starts with a label
+//! derived only from its kind (inputs additionally carry their
+//! interface position, which *is* semantic — product machines pair
+//! inputs positionally), then each round replaces a node's label with a
+//! mix of its old label and the labels of its fanins (with complement
+//! bits folded in). Because equal new labels imply equal old labels,
+//! each round refines the induced partition; iteration stops when the
+//! number of distinct labels is stable. The final digest folds the
+//! sorted label multiset together with the output interface, so it is
+//! independent of node numbering by construction.
+//!
+//! This keys the `sec serve` result cache: resubmitting a circuit pair
+//! whose netlists were regenerated with fresh gensym names still hits.
+//! The companion [`ordered_digest`] is the opposite — deliberately
+//! sensitive to node numbering — and gates reuse of cached partition
+//! snapshots, which store concrete node indices.
+
+use crate::aig::{Aig, Node};
+use std::fmt;
+
+/// A 128-bit structural hash, invariant to signal renaming and
+/// declaration order. See the module docs for the construction.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub [u64; 2]);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({self})")
+    }
+}
+
+impl Fingerprint {
+    /// Parses the 32-hex-digit form produced by `Display`.
+    pub fn parse(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Fingerprint([hi, lo]))
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+#[inline]
+fn finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes a word into an accumulator, order-sensitively.
+#[inline]
+fn mix(acc: u64, word: u64) -> u64 {
+    finalize(acc.wrapping_add(0x9e3779b97f4a7c15).wrapping_add(word))
+}
+
+// Distinct tags keep node kinds from colliding even when their
+// payloads happen to agree.
+const TAG_CONST: u64 = 0x5ec0_0001;
+const TAG_INPUT: u64 = 0x5ec0_0002;
+const TAG_LATCH: u64 = 0x5ec0_0003;
+const TAG_AND: u64 = 0x5ec0_0004;
+const TAG_OUTPUT: u64 = 0x5ec0_0005;
+
+/// A literal's label: the label of its variable with the complement
+/// bit folded in, so `x` and `!x` stay distinguishable.
+#[inline]
+fn signed(labels: &[u64], lit: crate::Lit) -> u64 {
+    mix(labels[lit.var().index()], lit.is_complemented() as u64)
+}
+
+/// Computes the rename- and declaration-order-invariant structural
+/// fingerprint of a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use sec_netlist::{structural_fingerprint, Aig};
+/// let build = |x_name: &str| {
+///     let mut aig = Aig::new();
+///     let x = aig.add_input(x_name).lit();
+///     let q = aig.add_latch(false);
+///     let d = aig.xor(q.lit(), x);
+///     aig.set_latch_next(q, d);
+///     aig.add_output(q.lit(), "q");
+///     aig
+/// };
+/// assert_eq!(
+///     structural_fingerprint(&build("enable")),
+///     structural_fingerprint(&build("en_renamed")),
+/// );
+/// ```
+pub fn structural_fingerprint(aig: &Aig) -> Fingerprint {
+    let n = aig.num_nodes();
+    let mut labels: Vec<u64> = Vec::with_capacity(n);
+    for i in 0..n {
+        let init = match aig.node(crate::Var::from_index(i)) {
+            Node::Const => mix(TAG_CONST, 0),
+            // Input position is semantic: the product machine pairs
+            // spec/impl inputs positionally, so it must distinguish.
+            Node::Input { index } => mix(TAG_INPUT, *index as u64),
+            // Latch position is NOT semantic — only init value is.
+            Node::Latch { init, .. } => mix(TAG_LATCH, *init as u64),
+            Node::And { .. } => mix(TAG_AND, 0),
+        };
+        labels.push(init);
+    }
+
+    // Refine until the distinct-label count stops growing. Equal new
+    // labels imply equal old labels plus equal neighborhoods, so the
+    // count is non-decreasing (modulo hash collisions) and the loop
+    // terminates in at most `n` useful rounds; the cap is a backstop.
+    let mut next = labels.clone();
+    let mut prev_distinct = distinct_count(&labels);
+    let mut stable_rounds = 0;
+    for _ in 0..64.min(n + 2) {
+        for i in 0..n {
+            let v = crate::Var::from_index(i);
+            next[i] = match aig.node(v) {
+                Node::Const | Node::Input { .. } => labels[i],
+                Node::Latch { init, next: nl, .. } => {
+                    let nlab = match nl {
+                        Some(l) => signed(&labels, *l),
+                        None => mix(TAG_LATCH, u64::MAX),
+                    };
+                    mix(mix(labels[i], nlab), *init as u64)
+                }
+                Node::And { a, b } => {
+                    let (la, lb) = (signed(&labels, *a), signed(&labels, *b));
+                    // Sort fanin labels: AND is commutative, and the
+                    // builder's `a <= b` ordering is index-dependent.
+                    let (lo, hi) = if la <= lb { (la, lb) } else { (lb, la) };
+                    mix(mix(labels[i], lo), hi)
+                }
+            };
+        }
+        std::mem::swap(&mut labels, &mut next);
+        let d = distinct_count(&labels);
+        if d == prev_distinct {
+            stable_rounds += 1;
+            if stable_rounds >= 2 {
+                break;
+            }
+        } else {
+            stable_rounds = 0;
+            prev_distinct = d;
+        }
+    }
+
+    // Fold the sorted label multiset plus the output interface into two
+    // independently seeded accumulators. Sorting removes the last trace
+    // of node numbering; output position and polarity are semantic.
+    let mut sorted = labels.clone();
+    sorted.sort_unstable();
+    let mut h0: u64 = 0x5ec5_eed0;
+    let mut h1: u64 = 0x5ec5_eed1;
+    for &l in &sorted {
+        h0 = mix(h0, l);
+        h1 = mix(h1, l ^ 0xa5a5_a5a5_a5a5_a5a5);
+    }
+    for (pos, out) in aig.outputs().iter().enumerate() {
+        let o = mix(mix(TAG_OUTPUT, pos as u64), signed(&labels, out.lit));
+        h0 = mix(h0, o);
+        h1 = mix(h1, o ^ 0xa5a5_a5a5_a5a5_a5a5);
+    }
+    for count in [aig.num_inputs(), aig.num_latches(), aig.num_outputs()] {
+        h0 = mix(h0, count as u64);
+        h1 = mix(h1, count as u64);
+    }
+    Fingerprint([h0, h1])
+}
+
+fn distinct_count(labels: &[u64]) -> usize {
+    let mut sorted = labels.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// An order-*sensitive* digest of the node table: same value only when
+/// two graphs agree node-for-node (kinds, fanins, outputs, indices).
+///
+/// Cached partition snapshots store concrete node indices, so they may
+/// only be replayed onto a graph with an identical node numbering —
+/// [`structural_fingerprint`] equality alone is not enough. Two graphs
+/// with equal ordered digests are interchangeable for index-based
+/// state; equal fingerprints but different ordered digests are the
+/// renamed/reordered case where only the verdict may be reused.
+pub fn ordered_digest(aig: &Aig) -> u64 {
+    let mut h: u64 = 0x5ec0_0d1e;
+    h = mix(h, aig.num_nodes() as u64);
+    for i in 0..aig.num_nodes() {
+        let word = match aig.node(crate::Var::from_index(i)) {
+            Node::Const => TAG_CONST,
+            Node::Input { index } => mix(TAG_INPUT, *index as u64),
+            Node::Latch { index, init, next } => {
+                let nl = next.map(|l| l.code() as u64 + 1).unwrap_or(0);
+                mix(mix(mix(TAG_LATCH, *index as u64), *init as u64), nl)
+            }
+            Node::And { a, b } => mix(mix(TAG_AND, a.code() as u64), b.code() as u64),
+        };
+        h = mix(h, word);
+    }
+    for out in aig.outputs() {
+        h = mix(h, mix(TAG_OUTPUT, out.lit.code() as u64));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toggle register gated by an enable input.
+    fn toggle(input_name: &str, output_name: &str) -> Aig {
+        let mut aig = Aig::new();
+        let en = aig.add_input(input_name).lit();
+        let q = aig.add_latch(false);
+        let d = aig.xor(q.lit(), en);
+        aig.set_latch_next(q, d);
+        aig.add_output(q.lit(), output_name);
+        aig
+    }
+
+    /// The same toggle built declaring the latch before the input and
+    /// with the XOR's AND gates forced into a different table order.
+    fn toggle_reordered() -> Aig {
+        let mut aig = Aig::new();
+        let q = aig.add_latch(false);
+        let en = aig.add_input("enable").lit();
+        // xor(a, b) = !(!(a & !b) & !(!a & b)); build the inner gates
+        // in the opposite order from `Aig::xor` by asking for the
+        // second conjunct first.
+        let t2 = aig.and(!q.lit(), en);
+        let t1 = aig.and(q.lit(), !en);
+        let d = aig.and(!t1, !t2);
+        aig.set_latch_next(q, !d);
+        aig.add_output(q.lit(), "q");
+        aig
+    }
+
+    #[test]
+    fn rename_invariant() {
+        let a = toggle("en", "q");
+        let b = toggle("completely_different", "also_different");
+        assert_eq!(structural_fingerprint(&a), structural_fingerprint(&b));
+        // Renaming alone keeps even the ordered digest: names are
+        // never hashed.
+        assert_eq!(ordered_digest(&a), ordered_digest(&b));
+    }
+
+    #[test]
+    fn declaration_order_invariant() {
+        let a = toggle("en", "q");
+        let b = toggle_reordered();
+        assert_eq!(structural_fingerprint(&a), structural_fingerprint(&b));
+        // ...but the ordered digest sees the different node numbering.
+        assert_ne!(ordered_digest(&a), ordered_digest(&b));
+    }
+
+    #[test]
+    fn logic_changes_are_detected() {
+        let base = toggle("en", "q");
+
+        // Different gate function.
+        let mut xnor = Aig::new();
+        let en = xnor.add_input("en").lit();
+        let q = xnor.add_latch(false);
+        let d = xnor.xnor(q.lit(), en);
+        xnor.set_latch_next(q, d);
+        xnor.add_output(q.lit(), "q");
+        assert_ne!(structural_fingerprint(&base), structural_fingerprint(&xnor));
+
+        // Flipped initial value.
+        let mut init1 = Aig::new();
+        let en = init1.add_input("en").lit();
+        let q = init1.add_latch(true);
+        let d = init1.xor(q.lit(), en);
+        init1.set_latch_next(q, d);
+        init1.add_output(q.lit(), "q");
+        assert_ne!(
+            structural_fingerprint(&base),
+            structural_fingerprint(&init1)
+        );
+
+        // Complemented output.
+        let mut inv = toggle("en", "q");
+        let lit = inv.outputs()[0].lit;
+        inv.set_output(0, !lit);
+        assert_ne!(structural_fingerprint(&base), structural_fingerprint(&inv));
+    }
+
+    #[test]
+    fn input_position_is_semantic() {
+        // Swapping which input feeds which output must change the
+        // hash: product machines pair inputs positionally.
+        let build = |swap: bool| {
+            let mut aig = Aig::new();
+            let a = aig.add_input("a").lit();
+            let b = aig.add_input("b").lit();
+            let first = if swap { b } else { a };
+            aig.add_output(first, "x");
+            aig
+        };
+        assert_ne!(
+            structural_fingerprint(&build(false)),
+            structural_fingerprint(&build(true))
+        );
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let fp = structural_fingerprint(&toggle("en", "q"));
+        let s = fp.to_string();
+        assert_eq!(s.len(), 32);
+        assert_eq!(Fingerprint::parse(&s), Some(fp));
+        assert_eq!(Fingerprint::parse("xyz"), None);
+    }
+}

@@ -38,6 +38,7 @@ mod aiger;
 pub mod analysis;
 mod bench_format;
 pub mod dot;
+mod fingerprint;
 mod literal;
 pub mod product;
 
@@ -48,5 +49,6 @@ pub use aiger::{
 };
 pub use analysis::{check, stats, AigStats, CheckError};
 pub use bench_format::{parse_bench, write_bench, ParseBenchError};
+pub use fingerprint::{ordered_digest, structural_fingerprint, Fingerprint};
 pub use literal::{Lit, Var};
 pub use product::{align_interface_by_name, ProductError, ProductMachine, Side};

@@ -64,9 +64,9 @@ mod ndjson;
 mod recorder;
 mod sink;
 
-pub use ndjson::NdjsonSink;
+pub use ndjson::{LineWriter, NdjsonSink};
 pub use recorder::{EventRecord, HistogramSnapshot, Recorder};
-pub use sink::{NullSink, Sink};
+pub use sink::{NullSink, Sink, TagSink};
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -36,6 +36,63 @@ pub trait Sink: Send + Sync {
     }
 }
 
+/// A sink that stamps one extra field onto every event before
+/// forwarding to an inner sink.
+///
+/// This is how a multiplexed stream stays attributable: `sec serve`
+/// gives each job an `Obs` whose sinks are `TagSink`s stamping
+/// `("job", <id>)` over sinks that share one
+/// [`LineWriter`](crate::LineWriter), so events from concurrent jobs
+/// interleave line-by-line but never lose their owner. Numeric traffic
+/// (counters, gauges, histograms) is forwarded untouched.
+pub struct TagSink {
+    key: &'static str,
+    value: Value,
+    inner: std::sync::Arc<dyn Sink>,
+}
+
+impl TagSink {
+    /// Tags every event passing through with `key: value`.
+    pub fn new(
+        key: &'static str,
+        value: impl Into<Value>,
+        inner: std::sync::Arc<dyn Sink>,
+    ) -> Self {
+        TagSink {
+            key,
+            value: value.into(),
+            inner,
+        }
+    }
+}
+
+impl Sink for TagSink {
+    fn event(
+        &self,
+        at_us: u64,
+        scope: Option<&'static str>,
+        name: &str,
+        fields: &[(&'static str, Value)],
+    ) {
+        let mut tagged = Vec::with_capacity(fields.len() + 1);
+        tagged.push((self.key, self.value.clone()));
+        tagged.extend_from_slice(fields);
+        self.inner.event(at_us, scope, name, &tagged);
+    }
+
+    fn add(&self, counter: Counter, delta: u64) {
+        self.inner.add(counter, delta);
+    }
+
+    fn gauge_max(&self, gauge: Gauge, value: u64) {
+        self.inner.gauge_max(gauge, value);
+    }
+
+    fn observe(&self, hist: Histogram, value: u64) {
+        self.inner.observe(hist, value);
+    }
+}
+
 /// A sink that discards everything. [`crate::Obs::off`] is cheaper
 /// (no dispatch at all); this exists for plumbing that insists on a
 /// live handle — e.g. overhead measurements of the dispatch path

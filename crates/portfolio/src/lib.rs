@@ -137,6 +137,12 @@ pub struct PortfolioOptions {
     /// handle scoped to its [`EngineKind::name`], so every event an
     /// engine emits carries an `"engine"` attribution field.
     pub obs: Obs,
+    /// External cancellation. The race runs on an internal token (so a
+    /// definitive winner can stop the losers); cancelling this one
+    /// trips the internal token on the orchestrator's next poll and the
+    /// race returns `Unknown("cancelled")`. `sec serve` uses this to
+    /// kill a portfolio job when its client disconnects.
+    pub cancel: Option<CancellationToken>,
 }
 
 impl Default for PortfolioOptions {
@@ -152,6 +158,7 @@ impl Default for PortfolioOptions {
             traversal_node_limit: 4 << 20,
             progress_interval: None,
             obs: Obs::off(),
+            cancel: None,
         }
     }
 }
@@ -372,6 +379,7 @@ pub fn run_with_events(
 
         let mut last_seen: Vec<u64> = vec![0; counters.len()];
         let mut timed_out = false;
+        let mut externally_cancelled = false;
         let mut remaining = opts.engines.len();
         while remaining > 0 {
             let msg = rx.recv_timeout(Duration::from_millis(20));
@@ -431,6 +439,17 @@ pub fn run_with_events(
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {}
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+            // External cancellation (e.g. the serve client hung up):
+            // trip the internal token so every engine winds down.
+            if !externally_cancelled && winner.is_none() {
+                if let Some(ext) = &opts.cancel {
+                    if ext.is_cancelled() {
+                        externally_cancelled = true;
+                        token.cancel();
+                        event!(obs, "race.cancelled");
+                    }
+                }
             }
             // Belt and braces: each engine carries its own deadline, but
             // the orchestrator also enforces the global one so a race

@@ -1,0 +1,633 @@
+//! The daemon: TCP listener, bounded job queue, worker pool, cache.
+//!
+//! One reader thread per client connection parses request lines and
+//! either answers directly (cache hits, cancel/status/shutdown) or
+//! enqueues a job for the fixed worker pool. Every byte the server
+//! sends is a `sec-obs`-schema NDJSON event line, so a captured
+//! session (client-side or via `--trace-json`) is a valid trace for
+//! `sec trace summary`. Cancellation is cooperative throughout: each
+//! job owns a [`CancellationToken`] tripped by a `cancel` request, by
+//! its client disconnecting, or by daemon shutdown, and the engines
+//! poll it via their `Limits` layering.
+
+use crate::cache::{CacheEntry, ResultCache};
+use crate::protocol::{parse_request, CheckRequest, Engine, Request, Source};
+use sec_core::{Backend, Checker, OptionsBuilder, PartitionSnapshot, Verdict};
+use sec_limits::CancellationToken;
+use sec_netlist::{
+    check as check_circuit, ordered_digest, parse_aiger, parse_bench, structural_fingerprint, Aig,
+    Fingerprint, ProductMachine,
+};
+use sec_obs::{LineWriter, NdjsonSink, Obs, Sink, TagSink, Value};
+use sec_portfolio::PortfolioOptions;
+use sec_sim::Trace;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of [`run_server`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Address to bind, e.g. `127.0.0.1:7878` (`:0` picks a free port;
+    /// the chosen address is printed on stdout).
+    pub listen: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bound of the pending-job queue; submissions beyond it are
+    /// rejected with `serve.error` instead of queued.
+    pub queue_capacity: usize,
+    /// LRU bound of the result cache.
+    pub cache_entries: usize,
+    /// Persist the cache one JSON file per entry under this directory.
+    pub cache_dir: Option<PathBuf>,
+    /// Capture the whole session (every event of every job, plus
+    /// server lifecycle events) to this NDJSON file.
+    pub trace_path: Option<PathBuf>,
+    /// Deadline applied to jobs that do not set `timeout_ms`.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            listen: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_entries: 256,
+            cache_dir: None,
+            trace_path: None,
+            default_timeout: Some(Duration::from_secs(600)),
+        }
+    }
+}
+
+/// One unit of work for the pool.
+struct Job {
+    id: String,
+    tag: Option<String>,
+    spec: Aig,
+    impl_: Aig,
+    engine: Engine,
+    timeout: Option<Duration>,
+    conflict_budget: Option<u64>,
+    jobs: usize,
+    heartbeat: Option<Duration>,
+    no_cache: bool,
+    fingerprint: Fingerprint,
+    ordered: u64,
+    /// Snapshot to warm-start from (revalidation over an identical
+    /// node numbering).
+    seed: Option<PartitionSnapshot>,
+    token: CancellationToken,
+    /// Event sinks of the owning connection plus the session trace.
+    conn_obs: Obs,
+    conn_sinks: Vec<Arc<dyn Sink>>,
+}
+
+struct JobHandle {
+    token: CancellationToken,
+    conn: u64,
+}
+
+struct State {
+    queue: Mutex<VecDeque<Job>>,
+    queue_cond: Condvar,
+    queue_capacity: usize,
+    cache: Mutex<ResultCache>,
+    jobs: Mutex<HashMap<String, JobHandle>>,
+    job_seq: AtomicU64,
+    conn_seq: AtomicU64,
+    running: AtomicU64,
+    done: AtomicU64,
+    shutdown: AtomicBool,
+    workers: usize,
+    default_timeout: Option<Duration>,
+    /// Session-wide trace sink, shared (line-atomically) by everything.
+    session_sink: Option<Arc<dyn Sink>>,
+}
+
+impl State {
+    fn session_obs(&self) -> Obs {
+        match &self.session_sink {
+            Some(s) => Obs::multi(vec![Arc::clone(s)]),
+            None => Obs::off(),
+        }
+    }
+}
+
+fn verdict_label(v: &Verdict) -> (&'static str, Option<String>, Option<&Trace>) {
+    match v {
+        Verdict::Equivalent => ("equivalent", None, None),
+        Verdict::Inequivalent(t) => ("inequivalent", None, Some(t)),
+        Verdict::Unknown(reason) => ("unknown", Some(reason.clone()), None),
+        _ => ("unknown", Some("unrecognized verdict".to_string()), None),
+    }
+}
+
+fn cex_frames(trace: &Trace) -> String {
+    trace
+        .inputs
+        .iter()
+        .map(|f| {
+            f.iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect::<String>()
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn load_circuit(source: &Source) -> Result<Aig, String> {
+    let (text, what): (String, String) = match source {
+        Source::Path(p) => (
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?,
+            p.clone(),
+        ),
+        Source::Inline(text) => (text.clone(), "inline circuit".to_string()),
+    };
+    let aig = if text.trim_start().starts_with("aag ") {
+        parse_aiger(&text).map_err(|e| format!("{what}: {e}"))?
+    } else {
+        parse_bench(&text).map_err(|e| format!("{what}: {e}"))?
+    };
+    check_circuit(&aig).map_err(|e| format!("{what}: {e}"))?;
+    Ok(aig)
+}
+
+/// Runs the daemon until a `shutdown` request arrives. Prints
+/// `sec-serve listening on ADDR` to stdout once the socket is bound,
+/// so wrappers (tests, CI) can discover an `:0`-assigned port.
+///
+/// # Errors
+///
+/// Returns the bind/setup error; per-request failures are reported to
+/// the requesting client as `serve.error` events instead.
+pub fn run_server(opts: &ServeOptions) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&opts.listen)?;
+    let addr = listener.local_addr()?;
+
+    let session_sink: Option<Arc<dyn Sink>> = match &opts.trace_path {
+        Some(path) => Some(Arc::new(NdjsonSink::shared(Arc::new(LineWriter::create(
+            path,
+        )?)))),
+        None => None,
+    };
+    let cache = match &opts.cache_dir {
+        Some(dir) => ResultCache::persistent(opts.cache_entries, dir.clone())?,
+        None => ResultCache::new(opts.cache_entries),
+    };
+
+    let state = Arc::new(State {
+        queue: Mutex::new(VecDeque::new()),
+        queue_cond: Condvar::new(),
+        queue_capacity: opts.queue_capacity.max(1),
+        cache: Mutex::new(cache),
+        jobs: Mutex::new(HashMap::new()),
+        job_seq: AtomicU64::new(0),
+        conn_seq: AtomicU64::new(0),
+        running: AtomicU64::new(0),
+        done: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+        workers: opts.workers.max(1),
+        default_timeout: opts.default_timeout,
+        session_sink,
+    });
+
+    let session = state.session_obs();
+    session.event(
+        "serve.start",
+        &[
+            ("addr", Value::from(addr.to_string())),
+            ("workers", Value::from(state.workers as u64)),
+        ],
+    );
+
+    println!("sec-serve listening on {addr}");
+    std::io::stdout().flush()?;
+
+    let mut workers = Vec::with_capacity(state.workers);
+    for _ in 0..state.workers {
+        let state = Arc::clone(&state);
+        workers.push(std::thread::spawn(move || worker_loop(&state)));
+    }
+
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || handle_connection(&state, stream));
+    }
+
+    state.queue_cond.notify_all();
+    for w in workers {
+        let _ = w.join();
+    }
+    session.event("serve.end", &[]);
+    Ok(())
+}
+
+/// Reader loop of one client connection.
+fn handle_connection(state: &Arc<State>, stream: TcpStream) {
+    let conn_id = state.conn_seq.fetch_add(1, Ordering::SeqCst) + 1;
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn_writer = Arc::new(LineWriter::new(write_half));
+    let conn_sink: Arc<dyn Sink> = Arc::new(NdjsonSink::shared(conn_writer));
+    let mut sinks: Vec<Arc<dyn Sink>> = vec![Arc::clone(&conn_sink)];
+    if let Some(s) = &state.session_sink {
+        sinks.push(Arc::clone(s));
+    }
+    let conn_obs = Obs::multi(sinks.clone());
+    conn_obs.event(
+        "serve.hello",
+        &[
+            ("proto", Value::from(1u64)),
+            ("workers", Value::from(state.workers as u64)),
+        ],
+    );
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(line.trim()) {
+            Err(msg) => {
+                conn_obs.event("serve.error", &[("error", Value::from(msg))]);
+            }
+            Ok(Request::Check(req)) => submit(state, conn_id, &conn_obs, &sinks, *req),
+            Ok(Request::Cancel { job }) => {
+                let found = {
+                    let jobs = state.jobs.lock().unwrap();
+                    jobs.get(&job).map(|h| h.token.clone())
+                };
+                match found {
+                    Some(token) => {
+                        token.cancel();
+                        conn_obs.event(
+                            "job.cancel",
+                            &[
+                                ("job", Value::from(job)),
+                                ("reason", Value::from("request")),
+                            ],
+                        );
+                    }
+                    None => conn_obs.event(
+                        "serve.error",
+                        &[
+                            ("job", Value::from(job)),
+                            ("error", Value::from("no such job")),
+                        ],
+                    ),
+                }
+            }
+            Ok(Request::Status) => {
+                let (cache_entries, counters) = {
+                    let cache = state.cache.lock().unwrap();
+                    (cache.len(), cache.counters())
+                };
+                let queue_depth = state.queue.lock().unwrap().len();
+                conn_obs.event(
+                    "serve.status",
+                    &[
+                        ("workers", Value::from(state.workers as u64)),
+                        ("queue_depth", Value::from(queue_depth as u64)),
+                        ("running", Value::from(state.running.load(Ordering::SeqCst))),
+                        ("done", Value::from(state.done.load(Ordering::SeqCst))),
+                        ("cache_entries", Value::from(cache_entries as u64)),
+                        ("cache_hits", Value::from(counters.hits)),
+                        ("cache_misses", Value::from(counters.misses)),
+                        ("cache_evictions", Value::from(counters.evictions)),
+                    ],
+                );
+            }
+            Ok(Request::Shutdown) => {
+                conn_obs.event("serve.bye", &[]);
+                cancel_owned_jobs(state, None, "shutdown");
+                state.shutdown.store(true, Ordering::SeqCst);
+                state.queue_cond.notify_all();
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect_timeout(
+                    &reader
+                        .get_ref()
+                        .local_addr()
+                        .unwrap_or_else(|_| "127.0.0.1:1".parse().expect("literal addr")),
+                    Duration::from_millis(200),
+                );
+                return;
+            }
+        }
+    }
+    // EOF or socket error: the client is gone. Cancel everything it
+    // still owns so its jobs stop burning workers.
+    if !state.shutdown.load(Ordering::SeqCst) {
+        cancel_owned_jobs(state, Some(conn_id), "disconnect");
+    }
+}
+
+/// Cancels jobs owned by `conn` (all jobs when `None`), emitting
+/// `job.cancel` on the session trace — the owning client is gone or
+/// going, so the session capture is the surviving audit record.
+fn cancel_owned_jobs(state: &Arc<State>, conn: Option<u64>, reason: &'static str) {
+    let session = state.session_obs();
+    let jobs = state.jobs.lock().unwrap();
+    for (id, handle) in jobs.iter() {
+        if conn.is_none_or(|c| handle.conn == c) && !handle.token.is_cancelled() {
+            handle.token.cancel();
+            session.event(
+                "job.cancel",
+                &[
+                    ("job", Value::from(id.as_str())),
+                    ("reason", Value::from(reason)),
+                ],
+            );
+        }
+    }
+}
+
+/// Handles one `check` request on the submitting connection's thread:
+/// loads and validates the circuits, fingerprints the product machine,
+/// answers cache hits immediately, and queues the rest.
+fn submit(
+    state: &Arc<State>,
+    conn_id: u64,
+    conn_obs: &Obs,
+    conn_sinks: &[Arc<dyn Sink>],
+    req: CheckRequest,
+) {
+    let id = format!("j{}", state.job_seq.fetch_add(1, Ordering::SeqCst) + 1);
+    let mut base = vec![("job", Value::from(id.as_str()))];
+    if let Some(tag) = &req.tag {
+        base.push(("tag", Value::from(tag.as_str())));
+    }
+    let fail = |msg: String| {
+        let mut fields = base.clone();
+        fields.push(("error", Value::from(msg)));
+        conn_obs.event("serve.error", &fields);
+    };
+
+    let spec = match load_circuit(&req.spec) {
+        Ok(aig) => aig,
+        Err(msg) => return fail(msg),
+    };
+    let impl_ = match load_circuit(&req.impl_) {
+        Ok(aig) => aig,
+        Err(msg) => return fail(msg),
+    };
+    let pm = match ProductMachine::build(&spec, &impl_) {
+        Ok(pm) => pm,
+        Err(e) => return fail(e.to_string()),
+    };
+    let fingerprint = structural_fingerprint(&pm.aig);
+    let ordered = ordered_digest(&pm.aig);
+
+    let mut seed = None;
+    if !req.no_cache {
+        let hit = state.cache.lock().unwrap().lookup(fingerprint);
+        if let Some(entry) = hit {
+            if req.revalidate {
+                // Re-run, but warm-start when the snapshot's node
+                // numbering matches this product machine exactly.
+                if entry.ordered_digest == ordered && !entry.snapshot.is_empty() {
+                    seed = Some(entry.snapshot);
+                }
+            } else {
+                let mut fields = base.clone();
+                fields.push((
+                    "verdict",
+                    Value::from(if entry.equivalent {
+                        "equivalent"
+                    } else {
+                        "inequivalent"
+                    }),
+                ));
+                if let Some(cex) = &entry.cex {
+                    fields.push(("cex", Value::from(cex_frames(cex))));
+                }
+                fields.push(("cached", Value::from(true)));
+                fields.push(("fingerprint", Value::from(fingerprint.to_string())));
+                fields.push(("classes", Value::from(entry.classes as u64)));
+                fields.push(("signals", Value::from(entry.signals as u64)));
+                fields.push(("eqs_percent", Value::from(entry.eqs_percent)));
+                fields.push(("rounds", Value::from(entry.rounds as u64)));
+                fields.push(("time_ms", Value::from(0u64)));
+                conn_obs.event("serve.result", &fields);
+                state.done.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+
+    let token = CancellationToken::new();
+    let job = Job {
+        id: id.clone(),
+        tag: req.tag.clone(),
+        spec,
+        impl_,
+        engine: req.engine,
+        timeout: req
+            .timeout_ms
+            .map(Duration::from_millis)
+            .or(state.default_timeout),
+        conflict_budget: req.conflict_budget,
+        jobs: req.jobs,
+        heartbeat: req.heartbeat_ms.map(Duration::from_millis),
+        no_cache: req.no_cache,
+        fingerprint,
+        ordered,
+        seed,
+        token: token.clone(),
+        conn_obs: conn_obs.clone(),
+        conn_sinks: conn_sinks.to_vec(),
+    };
+
+    {
+        let mut queue = state.queue.lock().unwrap();
+        if queue.len() >= state.queue_capacity {
+            drop(queue);
+            return fail("queue full".to_string());
+        }
+        state.jobs.lock().unwrap().insert(
+            id.clone(),
+            JobHandle {
+                token,
+                conn: conn_id,
+            },
+        );
+        let depth = queue.len() + 1;
+        let mut fields = base.clone();
+        fields.push(("fingerprint", Value::from(fingerprint.to_string())));
+        fields.push(("engine", Value::from(job.engine.name())));
+        fields.push(("queue_depth", Value::from(depth as u64)));
+        conn_obs.event("serve.queued", &fields);
+        queue.push_back(job);
+    }
+    state.queue_cond.notify_one();
+}
+
+/// One worker: pops jobs until shutdown.
+fn worker_loop(state: &Arc<State>) {
+    loop {
+        let job = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = state.queue_cond.wait(queue).unwrap();
+            }
+        };
+        run_job(state, job);
+    }
+}
+
+fn run_job(state: &Arc<State>, job: Job) {
+    let start = Instant::now();
+    let mut base = vec![("job", Value::from(job.id.as_str()))];
+    if let Some(tag) = &job.tag {
+        base.push(("tag", Value::from(tag.as_str())));
+    }
+
+    let finish = |state: &Arc<State>, mut fields: Vec<(&'static str, Value)>| {
+        job.conn_obs.event("serve.result", {
+            fields.push(("time_ms", Value::from(start.elapsed().as_millis() as u64)));
+            &fields
+        });
+        state.jobs.lock().unwrap().remove(&job.id);
+        state.done.fetch_add(1, Ordering::SeqCst);
+    };
+
+    if job.token.is_cancelled() {
+        let mut fields = base.clone();
+        fields.push(("verdict", Value::from("unknown")));
+        fields.push(("reason", Value::from("cancelled")));
+        fields.push(("cached", Value::from(false)));
+        finish(state, fields);
+        return;
+    }
+
+    state.running.fetch_add(1, Ordering::SeqCst);
+    let mut fields = base.clone();
+    fields.push(("engine", Value::from(job.engine.name())));
+    fields.push(("fingerprint", Value::from(job.fingerprint.to_string())));
+    fields.push(("seeded", Value::from(job.seed.is_some())));
+    job.conn_obs.event("job.start", &fields);
+
+    // Engine events go out tagged with the job id on the same shared
+    // line writers, so concurrent jobs multiplex without tearing and
+    // `sec trace summary` can still attribute every event.
+    let job_obs = {
+        // The tag value must outlive the job — an owned String per sink.
+        let tagged: Vec<Arc<dyn Sink>> = job
+            .conn_sinks
+            .iter()
+            .map(|s| Arc::new(TagSink::new("job", job.id.clone(), Arc::clone(s))) as Arc<dyn Sink>)
+            .collect();
+        Obs::multi(tagged)
+    };
+
+    let (verdict, stats, snapshot) = match job.engine {
+        Engine::Bdd | Engine::Sat => {
+            let backend = if job.engine == Engine::Bdd {
+                Backend::Bdd
+            } else {
+                Backend::Sat
+            };
+            let opts = OptionsBuilder::new()
+                .backend(backend)
+                .timeout(job.timeout)
+                .sat_conflict_budget(job.conflict_budget)
+                .jobs(job.jobs)
+                .progress_interval(job.heartbeat)
+                .cancel(Some(job.token.clone()))
+                .obs(job_obs)
+                .build();
+            match Checker::new(&job.spec, &job.impl_, opts) {
+                Ok(checker) => {
+                    let (result, snapshot) = checker.run_seeded(job.seed.as_ref());
+                    (result.verdict, Some(result.stats), snapshot)
+                }
+                Err(e) => {
+                    let mut fields = base.clone();
+                    fields.push(("error", Value::from(e.to_string())));
+                    job.conn_obs.event("serve.error", &fields);
+                    state.running.fetch_sub(1, Ordering::SeqCst);
+                    let mut fields = base.clone();
+                    fields.push(("verdict", Value::from("unknown")));
+                    fields.push(("reason", Value::from("build error")));
+                    fields.push(("cached", Value::from(false)));
+                    finish(state, fields);
+                    return;
+                }
+            }
+        }
+        Engine::Portfolio => {
+            let popts = PortfolioOptions {
+                timeout: job.timeout,
+                jobs: job.jobs,
+                progress_interval: job.heartbeat,
+                obs: job_obs,
+                cancel: Some(job.token.clone()),
+                ..PortfolioOptions::default()
+            };
+            match sec_portfolio::run(&job.spec, &job.impl_, &popts) {
+                Ok(result) => (result.verdict, None, PartitionSnapshot::empty()),
+                Err(e) => (
+                    Verdict::Unknown(e.to_string()),
+                    None,
+                    PartitionSnapshot::empty(),
+                ),
+            }
+        }
+    };
+    state.running.fetch_sub(1, Ordering::SeqCst);
+
+    let (label, reason, cex) = verdict_label(&verdict);
+    if !job.no_cache && label != "unknown" {
+        let entry = CacheEntry {
+            equivalent: label == "equivalent",
+            cex: cex.cloned(),
+            classes: stats.as_ref().map_or(0, |s| s.classes),
+            signals: stats.as_ref().map_or(0, |s| s.signals),
+            eqs_percent: stats.as_ref().map_or(0.0, |s| s.eqs_percent),
+            rounds: stats.as_ref().map_or(0, |s| s.iterations),
+            ordered_digest: job.ordered,
+            snapshot,
+        };
+        state.cache.lock().unwrap().store(job.fingerprint, entry);
+    }
+
+    let mut fields = base.clone();
+    fields.push(("verdict", Value::from(label)));
+    if let Some(reason) = reason {
+        fields.push(("reason", Value::from(reason)));
+    }
+    if let Some(cex) = cex {
+        fields.push(("cex", Value::from(cex_frames(cex))));
+    }
+    fields.push(("cached", Value::from(false)));
+    fields.push(("fingerprint", Value::from(job.fingerprint.to_string())));
+    if let Some(stats) = &stats {
+        fields.push(("classes", Value::from(stats.classes as u64)));
+        fields.push(("signals", Value::from(stats.signals as u64)));
+        fields.push(("eqs_percent", Value::from(stats.eqs_percent)));
+        fields.push(("rounds", Value::from(stats.iterations as u64)));
+    }
+    finish(state, fields);
+}

@@ -42,7 +42,7 @@ mod summary;
 
 pub use diff::{diff, render_diff, CounterDelta, DiffOptions, PhaseDelta, TraceDiff};
 pub use flame::{folded, render_folded};
-pub use parse::{Event, Json, ParseError, Trace};
+pub use parse::{parse_json, Event, Json, ParseError, Trace};
 pub use summary::{
     render_summary, summarize, CheckOutcome, EngineSummary, HistAgg, PhaseAgg, TraceSummary,
 };

@@ -55,6 +55,46 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value as a `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Looks up a member of an object by key; `None` for non-objects
+    /// and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value (with nothing but whitespace around
+/// it) into a [`Json`] tree. `ParseError::line` is always 1: this is
+/// the single-value entry point the `sec serve` wire protocol and cache
+/// files use, not the NDJSON one — for event streams use
+/// [`Trace::parse_strict`].
+pub fn parse_json(input: &str) -> Result<Json, ParseError> {
+    let mut cur = Cursor {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let located = |(col, msg)| ParseError { line: 1, col, msg };
+    let value = cur.parse_value().map_err(located)?;
+    cur.skip_ws();
+    if cur.pos < cur.bytes.len() {
+        return Err(ParseError {
+            line: 1,
+            col: cur.pos + 1,
+            msg: "trailing characters after JSON value".into(),
+        });
+    }
+    Ok(value)
 }
 
 /// A strict-mode parse failure, located for the user.
@@ -508,6 +548,24 @@ mod tests {
         assert_eq!(e.field("big"), Some(&Json::U64(u64::MAX)));
         assert_eq!(e.u64("i"), None);
         assert_eq!(e.f64("i"), Some(-7.0));
+    }
+
+    #[test]
+    fn parse_json_single_value() {
+        let v = parse_json(" {\"a\":[1,true],\"b\":{\"c\":\"x\"}} ").unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![Json::U64(1), Json::Bool(true)]))
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Json::as_str),
+            Some("x")
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Bool(false).as_bool(), Some(false));
+        assert_eq!(Json::Null.as_bool(), None);
+        assert!(parse_json("{\"a\":1} trailing").is_err());
+        assert!(parse_json("{oops").is_err());
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! sec trace summary <trace>           digest an NDJSON trace
 //! sec trace diff <base> <new>         compare two traces, gate on regressions
 //! sec trace flame <trace>             folded-stack export of the span tree
+//! sec serve [options]                 run the persistent checking daemon
+//! sec client <sub> --addr ADDR        drive a running daemon
 //! ```
 //!
 //! Circuits are read in ISCAS'89 `.bench` or ASCII AIGER `.aag` format
@@ -20,6 +22,10 @@ use sec::core::{Backend, Checker, Options, SignalScope, Verdict};
 use sec::netlist::{analysis, dot, parse_aiger, parse_bench, write_aiger, write_bench, Aig};
 use sec::obs::{NdjsonSink, Obs, Recorder, Sink, Value};
 use sec::portfolio::{self, EngineKind, PortfolioOptions, ProgressEvent};
+use sec::serve::{
+    check_line, CheckRequest as ServeCheckRequest, Client as ServeClient, Engine as ServeEngine,
+    ServeOptions, Source as ServeSource,
+};
 use sec::sim::Trace;
 use sec::synth::{pipeline, PipelineOptions};
 use std::process::exit;
@@ -50,7 +56,16 @@ fn usage() -> ! {
          sec trace summary <trace.ndjson> [--strict]\n  \
          sec trace diff <base.ndjson> <new.ndjson> [--strict]\n           \
          [--threshold NAME=PCT]... [--default-threshold PCT]\n  \
-         sec trace flame <trace.ndjson> [--strict]\n\n\
+         sec trace flame <trace.ndjson> [--strict]\n  \
+         sec serve [--listen ADDR] [--workers N] [--queue N] [--cache-entries N]\n           \
+         [--cache-dir DIR] [--trace-json FILE] [--timeout SECS]\n  \
+         sec client check <spec> <impl> --addr ADDR [--engine bdd|sat|portfolio]\n           \
+         [--timeout SECS] [--conflict-budget N] [--jobs N] [--heartbeat SECS]\n           \
+         [--tag NAME] [--no-cache] [--revalidate] [--inline]\n  \
+         sec client batch <spec impl>... --addr ADDR [check options]\n  \
+         sec client cancel <job> --addr ADDR\n  \
+         sec client status --addr ADDR\n  \
+         sec client shutdown --addr ADDR\n\n\
          check exit codes: 0 equivalent, 1 not equivalent, 2 unknown, 3 error\n\
          trace exit codes: 0 ok, 1 regression/mismatch, 2 parse error, 3 usage\n\
          circuit formats: ISCAS'89 .bench, ASCII AIGER .aag"
@@ -85,6 +100,8 @@ fn main() {
         Some("dot") => cmd_dot(&args[1..]),
         Some("sat") => cmd_sat(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         _ => usage(),
     }
 }
@@ -95,6 +112,24 @@ fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
         eprintln!("{flag} needs a value");
         exit(EXIT_USAGE)
     })
+}
+
+/// Parses a `--jobs` value. Zero (or garbage) is a usage error with a
+/// hint; absurd requests are clamped to 4x the available parallelism
+/// with a warning ([`sec::limits::effective_jobs`]).
+fn parse_jobs(value: &str) -> usize {
+    let requested: usize = value.parse().ok().filter(|n| *n >= 1).unwrap_or_else(|| {
+        eprintln!(
+            "--jobs needs a worker count of at least 1, got `{value}` \
+             (hint: pass --jobs 1 for a serial run, or omit the flag)"
+        );
+        exit(EXIT_USAGE)
+    });
+    let (jobs, warning) = sec::limits::effective_jobs(requested);
+    if let Some(w) = warning {
+        eprintln!("{w}");
+    }
+    jobs
 }
 
 fn json_escape(s: &str) -> String {
@@ -287,16 +322,7 @@ fn cmd_check(args: &[String]) {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
-            "--jobs" => {
-                opts.jobs = take_value(args, &mut i, "--jobs")
-                    .parse()
-                    .ok()
-                    .filter(|n| *n >= 1)
-                    .unwrap_or_else(|| {
-                        eprintln!("--jobs needs a positive worker count");
-                        exit(EXIT_USAGE)
-                    })
-            }
+            "--jobs" => opts.jobs = parse_jobs(take_value(args, &mut i, "--jobs")),
             other => {
                 eprintln!("unknown option `{other}`");
                 exit(EXIT_USAGE)
@@ -770,4 +796,324 @@ fn cmd_trace_flame(args: &[String]) {
     let strict = flags.iter().any(|(f, _)| f == "--strict");
     let trace = load_trace(&paths[0], strict);
     print!("{}", sec::trace::render_folded(&sec::trace::folded(&trace)));
+}
+
+fn cmd_serve(args: &[String]) -> ! {
+    let mut opts = ServeOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => opts.listen = take_value(args, &mut i, "--listen").to_string(),
+            "--workers" => opts.workers = parse_jobs(take_value(args, &mut i, "--workers")),
+            "--queue" => {
+                opts.queue_capacity = take_value(args, &mut i, "--queue")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--queue needs a capacity of at least 1");
+                        exit(EXIT_USAGE)
+                    })
+            }
+            "--cache-entries" => {
+                opts.cache_entries = take_value(args, &mut i, "--cache-entries")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--cache-entries needs a bound of at least 1");
+                        exit(EXIT_USAGE)
+                    })
+            }
+            "--cache-dir" => opts.cache_dir = Some(take_value(args, &mut i, "--cache-dir").into()),
+            "--trace-json" => {
+                opts.trace_path = Some(take_value(args, &mut i, "--trace-json").into())
+            }
+            "--timeout" => {
+                let secs: u64 = take_value(args, &mut i, "--timeout")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                opts.default_timeout = Some(Duration::from_secs(secs));
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                exit(EXIT_USAGE)
+            }
+        }
+        i += 1;
+    }
+    match sec::serve::run_server(&opts) {
+        Ok(()) => exit(0),
+        Err(e) => {
+            eprintln!("serve: {e}");
+            exit(1)
+        }
+    }
+}
+
+fn cmd_client(args: &[String]) -> ! {
+    match args.first().map(String::as_str) {
+        Some("check") => client_check(false, &args[1..]),
+        Some("batch") => client_check(true, &args[1..]),
+        Some("cancel") => client_cancel(&args[1..]),
+        Some("status") => client_simple(&args[1..], "{\"cmd\":\"status\"}", "serve.status"),
+        Some("shutdown") => client_simple(&args[1..], "{\"cmd\":\"shutdown\"}", "serve.bye"),
+        _ => usage(),
+    }
+}
+
+fn client_connect(addr: Option<String>) -> ServeClient {
+    let addr = addr.unwrap_or_else(|| {
+        eprintln!("--addr HOST:PORT is required");
+        exit(EXIT_USAGE)
+    });
+    ServeClient::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        exit(EXIT_USAGE)
+    })
+}
+
+/// `sec client check`/`batch`: submit one (or N) check jobs, stream
+/// every server line to stdout, exit with the worst verdict code.
+fn client_check(batch: bool, args: &[String]) -> ! {
+    let mut addr = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut engine = ServeEngine::Sat;
+    let mut timeout_ms = None;
+    let mut conflict_budget = None;
+    let mut jobs = 1usize;
+    let mut heartbeat_ms = None;
+    let mut tag: Option<String> = None;
+    let mut no_cache = false;
+    let mut revalidate = false;
+    let mut inline = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value(args, &mut i, "--addr").to_string()),
+            "--engine" => {
+                let name = take_value(args, &mut i, "--engine");
+                engine = ServeEngine::parse(name).unwrap_or_else(|| {
+                    eprintln!("unknown engine `{name}`");
+                    exit(EXIT_USAGE)
+                })
+            }
+            "--timeout" => {
+                let secs: u64 = take_value(args, &mut i, "--timeout")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                timeout_ms = Some(secs.saturating_mul(1000));
+            }
+            "--timeout-ms" => {
+                timeout_ms = Some(
+                    take_value(args, &mut i, "--timeout-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--conflict-budget" => {
+                conflict_budget = Some(
+                    take_value(args, &mut i, "--conflict-budget")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--jobs" => jobs = parse_jobs(take_value(args, &mut i, "--jobs")),
+            "--heartbeat" => {
+                let secs: f64 = take_value(args, &mut i, "--heartbeat")
+                    .parse()
+                    .ok()
+                    .filter(|s| *s > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--heartbeat needs a positive interval in seconds");
+                        exit(EXIT_USAGE)
+                    });
+                heartbeat_ms = Some((secs * 1000.0).max(1.0) as u64);
+            }
+            "--tag" => tag = Some(take_value(args, &mut i, "--tag").to_string()),
+            "--no-cache" => no_cache = true,
+            "--revalidate" => revalidate = true,
+            "--inline" => inline = true,
+            a if a.starts_with("--") => {
+                eprintln!("unknown option `{a}`");
+                exit(EXIT_USAGE)
+            }
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    if batch {
+        if paths.is_empty() || !paths.len().is_multiple_of(2) {
+            eprintln!("batch needs one or more <spec> <impl> path pairs");
+            exit(EXIT_USAGE)
+        }
+    } else if paths.len() != 2 {
+        usage();
+    }
+    let source = |p: &str| {
+        if inline {
+            let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("cannot read {p}: {e}");
+                exit(EXIT_USAGE)
+            });
+            ServeSource::Inline(text)
+        } else {
+            ServeSource::Path(p.to_string())
+        }
+    };
+    let lines: Vec<String> = paths
+        .chunks(2)
+        .enumerate()
+        .map(|(n, pair)| {
+            check_line(&ServeCheckRequest {
+                spec: source(&pair[0]),
+                impl_: source(&pair[1]),
+                engine,
+                timeout_ms,
+                conflict_budget,
+                jobs,
+                heartbeat_ms,
+                tag: match &tag {
+                    Some(t) if batch => Some(format!("{t}.{n}")),
+                    other => other.clone(),
+                },
+                no_cache,
+                revalidate,
+            })
+        })
+        .collect();
+    let mut client = client_connect(addr);
+    for line in &lines {
+        client.send_line(line).unwrap_or_else(|e| {
+            eprintln!("send failed: {e}");
+            exit(EXIT_USAGE)
+        });
+    }
+    let mut remaining = lines.len();
+    let mut worst = EXIT_EQUIVALENT;
+    while remaining > 0 {
+        match client.next_event() {
+            Ok(Some((line, ev))) => {
+                println!("{line}");
+                match ev.ev.as_str() {
+                    "serve.result" => {
+                        remaining -= 1;
+                        worst = worst.max(match ev.str("verdict") {
+                            Some("equivalent") => EXIT_EQUIVALENT,
+                            Some("inequivalent") => EXIT_INEQUIVALENT,
+                            _ => EXIT_UNKNOWN,
+                        });
+                    }
+                    "serve.error" => {
+                        remaining -= 1;
+                        worst = EXIT_USAGE;
+                    }
+                    _ => {}
+                }
+            }
+            Ok(None) => {
+                eprintln!("server closed the connection with {remaining} jobs outstanding");
+                exit(EXIT_USAGE)
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                exit(EXIT_USAGE)
+            }
+        }
+    }
+    exit(worst)
+}
+
+/// `sec client cancel <job>`: exits 0 when the server confirms the
+/// cancellation (`job.cancel`), 1 when it reports no such job.
+fn client_cancel(args: &[String]) -> ! {
+    let mut addr = None;
+    let mut job: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value(args, &mut i, "--addr").to_string()),
+            a if a.starts_with("--") => {
+                eprintln!("unknown option `{a}`");
+                exit(EXIT_USAGE)
+            }
+            j if job.is_none() => job = Some(j.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(job) = job else { usage() };
+    let mut client = client_connect(addr);
+    client
+        .send_line(&format!(
+            "{{\"cmd\":\"cancel\",\"job\":\"{}\"}}",
+            sec::serve::escape_json(&job)
+        ))
+        .unwrap_or_else(|e| {
+            eprintln!("send failed: {e}");
+            exit(EXIT_USAGE)
+        });
+    loop {
+        match client.next_event() {
+            Ok(Some((line, ev))) => {
+                println!("{line}");
+                match ev.ev.as_str() {
+                    "job.cancel" => exit(0),
+                    "serve.error" => exit(1),
+                    _ => {}
+                }
+            }
+            Ok(None) => {
+                eprintln!("server closed the connection");
+                exit(EXIT_USAGE)
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                exit(EXIT_USAGE)
+            }
+        }
+    }
+}
+
+/// `sec client status`/`shutdown`: one request, print lines until the
+/// expected reply event arrives.
+fn client_simple(args: &[String], request: &str, reply: &str) -> ! {
+    let mut addr = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value(args, &mut i, "--addr").to_string()),
+            other => {
+                eprintln!("unknown option `{other}`");
+                exit(EXIT_USAGE)
+            }
+        }
+        i += 1;
+    }
+    let mut client = client_connect(addr);
+    client.send_line(request).unwrap_or_else(|e| {
+        eprintln!("send failed: {e}");
+        exit(EXIT_USAGE)
+    });
+    loop {
+        match client.next_event() {
+            Ok(Some((line, ev))) => {
+                println!("{line}");
+                if ev.ev == reply {
+                    exit(0)
+                }
+                if ev.ev == "serve.error" {
+                    exit(1)
+                }
+            }
+            Ok(None) => {
+                eprintln!("server closed the connection");
+                exit(EXIT_USAGE)
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                exit(EXIT_USAGE)
+            }
+        }
+    }
 }

@@ -17,6 +17,7 @@
 //! * [`portfolio`] — parallel multi-engine racing with first-definitive-wins
 //! * [`obs`] — spans, counters, histograms and NDJSON event streams across all engines
 //! * [`trace`] — the read side: NDJSON parsing, summaries, diffs, flame export
+//! * [`serve`] — persistent checking service with a fingerprint-keyed result cache
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use sec_netlist as netlist;
 pub use sec_obs as obs;
 pub use sec_portfolio as portfolio;
 pub use sec_sat as sat;
+pub use sec_serve as serve;
 pub use sec_sim as sim;
 pub use sec_synth as synth;
 pub use sec_trace as trace;

@@ -236,3 +236,35 @@ fn bad_usage_exits_above_two() {
         .unwrap();
     assert_eq!(out.status.code(), Some(3));
 }
+
+#[test]
+fn check_jobs_zero_is_a_usage_error_with_hint() {
+    let spec = write_tmp("spec_jobs0.bench", TOGGLE);
+    let out = Command::new(SEC)
+        .args(["check"])
+        .arg(&spec)
+        .arg(&spec)
+        .args(["--jobs", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jobs"), "{err}");
+    assert!(err.contains("hint"), "{err}");
+}
+
+#[test]
+fn check_jobs_absurd_is_clamped_with_warning() {
+    let spec = write_tmp("spec_jobsbig.bench", TOGGLE);
+    let out = Command::new(SEC)
+        .args(["check"])
+        .arg(&spec)
+        .arg(&spec)
+        .args(["--engine", "sat", "--jobs", "1000000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("clamping"), "{err}");
+    assert!(err.contains("1000000"), "{err}");
+}

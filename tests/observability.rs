@@ -272,3 +272,50 @@ fn null_sink_runs_are_identical_to_instrumented_runs() {
         assert_eq!(canonical(&p_off), canonical(&p_on), "{backend:?}");
     }
 }
+
+/// Two concurrent checks streaming through one shared line writer must
+/// never interleave bytes mid-line: every line strict-parses and both
+/// job tags appear. This is the serve-style multiplexing (`TagSink`
+/// over `NdjsonSink::shared`) exercised without a socket.
+#[test]
+fn concurrent_jobs_share_a_sink_without_tearing_lines() {
+    use sec::obs::{LineWriter, TagSink};
+
+    let buf = SharedBuf::default();
+    let writer = Arc::new(LineWriter::new(Box::new(buf.clone())));
+    let handles: Vec<_> = (0..2)
+        .map(|k| {
+            let sink = TagSink::new(
+                "job",
+                format!("j{k}"),
+                Arc::new(NdjsonSink::shared(Arc::clone(&writer))),
+            );
+            std::thread::spawn(move || {
+                let (spec, imp) = equivalent_pair();
+                let opts = OptionsBuilder::new()
+                    .backend(Backend::Sat)
+                    .obs(Obs::single(sink))
+                    .build();
+                let r = Checker::new(&spec, &imp, opts).unwrap().run();
+                assert_eq!(r.verdict, Verdict::Equivalent);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let text = buf.lines().join("\n");
+    let trace = sec::trace::Trace::parse_strict(&text).expect("torn NDJSON line");
+    assert!(!trace.events.is_empty());
+    for k in 0..2u32 {
+        let tag = format!("j{k}");
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| e.str("job") == Some(tag.as_str())),
+            "no events tagged {tag}"
+        );
+    }
+}

@@ -1,0 +1,372 @@
+//! End-to-end tests of the `sec serve` daemon: fingerprint cache hits,
+//! rename invariance, deadlines, disconnect cancellation, cache
+//! persistence, and the `sec client` CLI.
+
+use sec::gen::random_aig;
+use sec::netlist::write_bench;
+use sec::serve::{check_line, CheckRequest, Client, Engine, Source};
+use sec::trace::Event;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SEC: &str = env!("CARGO_BIN_EXE_sec");
+
+const TOGGLE: &str = "\
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(q, en)
+";
+
+/// The same toggle with every signal renamed and the declarations
+/// reordered: structurally identical, textually disjoint.
+const TOGGLE_RENAMED: &str = "\
+OUTPUT(state)
+state = DFF(nxt)
+nxt = XOR(state, tick)
+INPUT(tick)
+";
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sec-serve-tests-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(extra: &[&str]) -> Daemon {
+        let mut child = Command::new(SEC)
+            .args(["serve", "--listen", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        // The first stdout line announces the bound address.
+        let stdout = child.stdout.take().unwrap();
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).unwrap();
+        let addr = line.trim().rsplit(' ').next().unwrap_or("").to_string();
+        assert!(addr.contains(':'), "unexpected banner: {line:?}");
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.addr).unwrap()
+    }
+
+    /// Clean shutdown via the protocol; panics if the daemon leaks.
+    fn shutdown_and_wait(&mut self) -> std::process::ExitStatus {
+        if let Ok(mut c) = Client::connect(&self.addr) {
+            let _ = c.send_line("{\"cmd\":\"shutdown\"}");
+            while let Ok(Some(_)) = c.next_line() {}
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = self.child.try_wait().unwrap() {
+                return status;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon did not exit after shutdown"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn check_req(spec: &str, imp: &str) -> CheckRequest {
+    CheckRequest {
+        spec: Source::Inline(spec.to_string()),
+        impl_: Source::Inline(imp.to_string()),
+        engine: Engine::Sat,
+        timeout_ms: None,
+        conflict_budget: None,
+        jobs: 1,
+        heartbeat_ms: None,
+        tag: None,
+        no_cache: false,
+        revalidate: false,
+    }
+}
+
+/// Submits one check and drains events until its `serve.result` (or
+/// `serve.error`) arrives; returns everything received.
+fn run_check(client: &mut Client, req: &CheckRequest) -> Vec<Event> {
+    client.send_line(&check_line(req)).unwrap();
+    let mut events = Vec::new();
+    loop {
+        let (_, ev) = client.next_event().unwrap().expect("server closed early");
+        let done = ev.ev == "serve.result" || ev.ev == "serve.error";
+        events.push(ev);
+        if done {
+            return events;
+        }
+    }
+}
+
+fn status(client: &mut Client) -> Event {
+    client.send_line("{\"cmd\":\"status\"}").unwrap();
+    loop {
+        let (_, ev) = client.next_event().unwrap().expect("server closed early");
+        if ev.ev == "serve.status" {
+            return ev;
+        }
+    }
+}
+
+fn result_of(events: &[Event]) -> &Event {
+    let last = events.last().unwrap();
+    assert_eq!(last.ev, "serve.result", "ended on {last:?}");
+    last
+}
+
+fn ran_an_engine(events: &[Event]) -> bool {
+    events
+        .iter()
+        .any(|e| e.ev == "check.start" || e.ev == "round" || e.ev == "race.start")
+}
+
+/// A pair whose check takes long enough (in a debug build) that the
+/// test can reliably interrupt it mid-flight.
+fn slow_pair_bench() -> (String, String) {
+    let big = random_aig(8, 150, 1500, 42);
+    let text = write_bench(&big);
+    (text.clone(), text)
+}
+
+#[test]
+fn cache_hit_skips_the_engine_and_matches_the_cold_verdict() {
+    let mut daemon = Daemon::start(&["--workers", "2"]);
+
+    let mut c1 = daemon.client();
+    let cold = run_check(&mut c1, &check_req(TOGGLE, TOGGLE));
+    let cold_result = result_of(&cold);
+    assert_eq!(cold_result.str("verdict"), Some("equivalent"));
+    assert_eq!(
+        cold_result.field("cached").and_then(|j| j.as_bool()),
+        Some(false)
+    );
+    assert!(ran_an_engine(&cold), "cold run must invoke an engine");
+    let fingerprint = cold_result.str("fingerprint").unwrap().to_string();
+    let classes = cold_result.u64("classes").unwrap();
+
+    // Same pair from a *different* connection: served from the cache,
+    // with zero engine activity in the job's event stream.
+    let mut c2 = daemon.client();
+    let warm = run_check(&mut c2, &check_req(TOGGLE, TOGGLE));
+    let warm_result = result_of(&warm);
+    assert_eq!(warm_result.str("verdict"), Some("equivalent"));
+    assert_eq!(
+        warm_result.field("cached").and_then(|j| j.as_bool()),
+        Some(true)
+    );
+    assert_eq!(warm_result.str("fingerprint"), Some(fingerprint.as_str()));
+    assert_eq!(warm_result.u64("classes"), Some(classes));
+    assert!(!ran_an_engine(&warm), "cache hit must not invoke an engine");
+
+    let st = status(&mut c2);
+    assert_eq!(st.u64("cache_hits"), Some(1));
+    assert_eq!(st.u64("cache_misses"), Some(1));
+
+    assert!(daemon.shutdown_and_wait().success());
+}
+
+#[test]
+fn renamed_signals_hit_the_same_cache_entry() {
+    let mut daemon = Daemon::start(&["--workers", "1"]);
+
+    let mut c = daemon.client();
+    let cold = run_check(&mut c, &check_req(TOGGLE, TOGGLE));
+    let fingerprint = result_of(&cold).str("fingerprint").unwrap().to_string();
+
+    // Every signal renamed, declarations reordered: same fingerprint,
+    // same cache entry, no engine run.
+    let renamed = run_check(&mut c, &check_req(TOGGLE_RENAMED, TOGGLE_RENAMED));
+    let renamed_result = result_of(&renamed);
+    assert_eq!(
+        renamed_result.str("fingerprint"),
+        Some(fingerprint.as_str())
+    );
+    assert_eq!(
+        renamed_result.field("cached").and_then(|j| j.as_bool()),
+        Some(true)
+    );
+    assert_eq!(renamed_result.str("verdict"), Some("equivalent"));
+    assert!(!ran_an_engine(&renamed));
+
+    assert_eq!(status(&mut c).u64("cache_hits"), Some(1));
+    assert!(daemon.shutdown_and_wait().success());
+}
+
+#[test]
+fn deadline_expiry_returns_timeout_and_frees_the_worker() {
+    let mut daemon = Daemon::start(&["--workers", "1"]);
+    let (spec, imp) = slow_pair_bench();
+
+    let mut c = daemon.client();
+    let mut req = check_req(&spec, &imp);
+    req.timeout_ms = Some(1);
+    let events = run_check(&mut c, &req);
+    let result = result_of(&events);
+    assert_eq!(result.str("verdict"), Some("unknown"));
+    assert_eq!(result.str("reason"), Some("timeout"));
+    assert_eq!(
+        result.field("cached").and_then(|j| j.as_bool()),
+        Some(false)
+    );
+
+    // The single worker must be free again: a quick job completes.
+    let after = run_check(&mut c, &check_req(TOGGLE, TOGGLE));
+    assert_eq!(result_of(&after).str("verdict"), Some("equivalent"));
+
+    // Indefinite verdicts must not be cached.
+    let st = status(&mut c);
+    assert_eq!(st.u64("cache_entries"), Some(1));
+    assert!(daemon.shutdown_and_wait().success());
+}
+
+#[test]
+fn client_disconnect_cancels_the_running_job() {
+    let dir = tmp_dir("disconnect");
+    let trace_path = dir.join("session.ndjson");
+    let mut daemon = Daemon::start(&[
+        "--workers",
+        "1",
+        "--trace-json",
+        trace_path.to_str().unwrap(),
+    ]);
+    let (spec, imp) = slow_pair_bench();
+
+    {
+        let mut c = daemon.client();
+        let mut req = check_req(&spec, &imp);
+        req.heartbeat_ms = Some(10);
+        c.send_line(&check_line(&req)).unwrap();
+        loop {
+            let (_, ev) = c.next_event().unwrap().expect("server closed early");
+            assert_ne!(ev.ev, "serve.result", "job finished before it could start");
+            if ev.ev == "job.start" {
+                break;
+            }
+        }
+        // Dropping the client closes the socket mid-job.
+    }
+
+    // The session trace must record the cancellation.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let text = std::fs::read_to_string(&trace_path).unwrap_or_default();
+        let trace = sec::trace::Trace::parse_tolerant(&text);
+        if trace
+            .events
+            .iter()
+            .any(|e| e.ev == "job.cancel" && e.str("reason") == Some("disconnect"))
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no job.cancel/disconnect in session trace:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The lone worker is free again once the cancellation lands.
+    let mut c = daemon.client();
+    let after = run_check(&mut c, &check_req(TOGGLE, TOGGLE));
+    assert_eq!(result_of(&after).str("verdict"), Some("equivalent"));
+
+    assert!(daemon.shutdown_and_wait().success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_dir_persists_across_restart() {
+    let dir = tmp_dir("persist");
+    let cache_dir = dir.join("cache");
+    let cache_arg = cache_dir.to_str().unwrap().to_string();
+
+    let mut daemon = Daemon::start(&["--workers", "1", "--cache-dir", &cache_arg]);
+    let mut c = daemon.client();
+    let cold = run_check(&mut c, &check_req(TOGGLE, TOGGLE));
+    let fingerprint = result_of(&cold).str("fingerprint").unwrap().to_string();
+    drop(c);
+    assert!(daemon.shutdown_and_wait().success());
+
+    // A fresh daemon over the same directory serves the result warm.
+    let mut daemon = Daemon::start(&["--workers", "1", "--cache-dir", &cache_arg]);
+    let mut c = daemon.client();
+    let warm = run_check(&mut c, &check_req(TOGGLE, TOGGLE));
+    let warm_result = result_of(&warm);
+    assert_eq!(
+        warm_result.field("cached").and_then(|j| j.as_bool()),
+        Some(true)
+    );
+    assert_eq!(warm_result.str("fingerprint"), Some(fingerprint.as_str()));
+    assert_eq!(warm_result.str("verdict"), Some("equivalent"));
+    assert_eq!(status(&mut c).u64("cache_hits"), Some(1));
+    assert!(daemon.shutdown_and_wait().success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_client_round_trip() {
+    let dir = tmp_dir("cli");
+    let spec = dir.join("spec.bench");
+    let imp = dir.join("impl.bench");
+    std::fs::write(&spec, TOGGLE).unwrap();
+    std::fs::write(&imp, TOGGLE).unwrap();
+    let mut daemon = Daemon::start(&["--workers", "1"]);
+
+    // `--inline` ships the circuit text, so the daemon's cwd is moot.
+    let out = Command::new(SEC)
+        .args(["client", "check"])
+        .arg(&spec)
+        .arg(&imp)
+        .args(["--addr", &daemon.addr, "--inline", "--tag", "t1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("serve.result"), "{text}");
+    assert!(text.contains("\"verdict\":\"equivalent\""), "{text}");
+    assert!(text.contains("\"tag\":\"t1\""), "{text}");
+
+    let out = Command::new(SEC)
+        .args(["client", "status", "--addr", &daemon.addr])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("serve.status"));
+
+    // Cancelling an unknown job is a reported error, exit 1.
+    let out = Command::new(SEC)
+        .args(["client", "cancel", "j999", "--addr", &daemon.addr])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no such job"));
+
+    let out = Command::new(SEC)
+        .args(["client", "shutdown", "--addr", &daemon.addr])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(daemon.shutdown_and_wait().success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
