@@ -1,18 +1,21 @@
 //! Sharded parallel refinement rounds vs the serial incremental path.
 //!
-//! Runs the largest SAT-backend Table 1 instances at `jobs ∈ {1, 2, 4}`
-//! and writes wall-clock plus the full per-run statistics to
-//! `BENCH_parallel_rounds.json` at the repository root. The partitions
-//! and verdicts are identical by construction (the driver merges worker
-//! counterexamples in canonical order), so the only thing that may move
-//! is time — and on refining rounds the workers stop at their first
-//! counterexample instead of sweeping every pair, which is a query-count
-//! win even on a single hardware thread.
+//! Runs the largest SAT-backend Table 1 instances at `jobs ∈ {1, 2, 4,
+//! 8}` and writes wall-clock plus the full per-run statistics to
+//! `BENCH_parallel_rounds.json` at the repository root. The final
+//! partitions, verdicts, and total splits are identical by construction
+//! (the driver merges worker counterexamples in canonical order; the
+//! fixed point is unique) — but with the work-stealing rounds the
+//! *trajectory* counters (rounds, solver calls) legitimately shrink as
+//! jobs grow: each round stops early once the pool holds enough
+//! witnesses, and witness/clause sharing prunes redundant queries. The
+//! headline number is wall-clock, which must improve monotonically
+//! through jobs=8 even on one hardware thread (the win is fewer solver
+//! calls, not more cores).
 //!
 //! Not a criterion timing loop on purpose: each configuration runs the
-//! full check a few times and reports the median, next to deterministic
-//! counters (rounds, solver calls, splits) that must not vary with
-//! `jobs` at all.
+//! full check a few times and reports the median, next to the counters
+//! that explain where the time went.
 
 use sec_bench::{make_instance, run_proposed, RunConfig};
 use sec_core::stats::{to_json, JsonObject};
@@ -20,7 +23,7 @@ use sec_core::Backend;
 use sec_gen::iscas_alike_suite;
 use std::fmt::Write as _;
 
-const JOBS: [usize; 3] = [1, 2, 4];
+const JOBS: [usize; 4] = [1, 2, 4, 8];
 const ROWS: [&str; 2] = ["s13207", "s15850"];
 const TIMED_RUNS: usize = 3;
 
@@ -65,8 +68,8 @@ fn main() {
             );
             if jobs == 1 {
                 base_ms = wall_ms;
-            } else if jobs == 4 {
-                speedups.push((name.to_string(), base_ms / wall_ms));
+            } else {
+                speedups.push((name.to_string(), jobs, base_ms / wall_ms));
             }
             let row = JsonObject::new()
                 .usize("jobs", jobs)
@@ -94,8 +97,8 @@ fn main() {
         "/../../BENCH_parallel_rounds.json"
     );
     std::fs::write(path, &out).expect("write BENCH_parallel_rounds.json");
-    for (name, s) in &speedups {
-        println!("{name}: jobs=4 speedup over jobs=1: {s:.2}x");
+    for (name, jobs, s) in &speedups {
+        println!("{name}: jobs={jobs} speedup over jobs=1: {s:.2}x");
     }
     println!("wrote {path}");
 }

@@ -62,11 +62,21 @@ pub struct Options {
     /// (incremental SAT path only; the BDD and monolithic paths stay
     /// serial). `1` — the default — is exactly the single-threaded
     /// behaviour. With `N > 1`, each round's candidate-pair checks are
-    /// partitioned round-robin across `N` workers, each owning its own
-    /// incremental solver cloned from the shared two-frame CNF
-    /// encoding; workers return counterexample word-patterns which the
-    /// driver merges deterministically in canonical pair order, so the
-    /// final partition and verdict are identical for every jobs count.
+    /// split into chunks on **work-stealing deques**: each worker owns
+    /// a persistent incremental solver cloned once from the shared
+    /// two-frame CNF encoding, pulls chunks from its own queue and
+    /// steals from siblings when empty. Between chunks, workers
+    /// exchange short learned clauses over the shared encoding
+    /// variables ([`Options::sat_share_clauses`]) and amplified
+    /// counterexample witnesses ([`Options::sat_share_witnesses`]),
+    /// so one worker's refutation prunes every sibling's remaining
+    /// queries. The effective worker count is clamped to the round's
+    /// candidate-pair count, so oversubscribed `--jobs` never spawns
+    /// idle threads. Workers return counterexample witnesses which
+    /// the driver re-amplifies and merges deterministically in
+    /// ascending canonical pair order, so the final partition and
+    /// verdict are bit-identical for every jobs count (round
+    /// *trajectories* may differ — see `docs/PARALLEL.md`).
     pub jobs: usize,
     /// Cycles of random sequential simulation used to seed the candidate
     /// partition (paper Sec. 4). `0` disables seeding: the iteration then
@@ -121,6 +131,31 @@ pub struct Options {
     /// current partition — never misreading the budgeted query as
     /// "unsatisfiable". `None` means no budget.
     pub sat_conflict_budget: Option<u64>,
+    /// Exchange short learned clauses between the workers of sharded
+    /// parallel rounds (SAT backend, `jobs > 1` only). At every chunk
+    /// boundary a worker exports learnt clauses and level-0 units
+    /// whose variables all lie in the shared two-frame encoding —
+    /// facts implied by the base CNF alone, hence sound in any
+    /// sibling solver — and imports what siblings published. Sharing
+    /// never changes the verdict or final partition; it only prunes
+    /// duplicate conflict derivations. Disable for ablation runs.
+    pub sat_share_clauses: bool,
+    /// Exchange amplified counterexample witnesses between the
+    /// workers of sharded parallel rounds (SAT backend, `jobs > 1`
+    /// only). A worker that refutes a candidate pair publishes the
+    /// witness's simulated signature; siblings skip any queued pair
+    /// that the signature already separates (the pair will be split
+    /// when the witness merges, so its query is redundant). Skipping
+    /// is always sound — surviving pairs are re-enumerated next round
+    /// — and the merge order keeps results deterministic. Disable for
+    /// ablation runs.
+    pub sat_share_witnesses: bool,
+    /// Candidate pairs per work-stealing chunk in sharded parallel
+    /// rounds. `0` — the default — sizes chunks automatically from
+    /// the round's pair count and the worker count. Smaller chunks
+    /// react faster to a sibling's counterexample, larger chunks
+    /// amortize exchange overhead; see `docs/PARALLEL.md` for tuning.
+    pub sat_chunk_pairs: usize,
     /// Refute cheaply by lockstep random simulation before the fixed
     /// point (and use simulation counterexamples found during seeding).
     /// Portfolio runs disable this in engines whose role is proving, so
@@ -169,6 +204,9 @@ impl Default for Options {
             sat_incremental: true,
             sat_amplify_words: 1,
             sat_conflict_budget: None,
+            sat_share_clauses: true,
+            sat_share_witnesses: true,
+            sat_chunk_pairs: 0,
             sim_refute: true,
             cancel: None,
             progress: None,
@@ -336,6 +374,14 @@ impl OptionsBuilder {
         sat_amplify_words: usize,
         /// Sets the per-query conflict budget of the incremental path.
         sat_conflict_budget: Option<u64>,
+        /// Enables/disables learned-clause exchange between workers
+        /// (see [`Options::sat_share_clauses`]).
+        sat_share_clauses: bool,
+        /// Enables/disables counterexample-witness exchange between
+        /// workers (see [`Options::sat_share_witnesses`]).
+        sat_share_witnesses: bool,
+        /// Sets the work-stealing chunk size in pairs (`0` = auto).
+        sat_chunk_pairs: usize,
         /// Enables/disables cheap simulation refutation.
         sim_refute: bool,
         /// Attaches a cooperative cancellation token.

@@ -211,6 +211,32 @@ impl Partition {
         changed
     }
 
+    /// The polarity-normalized form of a packed evaluation word: the
+    /// word itself when the node's phase is positive, its complement
+    /// otherwise. Two nodes evaluate equal (as normalized functions) on
+    /// pattern `k` iff bit `k` of their normalized words agree — the
+    /// word-level analogue of [`Partition::lit_equiv`], used both by
+    /// [`Partition::valid_word_mask`] and by the sharded rounds'
+    /// witness-signature pruning.
+    #[inline]
+    pub fn norm_word(&self, v: Var, word: u64) -> u64 {
+        if self.phase[v.index()] {
+            word
+        } else {
+            !word
+        }
+    }
+
+    /// Whether an evaluation (packed as words, restricted to the
+    /// patterns in `mask`) separates two nodes: some valid pattern on
+    /// which their normalized values differ. A counterexample whose
+    /// signature separates a candidate pair will split that pair when
+    /// it is merged, so the pair's own query can be skipped.
+    #[inline]
+    pub fn words_separate(&self, a: Var, wa: u64, b: Var, wb: u64, mask: u64) -> bool {
+        (self.norm_word(a, wa) ^ self.norm_word(b, wb)) & mask != 0
+    }
+
     /// The mask of patterns whose frame-0 evaluation satisfies the
     /// correspondence condition `Q` of *this* partition: bit `k` is set
     /// iff in pattern `k` every multi-member class agrees (normalized)
@@ -222,10 +248,9 @@ impl Partition {
         let mut valid = !0u64;
         for ci in self.multi_classes() {
             let members = &self.classes[ci];
-            let norm = |v: Var, w: u64| if self.phase[v.index()] { w } else { !w };
-            let repr = norm(members[0], word_of(members[0]));
+            let repr = self.norm_word(members[0], word_of(members[0]));
             for &m in &members[1..] {
-                valid &= !(norm(m, word_of(m)) ^ repr);
+                valid &= !(self.norm_word(m, word_of(m)) ^ repr);
                 if valid == 0 {
                     return 0;
                 }

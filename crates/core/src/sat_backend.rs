@@ -46,12 +46,14 @@
 use crate::context::{Abort, Deadline, SatMeter};
 use crate::options::Options;
 use crate::partition::Partition;
-use sec_limits::CancellationToken;
+use sec_limits::{CancellationToken, StealQueues};
 use sec_netlist::{Aig, Lit, Var};
 use sec_obs::{event, span, Counter, Obs, ProgressTicker};
 use sec_sat::{AigCnf, SatLit, SatResult, Solver};
-use sec_sim::{amplify_init, amplify_two_frame, eval_single, next_state_single};
-use std::collections::HashMap;
+use sec_sim::{amplify_init, amplify_two_frame, eval_single, next_state_single, BitSim};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// The two-frame (+ initial frame) unrolling of the product machine,
 /// encoded in a fresh solver.
@@ -90,6 +92,14 @@ struct Unrolling {
     /// one clause per pair instead of two, and clauses learned against
     /// a pair's guard keep their meaning across rounds.
     pair_guards: HashMap<(Var, Var), SatLit>,
+    /// Solver variable count right after the base CNF was encoded —
+    /// the sharing frontier of the sharded path. Every variable below
+    /// it belongs to the two-frame encoding common to all worker
+    /// clones; everything at or above it (guards, activation literals,
+    /// difference literals) is private to one solver. Clauses confined
+    /// to the shared prefix are implied by the base CNF alone and may
+    /// travel between workers (see [`Solver::export_learnts`]).
+    base_vars: usize,
 }
 
 impl Unrolling {
@@ -140,6 +150,7 @@ impl Unrolling {
 
         let mut solver = Solver::new();
         let cnf = AigCnf::encode(&mut solver, &u);
+        let base_vars = solver.num_vars();
         Unrolling {
             solver,
             cnf,
@@ -153,6 +164,7 @@ impl Unrolling {
             pair_diffs: HashMap::new(),
             out_diffs: HashMap::new(),
             pair_guards: HashMap::new(),
+            base_vars,
         }
     }
 
@@ -538,8 +550,12 @@ fn run_incremental(
                 }
                 Ok(Round::Refined) => {
                     // Retract this round's Q: the guard can never be
-                    // assumed again, and all its clauses are satisfied.
+                    // assumed again, and all its clauses are satisfied —
+                    // then reclaim them, or the watch lists drag an
+                    // ever-growing pile of dead activation clauses
+                    // through every later round.
                     u.solver.add_clause(&[!act]);
+                    u.solver.simplify_level0();
                 }
             }
         }
@@ -550,7 +566,52 @@ fn run_incremental(
     result
 }
 
-/// A witness a worker carried out of its shard, keyed by the canonical
+/// Length cap on clauses exchanged between workers: long learnts
+/// rarely prune a sibling's search but always cost propagation, so
+/// only short ones travel (the classic portfolio-solver heuristic).
+const MAX_SHARED_LITS: usize = 8;
+
+/// Witnesses that stop a round early, per spawned worker: a round ends
+/// once the pool holds `spawned * WITNESS_TARGET_PER_WORKER` witnesses.
+/// More workers therefore merge more splits per round (fewer rounds),
+/// while each round still stops long before a full sweep. Tuned on the
+/// ISCAS'89 self-product rows: 4 witnesses per worker amortizes the
+/// per-round activation re-assert without flattening the jobs curve.
+const WITNESS_TARGET_PER_WORKER: usize = 4;
+
+/// Floor on a round's query budget, so tiny partitions still make
+/// progress in few rounds.
+const MIN_ROUND_QUERIES: u64 = 32;
+
+/// Spawn-amortization ratio: a worker joins a round only while the
+/// round's query budget per worker covers its setup — re-asserting one
+/// activation clause per live pair, roughly 1/50th of a solver query
+/// apiece, kept to half the worker's expected share. Spawning beyond
+/// `SPAWN_AMORTIZE * budget / pairs` workers on an oversubscribed host
+/// just multiplies per-round setup without adding throughput; hosts
+/// with real hardware parallelism always spawn at least
+/// [`std::thread::available_parallelism`] workers.
+const SPAWN_AMORTIZE: u64 = 25;
+
+/// The deterministic per-query amplification seed of a candidate
+/// pair's counterexample — a function of the round number and the
+/// pair's canonical sequence number only, never of which worker ran
+/// the query. The worker that publishes a witness signature and the
+/// driver that later merges the witness both derive the seed from
+/// here, so they amplify the exact same pattern set.
+fn cex_seed(opts_seed: u64, round: usize, seq: u64, init: bool) -> u64 {
+    let query_seq = (round as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((seq + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    opts_seed
+        ^ if init {
+            query_seq.wrapping_add(1)
+        } else {
+            query_seq
+        }
+}
+
+/// A witness a worker carried out of its sweep, keyed by the canonical
 /// sequence number of the pair whose query produced it. Workers return
 /// these raw input assignments — never partition mutations — so the
 /// driver alone refines, in ascending-`seq` order.
@@ -572,11 +633,9 @@ struct WorkerCex {
 
 /// What one worker's round produced.
 enum WorkerRound {
-    /// Swept its shard; carries the first witness found, if any (the
-    /// worker stops at its first counterexample — the round is going to
-    /// refine anyway, so the rest of the shard would be re-queried
-    /// against a stale `Q`).
-    Done(Option<WorkerCex>),
+    /// Swept until the queues drained or the pool's stop token tripped;
+    /// carries every witness collected (possibly none).
+    Done(Vec<WorkerCex>),
     /// A query exhausted the per-query conflict budget.
     Budget,
     /// A real abort: external cancellation, timeout, or resource limit
@@ -594,127 +653,518 @@ struct Worker {
     /// of the next round (or left active for the final Theorem-1 check
     /// on worker 0).
     prev_act: Option<SatLit>,
+    /// Clause-export cursors of this worker's solver (see
+    /// [`Solver::export_learnts`]); they survive rounds so each learnt
+    /// is published at most once over the whole fixed point.
+    clause_cursor: usize,
+    trail_cursor: usize,
+    /// Pairs this worker has proven equal on the initial frame. The
+    /// initial-frame unrolling is a subgraph disjoint from frame 0, so
+    /// the round's `Q` (frame-0 equalities) cannot influence the
+    /// condition-1 query: once unsatisfiable, it is unsatisfiable in
+    /// every later round and never needs re-running. Keyed by the
+    /// normalized `(member, representative)` pair — a split that gives
+    /// `m` a new representative makes a new key and re-proves.
+    init_eq: HashSet<(Var, Var)>,
+}
+
+/// The static dependency structure behind hot-first pair scheduling.
+///
+/// A condition-2 query compares the pair's *frame-1* values, whose
+/// two-frame cone reaches frame 0 only through the next-state
+/// functions of the latches in the pair's structural cone. Refining a
+/// class `C` therefore can only flip a pair `(m, r)` from proven to
+/// refutable when some member of `C` lies inside the frame-0 cone of
+/// one of those next-state functions — pairs outside that dependency
+/// stay proven and are scanned last.
+///
+/// Both sides are precomputed once per run as latch-indexed bitsets:
+/// `latch_cone[v]` (which latches the value of `v` structurally reads)
+/// and `influences[v]` (which latches' next-state cones contain `v`).
+/// Per round, the driver ORs `influences` over the members of every
+/// class the previous merge touched into a hot-latch set, and a pair
+/// is hot iff its latch cone intersects it — two bitset words deep,
+/// cheap enough to test for every pair every round.
+struct DepMap {
+    words: usize,
+    latch_cone: Vec<u64>,
+    influences: Vec<u64>,
+}
+
+impl DepMap {
+    fn build(aig: &Aig) -> DepMap {
+        let n_latches = aig.num_latches();
+        let n_vars = aig.num_nodes();
+        let words = n_latches.div_ceil(64).max(1);
+        let ordinal: HashMap<Var, usize> = aig
+            .latches()
+            .iter()
+            .enumerate()
+            .map(|(k, &l)| (l, k))
+            .collect();
+        // Latch cones, one topological pass (fanins precede gates).
+        let mut latch_cone = vec![0u64; n_vars * words];
+        for v in aig.vars() {
+            let i = v.index();
+            if let Some(&k) = ordinal.get(&v) {
+                latch_cone[i * words + k / 64] |= 1u64 << (k % 64);
+            } else if aig.is_and(v) {
+                let (a, b) = aig.and_fanins(v);
+                let (ai, bi) = (a.var().index(), b.var().index());
+                for w in 0..words {
+                    latch_cone[i * words + w] =
+                        latch_cone[ai * words + w] | latch_cone[bi * words + w];
+                }
+            }
+        }
+        // Reverse next-state cones: mark latch `k` on every var its
+        // next-state function structurally reads (stopping at frame-0
+        // leaves: inputs and latch outputs stay, unexpanded).
+        let mut influences = vec![0u64; n_vars * words];
+        let mut stamp = vec![u32::MAX; n_vars];
+        let mut stack: Vec<Var> = Vec::new();
+        for (k, &l) in aig.latches().iter().enumerate() {
+            let Some(next) = aig.latch_next(l) else {
+                continue;
+            };
+            stack.push(next.var());
+            while let Some(v) = stack.pop() {
+                let i = v.index();
+                if stamp[i] == k as u32 {
+                    continue;
+                }
+                stamp[i] = k as u32;
+                influences[i * words + k / 64] |= 1u64 << (k % 64);
+                if aig.is_and(v) {
+                    let (a, b) = aig.and_fanins(v);
+                    stack.push(a.var());
+                    stack.push(b.var());
+                }
+            }
+        }
+        DepMap {
+            words,
+            latch_cone,
+            influences,
+        }
+    }
+
+    /// ORs `influences[v]` into the hot-latch accumulator.
+    fn mark_hot(&self, v: Var, hot_latches: &mut [u64]) {
+        let i = v.index() * self.words;
+        for (w, h) in hot_latches.iter_mut().enumerate() {
+            *h |= self.influences[i + w];
+        }
+    }
+
+    /// Does refining any hot latch's cone reach this pair's frame-1
+    /// values?
+    fn depends(&self, m: Var, r: Var, hot_latches: &[u64]) -> bool {
+        let (im, ir) = (m.index() * self.words, r.index() * self.words);
+        hot_latches
+            .iter()
+            .enumerate()
+            .any(|(w, &h)| (self.latch_cone[im + w] | self.latch_cone[ir + w]) & h != 0)
+    }
+}
+
+/// The simulated signature of a published witness: every node's
+/// amplified evaluation of the frame the eventual merge will split on,
+/// plus the per-word masks of the patterns allowed to split (frame-0
+/// `Q`-validity against the round-start partition for a two-frame
+/// witness; all patterns for an initial-frame one).
+///
+/// A sibling holding a queued pair `(m, r)` checks whether any valid
+/// pattern separates the pair's normalized values
+/// ([`Partition::words_separate`]); if so the pair's query is
+/// redundant — merging this witness will split the pair — and is
+/// skipped. Skipping is sound unconditionally: a pair that somehow
+/// survives the merge is re-enumerated next round, and the final
+/// certifying round (which must end with zero witnesses) never prunes
+/// because its pool holds no signatures.
+struct SharedSig {
+    sim: BitSim,
+    masks: Vec<u64>,
+}
+
+impl SharedSig {
+    fn separates(&self, partition: &Partition, m: Var, r: Var) -> bool {
+        let wm = self.sim.var_words(m);
+        let wr = self.sim.var_words(r);
+        self.masks
+            .iter()
+            .enumerate()
+            .any(|(w, &mask)| partition.words_separate(m, wm[w], r, wr[w], mask))
+    }
+}
+
+/// State shared by one round's worker pool: the stop token, the
+/// exchange pools for witnesses and clauses, and the round-stop
+/// accounting.
+///
+/// The round stops — token tripped, undelivered chunks abandoned —
+/// when either the pool holds `witness_target` witnesses (enough
+/// splits collected to make merging worthwhile) or at least one
+/// witness exists and `query_budget` queries have been spent (don't
+/// keep paying for a round that already refines). A round with *zero*
+/// witnesses never stops early: the fixed-point certification requires
+/// a full sweep, and it gets one because both rules demand a witness.
+struct RoundPool {
+    stop: CancellationToken,
+    sigs: Mutex<Vec<Arc<SharedSig>>>,
+    sig_count: AtomicUsize,
+    /// Published clauses as `(publisher, clause)`; a worker skips its
+    /// own entries on import.
+    clauses: Mutex<Vec<(usize, Vec<SatLit>)>>,
+    clause_count: AtomicUsize,
+    witnesses: AtomicUsize,
+    queries: AtomicU64,
+    witness_target: usize,
+    query_budget: u64,
+}
+
+impl RoundPool {
+    fn new(witness_target: usize, query_budget: u64) -> RoundPool {
+        RoundPool {
+            stop: CancellationToken::new(),
+            sigs: Mutex::new(Vec::new()),
+            sig_count: AtomicUsize::new(0),
+            clauses: Mutex::new(Vec::new()),
+            clause_count: AtomicUsize::new(0),
+            witnesses: AtomicUsize::new(0),
+            queries: AtomicU64::new(0),
+            witness_target,
+            query_budget,
+        }
+    }
+
+    /// Accounts one solver query and applies the budget stop rule.
+    fn note_query(&self) {
+        let q = self.queries.fetch_add(1, Ordering::Relaxed) + 1;
+        if q >= self.query_budget && self.witnesses.load(Ordering::Relaxed) > 0 {
+            self.stop.cancel();
+        }
+    }
+
+    /// Accounts one witness and applies the witness-target stop rule.
+    fn note_witness(&self) {
+        let n = self.witnesses.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.witness_target {
+            self.stop.cancel();
+        }
+    }
 }
 
 /// Maps an interrupted worker query to what it means for the round. The
 /// worker's solver watches *two* flags — the external deadline/token and
 /// the pool's stop token — and both surface as an interrupt, so re-check
 /// the external deadline to tell them apart: if it is clean, a sibling
-/// tripped the pool flag (budget or abort elsewhere) and this worker
-/// just stops quietly; interruption is never read as `Unsat`.
-fn sibling_or_abort(abort: Abort, deadline: &Deadline) -> WorkerRound {
+/// tripped the pool flag (round stop, budget, or abort elsewhere) and
+/// this worker just stops quietly (`None`); interruption is never read
+/// as `Unsat`.
+fn sibling_or_abort(abort: Abort, deadline: &Deadline) -> Option<Abort> {
     match deadline.check() {
-        Err(real) => WorkerRound::Abort(real),
+        Err(real) => Some(real),
         Ok(()) => match abort {
-            Abort::Cancelled => WorkerRound::Done(None),
-            other => WorkerRound::Abort(other),
+            Abort::Cancelled => None,
+            other => Some(other),
         },
     }
 }
 
-/// Sweeps one worker's shard for one round: condition-2 then
-/// condition-1 per pair, in canonical order, stopping at the first
-/// witness. The second component counts solver calls, for the drain
-/// event.
-fn worker_sweep(
+/// Everything a worker's round reads but never writes, bundled so the
+/// per-worker entry points stay within clippy's argument budget.
+struct WorkerCtx<'a> {
+    aig: &'a Aig,
+    partition: &'a Partition,
+    opts: &'a Options,
+    deadline: &'a Deadline,
+    queues: &'a StealQueues<(u64, Var, Var)>,
+    pool: &'a RoundPool,
+    round: usize,
+    obs: &'a Obs,
+}
+
+/// How one worker's sweep over the steal queues ended.
+enum SweepEnd {
+    /// Queues drained or the pool's stop token tripped; the witnesses
+    /// collected so far are valid either way.
+    Stopped,
+    /// A query exhausted the per-query conflict budget.
+    Budget,
+    /// External cancellation, timeout, or resource limit.
+    Abort(Abort),
+}
+
+/// One chunk-boundary clause exchange: publish this solver's fresh
+/// learnts over the shared encoding variables, then import whatever
+/// siblings published since the last exchange. Importing a clause the
+/// base CNF implies can never make the (satisfiable) two-frame
+/// encoding unsatisfiable, so a failed import is surfaced as an
+/// internal inconsistency rather than folded into a verdict.
+fn exchange_clauses(
     w: &mut Worker,
-    act: SatLit,
-    shard: &[(u64, Var, Var)],
-    partition: &Partition,
-    deadline: &Deadline,
-    stop: &CancellationToken,
-    obs: &Obs,
-) -> (WorkerRound, u64) {
-    let mut queries = 0u64;
-    for &(seq, m, r) in shard {
-        if stop.is_cancelled() {
-            return (WorkerRound::Done(None), queries);
-        }
-        for init in [false, true] {
-            let d = w.u.pair_diff(partition, m, r, init);
-            queries += 1;
-            match query(&mut w.u.solver, &[act, d], obs) {
-                Err(a) => return (sibling_or_abort(a, deadline), queries),
-                Ok(Query::Budget) => return (WorkerRound::Budget, queries),
-                Ok(Query::Unsat) => {}
-                Ok(Query::Sat) => {
-                    obs.add(Counter::WorkerCexes, 1);
-                    let kind = if init {
-                        CexKind::Init {
-                            xi: w.u.read_inputs(&w.u.xi_in),
-                        }
-                    } else {
-                        CexKind::TwoFrame {
-                            s: w.u.read_inputs(&w.u.s_in),
-                            xt: w.u.read_inputs(&w.u.x0_in),
-                            xt1: w.u.read_inputs(&w.u.x1_in),
-                        }
-                    };
-                    return (WorkerRound::Done(Some(WorkerCex { seq, kind })), queries);
-                }
+    wid: usize,
+    ctx: &WorkerCtx,
+    imported_upto: &mut usize,
+) -> Result<(), Abort> {
+    let base = w.u.base_vars;
+    let fresh = w.u.solver.export_learnts(
+        base,
+        MAX_SHARED_LITS,
+        &mut w.clause_cursor,
+        &mut w.trail_cursor,
+    );
+    if !fresh.is_empty() {
+        ctx.obs.add(Counter::ClausesShared, fresh.len() as u64);
+        let mut pool = ctx.pool.clauses.lock().expect("clause pool poisoned");
+        pool.extend(fresh.into_iter().map(|c| (wid, c)));
+        ctx.pool.clause_count.store(pool.len(), Ordering::Release);
+    }
+    if ctx.pool.clause_count.load(Ordering::Acquire) > *imported_upto {
+        // Copy the fresh tail out of the lock: imports propagate inside
+        // the solver and must not stall the siblings' publishes.
+        let news: Vec<(usize, Vec<SatLit>)> = {
+            let pool = ctx.pool.clauses.lock().expect("clause pool poisoned");
+            let news = pool[*imported_upto..].to_vec();
+            *imported_upto = pool.len();
+            news
+        };
+        for (src, clause) in &news {
+            if *src != wid && !w.u.solver.import_shared_clause(clause) {
+                return Err(Abort::Resource(
+                    "internal inconsistency: shared clause contradicts the base CNF".into(),
+                ));
             }
         }
     }
-    (WorkerRound::Done(None), queries)
+    Ok(())
+}
+
+/// Refreshes a worker's local view of the published witness signatures
+/// (cheap `Arc` clones; only locks when the published count moved).
+fn refresh_sigs(ctx: &WorkerCtx, local: &mut Vec<Arc<SharedSig>>) {
+    if ctx.pool.sig_count.load(Ordering::Acquire) > local.len() {
+        let sigs = ctx.pool.sigs.lock().expect("sig pool poisoned");
+        local.extend(sigs[local.len()..].iter().cloned());
+    }
+}
+
+/// Amplifies a fresh witness with the canonical seed its merge will
+/// use and publishes the signature, so siblings skip pairs the merge
+/// is going to split anyway. With amplification disabled there is no
+/// signature to share (the single pattern rarely prunes anything, and
+/// computing it would just re-run the merge's work).
+fn publish_witness(ctx: &WorkerCtx, seq: u64, kind: &CexKind) {
+    let words = ctx.opts.sat_amplify_words;
+    if words == 0 {
+        return;
+    }
+    let sig = match kind {
+        CexKind::TwoFrame { s, xt, xt1 } => {
+            let seed = cex_seed(ctx.opts.seed, ctx.round, seq, false);
+            let amp = amplify_two_frame(ctx.aig, s, xt, xt1, words, seed);
+            let masks = (0..words)
+                .map(|w| {
+                    ctx.partition
+                        .valid_word_mask(|v| amp.frame0.var_words(v)[w])
+                })
+                .collect();
+            SharedSig {
+                sim: amp.frame1,
+                masks,
+            }
+        }
+        CexKind::Init { xi } => {
+            let seed = cex_seed(ctx.opts.seed, ctx.round, seq, true);
+            SharedSig {
+                sim: amplify_init(ctx.aig, xi, words, seed),
+                masks: vec![!0u64; words],
+            }
+        }
+    };
+    ctx.obs.add(Counter::WitnessesShared, 1);
+    let mut sigs = ctx.pool.sigs.lock().expect("sig pool poisoned");
+    sigs.push(Arc::new(sig));
+    ctx.pool.sig_count.store(sigs.len(), Ordering::Release);
+}
+
+/// Sweeps chunks off the steal queues for one round: per pair, a
+/// witness-prune check against the published signatures, then the
+/// condition-2 and condition-1 queries, collecting every witness found
+/// — the pool's stop rules decide when the round has enough. Clauses
+/// are exchanged at chunk boundaries. The query count lands in the
+/// drain event.
+fn worker_sweep(
+    w: &mut Worker,
+    wid: usize,
+    act: SatLit,
+    ctx: &WorkerCtx,
+    cexes: &mut Vec<WorkerCex>,
+    queries: &mut u64,
+) -> SweepEnd {
+    let mut sigs: Vec<Arc<SharedSig>> = Vec::new();
+    let mut imported_upto = 0usize;
+    let mut first_chunk = true;
+    while let Some((chunk, stolen)) = ctx.queues.next_chunk(wid) {
+        if stolen {
+            ctx.obs.add(Counter::WorkerSteals, 1);
+            event!(
+                ctx.obs,
+                "worker.steal",
+                worker = wid,
+                round = ctx.round,
+                pairs = chunk.len()
+            );
+        }
+        if ctx.opts.sat_share_clauses {
+            if let Err(e) = exchange_clauses(w, wid, ctx, &mut imported_upto) {
+                return SweepEnd::Abort(e);
+            }
+        }
+        for &(seq, m, r) in &chunk {
+            if ctx.pool.stop.is_cancelled() {
+                return SweepEnd::Stopped;
+            }
+            if ctx.opts.sat_share_witnesses {
+                refresh_sigs(ctx, &mut sigs);
+                if sigs.iter().any(|sig| sig.separates(ctx.partition, m, r)) {
+                    ctx.obs.add(Counter::WitnessPrunedPairs, 1);
+                    continue;
+                }
+            }
+            for init in [false, true] {
+                // Condition 1 is partition-independent (see
+                // [`Worker::init_eq`]): skip it once proven.
+                if init && w.init_eq.contains(&(m, r)) {
+                    continue;
+                }
+                let d = w.u.pair_diff(ctx.partition, m, r, init);
+                *queries += 1;
+                ctx.pool.note_query();
+                match query(&mut w.u.solver, &[act, d], ctx.obs) {
+                    Err(a) => {
+                        return match sibling_or_abort(a, ctx.deadline) {
+                            None => SweepEnd::Stopped,
+                            Some(real) => SweepEnd::Abort(real),
+                        }
+                    }
+                    Ok(Query::Budget) => return SweepEnd::Budget,
+                    Ok(Query::Unsat) => {
+                        if init {
+                            w.init_eq.insert((m, r));
+                        }
+                    }
+                    Ok(Query::Sat) => {
+                        ctx.obs.add(Counter::WorkerCexes, 1);
+                        let kind = if init {
+                            CexKind::Init {
+                                xi: w.u.read_inputs(&w.u.xi_in),
+                            }
+                        } else {
+                            CexKind::TwoFrame {
+                                s: w.u.read_inputs(&w.u.s_in),
+                                xt: w.u.read_inputs(&w.u.x0_in),
+                                xt1: w.u.read_inputs(&w.u.x1_in),
+                            }
+                        };
+                        if ctx.opts.sat_share_witnesses {
+                            publish_witness(ctx, seq, &kind);
+                        }
+                        cexes.push(WorkerCex { seq, kind });
+                        ctx.pool.note_witness();
+                        // Pair refuted: its other condition's query is
+                        // moot, the merge will split it.
+                        break;
+                    }
+                }
+            }
+        }
+        // Each worker's first owned chunk is its share of the hot
+        // pairs. On an oversubscribed host the OS runs one thread per
+        // scheduling quantum, so without this yield the workers
+        // scheduled first would burn whole quanta on cold pairs before
+        // a sibling holding a witness-bearing hot chunk ever runs.
+        if std::mem::take(&mut first_chunk) {
+            std::thread::yield_now();
+        }
+    }
+    SweepEnd::Stopped
 }
 
 /// One worker's round, run on its own thread: retract last round's `Q`,
 /// assert this round's under a fresh activation literal, sweep the
-/// shard. A worker that ends the round abnormally trips the pool stop
-/// flag so its siblings cut their sweeps short.
-#[allow(clippy::too_many_arguments)]
-fn worker_round(
-    w: &mut Worker,
-    wid: usize,
-    shard: &[(u64, Var, Var)],
-    partition: &Partition,
-    deadline: &Deadline,
-    stop: &CancellationToken,
-    round: usize,
-    obs: &Obs,
-) -> WorkerRound {
+/// steal queues. A worker that ends the round abnormally trips the pool
+/// stop flag so its siblings cut their sweeps short.
+fn worker_round(w: &mut Worker, wid: usize, own_pairs: usize, ctx: &WorkerCtx) -> WorkerRound {
     // The solver polls the external deadline/token *and* the pool stop
     // flag from its search loop.
-    w.u.solver.set_limits(deadline.limits().also_token(stop));
+    w.u.solver
+        .set_limits(ctx.deadline.limits().also_token(&ctx.pool.stop));
     if let Some(prev) = w.prev_act.take() {
         w.u.solver.add_clause(&[!prev]);
+        // Reclaim the retracted clauses; a persistent worker would
+        // otherwise scan every past round's dead watchers on every
+        // guard propagation, a cost that grows with the round number.
+        // The compaction moves clauses, so resync the export cursor —
+        // everything in the arena right now has already been offered.
+        w.u.solver.simplify_level0();
+        w.clause_cursor = w.u.solver.export_cursor();
     }
     let act = w.u.solver.new_var().positive();
-    w.u.assert_q(partition, Some(act));
+    w.u.assert_q(ctx.partition, Some(act));
     w.prev_act = Some(act);
-    obs.add(Counter::WorkerSpawns, 1);
+    ctx.obs.add(Counter::WorkerSpawns, 1);
     event!(
-        obs,
+        ctx.obs,
         "worker.spawn",
         worker = wid,
-        round = round,
-        pairs = shard.len()
+        round = ctx.round,
+        pairs = own_pairs
     );
-    let (out, queries) = worker_sweep(w, act, shard, partition, deadline, stop, obs);
+    let mut cexes = Vec::new();
+    let mut queries = 0u64;
+    let out = match worker_sweep(w, wid, act, ctx, &mut cexes, &mut queries) {
+        SweepEnd::Stopped => WorkerRound::Done(cexes),
+        SweepEnd::Budget => WorkerRound::Budget,
+        SweepEnd::Abort(a) => WorkerRound::Abort(a),
+    };
     if !matches!(out, WorkerRound::Done(_)) {
-        stop.cancel();
+        ctx.pool.stop.cancel();
     }
     event!(
-        obs,
+        ctx.obs,
         "worker.drain",
         worker = wid,
-        round = round,
+        round = ctx.round,
         queries = queries,
-        found = matches!(&out, WorkerRound::Done(Some(_)))
+        found = match &out {
+            WorkerRound::Done(c) => c.len() as u64,
+            _ => 0,
+        }
     );
     out
 }
 
-/// The sharded driver: `opts.jobs` workers, each owning a clone of the
-/// two-frame encoding (solver included), splitting every round's
-/// candidate pairs by `seq % jobs` over a canonical enumeration.
+/// The sharded driver: up to `opts.jobs` workers — clamped to the
+/// seed partition's candidate-pair count, so an oversubscribed
+/// `--jobs` never constructs solvers that could never be busy — each
+/// owning a clone of the two-frame encoding (solver included) that
+/// persists across every round. Every round, the canonical pair
+/// enumeration is rotated by a deterministic cursor, cut into chunks,
+/// and dealt round-robin onto work-stealing deques: workers pull from
+/// their own queue and steal from siblings when empty, exchange
+/// learned clauses and witness signatures between chunks, and stop
+/// when the pool's round-stop rules fire (see [`RoundPool`]).
+///
 /// Workers return raw witnesses; only this driver mutates the
-/// partition, merging the witnesses in ascending `seq` order — and
-/// since every counterexample-guided split preserves "the true relation
-/// refines the current partition", the fixed point reached is the
-/// unique coarsest one refining the seed: the final partition and
-/// verdict are bit-identical for every jobs count, even though round
-/// boundaries differ.
+/// partition, merging the witnesses in ascending `seq` order with
+/// seeds from [`cex_seed`] — and since every counterexample-guided
+/// split preserves "the true relation refines the current partition",
+/// the fixed point reached is the unique coarsest one refining the
+/// seed: the final partition and verdict are bit-identical for every
+/// jobs count, even though round trajectories differ (the full
+/// argument is in `docs/PARALLEL.md`).
 ///
 /// On any worker exhausting its conflict budget the round's witnesses
 /// are discarded and the caller falls back to the monolithic path from
@@ -730,11 +1180,18 @@ fn run_sharded(
     ticker: &mut ProgressTicker,
 ) -> Result<Incremental, Abort> {
     let jobs = opts.jobs.max(1);
+    // Pairs only ever disappear as the partition refines, so the seed
+    // partition's pair count bounds every round's useful parallelism.
+    let initial_pairs: usize = partition
+        .multi_classes()
+        .map(|ci| partition.class(ci).len() - 1)
+        .sum();
+    let pool_size = jobs.min(initial_pairs.max(1));
     // Encode once, clone per worker: each worker gets its own solver
     // over the shared CNF and keeps it for the whole fixed point, so
     // clauses it learns about its pairs persist across rounds.
     let base = Unrolling::build(aig);
-    let mut workers: Vec<Worker> = (0..jobs)
+    let mut workers: Vec<Worker> = (0..pool_size)
         .map(|_| {
             let mut u = base.clone();
             obs.add(Counter::SatSolverConstructions, 1);
@@ -744,11 +1201,29 @@ fn run_sharded(
                 u,
                 meter: SatMeter::new(obs),
                 prev_act: None,
+                clause_cursor: 0,
+                trail_cursor: 0,
+                init_eq: HashSet::new(),
             }
         })
         .collect();
     drop(base);
     let mut round_no = 0usize;
+    // Deterministic rotation of the sweep window: rounds stop early
+    // once they hold witnesses, so always sweeping from pair 0 would
+    // starve the tail of the enumeration. The cursor advances by about
+    // one worker-share of pairs per round, so successive rounds cover
+    // different windows and every pair is reached within ~jobs rounds.
+    let mut rotate = 0u64;
+    // Classes the previous round's merge created or shrank, and the
+    // latches whose next-state cones those classes' members reach;
+    // their pairs are scanned first (see the scan-order comment
+    // below). Empty on the first round: no merge has happened yet, so
+    // every pair is cold and the round is an ordinary full sweep.
+    let dep = DepMap::build(aig);
+    let mut hot: HashSet<usize> = HashSet::new();
+    let mut hot_latches = vec![0u64; dep.words];
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
     let result = 'run: {
         loop {
             if let Err(e) = deadline.check() {
@@ -768,39 +1243,112 @@ fn run_sharded(
             let mut sp = open_round(obs, round_no);
             // Canonical pair enumeration: multi-member classes in
             // ascending order, members against their representative.
-            // The global sequence number is both the shard key and the
-            // deterministic merge order.
-            let mut shards: Vec<Vec<(u64, Var, Var)>> = vec![Vec::new(); jobs];
+            // The global sequence number is the deterministic merge
+            // order and is assigned *before* any scan-order shuffling,
+            // so it names the same pair in every round regardless of
+            // the cursor or the hot-first split.
+            //
+            // Scan order (which never affects the verdict — the merge
+            // is seq-canonical) front-loads the *hot* pairs: members of
+            // classes the previous merge touched. A refinement cascade
+            // breaks equivalences near the classes that just split, so
+            // hot pairs are where this round's witnesses concentrate —
+            // scanning them first collapses the witness-less prefix
+            // that otherwise pins every round's query count.
+            let mut pairs: Vec<(u64, Var, Var)> = Vec::new();
+            let mut cold: Vec<(u64, Var, Var)> = Vec::new();
             let mut seq = 0u64;
             let class_ids: Vec<usize> = partition.multi_classes().collect();
+            let mut class_sizes: Vec<(usize, usize)> = Vec::with_capacity(class_ids.len());
             for &ci in &class_ids {
                 let members = partition.class(ci);
+                class_sizes.push((ci, members.len()));
                 let r = members[0];
+                let class_hot = hot.contains(&ci);
                 for &m in &members[1..] {
-                    shards[(seq % jobs as u64) as usize].push((seq, m, r));
+                    let out = if class_hot || dep.depends(m, r, &hot_latches) {
+                        &mut pairs
+                    } else {
+                        &mut cold
+                    };
+                    out.push((seq, m, r));
                     seq += 1;
                 }
             }
+            let n_pairs = pairs.len() + cold.len();
+            // Per-round clamp: never more workers than pairs. The
+            // query budget is keyed to the *requested* parallelism —
+            // the knob that sets round granularity — while the spawn
+            // count may clamp further (see [`SPAWN_AMORTIZE`]).
+            let requested = pool_size.min(n_pairs.max(1));
+            let query_budget = (n_pairs as u64 / requested as u64).max(MIN_ROUND_QUERIES);
+            let amortized = (SPAWN_AMORTIZE * query_budget / n_pairs.max(1) as u64).max(1) as usize;
+            let spawned = requested.min(hw.max(amortized));
+            // The cold tail still rotates: rounds stop early once they
+            // hold witnesses, so a fixed cold order would starve the
+            // tail of the enumeration whenever the hot set runs dry.
+            if !cold.is_empty() {
+                let offset = (rotate % cold.len() as u64) as usize;
+                cold.rotate_left(offset);
+                rotate = rotate.wrapping_add((n_pairs / spawned) as u64 + 1);
+            }
+            let hot_len = pairs.len();
+            pairs.append(&mut cold);
+            let chunk_pairs = if opts.sat_chunk_pairs > 0 {
+                opts.sat_chunk_pairs
+            } else {
+                // ~8 chunks per worker: enough granularity for stealing
+                // to rebalance, few enough exchanges to stay cheap.
+                (n_pairs / (spawned * 8)).clamp(4, 64)
+            };
+            let mut chunks_of: Vec<Vec<Vec<(u64, Var, Var)>>> = vec![Vec::new(); spawned];
+            let mut own_pairs = vec![0usize; spawned];
+            // The hot segment is dealt evenly, one chunk per worker, so
+            // every worker's first pops are hot pairs — otherwise the
+            // workers whose round-robin share is all-cold would spend
+            // the round's early queries where no witness is expected.
+            let (hotp, coldp) = pairs.split_at(hot_len);
+            let mut ci = 0usize;
+            for c in hotp.chunks(hot_len.div_ceil(spawned).max(1)) {
+                own_pairs[ci % spawned] += c.len();
+                chunks_of[ci % spawned].push(c.to_vec());
+                ci += 1;
+            }
+            for c in coldp.chunks(chunk_pairs) {
+                own_pairs[ci % spawned] += c.len();
+                chunks_of[ci % spawned].push(c.to_vec());
+                ci += 1;
+            }
             let classes_before = partition.num_classes();
-            let part: &Partition = partition;
-            let outcomes: Vec<WorkerRound> = std::thread::scope(|s| {
-                let stop = CancellationToken::new();
-                let handles: Vec<_> = workers
-                    .iter_mut()
-                    .zip(&shards)
-                    .enumerate()
-                    .map(|(wid, (w, shard))| {
-                        let stop = stop.clone();
-                        s.spawn(move || {
-                            worker_round(w, wid, shard, part, deadline, &stop, round_no, obs)
+            let pool = RoundPool::new(spawned * WITNESS_TARGET_PER_WORKER, query_budget);
+            let outcomes: Vec<WorkerRound> = {
+                let queues = StealQueues::new(chunks_of, &pool.stop);
+                let ctx = WorkerCtx {
+                    aig,
+                    partition,
+                    opts,
+                    deadline,
+                    queues: &queues,
+                    pool: &pool,
+                    round: round_no,
+                    obs,
+                };
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = workers[..spawned]
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(wid, w)| {
+                            let ctx = &ctx;
+                            let own = own_pairs[wid];
+                            s.spawn(move || worker_round(w, wid, own, ctx))
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("sharded worker panicked"))
-                    .collect()
-            });
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("sharded worker panicked"))
+                        .collect()
+                })
+            };
             let mut abort: Option<Abort> = None;
             let mut budget = false;
             let mut cexes: Vec<WorkerCex> = Vec::new();
@@ -820,10 +1368,12 @@ fn run_sharded(
                 break 'run Ok(Incremental::FallBack);
             }
             if cexes.is_empty() {
-                // Every worker swept its whole shard without a witness
-                // and the shards cover all pairs: fixed point. Worker
-                // 0's round `Q` is still active for the Theorem-1
-                // output check.
+                // Zero witnesses means neither round-stop rule fired:
+                // every chunk was delivered, no pair was pruned (the
+                // signature pool stayed empty all round), and every
+                // query answered Unsat — a full certified sweep, so the
+                // partition is the fixed point. Worker 0's round `Q` is
+                // still active for the Theorem-1 output check.
                 close_round(obs, &mut sp, partition, classes_before);
                 drop(sp);
                 let act = workers[0].prev_act;
@@ -844,15 +1394,12 @@ fn run_sharded(
             cexes.sort_by_key(|c| c.seq);
             let mut changed = false;
             for c in &cexes {
-                let query_seq = (round_no as u64)
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add((c.seq + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 changed |= match &c.kind {
                     CexKind::TwoFrame { s, xt, xt1 } => split_by_two_frame_cex(
                         aig,
                         partition,
                         opts,
-                        opts.seed ^ query_seq,
+                        cex_seed(opts.seed, round_no, c.seq, false),
                         s,
                         xt,
                         xt1,
@@ -862,11 +1409,27 @@ fn run_sharded(
                         aig,
                         partition,
                         opts,
-                        opts.seed ^ query_seq.wrapping_add(1),
+                        cex_seed(opts.seed, round_no, c.seq, true),
                         xi,
                         obs,
                     ),
                 };
+            }
+            // Re-derive the hot sets from what this merge did: every
+            // class it created, plus every surviving class it shrank,
+            // and the latches those classes' members influence.
+            hot.clear();
+            hot.extend(classes_before..partition.num_classes());
+            for &(ci, len) in &class_sizes {
+                if partition.class(ci).len() != len {
+                    hot.insert(ci);
+                }
+            }
+            hot_latches.fill(0);
+            for &ci in &hot {
+                for &v in partition.class(ci) {
+                    dep.mark_hot(v, &mut hot_latches);
+                }
             }
             close_round(obs, &mut sp, partition, classes_before);
             drop(sp);

@@ -101,6 +101,39 @@ fn sharded_run_matches_the_bdd_backend() {
 }
 
 #[test]
+fn clause_and_witness_sharing_never_change_the_result() {
+    // Soundness of the exchange pools: clauses shared between workers
+    // are implied by the base CNF, and witness-pruned pairs are split
+    // by the merge anyway, so enabling or disabling either exchange
+    // must leave the fixed point (and hence verdict and split count)
+    // bit-identical — sharing may only change which queries run.
+    for (i, (spec, imp)) in pairs().into_iter().enumerate() {
+        let pm = ProductMachine::build(&spec, &imp).unwrap().aig;
+        let reference = correspondence_partition(&pm, &Options::sat()).unwrap();
+        let want = fingerprint(&pm, &reference);
+        for (clauses, witnesses) in [(false, false), (true, false), (false, true), (true, true)] {
+            let got = correspondence_partition(
+                &pm,
+                &OptionsBuilder::sat()
+                    .jobs(4)
+                    // One-pair chunks maximize exchanges and steals.
+                    .sat_chunk_pairs(1)
+                    .sat_share_clauses(clauses)
+                    .sat_share_witnesses(witnesses)
+                    .build(),
+            )
+            .unwrap();
+            assert_eq!(
+                fingerprint(&pm, &got),
+                want,
+                "pair {i}: sharing (clauses={clauses}, witnesses={witnesses}) \
+                 changed the fixed point"
+            );
+        }
+    }
+}
+
+#[test]
 fn precancelled_parallel_run_is_cancelled_not_unsat() {
     let spec = counter(6, CounterKind::Binary);
     let imp = forward_retime(&spec, &RetimeOptions::default(), 1);
@@ -138,6 +171,48 @@ fn midrun_cancellation_under_parallelism_never_yields_a_wrong_verdict() {
             &imp,
             OptionsBuilder::sat()
                 .jobs(4)
+                .cancel(Some(token))
+                .bmc_depth(0)
+                .sim_refute(false)
+                .build(),
+        )
+        .unwrap()
+        .run();
+        canceller.join().unwrap();
+        assert!(
+            matches!(r.verdict, Verdict::Equivalent | Verdict::Unknown(_)),
+            "delay {delay_us}us: got {:?}",
+            r.verdict
+        );
+    }
+}
+
+#[test]
+fn cancellation_mid_steal_never_yields_a_wrong_verdict() {
+    // Same property as the midrun test, but configured so the workers
+    // live on the steal path when the cancellation lands: 8 workers and
+    // one-pair chunks mean queues drain instantly and almost every
+    // chunk delivery is a steal. `StealQueues::next_chunk` must observe
+    // the cancellation (through the pool stop flag the aborting worker
+    // trips) rather than hand out work forever, and the driver must
+    // report Unknown, never a fabricated verdict.
+    let spec = mixed(10, 3);
+    let imp = unshare_latch_cones(&spec, 0.9, 3);
+    for delay_us in [0u64, 20, 100, 500, 2000] {
+        let token = CancellationToken::new();
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                token.cancel();
+            })
+        };
+        let r = Checker::new(
+            &spec,
+            &imp,
+            OptionsBuilder::sat()
+                .jobs(8)
+                .sat_chunk_pairs(1)
                 .cancel(Some(token))
                 .bmc_depth(0)
                 .sim_refute(false)

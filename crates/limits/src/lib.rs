@@ -265,6 +265,82 @@ impl Limits {
     }
 }
 
+/// Per-worker chunk queues with sibling stealing and integrated,
+/// chunk-granular cancellation.
+///
+/// The sharded fixed-point rounds in `sec-core` split each round's
+/// candidate pairs into chunks and hand every worker its own queue.
+/// A worker pops from the *front* of its own queue and, when that runs
+/// dry, steals from the *back* of the first non-empty sibling queue —
+/// so no worker idles while a sibling still holds work, and the two
+/// ends never contend on the same chunk.
+///
+/// Cancellation is observed at chunk granularity: once the attached
+/// [`CancellationToken`] trips, [`StealQueues::next_chunk`] returns
+/// `None` for every worker — a worker that was about to steal stops
+/// instead, and undelivered chunks are simply abandoned (sound for the
+/// fixed point: a skipped pair is re-enumerated next round).
+///
+/// # Examples
+///
+/// ```
+/// use sec_limits::{CancellationToken, StealQueues};
+///
+/// let stop = CancellationToken::new();
+/// let q = StealQueues::new(vec![vec![vec![1, 2], vec![3]], vec![]], &stop);
+/// // Worker 1 owns nothing: it steals worker 0's back chunk.
+/// assert_eq!(q.next_chunk(1), Some((vec![3], true)));
+/// assert_eq!(q.next_chunk(0), Some((vec![1, 2], false)));
+/// stop.cancel();
+/// assert_eq!(q.next_chunk(0), None);
+/// ```
+#[derive(Debug)]
+pub struct StealQueues<T> {
+    queues: Vec<std::sync::Mutex<std::collections::VecDeque<Vec<T>>>>,
+    stop: CancellationToken,
+}
+
+impl<T> StealQueues<T> {
+    /// Builds the queues from one chunk list per worker (outer index =
+    /// worker id) and attaches the round's stop token.
+    pub fn new(chunks_per_worker: Vec<Vec<Vec<T>>>, stop: &CancellationToken) -> StealQueues<T> {
+        StealQueues {
+            queues: chunks_per_worker
+                .into_iter()
+                .map(|chunks| std::sync::Mutex::new(chunks.into_iter().collect()))
+                .collect(),
+            stop: stop.clone(),
+        }
+    }
+
+    /// Number of per-worker queues.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The next chunk for `worker`: the front of its own queue, else
+    /// one stolen from the back of the first non-empty sibling queue
+    /// (scanning `worker + 1, worker + 2, …` cyclically). Returns
+    /// `None` when every queue is empty *or* the stop token has
+    /// tripped; the second component reports whether the chunk was
+    /// stolen.
+    pub fn next_chunk(&self, worker: usize) -> Option<(Vec<T>, bool)> {
+        let n = self.queues.len();
+        for k in 0..n {
+            if self.stop.is_cancelled() {
+                return None;
+            }
+            let wid = (worker + k) % n;
+            let mut q = self.queues[wid].lock().expect("steal queue poisoned");
+            let chunk = if k == 0 { q.pop_front() } else { q.pop_back() };
+            if let Some(chunk) = chunk {
+                return Some((chunk, k != 0));
+            }
+        }
+        None
+    }
+}
+
 /// Sanity-clamps a requested worker count against the machine.
 ///
 /// Returns the count to actually use plus a warning message when the
@@ -414,5 +490,60 @@ mod tests {
     fn stop_reasons() {
         assert_eq!(Stop::Cancelled.to_string(), "cancelled");
         assert_eq!(Stop::Timeout.to_string(), "timeout");
+    }
+
+    #[test]
+    fn steal_queues_deliver_every_chunk_exactly_once() {
+        let stop = CancellationToken::new();
+        let chunks: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![0], vec![1], vec![2]],
+            vec![vec![3]],
+            vec![], // worker 2 owns nothing: it must live off stealing
+        ];
+        let q = StealQueues::new(chunks, &stop);
+        assert_eq!(q.workers(), 3);
+        let mut seen: Vec<u32> = Vec::new();
+        let mut stolen = 0usize;
+        // Drain round-robin so stealing actually happens.
+        loop {
+            let mut any = false;
+            for w in 0..3 {
+                if let Some((chunk, was_stolen)) = q.next_chunk(w) {
+                    seen.extend(chunk);
+                    stolen += usize::from(was_stolen);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        seen.sort();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert!(stolen >= 1, "the workless worker must have stolen");
+    }
+
+    #[test]
+    fn steal_queues_own_pops_front_steals_take_back() {
+        let stop = CancellationToken::new();
+        let q = StealQueues::new(vec![vec![vec![1], vec![2], vec![3]], vec![]], &stop);
+        // The owner sweeps in order; the thief takes from the far end,
+        // so they never contend on the same chunk.
+        assert_eq!(q.next_chunk(1), Some((vec![3], true)));
+        assert_eq!(q.next_chunk(0), Some((vec![1], false)));
+        assert_eq!(q.next_chunk(0), Some((vec![2], false)));
+        assert_eq!(q.next_chunk(0), None);
+    }
+
+    #[test]
+    fn steal_queues_observe_cancellation_mid_steal() {
+        let stop = CancellationToken::new();
+        let q = StealQueues::new(vec![vec![vec![1], vec![2]], vec![]], &stop);
+        assert!(q.next_chunk(0).is_some());
+        stop.cancel();
+        // Both an owner pop and a would-be steal stop immediately,
+        // abandoning the undelivered chunk.
+        assert_eq!(q.next_chunk(0), None);
+        assert_eq!(q.next_chunk(1), None);
     }
 }

@@ -212,6 +212,21 @@ counters! {
         /// driver (before deterministic re-validation against the live
         /// partition).
         WorkerCexes => "worker_cexes",
+        /// Chunks a sharded worker stole from a sibling's queue after
+        /// draining its own (one `worker.steal` event apiece).
+        WorkerSteals => "worker_steals",
+        /// Short learned clauses over the shared two-frame unrolling
+        /// variables published into the sharded round's exchange pool
+        /// (each import into a sibling solver re-counts nothing: this
+        /// counts publications, not copies).
+        ClausesShared => "clauses_shared",
+        /// Amplified counterexample witnesses published to sibling
+        /// workers so their remaining queries can be pruned.
+        WitnessesShared => "witnesses_shared",
+        /// Candidate-pair queries skipped because a published witness
+        /// already separates the pair (the merge will split it without
+        /// a solver call).
+        WitnessPrunedPairs => "witness_pruned_pairs",
     }
 }
 

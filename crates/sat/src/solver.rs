@@ -11,12 +11,21 @@ use sec_obs::{event, Histogram, Obs};
 type CRef = u32;
 const CREF_NONE: CRef = u32::MAX;
 
+/// Ceiling for the geometric growth of the reduction threshold: the
+/// live learnt-clause database never exceeds this count, which is what
+/// bounds the memory of a solver reused incrementally for hours.
+const MAX_LEARNTS_CAP: f64 = 200_000.0;
+
 #[derive(Clone, Debug)]
 struct Clause {
     lits: Vec<SatLit>,
     learnt: bool,
     lbd: u32,
     deleted: bool,
+    /// Arrived via [`Solver::import_shared_clause`]. Never re-exported:
+    /// a clause bouncing export → import → export between sibling
+    /// solvers would otherwise duplicate itself without bound.
+    imported: bool,
 }
 
 #[derive(Copy, Clone, Debug)]
@@ -239,7 +248,9 @@ impl Solver {
     }
 
     /// Sets the learnt-clause count that triggers database reduction
-    /// (default 4000; the threshold grows by 1.3x after each reduction).
+    /// (default 4000; the threshold grows by 1.3x after each reduction,
+    /// saturating at 200 000 so a solver that lives across many
+    /// incremental calls keeps a bounded clause database).
     pub fn set_reduce_threshold(&mut self, learnts: usize) {
         self.max_learnts = learnts as f64;
     }
@@ -316,6 +327,7 @@ impl Solver {
             learnt,
             lbd,
             deleted: false,
+            imported: false,
         });
         if learnt {
             self.learnt_refs.push(cref);
@@ -553,7 +565,9 @@ impl Solver {
             if keep {
                 kept.push(cref);
             } else {
-                self.clauses[cref as usize].deleted = true;
+                let c = &mut self.clauses[cref as usize];
+                c.deleted = true;
+                c.lits = Vec::new(); // free the literal storage now
                 deleted += 1;
             }
         }
@@ -564,6 +578,104 @@ impl Solver {
         let dead: Vec<bool> = self.clauses.iter().map(|c| c.deleted).collect();
         for ws in &mut self.watches {
             ws.retain(|w| !dead[w.cref as usize]);
+        }
+        // The arena is append-only between reductions, so dead slots
+        // accumulate. Once they are the majority, compact: a long-lived
+        // incremental solver (the sharded backend keeps one per worker
+        // across every round) must stay bounded by its *live* clauses.
+        let dead_slots = dead.iter().filter(|&&d| d).count();
+        if dead_slots * 2 > self.clauses.len() {
+            self.compact_arena();
+        }
+    }
+
+    /// Rebuilds the clause arena without dead slots, remapping every
+    /// stored `CRef` (learnt refs, watchers, propagation reasons). Must
+    /// run right after the dead-watcher sweep of [`Solver::reduce_db`]
+    /// so every remaining watcher points at a live clause.
+    fn compact_arena(&mut self) {
+        let mut remap: Vec<CRef> = vec![CREF_NONE; self.clauses.len()];
+        let live_n = self.clauses.iter().filter(|c| !c.deleted).count();
+        let mut live = Vec::with_capacity(live_n);
+        for (i, c) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if !c.deleted {
+                remap[i] = live.len() as CRef;
+                live.push(c);
+            }
+        }
+        self.clauses = live;
+        for r in &mut self.learnt_refs {
+            *r = remap[*r as usize];
+            debug_assert_ne!(*r, CREF_NONE);
+        }
+        for ws in &mut self.watches {
+            for w in ws {
+                w.cref = remap[w.cref as usize];
+                debug_assert_ne!(w.cref, CREF_NONE);
+            }
+        }
+        // A `reason` entry is only meaningful while its variable is
+        // assigned (such clauses are locked, hence live); entries of
+        // unassigned variables are stale and may point at dead slots.
+        for v in 0..self.reason.len() {
+            let r = self.reason[v];
+            if r != CREF_NONE {
+                self.reason[v] = if self.assign[v] == Value::Undef {
+                    CREF_NONE
+                } else {
+                    debug_assert_ne!(remap[r as usize], CREF_NONE);
+                    remap[r as usize]
+                };
+            }
+        }
+    }
+
+    /// Deletes every clause satisfied at decision level 0 — problem
+    /// clauses included — and compacts the arena when that leaves a
+    /// dead majority. For a caller that retracts work by asserting a
+    /// unit (the backend's per-round activation literals), this is what
+    /// actually reclaims the retracted clauses: without it every watch
+    /// list accumulates satisfied-forever watchers that propagation
+    /// keeps skipping over, round after round.
+    ///
+    /// Call between incremental solves only (decision level 0, nothing
+    /// enqueued). Level-0 assignments are permanent facts, so their
+    /// reason references are cleared rather than kept alive.
+    pub fn simplify_level0(&mut self) {
+        assert_eq!(self.decision_level(), 0, "simplify between solves only");
+        if !self.ok || self.qhead < self.trail.len() {
+            return;
+        }
+        for i in 0..self.trail.len() {
+            self.reason[self.trail[i].var().index()] = CREF_NONE;
+        }
+        let mut removed = 0usize;
+        for cref in 0..self.clauses.len() {
+            if self.clauses[cref].deleted {
+                continue;
+            }
+            let satisfied = self.clauses[cref]
+                .lits
+                .iter()
+                .any(|&l| self.value_lit(l) == Value::True);
+            if satisfied {
+                let c = &mut self.clauses[cref];
+                c.deleted = true;
+                c.lits = Vec::new();
+                removed += 1;
+            }
+        }
+        if removed == 0 {
+            return;
+        }
+        let dead: Vec<bool> = self.clauses.iter().map(|c| c.deleted).collect();
+        for ws in &mut self.watches {
+            ws.retain(|w| !dead[w.cref as usize]);
+        }
+        self.learnt_refs.retain(|&c| !dead[c as usize]);
+        let dead_slots = dead.iter().filter(|&&d| d).count();
+        if dead_slots * 2 > self.clauses.len() {
+            self.compact_arena();
         }
     }
 
@@ -640,7 +752,7 @@ impl Solver {
                 conflicts_budget = conflicts_budget.saturating_sub(1);
                 if self.learnt_refs.len() as f64 > self.max_learnts {
                     self.reduce_db();
-                    self.max_learnts *= 1.3;
+                    self.max_learnts = (self.max_learnts * 1.3).min(MAX_LEARNTS_CAP);
                     event!(
                         self.obs,
                         "sat.reduce_db",
@@ -713,6 +825,124 @@ impl Solver {
     /// The value of a literal in the model of the last `Sat` answer.
     pub fn model_value(&self, l: SatLit) -> bool {
         self.model[l.var().index()] ^ l.is_negative()
+    }
+
+    /// The current clause-arena position, for resynchronizing an
+    /// export cursor after [`Solver::simplify_level0`] compacted the
+    /// arena (a stale cursor would silently skip clauses learnt after
+    /// the compaction until the arena regrows past it).
+    pub fn export_cursor(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Exports learnt clauses suitable for sharing with a sibling
+    /// solver over the same base formula: every clause learnt since the
+    /// last export whose literals all lie below `max_var` and whose
+    /// length is at most `max_lits`, plus every level-0 implied literal
+    /// below `max_var` (as a unit clause). Clauses that *arrived* via
+    /// [`Solver::import_shared_clause`] are never exported again — in a
+    /// pool of exchanging siblings a re-export would bounce every
+    /// clause back and forth, duplicating it without bound.
+    ///
+    /// `max_var` is the sharing contract: a solver that extended a
+    /// common base encoding with *private* auxiliary variables (guards,
+    /// activation literals, cached difference literals) may only export
+    /// clauses confined to the shared prefix. Such a clause is implied
+    /// by the base formula alone — every auxiliary clause in this
+    /// workspace is satisfiable by assigning its auxiliary variables
+    /// false regardless of the base assignment (guards and activation
+    /// literals only ever appear as `¬aux ∨ …` implications), so the
+    /// auxiliary clauses form a conservative extension and contribute
+    /// no new consequences over the base variables.
+    ///
+    /// The two cursors make the export incremental: pass the same pair
+    /// on every call and each clause/unit is returned exactly once.
+    /// Cursors index this solver's internal clause arena and trail, so
+    /// they must not be shared between solvers (clones included).
+    pub fn export_learnts(
+        &self,
+        max_var: usize,
+        max_lits: usize,
+        clause_cursor: &mut usize,
+        trail_cursor: &mut usize,
+    ) -> Vec<Vec<SatLit>> {
+        debug_assert_eq!(self.decision_level(), 0, "export between solves only");
+        let mut out = Vec::new();
+        let end = self.clauses.len();
+        // An arena compaction may have shrunk the clause store below
+        // the cursor; resynchronize at the end. A few fresh learnts can
+        // be skipped that way — sharing stays sound either way, since
+        // every live learnt clause passing the filters is exportable.
+        let start = (*clause_cursor).min(end);
+        for c in &self.clauses[start..end] {
+            if c.learnt
+                && !c.deleted
+                && !c.imported
+                && c.lits.len() <= max_lits
+                && c.lits.iter().all(|l| l.var().index() < max_var)
+            {
+                out.push(c.lits.clone());
+            }
+        }
+        *clause_cursor = end;
+        // At decision level 0 the whole trail is implied units.
+        let tend = self.trail.len();
+        for &l in &self.trail[*trail_cursor..tend] {
+            if l.var().index() < max_var {
+                out.push(vec![l]);
+            }
+        }
+        *trail_cursor = tend;
+        out
+    }
+
+    /// Imports a clause shared by a sibling solver, attaching it as a
+    /// *learnt* clause so database reduction may drop it again if it
+    /// never helps. The clause must be valid for this solver's formula
+    /// (see [`Solver::export_learnts`] for the sharing contract).
+    /// Returns `false` if the solver is already unsatisfiable.
+    pub fn import_shared_clause(&mut self, lits: &[SatLit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "import between solves only");
+        if !self.ok {
+            return false;
+        }
+        // Normalize exactly like add_clause, but attach multi-literal
+        // survivors to the learnt database.
+        let mut ls: Vec<SatLit> = lits.to_vec();
+        ls.sort();
+        ls.dedup();
+        let mut out: Vec<SatLit> = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology
+            }
+            match self.value_lit(l) {
+                Value::True => return true, // already satisfied at level 0
+                Value::False => {}
+                Value::Undef => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(out[0], CREF_NONE);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            n => {
+                // Length as the LBD proxy: short imports survive
+                // reduction (length-2 clauses are always kept), long
+                // ones compete with native learnts.
+                let cref = self.attach_new(out, true, n as u32);
+                self.clauses[cref as usize].imported = true;
+                true
+            }
+        }
     }
 }
 
@@ -848,6 +1078,51 @@ mod tests {
 
     #[test]
     #[allow(clippy::needless_range_loop)] // j indexes across two rows
+    fn arena_compaction_bounds_memory_and_keeps_correctness() {
+        // Long searches must compact the clause arena (CRef remapping
+        // included, mid-search) instead of accumulating a slot for every
+        // learnt clause ever, and still reach the exact answer — this is
+        // what bounds the memory of the persistent per-worker solvers.
+        let mut s = Solver::new();
+        s.set_reduce_threshold(16);
+        let n = 7;
+        let p: Vec<Vec<SatLit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+            .collect();
+        let mut problem_clauses = 0u64;
+        for row in &p {
+            s.add_clause(row);
+            problem_clauses += 1;
+        }
+        for j in 0..n - 1usize {
+            for a in 0..n {
+                for b in a + 1..n {
+                    s.add_clause(&[!p[a][j], !p[b][j]]);
+                    problem_clauses += 1;
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        let deleted = s.stats().deleted_learnts;
+        assert!(deleted > problem_clauses, "reduction must churn the arena");
+        // Without compaction the arena would hold one slot per clause
+        // ever: problem + live learnts + every deleted learnt.
+        let ever = problem_clauses + s.learnt_refs.len() as u64 + deleted;
+        assert!(
+            (s.clauses.len() as u64) < ever,
+            "arena ({} slots) must be smaller than clauses-ever ({ever})",
+            s.clauses.len()
+        );
+        // And the dead majority is bounded by the compaction trigger.
+        let dead = s.clauses.iter().filter(|c| c.deleted).count();
+        assert!(
+            dead * 2 <= s.clauses.len() + 1,
+            "dead slots stay a minority"
+        );
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // j indexes across two rows
     fn conflict_budget_interrupts_and_solver_stays_usable() {
         // A hard UNSAT family needs far more than 5 conflicts; the
         // budgeted call must stop as Interrupted (never Unsat), and
@@ -907,6 +1182,80 @@ mod tests {
         a.add_clause(&[!v[2]]);
         assert_eq!(a.solve(), SatResult::Unsat);
         assert_eq!(b.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // j indexes across two rows
+    fn export_learnts_is_incremental_and_bounded() {
+        // A pigeonhole instance forces real learnt clauses.
+        let mut s = Solver::new();
+        let n = 6;
+        let p: Vec<Vec<SatLit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for j in 0..n - 1usize {
+            for a in 0..n {
+                for b in a + 1..n {
+                    s.add_clause(&[!p[a][j], !p[b][j]]);
+                }
+            }
+        }
+        let num_base = s.num_vars();
+        assert_eq!(s.solve(), SatResult::Unsat);
+        let (mut cc, mut tc) = (0, 0);
+        let exported = s.export_learnts(num_base, 8, &mut cc, &mut tc);
+        assert!(!exported.is_empty(), "UNSAT search must have learnt");
+        for cl in &exported {
+            assert!(cl.len() <= 8);
+            assert!(cl.iter().all(|l| l.var().index() < num_base));
+        }
+        // Incremental: a second export with the same cursors is empty.
+        assert!(s.export_learnts(num_base, 8, &mut cc, &mut tc).is_empty());
+        // A var bound below the formula excludes everything.
+        let (mut cc2, mut tc2) = (0, 0);
+        assert!(s.export_learnts(0, 8, &mut cc2, &mut tc2).is_empty());
+    }
+
+    #[test]
+    fn import_shared_clause_prunes_sibling_search() {
+        // Clone a base, learn in one solver, import into the other:
+        // the import must be accepted and must not change answers.
+        let mut base = Solver::new();
+        let v = lits(&mut base, 4);
+        base.add_clause(&[v[0], v[1]]);
+        base.add_clause(&[!v[0], v[2]]);
+        base.add_clause(&[!v[1], v[2]]);
+        let num_base = base.num_vars();
+        let mut a = base.clone();
+        let mut b = base;
+        assert_eq!(a.solve_with_assumptions(&[!v[2]]), SatResult::Unsat);
+        let (mut cc, mut tc) = (0, 0);
+        let shared = a.export_learnts(num_base, 8, &mut cc, &mut tc);
+        for cl in &shared {
+            assert!(b.import_shared_clause(cl));
+        }
+        // Imported clauses never bounce back out of the importer (that
+        // would duplicate them across a pool without bound).
+        let (mut bc, mut bt) = (0, 0);
+        for cl in b.export_learnts(num_base, 8, &mut bc, &mut bt) {
+            assert!(
+                cl.len() == 1 || !shared.contains(&cl),
+                "imported clause re-exported: {cl:?}"
+            );
+        }
+        // The sibling still answers identically on both polarities.
+        assert_eq!(b.solve_with_assumptions(&[!v[2]]), SatResult::Unsat);
+        assert_eq!(b.solve_with_assumptions(&[v[2]]), SatResult::Sat);
+        // Importing a unit propagates immediately.
+        assert!(b.import_shared_clause(&[v[3]]));
+        assert_eq!(b.solve(), SatResult::Sat);
+        assert!(b.model_value(v[3]));
+        // Importing a tautology or satisfied clause is a no-op success.
+        assert!(b.import_shared_clause(&[v[0], !v[0]]));
+        assert!(b.import_shared_clause(&[v[3], v[1]]));
     }
 
     #[test]

@@ -46,7 +46,8 @@ fn usage() -> ! {
          sec check <spec> <impl> [--engine bdd|sat|portfolio] [--scope all|regs]\n           \
          [--no-sim-seed] [--no-funcdep] [--approx-reach] [--retime-rounds N]\n           \
          [--timeout SECS] [--engine-timeout SECS] [--node-limit N]\n           \
-         [--bmc-depth N] [--seed N] [--jobs N] [--json] [--stats]\n           \
+         [--bmc-depth N] [--seed N] [--jobs N] [--chunk-pairs N]\n           \
+         [--no-share-clauses] [--no-share-witnesses] [--json] [--stats]\n           \
          [--trace-json FILE] [--progress[=SECS]]\n  \
          sec info <circuit>\n  \
          sec optimize <in> <out> [--seed N] [--retime-only]\n  \
@@ -323,6 +324,13 @@ fn cmd_check(args: &[String]) {
                     .unwrap_or_else(|_| usage())
             }
             "--jobs" => opts.jobs = parse_jobs(take_value(args, &mut i, "--jobs")),
+            "--chunk-pairs" => {
+                opts.sat_chunk_pairs = take_value(args, &mut i, "--chunk-pairs")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--no-share-clauses" => opts.sat_share_clauses = false,
+            "--no-share-witnesses" => opts.sat_share_witnesses = false,
             other => {
                 eprintln!("unknown option `{other}`");
                 exit(EXIT_USAGE)
