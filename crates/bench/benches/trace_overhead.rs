@@ -21,7 +21,7 @@
 use sec_core::{Checker, Options, OptionsBuilder};
 use sec_gen::{counter, CounterKind};
 use sec_netlist::Aig;
-use sec_obs::{Histogram, Obs, ProgressTicker, Recorder};
+use sec_obs::{Histogram, MetricsRegistry, Obs, ProgressTicker, Recorder};
 use sec_synth::{forward_retime, RetimeOptions};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -72,6 +72,20 @@ fn main() {
          timer+observe_elapsed {timer_ns:.2} ns, ticker poll {ticker_ns:.2} ns"
     );
 
+    // --- registry per-site costs -------------------------------------
+    // The serve layer's aggregated instruments (lifetime total + 60 s
+    // window). These fire once per *request*, never on engine hot
+    // paths, but the per-site price is kept on record anyway.
+    let registry = MetricsRegistry::new();
+    let req_counter = registry.counter("bench_requests_total", "bench fixture");
+    let counter_ns = ns_per_iter(|_| req_counter.inc(black_box(1)));
+    let lat_hist = registry.histogram("bench_latency_us", "bench fixture");
+    let registry_observe_ns = ns_per_iter(|i| lat_hist.observe(black_box(i & 1023)));
+    println!(
+        "registry per-site cost: counter inc {counter_ns:.2} ns, \
+         histogram observe {registry_observe_ns:.2} ns"
+    );
+
     // --- whole-check macro cost --------------------------------------
     let spec = counter(8, CounterKind::Binary);
     let imp = forward_retime(&spec, &RetimeOptions::default(), 1);
@@ -106,6 +120,12 @@ fn main() {
         out,
         "  \"null_site_ns\": {{ \"observe\": {observe_ns:.3}, \
          \"timer_observe_elapsed\": {timer_ns:.3}, \"ticker_poll\": {ticker_ns:.3} }},"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"registry_site_ns\": {{ \"counter_inc\": {counter_ns:.3}, \
+         \"histogram_observe\": {registry_observe_ns:.3} }},"
     )
     .unwrap();
     writeln!(

@@ -26,42 +26,9 @@
 use sec_bench::{print_table, run_row, RunConfig};
 use sec_core::Backend;
 use sec_gen::iscas_alike_suite;
-use sec_obs::{NdjsonSink, Obs, Recorder, Sink, Value};
+use sec_obs::{HeartbeatSink, NdjsonSink, Obs, Recorder, Sink};
 use std::sync::Arc;
 use std::time::Duration;
-
-/// Renders `progress` heartbeat events as live stderr lines; all other
-/// events pass through silently.
-struct HeartbeatSink;
-
-impl Sink for HeartbeatSink {
-    fn event(
-        &self,
-        at_us: u64,
-        scope: Option<&'static str>,
-        name: &str,
-        fields: &[(&'static str, Value)],
-    ) {
-        if name != "progress" {
-            return;
-        }
-        let mut line = format!("[{:>8.3}s]", at_us as f64 / 1e6);
-        if let Some(s) = scope {
-            line.push_str(&format!(" {s}"));
-        }
-        for (k, v) in fields {
-            let rendered = match v {
-                Value::U64(n) => n.to_string(),
-                Value::I64(n) => n.to_string(),
-                Value::F64(x) => format!("{x:.3}"),
-                Value::Bool(b) => b.to_string(),
-                Value::Str(s) => s.clone(),
-            };
-            line.push_str(&format!(" {k}={rendered}"));
-        }
-        eprintln!("{line}");
-    }
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -375,6 +375,70 @@ pub fn effective_jobs(requested: usize) -> (usize, Option<String>) {
     }
 }
 
+/// Paces a fixed-period sampling loop — the daemon's gauge sampler
+/// polls this at some convenient cadence and takes a metrics sample
+/// whenever it fires.
+///
+/// Unlike `sec_obs::ProgressTicker` (optional interval, event-stream
+/// pacing) this ticker always has a period, counts its firings, and is
+/// due *immediately* on the first poll, so a sampler thread records a
+/// baseline sample at startup instead of one period in.
+///
+/// # Examples
+///
+/// ```
+/// use sec_limits::SampleTicker;
+/// use std::time::Duration;
+///
+/// let mut t = SampleTicker::new(Duration::from_millis(1));
+/// assert!(t.ready(), "first poll fires immediately");
+/// assert!(!t.ready(), "then re-arms the period");
+/// std::thread::sleep(Duration::from_millis(2));
+/// assert!(t.ready());
+/// assert_eq!(t.samples(), 2);
+/// ```
+#[derive(Debug)]
+pub struct SampleTicker {
+    period: Duration,
+    next: Instant,
+    samples: u64,
+}
+
+impl SampleTicker {
+    /// A ticker firing every `period`, due immediately.
+    pub fn new(period: Duration) -> SampleTicker {
+        SampleTicker {
+            period,
+            next: Instant::now(),
+            samples: 0,
+        }
+    }
+
+    /// Polls the ticker: `true` when a sample is due (arms the next
+    /// one `period` from *now*, so a stalled sampler doesn't fire a
+    /// burst to catch up).
+    pub fn ready(&mut self) -> bool {
+        let now = Instant::now();
+        if now >= self.next {
+            self.next = now + self.period;
+            self.samples += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of times [`SampleTicker::ready`] returned `true`.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The configured sampling period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

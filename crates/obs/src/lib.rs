@@ -60,12 +60,16 @@
 #![warn(missing_docs)]
 
 mod json;
+mod metrics;
 mod ndjson;
 mod recorder;
+mod render;
 mod sink;
 
+pub use metrics::{CounterHandle, HistogramHandle, MetricsRegistry, WINDOW_SECS};
 pub use ndjson::{LineWriter, NdjsonSink};
 pub use recorder::{EventRecord, HistogramSnapshot, Recorder};
+pub use render::{format_value, heartbeat_line, HeartbeatSink};
 pub use sink::{NullSink, Sink, TagSink};
 
 use std::fmt;

@@ -1,0 +1,716 @@
+//! Live aggregated metrics for long-running processes (`sec serve`).
+//!
+//! A [`MetricsRegistry`] owns named counters, latency histograms, and
+//! sampled gauges, and renders them all as Prometheus text exposition
+//! (hand-rolled — zero dependencies). Unlike the per-run [`Recorder`],
+//! which is drained once when a check finishes, the registry is
+//! daemon-lifetime: every instrument keeps
+//!
+//! * an **exact lifetime total** (relaxed atomics, never reset), and
+//! * a **rolling last-60-seconds window** — a ring of 60 one-second
+//!   slots stamped with the second they belong to, so reads simply
+//!   skip stale slots instead of requiring a sweeper thread.
+//!
+//! Window writes are lock-free: a writer whose second has rolled past a
+//! slot's stamp CASes the new stamp in and the winner resets the slot.
+//! A concurrent writer racing the reset can mis-place one update *in
+//! the window* — lifetime totals are always exact, and the window is a
+//! monitoring convenience, not an accounting ledger.
+//!
+//! Point-in-time gauges (queue depth, in-flight jobs, cache bytes…)
+//! register a callback; [`MetricsRegistry::render_prometheus`] and
+//! [`MetricsRegistry::sample_gauges`] invoke it, the latter also
+//! feeding a max-per-second window so a scrape can report the recent
+//! peak of a value that spikes between samples.
+//!
+//! Engine-side counters cross into the registry via
+//! [`MetricsRegistry::attach_recorder`]: each worker's [`Recorder`]
+//! stays a plain per-run sink, and the registry aggregates all of them
+//! on read (sum for counters, max for gauges, exact bucket merge for
+//! histograms) — equivalent to a single recorder having observed every
+//! worker's traffic.
+
+use crate::recorder::{HistStore, HIST_BUCKETS};
+use crate::{Counter, Gauge, Histogram, HistogramSnapshot, Recorder};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Width of the rolling window, in one-second slots.
+pub const WINDOW_SECS: u64 = 60;
+
+const SLOTS: usize = WINDOW_SECS as usize;
+
+/// One second-stamped slot of a rolling window. `stamp` holds
+/// `second + 1` (0 means never written) so slot reuse is detected
+/// without a sweeper.
+struct WindowSlot {
+    stamp: AtomicU64,
+    value: AtomicU64,
+}
+
+/// A 60-slot ring of per-second values.
+struct WindowRing {
+    slots: [WindowSlot; SLOTS],
+}
+
+impl WindowRing {
+    fn new() -> WindowRing {
+        WindowRing {
+            slots: std::array::from_fn(|_| WindowSlot {
+                stamp: AtomicU64::new(0),
+                value: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Claims the slot for `sec`, resetting it if it still carries a
+    /// previous lap's value. Returns the slot.
+    fn slot_for(&self, sec: u64) -> &WindowSlot {
+        let stamp = sec + 1;
+        let slot = &self.slots[(sec % WINDOW_SECS) as usize];
+        let cur = slot.stamp.load(Ordering::Relaxed);
+        if cur != stamp
+            && slot
+                .stamp
+                .compare_exchange(cur, stamp, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            // CAS winner resets; a racing writer may lose one update
+            // into the dying slot (window-only imprecision).
+            slot.value.store(0, Ordering::Relaxed);
+        }
+        slot
+    }
+
+    fn add(&self, sec: u64, delta: u64) {
+        self.slot_for(sec).value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn record_max(&self, sec: u64, value: u64) {
+        self.slot_for(sec).value.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Folds the live slots (stamped within the last `WINDOW_SECS`
+    /// seconds ending at `sec`) with `f`, starting from `init`.
+    fn fold(&self, sec: u64, init: u64, f: impl Fn(u64, u64) -> u64) -> u64 {
+        let hi = sec + 1;
+        let lo = hi.saturating_sub(WINDOW_SECS - 1);
+        let mut acc = init;
+        for slot in &self.slots {
+            let stamp = slot.stamp.load(Ordering::Relaxed);
+            if stamp >= lo && stamp <= hi {
+                acc = f(acc, slot.value.load(Ordering::Relaxed));
+            }
+        }
+        acc
+    }
+
+    fn sum(&self, sec: u64) -> u64 {
+        self.fold(sec, 0, |a, v| a + v)
+    }
+
+    fn max(&self, sec: u64) -> u64 {
+        self.fold(sec, 0, u64::max)
+    }
+}
+
+struct CounterCell {
+    name: String,
+    help: String,
+    total: AtomicU64,
+    window: WindowRing,
+}
+
+/// A cheap, cloneable handle to one registered counter. Increments hit
+/// a lifetime total and the current one-second window slot — two
+/// relaxed atomic RMWs plus a monotonic clock read.
+#[derive(Clone)]
+pub struct CounterHandle {
+    cell: Arc<CounterCell>,
+    epoch: Instant,
+}
+
+impl CounterHandle {
+    /// Adds `delta` to the counter.
+    pub fn inc(&self, delta: u64) {
+        self.cell.total.fetch_add(delta, Ordering::Relaxed);
+        self.cell.window.add(self.epoch.elapsed().as_secs(), delta);
+    }
+
+    /// Exact lifetime total.
+    pub fn total(&self) -> u64 {
+        self.cell.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum over the rolling last-60s window.
+    pub fn window_sum(&self) -> u64 {
+        self.cell.window.sum(self.epoch.elapsed().as_secs())
+    }
+
+    /// Mean events per second over the window (divides by the elapsed
+    /// uptime while it is still shorter than the window).
+    pub fn rate_per_sec(&self) -> f64 {
+        let secs = (self.epoch.elapsed().as_secs() + 1).min(WINDOW_SECS);
+        self.window_sum() as f64 / secs as f64
+    }
+}
+
+struct HistCell {
+    name: String,
+    help: String,
+    /// Optional `(key, value)` label pair, e.g. `("phase", "total")`.
+    label: Option<(String, String)>,
+    lifetime: HistStore,
+    window: [WindowHistSlot; SLOTS],
+}
+
+struct WindowHistSlot {
+    stamp: AtomicU64,
+    store: HistStore,
+}
+
+impl HistCell {
+    fn window_slot(&self, sec: u64) -> &HistStore {
+        let stamp = sec + 1;
+        let slot = &self.window[(sec % WINDOW_SECS) as usize];
+        let cur = slot.stamp.load(Ordering::Relaxed);
+        if cur != stamp
+            && slot
+                .stamp
+                .compare_exchange(cur, stamp, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            slot.store.reset();
+        }
+        &slot.store
+    }
+
+    fn window_snapshot(&self, sec: u64) -> HistogramSnapshot {
+        let hi = sec + 1;
+        let lo = hi.saturating_sub(WINDOW_SECS - 1);
+        let mut merged = HistogramSnapshot::default();
+        for slot in &self.window {
+            let stamp = slot.stamp.load(Ordering::Relaxed);
+            if stamp >= lo && stamp <= hi {
+                merged.merge(&slot.store.snapshot());
+            }
+        }
+        merged
+    }
+}
+
+/// A cheap, cloneable handle to one registered histogram (optionally
+/// labeled, e.g. `serve_latency_us{phase="queue"}`).
+#[derive(Clone)]
+pub struct HistogramHandle {
+    cell: Arc<HistCell>,
+    epoch: Instant,
+}
+
+impl HistogramHandle {
+    /// Records one sample into the lifetime store and the current
+    /// window slot.
+    pub fn observe(&self, value: u64) {
+        self.cell.lifetime.observe(value);
+        self.cell
+            .window_slot(self.epoch.elapsed().as_secs())
+            .observe(value);
+    }
+
+    /// Lifetime snapshot (exact).
+    pub fn lifetime(&self) -> HistogramSnapshot {
+        self.cell.lifetime.snapshot()
+    }
+
+    /// Rolling last-60s snapshot (merged across live window slots).
+    pub fn window(&self) -> HistogramSnapshot {
+        self.cell.window_snapshot(self.epoch.elapsed().as_secs())
+    }
+}
+
+type GaugeFn = Box<dyn Fn() -> u64 + Send + Sync>;
+
+struct GaugeCell {
+    name: String,
+    help: String,
+    read: GaugeFn,
+    /// Max-per-second window fed by [`MetricsRegistry::sample_gauges`].
+    window: WindowRing,
+}
+
+struct RegistryInner {
+    epoch: Instant,
+    counters: Mutex<Vec<Arc<CounterCell>>>,
+    hists: Mutex<Vec<Arc<HistCell>>>,
+    gauges: Mutex<Vec<Arc<GaugeCell>>>,
+    recorders: Mutex<Vec<(String, Recorder)>>,
+}
+
+/// Daemon-lifetime metrics: named counters/histograms/gauges with
+/// rolling windows, worker-[`Recorder`] aggregation, and Prometheus
+/// text exposition. Cloning shares the underlying storage.
+///
+/// Registration is idempotent: asking for an existing name (and, for
+/// histograms, label pair) returns a handle to the same cell, so
+/// call sites don't need to coordinate startup order.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry; its epoch (for window stamping and uptime)
+    /// is the construction instant.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Arc::new(RegistryInner {
+                epoch: Instant::now(),
+                counters: Mutex::new(Vec::new()),
+                hists: Mutex::new(Vec::new()),
+                gauges: Mutex::new(Vec::new()),
+                recorders: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Whole seconds since the registry was created.
+    pub fn uptime_secs(&self) -> u64 {
+        self.inner.epoch.elapsed().as_secs()
+    }
+
+    /// Whole milliseconds since the registry was created.
+    pub fn uptime_ms(&self) -> u64 {
+        self.inner.epoch.elapsed().as_millis() as u64
+    }
+
+    fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        // Registry state is plain data; recover it on poison.
+        m.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers (or finds) the counter `name`. `help` is used on
+    /// first registration only.
+    pub fn counter(&self, name: &str, help: &str) -> CounterHandle {
+        let mut counters = Self::lock(&self.inner.counters);
+        let cell = match counters.iter().find(|c| c.name == name) {
+            Some(cell) => cell.clone(),
+            None => {
+                let cell = Arc::new(CounterCell {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    total: AtomicU64::new(0),
+                    window: WindowRing::new(),
+                });
+                counters.push(cell.clone());
+                cell
+            }
+        };
+        CounterHandle {
+            cell,
+            epoch: self.inner.epoch,
+        }
+    }
+
+    /// Registers (or finds) the unlabeled histogram `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> HistogramHandle {
+        self.hist_cell(name, help, None)
+    }
+
+    /// Registers (or finds) the histogram series `name{key="value"}`.
+    /// Series sharing a name render as one Prometheus family.
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        help: &str,
+        key: &str,
+        value: &str,
+    ) -> HistogramHandle {
+        self.hist_cell(name, help, Some((key.to_string(), value.to_string())))
+    }
+
+    fn hist_cell(
+        &self,
+        name: &str,
+        help: &str,
+        label: Option<(String, String)>,
+    ) -> HistogramHandle {
+        let mut hists = Self::lock(&self.inner.hists);
+        let cell = match hists.iter().find(|h| h.name == name && h.label == label) {
+            Some(cell) => cell.clone(),
+            None => {
+                let cell = Arc::new(HistCell {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    label,
+                    lifetime: HistStore::new(),
+                    window: std::array::from_fn(|_| WindowHistSlot {
+                        stamp: AtomicU64::new(0),
+                        store: HistStore::new(),
+                    }),
+                });
+                hists.push(cell.clone());
+                cell
+            }
+        };
+        HistogramHandle {
+            cell,
+            epoch: self.inner.epoch,
+        }
+    }
+
+    /// Registers the sampled gauge `name`: `read` is invoked on every
+    /// exposition render and every [`MetricsRegistry::sample_gauges`]
+    /// tick. Re-registering a name replaces its callback.
+    pub fn register_gauge(
+        &self,
+        name: &str,
+        help: &str,
+        read: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        let mut gauges = Self::lock(&self.inner.gauges);
+        gauges.retain(|g| g.name != name);
+        gauges.push(Arc::new(GaugeCell {
+            name: name.to_string(),
+            help: help.to_string(),
+            read: Box::new(read),
+            window: WindowRing::new(),
+        }));
+    }
+
+    /// Reads every gauge callback once and records the values into the
+    /// max-per-second windows. Call from a periodic sampler (~1 Hz).
+    pub fn sample_gauges(&self) {
+        let sec = self.uptime_secs();
+        for g in Self::lock(&self.inner.gauges).iter() {
+            let v = (g.read)();
+            g.window.record_max(sec, v);
+        }
+    }
+
+    /// Live value of gauge `name` (invokes its callback).
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        Self::lock(&self.inner.gauges)
+            .iter()
+            .find(|g| g.name == name)
+            .map(|g| (g.read)())
+    }
+
+    /// Peak sampled value of gauge `name` over the rolling window
+    /// (only as fine as the [`MetricsRegistry::sample_gauges`] cadence).
+    pub fn gauge_window_max(&self, name: &str) -> Option<u64> {
+        let sec = self.uptime_secs();
+        Self::lock(&self.inner.gauges)
+            .iter()
+            .find(|g| g.name == name)
+            .map(|g| g.window.max(sec))
+    }
+
+    /// Attaches a worker's [`Recorder`] for read-side aggregation. The
+    /// recorder stays a normal per-run sink; `label` names it in
+    /// diagnostics.
+    pub fn attach_recorder(&self, label: &str, recorder: Recorder) {
+        Self::lock(&self.inner.recorders).push((label.to_string(), recorder));
+    }
+
+    /// Sum of one engine [`Counter`] across all attached recorders —
+    /// what a single recorder observing every worker would hold.
+    pub fn agg_counter(&self, counter: Counter) -> u64 {
+        Self::lock(&self.inner.recorders)
+            .iter()
+            .map(|(_, r)| r.counter(counter))
+            .sum()
+    }
+
+    /// Max of one engine [`Gauge`] across all attached recorders
+    /// (gauges are high-water marks).
+    pub fn agg_gauge(&self, gauge: Gauge) -> u64 {
+        Self::lock(&self.inner.recorders)
+            .iter()
+            .map(|(_, r)| r.gauge(gauge))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Exact bucket-merge of one engine [`Histogram`] across all
+    /// attached recorders.
+    pub fn agg_histogram(&self, hist: Histogram) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for (_, r) in Self::lock(&self.inner.recorders).iter() {
+            merged.merge(&r.histogram(hist));
+        }
+        merged
+    }
+
+    /// Renders every registered metric — and the aggregated engine
+    /// counters of attached recorders, prefixed `sec_` — as Prometheus
+    /// text exposition (text/plain version 0.0.4).
+    ///
+    /// Histogram families emit cumulative `_bucket{le="..."}` lines up
+    /// to the highest non-empty bucket plus `+Inf`, then `_sum` and
+    /// `_count`; `le` bounds are the power-of-two bucket upper bounds
+    /// shared with [`HistogramSnapshot`].
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        for c in Self::lock(&self.inner.counters).iter() {
+            let _ = writeln!(out, "# HELP {} {}", c.name, c.help);
+            let _ = writeln!(out, "# TYPE {} counter", c.name);
+            let _ = writeln!(out, "{} {}", c.name, c.total.load(Ordering::Relaxed));
+        }
+
+        for g in Self::lock(&self.inner.gauges).iter() {
+            let _ = writeln!(out, "# HELP {} {}", g.name, g.help);
+            let _ = writeln!(out, "# TYPE {} gauge", g.name);
+            let _ = writeln!(out, "{} {}", g.name, (g.read)());
+        }
+
+        let hists = Self::lock(&self.inner.hists);
+        let mut seen: Vec<&str> = Vec::new();
+        for h in hists.iter() {
+            if seen.contains(&h.name.as_str()) {
+                continue;
+            }
+            seen.push(&h.name);
+            let _ = writeln!(out, "# HELP {} {}", h.name, h.help);
+            let _ = writeln!(out, "# TYPE {} histogram", h.name);
+            for series in hists.iter().filter(|s| s.name == h.name) {
+                render_histogram_series(
+                    &mut out,
+                    &series.name,
+                    series.label.as_ref(),
+                    &series.lifetime.snapshot(),
+                );
+            }
+        }
+        drop(hists);
+
+        // Engine-side aggregates over the attached worker recorders.
+        let recorders = Self::lock(&self.inner.recorders);
+        if !recorders.is_empty() {
+            drop(recorders);
+            for &c in Counter::ALL {
+                let name = format!("sec_{}_total", c.name());
+                let _ = writeln!(out, "# HELP {name} engine counter (all workers)");
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {}", self.agg_counter(c));
+            }
+            for &g in Gauge::ALL {
+                let name = format!("sec_{}", g.name());
+                let _ = writeln!(
+                    out,
+                    "# HELP {name} engine high-water gauge (max over workers)"
+                );
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", self.agg_gauge(g));
+            }
+            for &hist in Histogram::ALL {
+                let name = format!("sec_{}", hist.name());
+                let _ = writeln!(out, "# HELP {name} engine latency histogram (all workers)");
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                render_histogram_series(&mut out, &name, None, &self.agg_histogram(hist));
+            }
+        }
+
+        out
+    }
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+fn render_histogram_series(
+    out: &mut String,
+    name: &str,
+    label: Option<&(String, String)>,
+    snap: &HistogramSnapshot,
+) {
+    let base = match label {
+        Some((k, v)) => format!("{k}=\"{}\",", escape_label(v)),
+        None => String::new(),
+    };
+    let mut cum = 0u64;
+    let highest = snap
+        .buckets
+        .iter()
+        .rposition(|&b| b != 0)
+        .unwrap_or(0)
+        .min(HIST_BUCKETS - 2); // the top bucket's bound is +Inf
+    for (i, &b) in snap.buckets.iter().enumerate().take(highest + 1) {
+        cum += b;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{base}le=\"{}\"}} {cum}",
+            HistogramSnapshot::bucket_upper(i)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{{base}le=\"+Inf\"}} {}", snap.count);
+    let labels = match label {
+        Some((k, v)) => format!("{{{k}=\"{}\"}}", escape_label(v)),
+        None => String::new(),
+    };
+    let _ = writeln!(out, "{name}_sum{labels} {}", snap.sum);
+    let _ = writeln!(out, "{name}_count{labels} {}", snap.count);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    #[test]
+    fn counter_totals_and_windows() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("serve_requests_total", "requests");
+        c.inc(3);
+        c.inc(2);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.window_sum(), 5, "fresh increments land in the window");
+        assert!(c.rate_per_sec() > 0.0);
+        // Idempotent registration shares the cell.
+        let again = reg.counter("serve_requests_total", "requests");
+        again.inc(1);
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn histogram_lifetime_and_window() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_labeled("serve_latency_us", "latency", "phase", "total");
+        h.observe(100);
+        h.observe(200);
+        let life = h.lifetime();
+        assert_eq!(life.count, 2);
+        assert_eq!(life.sum, 300);
+        assert_eq!(h.window().count, 2);
+        // A different label value is a distinct series.
+        let q = reg.histogram_labeled("serve_latency_us", "latency", "phase", "queue");
+        q.observe(7);
+        assert_eq!(q.lifetime().count, 1);
+        assert_eq!(h.lifetime().count, 2);
+    }
+
+    #[test]
+    fn gauges_sample_and_expose() {
+        let reg = MetricsRegistry::new();
+        let depth = Arc::new(AtomicU64::new(4));
+        let d = depth.clone();
+        reg.register_gauge("serve_queue_depth", "queued jobs", move || {
+            d.load(Ordering::Relaxed)
+        });
+        assert_eq!(reg.gauge_value("serve_queue_depth"), Some(4));
+        reg.sample_gauges();
+        depth.store(1, Ordering::Relaxed);
+        reg.sample_gauges();
+        assert_eq!(reg.gauge_window_max("serve_queue_depth"), Some(4));
+        assert_eq!(reg.gauge_value("serve_queue_depth"), Some(1));
+        assert_eq!(reg.gauge_value("nope"), None);
+    }
+
+    #[test]
+    fn recorder_aggregation_matches_single_merged_recorder() {
+        // Three "workers" record disjoint traffic; the registry's
+        // aggregate must equal one recorder that saw all of it.
+        let reg = MetricsRegistry::new();
+        let merged = Recorder::new();
+        let merged_obs = Obs::single(merged.clone());
+        let mut workers = Vec::new();
+        for w in 0..3u64 {
+            let rec = Recorder::new();
+            reg.attach_recorder(&format!("worker-{w}"), rec.clone());
+            workers.push(rec);
+        }
+        for (w, rec) in workers.iter().enumerate() {
+            let obs = Obs::single(rec.clone());
+            for obs in [&obs, &merged_obs] {
+                obs.add(Counter::Rounds, w as u64 + 1);
+                obs.add(Counter::SatConflicts, 10 * (w as u64 + 1));
+                obs.gauge_max(Gauge::PeakBddNodes, 100 * (w as u64 + 1));
+                obs.observe(Histogram::SatCallUs, 1 << w);
+                obs.observe(Histogram::SatCallUs, 3 << w);
+            }
+        }
+        for &c in Counter::ALL {
+            assert_eq!(reg.agg_counter(c), merged.counter(c), "{}", c.name());
+        }
+        for &g in Gauge::ALL {
+            assert_eq!(reg.agg_gauge(g), merged.gauge(g), "{}", g.name());
+        }
+        for &h in Histogram::ALL {
+            assert_eq!(reg.agg_histogram(h), merged.histogram(h), "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve_requests_total", "check requests served")
+            .inc(2);
+        reg.register_gauge("serve_queue_depth", "queued jobs", || 0);
+        let h = reg.histogram_labeled("serve_latency_us", "latency by phase", "phase", "total");
+        h.observe(5);
+        h.observe(900);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE serve_requests_total counter"));
+        assert!(text.contains("serve_requests_total 2"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge"));
+        assert!(text.contains("serve_queue_depth 0"));
+        assert!(text.contains("# TYPE serve_latency_us histogram"));
+        assert!(text.contains("serve_latency_us_bucket{phase=\"total\",le=\"7\"} 1"));
+        assert!(text.contains("serve_latency_us_bucket{phase=\"total\",le=\"+Inf\"} 2"));
+        assert!(text.contains("serve_latency_us_sum{phase=\"total\"} 905"));
+        assert!(text.contains("serve_latency_us_count{phase=\"total\"} 2"));
+        // Bucket lines are cumulative and end at the +Inf count.
+        let last_le: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("serve_latency_us_bucket"))
+            .collect();
+        assert_eq!(last_le.last().unwrap().split(' ').next_back(), Some("2"));
+        // Attached recorders add sec_-prefixed families.
+        let rec = Recorder::new();
+        Obs::single(rec.clone()).add(Counter::Rounds, 9);
+        reg.attach_recorder("w0", rec);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE sec_rounds_total counter"));
+        assert!(text.contains("sec_rounds_total 9"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn window_ring_expires_old_slots() {
+        let ring = WindowRing::new();
+        ring.add(0, 5);
+        assert_eq!(ring.sum(0), 5);
+        // Within the window the value persists…
+        assert_eq!(ring.sum(WINDOW_SECS - 1), 5);
+        // …but once the window has rolled past it is excluded even
+        // though the slot was never overwritten.
+        assert_eq!(ring.sum(WINDOW_SECS), 0);
+        // Slot reuse on a later lap resets the stale value.
+        ring.add(WINDOW_SECS, 2);
+        assert_eq!(ring.sum(WINDOW_SECS), 2);
+        assert_eq!(ring.max(WINDOW_SECS), 2);
+    }
+}

@@ -69,11 +69,24 @@ impl HistogramSnapshot {
 
     /// The value at quantile `q` (in `0.0..=1.0`): the upper bound of
     /// the bucket containing the rank-`⌈q·count⌉` sample, clamped to
-    /// the observed maximum. 0 when empty. The log-bucket layout bounds
-    /// the relative error at 2×.
+    /// the observed maximum. 0 when empty.
+    ///
+    /// **Bucket-bound semantics.** Samples inside a bucket are not
+    /// stored individually, so the reported quantile is the bucket's
+    /// *inclusive upper bound* — for bucket `i ≥ 1` that is `2^i − 1`,
+    /// up to 2× the smallest value the bucket can hold. The clamp to
+    /// the observed maximum tightens the top bucket, and a
+    /// single-observation histogram (`count == 1`) reports the sample's
+    /// exact value (it equals `sum`), so p50 of one sample is never
+    /// overstated.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if self.count == 1 {
+            // One sample: `sum` *is* that sample — exact, not the
+            // bucket bound (which can overstate it by up to 2×).
+            return self.sum;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
@@ -97,8 +110,9 @@ impl HistogramSnapshot {
     }
 }
 
-/// Lock-free accumulation storage for one histogram.
-struct HistStore {
+/// Lock-free accumulation storage for one histogram. Shared between
+/// the [`Recorder`] and the metrics registry's lifetime/window stores.
+pub(crate) struct HistStore {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
@@ -106,12 +120,40 @@ struct HistStore {
 }
 
 impl HistStore {
-    fn new() -> HistStore {
+    pub(crate) fn new() -> HistStore {
         HistStore {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample with relaxed atomics.
+    pub(crate) fn observe(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[HistogramSnapshot::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the accumulated buckets.
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Resets every cell to zero (window-slot rollover).
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -207,13 +249,7 @@ impl Recorder {
 
     /// A point-in-time copy of one histogram's accumulated buckets.
     pub fn histogram(&self, hist: Histogram) -> HistogramSnapshot {
-        let h = &self.inner.hists[hist as usize];
-        HistogramSnapshot {
-            count: h.count.load(Ordering::Relaxed),
-            sum: h.sum.load(Ordering::Relaxed),
-            max: h.max.load(Ordering::Relaxed),
-            buckets: std::array::from_fn(|i| h.buckets[i].load(Ordering::Relaxed)),
-        }
+        self.inner.hists[hist as usize].snapshot()
     }
 
     /// Snapshots of every histogram that received at least one sample,
@@ -263,10 +299,6 @@ impl Sink for Recorder {
     }
 
     fn observe(&self, hist: Histogram, value: u64) {
-        let h = &self.inner.hists[hist as usize];
-        h.count.fetch_add(1, Ordering::Relaxed);
-        h.sum.fetch_add(value, Ordering::Relaxed);
-        h.max.fetch_max(value, Ordering::Relaxed);
-        h.buckets[HistogramSnapshot::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.inner.hists[hist as usize].observe(value);
     }
 }

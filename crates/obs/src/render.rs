@@ -1,0 +1,86 @@
+//! Terminal rendering helpers shared by the CLIs: the live
+//! [`HeartbeatSink`] (progress events → stderr lines) and the
+//! field-formatting primitives `sec top` reuses for its dashboard.
+
+use crate::{Sink, Value};
+
+/// Renders one field [`Value`] the way heartbeat lines do: integers
+/// bare, floats with three decimals, strings verbatim.
+pub fn format_value(value: &Value) -> String {
+    match value {
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(x) => format!("{x:.3}"),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => s.clone(),
+    }
+}
+
+/// Formats a heartbeat-style line: `[   1.234s] scope k=v k=v …`.
+/// `fields` supplies already-rendered values so callers with
+/// non-[`Value`] payloads (e.g. parsed trace events) can reuse the
+/// same layout.
+pub fn heartbeat_line<'a>(
+    at_us: u64,
+    scope: Option<&str>,
+    fields: impl IntoIterator<Item = (&'a str, String)>,
+) -> String {
+    let mut line = format!("[{:>8.3}s]", at_us as f64 / 1e6);
+    if let Some(s) = scope {
+        line.push(' ');
+        line.push_str(s);
+    }
+    for (k, v) in fields {
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        line.push_str(&v);
+    }
+    line
+}
+
+/// Renders `progress` heartbeat events as live stderr lines while a
+/// check runs. Every other event passes through silently, so this sink
+/// can ride alongside an NDJSON sink on the same handle.
+pub struct HeartbeatSink;
+
+impl Sink for HeartbeatSink {
+    fn event(
+        &self,
+        at_us: u64,
+        scope: Option<&'static str>,
+        name: &str,
+        fields: &[(&'static str, Value)],
+    ) {
+        if name != "progress" {
+            return;
+        }
+        let rendered = fields.iter().map(|(k, v)| (*k, format_value(v)));
+        eprintln!("{}", heartbeat_line(at_us, scope, rendered));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_line_layout() {
+        let line = heartbeat_line(
+            1_234_000,
+            Some("sat-corr"),
+            vec![("round", "3".to_string()), ("rate", "0.500".to_string())],
+        );
+        assert_eq!(line, "[   1.234s] sat-corr round=3 rate=0.500");
+        assert_eq!(heartbeat_line(0, None, Vec::new()), "[   0.000s]");
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(&Value::U64(7)), "7");
+        assert_eq!(format_value(&Value::F64(0.5)), "0.500");
+        assert_eq!(format_value(&Value::Str("x".into())), "x");
+        assert_eq!(format_value(&Value::Bool(true)), "true");
+        assert_eq!(format_value(&Value::I64(-2)), "-2");
+    }
+}

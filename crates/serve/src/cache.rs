@@ -59,6 +59,9 @@ pub struct ResultCache {
     entries: HashMap<Fingerprint, CacheEntry>,
     /// Recency order, least recent first.
     order: Vec<Fingerprint>,
+    /// Serialized size of each live entry, for [`ResultCache::approx_bytes`].
+    sizes: HashMap<Fingerprint, usize>,
+    bytes: usize,
     capacity: usize,
     dir: Option<PathBuf>,
     counters: CacheCounters,
@@ -70,6 +73,8 @@ impl ResultCache {
         ResultCache {
             entries: HashMap::new(),
             order: Vec::new(),
+            sizes: HashMap::new(),
+            bytes: 0,
             capacity: capacity.max(1),
             dir: None,
             counters: CacheCounters::default(),
@@ -132,6 +137,14 @@ impl ResultCache {
         self.counters
     }
 
+    /// Approximate resident size: the summed [`encode_entry`] length
+    /// of every live entry. Tracks the persisted footprint exactly and
+    /// the in-memory one to within struct overhead — good enough for
+    /// the `serve_cache_bytes` gauge it feeds.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
     /// Looks up a fingerprint, refreshing its recency on a hit.
     pub fn lookup(&mut self, fp: Fingerprint) -> Option<CacheEntry> {
         if let Some(entry) = self.entries.get(&fp) {
@@ -151,12 +164,14 @@ impl ResultCache {
     /// Stores an entry, evicting the least recently used one (and its
     /// file) when the bound is exceeded.
     pub fn store(&mut self, fp: Fingerprint, entry: CacheEntry) {
+        let encoded = encode_entry(&entry);
         if let Some(dir) = &self.dir {
             let path = dir.join(format!("{fp}.json"));
             // Same policy as trace writing: a failed persist must not
             // fail the job that produced the result.
-            let _ = std::fs::write(path, encode_entry(&entry));
+            let _ = std::fs::write(path, &encoded);
         }
+        self.bytes = self.bytes + encoded.len() - self.sizes.insert(fp, encoded.len()).unwrap_or(0);
         if self.entries.insert(fp, entry).is_none() {
             self.order.push(fp);
             self.counters.insertions += 1;
@@ -168,6 +183,7 @@ impl ResultCache {
         while self.entries.len() > self.capacity {
             let victim = self.order.remove(0);
             self.entries.remove(&victim);
+            self.bytes -= self.sizes.remove(&victim).unwrap_or(0);
             self.counters.evictions += 1;
             if let Some(dir) = &self.dir {
                 let _ = std::fs::remove_file(dir.join(format!("{victim}.json")));
@@ -344,6 +360,27 @@ mod tests {
         assert_eq!(c.misses, 2);
         assert_eq!(c.evictions, 1);
         assert_eq!(c.insertions, 3);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_stores_and_evictions() {
+        let mut cache = ResultCache::new(2);
+        assert_eq!(cache.approx_bytes(), 0);
+        cache.store(fp(1), entry(true, 1));
+        let one = cache.approx_bytes();
+        assert_eq!(one, encode_entry(&entry(true, 1)).len());
+        // Re-storing the same key replaces, not accumulates.
+        cache.store(fp(1), entry(true, 1));
+        assert_eq!(cache.approx_bytes(), one);
+        cache.store(fp(2), entry(false, 2));
+        let two = cache.approx_bytes();
+        assert!(two > one);
+        // Eviction releases the victim's bytes.
+        cache.store(fp(3), entry(true, 3));
+        assert_eq!(
+            cache.approx_bytes(),
+            two - one + encode_entry(&entry(true, 3)).len()
+        );
     }
 
     #[test]

@@ -89,6 +89,10 @@ pub enum Request {
     },
     /// Report queue/worker/cache counters.
     Status,
+    /// Report the aggregated telemetry snapshot (`serve.metrics`).
+    Metrics,
+    /// Report liveness (`serve.health`).
+    Health,
     /// Stop the daemon cleanly.
     Shutdown,
 }
@@ -113,6 +117,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "status" => Ok(Request::Status),
+        "metrics" => Ok(Request::Metrics),
+        "health" => Ok(Request::Health),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown cmd {other:?}")),
     }
@@ -246,6 +252,14 @@ mod tests {
         assert!(matches!(
             parse_request("{\"cmd\":\"status\"}"),
             Ok(Request::Status)
+        ));
+        assert!(matches!(
+            parse_request("{\"cmd\":\"metrics\"}"),
+            Ok(Request::Metrics)
+        ));
+        assert!(matches!(
+            parse_request("{\"cmd\":\"health\"}"),
+            Ok(Request::Health)
         ));
         assert!(matches!(
             parse_request("{\"cmd\":\"shutdown\"}"),

@@ -13,6 +13,7 @@
 //! sec trace flame <trace>             folded-stack export of the span tree
 //! sec serve [options]                 run the persistent checking daemon
 //! sec client <sub> --addr ADDR        drive a running daemon
+//! sec top --addr ADDR                 live daemon telemetry dashboard
 //! ```
 //!
 //! Circuits are read in ISCAS'89 `.bench` or ASCII AIGER `.aag` format
@@ -20,7 +21,7 @@
 
 use sec::core::{Backend, Checker, Options, SignalScope, Verdict};
 use sec::netlist::{analysis, dot, parse_aiger, parse_bench, write_aiger, write_bench, Aig};
-use sec::obs::{NdjsonSink, Obs, Recorder, Sink, Value};
+use sec::obs::{heartbeat_line, HeartbeatSink, NdjsonSink, Obs, Recorder, Sink};
 use sec::portfolio::{self, EngineKind, PortfolioOptions, ProgressEvent};
 use sec::serve::{
     check_line, CheckRequest as ServeCheckRequest, Client as ServeClient, Engine as ServeEngine,
@@ -59,14 +60,16 @@ fn usage() -> ! {
          [--threshold NAME=PCT]... [--default-threshold PCT]\n  \
          sec trace flame <trace.ndjson> [--strict]\n  \
          sec serve [--listen ADDR] [--workers N] [--queue N] [--cache-entries N]\n           \
-         [--cache-dir DIR] [--trace-json FILE] [--timeout SECS]\n  \
+         [--cache-dir DIR] [--trace-json FILE] [--timeout SECS]\n           \
+         [--metrics-addr ADDR] [--slow-ms N]\n  \
          sec client check <spec> <impl> --addr ADDR [--engine bdd|sat|portfolio]\n           \
          [--timeout SECS] [--conflict-budget N] [--jobs N] [--heartbeat SECS]\n           \
          [--tag NAME] [--no-cache] [--revalidate] [--inline]\n  \
          sec client batch <spec impl>... --addr ADDR [check options]\n  \
          sec client cancel <job> --addr ADDR\n  \
-         sec client status --addr ADDR\n  \
-         sec client shutdown --addr ADDR\n\n\
+         sec client status|metrics|health --addr ADDR\n  \
+         sec client shutdown --addr ADDR\n  \
+         sec top --addr ADDR [--interval SECS] [--count N]\n\n\
          check exit codes: 0 equivalent, 1 not equivalent, 2 unknown, 3 error\n\
          trace exit codes: 0 ok, 1 regression/mismatch, 2 parse error, 3 usage\n\
          circuit formats: ISCAS'89 .bench, ASCII AIGER .aag"
@@ -103,6 +106,7 @@ fn main() {
         Some("trace") => cmd_trace(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         _ => usage(),
     }
 }
@@ -366,40 +370,6 @@ fn cmd_check(args: &[String]) {
         CheckEngine::Portfolio => {
             check_portfolio(&spec, &imp, &opts, engine_timeout, json, recorder)
         }
-    }
-}
-
-/// Renders `progress` heartbeat events as live stderr lines while a
-/// check runs. Every other event passes through silently, so this sink
-/// can ride alongside an NDJSON sink on the same handle.
-struct HeartbeatSink;
-
-impl Sink for HeartbeatSink {
-    fn event(
-        &self,
-        at_us: u64,
-        scope: Option<&'static str>,
-        name: &str,
-        fields: &[(&'static str, Value)],
-    ) {
-        if name != "progress" {
-            return;
-        }
-        let mut line = format!("[{:>8.3}s]", at_us as f64 / 1e6);
-        if let Some(s) = scope {
-            line.push_str(&format!(" {s}"));
-        }
-        for (k, v) in fields {
-            let rendered = match v {
-                Value::U64(n) => n.to_string(),
-                Value::I64(n) => n.to_string(),
-                Value::F64(x) => format!("{x:.3}"),
-                Value::Bool(b) => b.to_string(),
-                Value::Str(s) => s.clone(),
-            };
-            line.push_str(&format!(" {k}={rendered}"));
-        }
-        eprintln!("{line}");
     }
 }
 
@@ -843,6 +813,16 @@ fn cmd_serve(args: &[String]) -> ! {
                     .unwrap_or_else(|_| usage());
                 opts.default_timeout = Some(Duration::from_secs(secs));
             }
+            "--metrics-addr" => {
+                opts.metrics_addr = Some(take_value(args, &mut i, "--metrics-addr").to_string())
+            }
+            "--slow-ms" => {
+                opts.slow_ms = Some(
+                    take_value(args, &mut i, "--slow-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
             other => {
                 eprintln!("unknown option `{other}`");
                 exit(EXIT_USAGE)
@@ -865,6 +845,8 @@ fn cmd_client(args: &[String]) -> ! {
         Some("batch") => client_check(true, &args[1..]),
         Some("cancel") => client_cancel(&args[1..]),
         Some("status") => client_simple(&args[1..], "{\"cmd\":\"status\"}", "serve.status"),
+        Some("metrics") => client_simple(&args[1..], "{\"cmd\":\"metrics\"}", "serve.metrics"),
+        Some("health") => client_simple(&args[1..], "{\"cmd\":\"health\"}", "serve.health"),
         Some("shutdown") => client_simple(&args[1..], "{\"cmd\":\"shutdown\"}", "serve.bye"),
         _ => usage(),
     }
@@ -1080,6 +1062,135 @@ fn client_cancel(args: &[String]) -> ! {
                 exit(EXIT_USAGE)
             }
         }
+    }
+}
+
+/// `sec top`: poll the daemon's `metrics` verb and render a live
+/// single-screen telemetry view on stderr. `--interval` sets the poll
+/// cadence; `--count N` renders N frames then exits (0 = forever),
+/// which also makes the command scriptable and testable.
+fn cmd_top(args: &[String]) -> ! {
+    let mut addr = None;
+    let mut interval = 2.0f64;
+    let mut count = 0u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value(args, &mut i, "--addr").to_string()),
+            "--interval" => {
+                interval = take_value(args, &mut i, "--interval")
+                    .parse()
+                    .ok()
+                    .filter(|s| *s > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--interval needs a positive number of seconds");
+                        exit(EXIT_USAGE)
+                    })
+            }
+            "--count" => {
+                count = take_value(args, &mut i, "--count")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                exit(EXIT_USAGE)
+            }
+        }
+        i += 1;
+    }
+    let mut client = client_connect(addr);
+    let mut shown = 0u64;
+    loop {
+        client
+            .send_line("{\"cmd\":\"metrics\"}")
+            .unwrap_or_else(|e| {
+                eprintln!("send failed: {e}");
+                exit(EXIT_USAGE)
+            });
+        let ev = loop {
+            match client.next_event() {
+                Ok(Some((_, ev))) if ev.ev == "serve.metrics" => break ev,
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    eprintln!("server closed the connection");
+                    exit(EXIT_USAGE)
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    exit(EXIT_USAGE)
+                }
+            }
+        };
+        render_top(&ev, count == 0);
+        shown += 1;
+        if count > 0 && shown >= count {
+            exit(0)
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
+}
+
+/// One `sec top` frame: four heartbeat-layout lines (requests,
+/// latency, worker pool, cache) on stderr. Interactive mode (no
+/// `--count`) clears the screen first so the frame repaints in place.
+fn render_top(ev: &sec::trace::Event, clear: bool) {
+    let u = |k: &str| ev.u64(k).unwrap_or(0);
+    let f = |k: &str| ev.f64(k).unwrap_or(0.0);
+    if clear {
+        eprint!("\x1b[2J\x1b[H");
+    }
+    let at_us = u("uptime_ms") * 1000;
+    let lines = [
+        heartbeat_line(
+            at_us,
+            Some("req  "),
+            [
+                ("per_s", format!("{:.2}", f("req_per_s"))),
+                ("total", u("requests").to_string()),
+                ("last_60s", u("window_requests").to_string()),
+                ("errors", u("errors").to_string()),
+                ("slow", u("slow").to_string()),
+            ],
+        ),
+        heartbeat_line(
+            at_us,
+            Some("lat  "),
+            [
+                ("p50_us", u("p50_us").to_string()),
+                ("p90_us", u("p90_us").to_string()),
+                ("p99_us", u("p99_us").to_string()),
+                ("max_us", u("max_us").to_string()),
+            ],
+        ),
+        heartbeat_line(
+            at_us,
+            Some("pool "),
+            [
+                (
+                    "queue",
+                    format!("{}/{}", u("queue_depth"), u("queue_capacity")),
+                ),
+                ("running", u("running").to_string()),
+                ("workers", ev.str("worker_state").unwrap_or("?").to_string()),
+                ("panics", u("worker_panics").to_string()),
+            ],
+        ),
+        heartbeat_line(
+            at_us,
+            Some("cache"),
+            [
+                ("entries", u("cache_entries").to_string()),
+                ("bytes", u("cache_bytes").to_string()),
+                ("hit_rate", format!("{:.1}%", f("cache_hit_rate") * 100.0)),
+                ("hits", u("cache_hits").to_string()),
+                ("misses", u("cache_misses").to_string()),
+                ("evictions", u("cache_evictions").to_string()),
+            ],
+        ),
+    ];
+    for line in lines {
+        eprintln!("{line}");
     }
 }
 

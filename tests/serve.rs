@@ -38,24 +38,52 @@ fn tmp_dir(name: &str) -> std::path::PathBuf {
 struct Daemon {
     child: Child,
     addr: String,
+    metrics_addr: Option<String>,
 }
 
 impl Daemon {
     fn start(extra: &[&str]) -> Daemon {
-        let mut child = Command::new(SEC)
-            .args(["serve", "--listen", "127.0.0.1:0"])
+        Daemon::spawn(extra, false)
+    }
+
+    /// Starts with `--metrics-addr 127.0.0.1:0` and reads the second
+    /// banner line announcing the exposition endpoint.
+    fn start_with_metrics(extra: &[&str]) -> Daemon {
+        Daemon::spawn(extra, true)
+    }
+
+    fn spawn(extra: &[&str], metrics: bool) -> Daemon {
+        let mut cmd = Command::new(SEC);
+        cmd.args(["serve", "--listen", "127.0.0.1:0"]);
+        if metrics {
+            cmd.args(["--metrics-addr", "127.0.0.1:0"]);
+        }
+        let mut child = cmd
             .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()
             .unwrap();
-        // The first stdout line announces the bound address.
+        // The first stdout line announces the bound address; with
+        // --metrics-addr a second line announces the scrape endpoint.
         let stdout = child.stdout.take().unwrap();
+        let mut reader = BufReader::new(stdout);
         let mut line = String::new();
-        BufReader::new(stdout).read_line(&mut line).unwrap();
+        reader.read_line(&mut line).unwrap();
         let addr = line.trim().rsplit(' ').next().unwrap_or("").to_string();
         assert!(addr.contains(':'), "unexpected banner: {line:?}");
-        Daemon { child, addr }
+        let metrics_addr = metrics.then(|| {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let maddr = line.trim().rsplit(' ').next().unwrap_or("").to_string();
+            assert!(maddr.contains(':'), "unexpected metrics banner: {line:?}");
+            maddr
+        });
+        Daemon {
+            child,
+            addr,
+            metrics_addr,
+        }
     }
 
     fn client(&self) -> Client {
@@ -127,6 +155,27 @@ fn status(client: &mut Client) -> Event {
             return ev;
         }
     }
+}
+
+fn metrics(client: &mut Client) -> Event {
+    client.send_line("{\"cmd\":\"metrics\"}").unwrap();
+    loop {
+        let (_, ev) = client.next_event().unwrap().expect("server closed early");
+        if ev.ev == "serve.metrics" {
+            return ev;
+        }
+    }
+}
+
+/// One HTTP GET against the exposition listener, returning the whole
+/// response (status line, headers, body).
+fn scrape(addr: &str, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: sec\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
 }
 
 fn result_of(events: &[Event]) -> &Event {
@@ -322,6 +371,151 @@ fn cache_dir_persists_across_restart() {
     assert_eq!(status(&mut c).u64("cache_hits"), Some(1));
     assert!(daemon.shutdown_and_wait().success());
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pulls `metric_name value` out of Prometheus exposition text.
+fn sample(exposition: &str, series: &str) -> Option<f64> {
+    exposition.lines().find_map(|l| {
+        l.strip_prefix(series)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+#[test]
+fn metrics_reconcile_with_requests_served() {
+    let mut daemon = Daemon::start_with_metrics(&["--workers", "2"]);
+    let maddr = daemon.metrics_addr.clone().unwrap();
+
+    // Seed the cache: one cold run (a miss), then two warm repeats —
+    // one of them the renamed variant, which fingerprints identically.
+    let mut c = daemon.client();
+    assert_eq!(
+        result_of(&run_check(&mut c, &check_req(TOGGLE, TOGGLE))).str("verdict"),
+        Some("equivalent")
+    );
+    run_check(&mut c, &check_req(TOGGLE, TOGGLE));
+    run_check(&mut c, &check_req(TOGGLE_RENAMED, TOGGLE_RENAMED));
+
+    // Four concurrent clients hitting the warm entry.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = daemon.addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                let events = run_check(&mut c, &check_req(TOGGLE, TOGGLE));
+                result_of(&events).str("verdict") == Some("equivalent")
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().unwrap());
+    }
+
+    // 7 requests total: 1 miss + 6 hits. The metrics verb, the HTTP
+    // exposition, and the latency histogram must all agree exactly.
+    let m = metrics(&mut c);
+    assert_eq!(m.u64("requests"), Some(7));
+    assert_eq!(m.u64("cache_hits"), Some(6));
+    assert_eq!(m.u64("cache_misses"), Some(1));
+    assert_eq!(m.u64("queue_depth"), Some(0));
+    assert_eq!(m.u64("latency_count"), Some(7));
+    assert_eq!(m.u64("worker_panics"), Some(0));
+    assert!(m.u64("p99_us") >= m.u64("p50_us"));
+    assert!(m.f64("cache_hit_rate").unwrap() > 0.8);
+    assert!(m.str("worker_state").unwrap().len() == 2);
+
+    let response = scrape(&maddr, "/metrics");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or("");
+    assert_eq!(sample(body, "serve_requests_total"), Some(7.0), "{body}");
+    assert_eq!(sample(body, "serve_cache_hits_total"), Some(6.0));
+    assert_eq!(sample(body, "serve_cache_misses_total"), Some(1.0));
+    assert_eq!(sample(body, "serve_queue_depth"), Some(0.0));
+    assert_eq!(sample(body, "serve_worker_busy"), Some(0.0));
+    // hits + misses == requests, and the total-phase histogram count
+    // reconciles exactly with the requests served.
+    assert_eq!(
+        sample(body, "serve_latency_us_count{phase=\"total\"}"),
+        Some(7.0),
+        "{body}"
+    );
+    assert_eq!(
+        sample(body, "serve_latency_us_count{phase=\"accept\"}"),
+        Some(7.0)
+    );
+    assert!(body.contains("# TYPE serve_latency_us histogram"), "{body}");
+    assert!(body.contains("serve_latency_us_bucket{phase=\"total\",le=\"+Inf\"} 7"));
+    // Engine counters aggregated from the worker recorders ride along.
+    assert!(body.contains("sec_"), "{body}");
+
+    let health = scrape(&maddr, "/health");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert!(health.ends_with("ok\n"), "{health}");
+    assert!(scrape(&maddr, "/nope").starts_with("HTTP/1.1 404"));
+
+    // The protocol twins of the endpoints, via the CLI.
+    let out = Command::new(SEC)
+        .args(["client", "health", "--addr", &daemon.addr])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("serve.health"));
+    let out = Command::new(SEC)
+        .args(["client", "metrics", "--addr", &daemon.addr])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"requests\":7"));
+
+    // One `sec top` frame renders the dashboard on stderr.
+    let out = Command::new(SEC)
+        .args(["top", "--addr", &daemon.addr, "--count", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let screen = String::from_utf8_lossy(&out.stderr);
+    assert!(screen.contains("p50_us="), "{screen}");
+    assert!(screen.contains("hit_rate="), "{screen}");
+    assert!(screen.contains("queue=0/"), "{screen}");
+
+    assert!(daemon.shutdown_and_wait().success());
+}
+
+#[test]
+fn request_tracing_spans_cover_every_phase() {
+    let mut daemon = Daemon::start(&["--workers", "1"]);
+    let mut c = daemon.client();
+
+    // Cold run: accept, queue, run and done must all appear, tied to
+    // the same request id, with phase durations summing sanely.
+    let events = run_check(&mut c, &check_req(TOGGLE, TOGGLE));
+    let by_ev = |name: &str| events.iter().find(|e| e.ev == name);
+    let accept = by_ev("req.accept").expect("no req.accept");
+    let queue = by_ev("req.queue").expect("no req.queue");
+    let done = by_ev("req.done").expect("no req.done");
+    let req = accept.str("req").unwrap();
+    assert!(req.starts_with('r'), "{req}");
+    assert_eq!(queue.str("req"), Some(req));
+    assert_eq!(done.str("req"), Some(req));
+    assert_eq!(by_ev("req.run").and_then(|e| e.str("req")), Some(req));
+    let total = done.u64("total_us").unwrap();
+    assert!(done.u64("run_us").unwrap() <= total);
+    assert!(done.u64("queue_us").unwrap() <= total);
+    assert_eq!(done.str("verdict"), Some("equivalent"));
+
+    // Warm repeat: answered inline, so no queue/run phases, and a
+    // fresh request id.
+    let warm = run_check(&mut c, &check_req(TOGGLE, TOGGLE));
+    let warm_done = warm.iter().find(|e| e.ev == "req.done").unwrap();
+    assert_ne!(warm_done.str("req"), Some(req));
+    assert_eq!(
+        warm_done.field("cached").and_then(|j| j.as_bool()),
+        Some(true)
+    );
+    assert!(!warm.iter().any(|e| e.ev == "req.run"));
+
+    assert!(daemon.shutdown_and_wait().success());
 }
 
 #[test]
