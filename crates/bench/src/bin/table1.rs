@@ -8,6 +8,8 @@
 //! ```sh
 //! cargo run --release -p sec-bench --bin table1 -- [options]
 //!   --max-regs N        skip rows with more than N registers
+//!   --pair SPEC IMPL    check a circuit-file pair (.bench/.aag/.aig,
+//!                       repeatable) instead of the generated suite
 //!   --backend sat       SAT backend instead of BDDs (ablation B)
 //!   --backend portfolio race all engines; winner shown per row
 //!   --no-sim-seed       disable simulation seeding (ablation A)
@@ -23,9 +25,10 @@
 //!   --progress[=SECS]   live heartbeat lines on stderr while rows run
 //! ```
 
-use sec_bench::{print_table, run_row, RunConfig};
+use sec_bench::{print_table, run_pair, run_row, RunConfig};
 use sec_core::Backend;
 use sec_gen::iscas_alike_suite;
+use sec_netlist::load_model;
 use sec_obs::{HeartbeatSink, NdjsonSink, Obs, Recorder, Sink};
 use std::sync::Arc;
 use std::time::Duration;
@@ -34,6 +37,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = RunConfig::default();
     let mut max_regs = usize::MAX;
+    let mut pairs: Vec<(String, String)> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut show_stats = false;
     let mut i = 0;
@@ -42,6 +46,12 @@ fn main() {
             "--max-regs" => {
                 i += 1;
                 max_regs = args[i].parse().expect("--max-regs N");
+            }
+            "--pair" => {
+                let spec = args.get(i + 1).expect("--pair SPEC IMPL").clone();
+                let imp = args.get(i + 2).expect("--pair SPEC IMPL").clone();
+                i += 2;
+                pairs.push((spec, imp));
             }
             "--backend" => {
                 i += 1;
@@ -131,15 +141,34 @@ fn main() {
         "Table 1 reproduction — backend={} sim_seed={} funcdep={} optimize={}\n",
         backend, cfg.sim_seed, cfg.functional_deps, cfg.optimize
     );
-    let suite = iscas_alike_suite(max_regs);
-    let mut rows = Vec::with_capacity(suite.len());
-    for entry in &suite {
-        eprintln!(
-            "running {} ({} regs)...",
-            entry.name,
-            entry.aig.num_latches()
-        );
-        rows.push(run_row(entry, &cfg));
+    let mut rows = Vec::new();
+    if pairs.is_empty() {
+        let suite = iscas_alike_suite(max_regs);
+        for entry in &suite {
+            eprintln!(
+                "running {} ({} regs)...",
+                entry.name,
+                entry.aig.num_latches()
+            );
+            rows.push(run_row(entry, &cfg));
+        }
+    } else {
+        // Explicit circuit-file pairs: any format load_model accepts.
+        for (spec_path, imp_path) in &pairs {
+            let load = |p: &String| {
+                load_model(p).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            };
+            let (spec, imp) = (load(spec_path), load(imp_path));
+            let name = std::path::Path::new(spec_path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| spec_path.clone());
+            eprintln!("running {} ({} regs)...", name, spec.num_latches());
+            rows.push(run_pair(&name, &spec, &imp, &cfg));
+        }
     }
     println!();
     print_table(&rows);

@@ -4,7 +4,7 @@
 
 pub mod harness;
 
-use sec_core::{Backend, Checker, Options, Verdict};
+use sec_core::{Backend, Checker, Options, OptionsBuilder, Verdict};
 use sec_gen::SuiteEntry;
 use sec_netlist::Aig;
 use sec_obs::Obs;
@@ -131,9 +131,17 @@ pub struct Row {
     pub proposed: MethodResult,
 }
 
-/// Runs the proposed method on an instance.
+/// Runs the proposed method on an instance. SAT rows start from the
+/// [`Options::sat`] preset, so the candidate-set reduction pipeline
+/// (strash + pattern bank + batched queries) is on exactly as for
+/// `sec check --engine sat`.
 pub fn run_proposed(spec: &Aig, imp: &Aig, cfg: &RunConfig) -> MethodResult {
-    let opts = Options::builder()
+    let base = if cfg.backend == Backend::Sat {
+        OptionsBuilder::sat()
+    } else {
+        Options::builder()
+    };
+    let opts = base
         .backend(cfg.backend)
         .jobs(cfg.jobs)
         .sim_cycles(if cfg.sim_seed { 16 } else { 0 })
@@ -253,6 +261,24 @@ pub fn run_row(entry: &SuiteEntry, cfg: &RunConfig) -> Row {
     Row {
         name: entry.name.to_string(),
         regs_orig: entry.aig.num_latches(),
+        regs_opt: imp.num_latches(),
+        traversal,
+        proposed,
+    }
+}
+
+/// Runs one full row on an explicit spec/impl pair (no instance
+/// synthesis), for `table1 --pair` and format smoke checks.
+pub fn run_pair(name: &str, spec: &Aig, imp: &Aig, cfg: &RunConfig) -> Row {
+    let traversal = cfg.run_traversal.then(|| run_traversal(spec, imp, cfg));
+    let proposed = if cfg.use_portfolio {
+        run_portfolio(spec, imp, cfg)
+    } else {
+        run_proposed(spec, imp, cfg)
+    };
+    Row {
+        name: name.to_string(),
+        regs_orig: spec.num_latches(),
         regs_opt: imp.num_latches(),
         traversal,
         proposed,

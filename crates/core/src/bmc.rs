@@ -62,7 +62,11 @@ pub fn bmc_refute(spec: &Aig, impl_: &Aig, opts: &Options) -> Result<CheckResult
         time: start.elapsed(),
         ..CheckStats::default()
     };
-    Ok(CheckResult { verdict, stats })
+    Ok(CheckResult {
+        verdict,
+        stats,
+        patterns: Vec::new(),
+    })
 }
 
 /// Searches for an input trace of length ≤ `depth` on which some output

@@ -2,6 +2,7 @@
 
 use sec_limits::{CancellationToken, ProgressCounter};
 use sec_obs::Obs;
+use sec_sim::BankPattern;
 use std::time::Duration;
 
 /// Which engine performs the combinational checks of the fixed-point
@@ -156,6 +157,49 @@ pub struct Options {
     /// react faster to a sibling's counterexample, larger chunks
     /// amortize exchange overhead; see `docs/PARALLEL.md` for tuning.
     pub sat_chunk_pairs: usize,
+    /// Layer 1 of the candidate-set reduction pipeline (SAT backend
+    /// only): collapse structurally bisimilar signals
+    /// ([`sec_netlist::structural_repr`]) into one class member each
+    /// before the fixed point starts. The removed `member =
+    /// representative` equalities are re-asserted as permanent frame-0
+    /// clauses in the solver, so the constraint set every query runs
+    /// under is unchanged and the final partition (after the members
+    /// are re-attached) is bit-identical to a run without collapsing —
+    /// only the per-round pair enumeration shrinks. Counted by the
+    /// `strash_merged` counter. Off in [`Options::paper`], on in
+    /// [`Options::sat`].
+    pub strash: bool,
+    /// Layer 2 of the reduction pipeline (SAT backend only): capacity,
+    /// in 64-bit amplification words, of the persistent
+    /// [`sec_sim::PatternBank`] of counterexample witnesses. Every
+    /// witness a SAT query produces is banked and replayed —
+    /// re-amplified from its stored seed — at the start of every later
+    /// refinement round, so a split pattern discovered once never
+    /// costs a solver call again. Entries whose amplification is fully
+    /// valid against the current partition yet splits nothing are
+    /// dropped (they can never split again). `0` disables the bank.
+    /// Splits from replay are counted by `bank_splits`. Off in
+    /// [`Options::paper`], on in [`Options::sat`].
+    pub pattern_bank_words: usize,
+    /// Layer 3 of the reduction pipeline (SAT backend only): batch up
+    /// to this many candidate-pair equality queries into one
+    /// incremental solver call under a single assumption set. A batch
+    /// literal `b` with the clause `¬b ∨ d₁ ∨ … ∨ dₖ` over the pairs'
+    /// cached difference literals asks the solver for *any* pair the
+    /// current correspondence condition fails to prove; `Unsat` proves
+    /// all `k` pairs at once, `Sat` yields a witness whose model says
+    /// which pairs it separates (`batch_pairs_decoded`), and the batch
+    /// is rebuilt from the still-co-classed survivors until it proves
+    /// dry. `0` or `1` keeps the per-pair query path. Batched calls
+    /// are counted by `batched_calls`. Off in [`Options::paper`], on
+    /// in [`Options::sat`].
+    pub batch_pairs: usize,
+    /// Witnesses to warm-start the pattern bank with, e.g. from a
+    /// `sec serve` cache entry of an earlier run over the same
+    /// circuit. Replay validates every pattern against the current
+    /// partition (and drops shape-mismatched ones), so a stale seed is
+    /// harmless. Ignored when [`Options::pattern_bank_words`] is `0`.
+    pub pattern_bank_seed: Vec<BankPattern>,
     /// Refute cheaply by lockstep random simulation before the fixed
     /// point (and use simulation counterexamples found during seeding).
     /// Portfolio runs disable this in engines whose role is proving, so
@@ -207,6 +251,10 @@ impl Default for Options {
             sat_share_clauses: true,
             sat_share_witnesses: true,
             sat_chunk_pairs: 0,
+            strash: false,
+            pattern_bank_words: 0,
+            batch_pairs: 0,
+            pattern_bank_seed: Vec::new(),
             sim_refute: true,
             cancel: None,
             progress: None,
@@ -224,10 +272,15 @@ impl Options {
         Options::default()
     }
 
-    /// SAT-backend configuration (incremental solver, amplification on).
+    /// SAT-backend configuration (incremental solver, amplification
+    /// on, and the full candidate-set reduction pipeline enabled:
+    /// structural collapsing, pattern bank, batched queries).
     pub fn sat() -> Options {
         Options {
             backend: Backend::Sat,
+            strash: true,
+            pattern_bank_words: 256,
+            batch_pairs: 32,
             ..Options::default()
         }
     }
@@ -382,6 +435,18 @@ impl OptionsBuilder {
         sat_share_witnesses: bool,
         /// Sets the work-stealing chunk size in pairs (`0` = auto).
         sat_chunk_pairs: usize,
+        /// Enables/disables structural collapsing of bisimilar signals
+        /// before the fixed point (see [`Options::strash`]).
+        strash: bool,
+        /// Sets the pattern-bank capacity in amplification words
+        /// (`0` disables the bank; see [`Options::pattern_bank_words`]).
+        pattern_bank_words: usize,
+        /// Sets the batched-query width in pairs (`0`/`1` = per-pair
+        /// queries; see [`Options::batch_pairs`]).
+        batch_pairs: usize,
+        /// Seeds the pattern bank with witnesses from an earlier run
+        /// (see [`Options::pattern_bank_seed`]).
+        pattern_bank_seed: Vec<BankPattern>,
         /// Enables/disables cheap simulation refutation.
         sim_refute: bool,
         /// Attaches a cooperative cancellation token.
@@ -419,6 +484,10 @@ mod tests {
         assert_eq!(o.backend, Backend::Sat);
         assert!(o.sat_incremental);
         assert!(o.sat_amplify_words > 0);
+        // The reduction pipeline is on for the SAT preset…
+        assert!(o.strash);
+        assert!(o.pattern_bank_words > 0);
+        assert!(o.batch_pairs > 1);
     }
 
     #[test]
@@ -427,5 +496,17 @@ mod tests {
         assert_eq!(o.backend, Backend::Sat);
         assert!(!o.sat_incremental);
         assert_eq!(o.sat_amplify_words, 0);
+    }
+
+    #[test]
+    fn paper_preset_keeps_pipeline_off() {
+        // …and off everywhere else, so the paper-faithful and ablation
+        // configurations keep the original per-pair behaviour.
+        for o in [Options::paper(), Options::sat_monolithic()] {
+            assert!(!o.strash);
+            assert_eq!(o.pattern_bank_words, 0);
+            assert_eq!(o.batch_pairs, 0);
+            assert!(o.pattern_bank_seed.is_empty());
+        }
     }
 }

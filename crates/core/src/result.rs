@@ -1,6 +1,6 @@
 //! Verdicts and statistics.
 
-use sec_sim::Trace;
+use sec_sim::{BankPattern, Trace};
 use std::time::Duration;
 
 /// The verdict of a sequential equivalence check.
@@ -61,6 +61,20 @@ pub struct CheckStats {
     pub sat_solver_constructions: usize,
     /// Individual SAT solve calls across all constructed solvers.
     pub sat_solver_calls: u64,
+    /// Candidate signals collapsed onto a structural-bisimulation
+    /// representative before the fixed point (the `strash_merged`
+    /// counter; [`Options::strash`](crate::Options::strash)).
+    pub strash_merged: u64,
+    /// Classes created by replaying banked counterexample patterns at
+    /// round starts (the `bank_splits` counter;
+    /// [`Options::pattern_bank_words`](crate::Options::pattern_bank_words)).
+    pub bank_splits: u64,
+    /// Batched pair-equality solver calls (the `batched_calls`
+    /// counter; [`Options::batch_pairs`](crate::Options::batch_pairs)).
+    pub batched_calls: u64,
+    /// Candidate pairs a batched query's model separated, summed over
+    /// all satisfiable batched calls (`batch_pairs_decoded`).
+    pub batch_pairs_decoded: u64,
     /// Percentage of specification signals (gates and registers) whose
     /// final class contains an implementation signal (the paper's
     /// `eqs (%)`).
@@ -80,6 +94,14 @@ pub struct CheckResult {
     pub verdict: Verdict,
     /// Run statistics.
     pub stats: CheckStats,
+    /// The pattern bank's contents at the end of the run: raw
+    /// counterexample witnesses worth replaying in a future check of
+    /// the same circuit pair. Empty unless
+    /// [`Options::pattern_bank_words`](crate::Options::pattern_bank_words)
+    /// is nonzero. `sec serve` persists these alongside the partition
+    /// snapshot and feeds them back through
+    /// [`Options::pattern_bank_seed`](crate::Options::pattern_bank_seed).
+    pub patterns: Vec<BankPattern>,
 }
 
 #[cfg(test)]

@@ -50,7 +50,10 @@ use sec_limits::{CancellationToken, StealQueues};
 use sec_netlist::{Aig, Lit, Var};
 use sec_obs::{event, span, Counter, Obs, ProgressTicker};
 use sec_sat::{AigCnf, SatLit, SatResult, Solver};
-use sec_sim::{amplify_init, amplify_two_frame, eval_single, next_state_single, BitSim};
+use sec_sim::{
+    amplify_init, amplify_two_frame, eval_single, next_state_single, BankPattern, BitSim,
+    PatternBank,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -168,6 +171,26 @@ impl Unrolling {
         }
     }
 
+    /// Permanently asserts the structural equalities removed from the
+    /// candidate set by collapsing ([`Options::strash`]) as hard
+    /// frame-0 clauses: for every collapsed `(member, repr-literal)`
+    /// pair, `member = repr ⊕ sign`. With these in place the solver's
+    /// constraint set equals what the uncollapsed partition's `Q`
+    /// would have asserted — the member/representative equalities are
+    /// simply hard instead of per-round — so every query sees the
+    /// same theory and every witness justifies the same splits as a
+    /// run without collapsing. Frame-1 and initial-frame instances of
+    /// the equalities need no assertion: they are propagation
+    /// consequences (identical canonical cones over frame-0-identified
+    /// latches, and latches pinned to matching initial values).
+    fn assert_struct_eqs(&mut self, struct_eqs: &[(Var, Lit)]) {
+        for &(m, rl) in struct_eqs {
+            let lm = self.frame0[m.index()];
+            let lr = self.frame0[rl.var().index()].complement_if(rl.is_complemented());
+            self.cnf.assert_equal(&mut self.solver, lm, lr);
+        }
+    }
+
     /// The (cached) difference literal `d → (m ≠ r)` of a normalized
     /// pair on frame 1 (`init == false`) or the initial frame.
     fn pair_diff(&mut self, partition: &Partition, m: Var, r: Var, init: bool) -> SatLit {
@@ -276,12 +299,43 @@ enum Round {
     Budget,
 }
 
+/// The word-mask of patterns on which every collapsed structural
+/// equality holds at frame 0. Amplified neighbour patterns perturb
+/// frame-0 *state* bits (not just inputs), so in a collapsed run a
+/// neighbour can violate a `member = repr` equality that the full
+/// run's `Q` would have enforced — such a pattern must not split, or
+/// the collapsed fixed point could diverge from the uncollapsed one.
+fn struct_eq_word_mask(frame0: &BitSim, struct_eqs: &[(Var, Lit)], w: usize) -> u64 {
+    let mut valid = !0u64;
+    for &(m, rl) in struct_eqs {
+        valid &= !(frame0.var_words(m)[w] ^ frame0.lit_word(rl, w));
+        if valid == 0 {
+            break;
+        }
+    }
+    valid
+}
+
+/// Whether a single frame-0 valuation satisfies the current `Q` and
+/// every collapsed structural equality — the unamplified
+/// (`sat_amplify_words == 0`) counterpart of the per-word validity
+/// masks, used when replaying banked patterns.
+fn q_valid_single(partition: &Partition, struct_eqs: &[(Var, Lit)], values: &[bool]) -> bool {
+    // Broadcasting each value to a full word makes every class pair
+    // contribute either all-ones (agree) or all-zeros (disagree).
+    let q_ok = partition.valid_word_mask(|v| if values[v.index()] { !0u64 } else { 0 }) == !0u64;
+    q_ok && struct_eqs
+        .iter()
+        .all(|&(m, rl)| values[m.index()] == (values[rl.var().index()] ^ rl.is_complemented()))
+}
+
 /// Splits the partition by a two-frame counterexample `(s, x_t,
 /// x_{t+1})`, amplified to `64 * sat_amplify_words` patterns when
 /// enabled. Only patterns whose frame-0 values satisfy the *current*
-/// correspondence condition refine the partition (the witness always
-/// does — its frame 0 satisfies the asserted, coarser `Q_{T_i}`).
-/// Returns `true` if anything split.
+/// correspondence condition — and, in a collapsed run, the removed
+/// structural equalities — refine the partition (the witness always
+/// does: its frame 0 satisfies the asserted `Q_{T_i}` plus the hard
+/// structural-equality clauses). Returns `true` if anything split.
 #[allow(clippy::too_many_arguments)]
 fn split_by_two_frame_cex(
     aig: &Aig,
@@ -291,6 +345,7 @@ fn split_by_two_frame_cex(
     s: &[bool],
     xt: &[bool],
     xt1: &[bool],
+    struct_eqs: &[(Var, Lit)],
     obs: &Obs,
 ) -> bool {
     let words = opts.sat_amplify_words;
@@ -303,7 +358,8 @@ fn split_by_two_frame_cex(
     obs.add(Counter::AmplifyPatterns, 64 * words as u64);
     let mut changed = false;
     for w in 0..words {
-        let mask = partition.valid_word_mask(|v| amp.frame0.var_words(v)[w]);
+        let mask = partition.valid_word_mask(|v| amp.frame0.var_words(v)[w])
+            & struct_eq_word_mask(&amp.frame0, struct_eqs, w);
         let hit = partition.refine_by_words(|v| amp.frame1.var_words(v)[w], mask);
         if hit {
             obs.add(Counter::AmplifyWordHits, 1);
@@ -342,33 +398,172 @@ fn split_by_init_cex(
     changed
 }
 
-/// Runs one refinement round over every multi-member class: condition-2
-/// queries on frame 1 and condition-1 queries on the initial frame,
-/// splitting on every witness. `act` carries the incremental path's
-/// activation literal (assumed in every query); `None` is the
-/// monolithic path.
-#[allow(clippy::too_many_arguments)]
-fn run_round(
+/// Replays one banked two-frame witness against the current partition:
+/// re-amplify with the pattern's recorded seed and refine by every
+/// pattern that is valid *now* (frame-0 `Q` of the current — finer —
+/// partition, plus the collapsed structural equalities). Returns `true`
+/// when every pattern was valid: the entry's refinement power is fully
+/// spent and it can never split a finer partition again.
+fn replay_two_frame(
+    aig: &Aig,
+    partition: &mut Partition,
+    words: usize,
+    struct_eqs: &[(Var, Lit)],
+    (s, xt, xt1): (&[bool], &[bool], &[bool]),
+    seed: u64,
+) -> bool {
+    if words == 0 {
+        let frame0 = eval_single(aig, xt, s);
+        let valid = q_valid_single(partition, struct_eqs, &frame0);
+        if valid {
+            let s2 = next_state_single(aig, xt, s);
+            let frame2 = eval_single(aig, xt1, &s2);
+            partition.refine_by_values(&frame2);
+        }
+        return valid;
+    }
+    let amp = amplify_two_frame(aig, s, xt, xt1, words, seed);
+    let mut fully_valid = true;
+    for w in 0..words {
+        let mask = partition.valid_word_mask(|v| amp.frame0.var_words(v)[w])
+            & struct_eq_word_mask(&amp.frame0, struct_eqs, w);
+        fully_valid &= mask == !0u64;
+        partition.refine_by_words(|v| amp.frame1.var_words(v)[w], mask);
+    }
+    fully_valid
+}
+
+/// Replays one banked initial-frame witness. Initial-frame patterns
+/// pin every latch to its initial value, so all of them are valid
+/// splitting points regardless of the partition — the entry is always
+/// exhausted after one replay.
+fn replay_init(aig: &Aig, partition: &mut Partition, words: usize, xi: &[bool], seed: u64) {
+    if words == 0 {
+        let vals = eval_single(aig, xi, &aig.initial_state());
+        partition.refine_by_values(&vals);
+        return;
+    }
+    let sim = amplify_init(aig, xi, words, seed);
+    for w in 0..words {
+        partition.refine_by_words(|v| sim.var_words(v)[w], !0u64);
+    }
+}
+
+/// Replays the pattern bank at a round start, before this round's `Q`
+/// is asserted: every banked witness re-amplifies with its recorded
+/// seed, and every pattern valid against the *current* partition
+/// refines it — splits for free, without a solver call. Sound for the
+/// same reason amplification is: a mask-valid split only separates
+/// signals some reachable-under-`Q` valuation distinguishes, which
+/// preserves "the true correspondence refines the partition", so the
+/// certified fixed point is unchanged (only the trajectory shortens).
+///
+/// Entries are dropped when stale (shape mismatch after a retiming
+/// extension or a foreign cache seed) or exhausted (every pattern
+/// valid — validity only widens as refinement removes constraints, so
+/// a fully-applied entry can never split again). The class-count
+/// delta lands in the `bank_splits` counter.
+fn replay_bank(
     aig: &Aig,
     partition: &mut Partition,
     opts: &Options,
-    deadline: &Deadline,
-    u: &mut Unrolling,
+    struct_eqs: &[(Var, Lit)],
+    bank: &mut PatternBank,
+    obs: &Obs,
+) {
+    if bank.is_empty() {
+        return;
+    }
+    let words = opts.sat_amplify_words;
+    let before = partition.num_classes();
+    bank.retain(|p| match p {
+        BankPattern::TwoFrame {
+            state,
+            inputs_t,
+            inputs_t1,
+            seed,
+        } => {
+            if state.len() != aig.num_latches()
+                || inputs_t.len() != aig.num_inputs()
+                || inputs_t1.len() != aig.num_inputs()
+            {
+                return false;
+            }
+            let exhausted = replay_two_frame(
+                aig,
+                partition,
+                words,
+                struct_eqs,
+                (state, inputs_t, inputs_t1),
+                *seed,
+            );
+            !exhausted
+        }
+        BankPattern::Init { inputs, seed } => {
+            if inputs.len() == aig.num_inputs() {
+                replay_init(aig, partition, words, inputs, *seed);
+            }
+            false
+        }
+    });
+    let splits = (partition.num_classes() - before) as u64;
+    if splits > 0 {
+        obs.add(Counter::BankSplits, splits);
+        event!(obs, "bank.replay", splits = splits, entries = bank.len());
+    }
+}
+
+/// Everything one serial refinement round reads and writes besides the
+/// partition: the unrolling, the candidate-reduction state (collapsed
+/// structural equalities, the pattern bank, the cross-round
+/// condition-1 cache), and the reporting plumbing. Bundled so the
+/// serial round entry points stay within clippy's argument budget.
+struct RoundCtx<'a> {
+    opts: &'a Options,
+    deadline: &'a Deadline,
+    u: &'a mut Unrolling,
     act: Option<SatLit>,
     round: usize,
-    obs: &Obs,
+    obs: &'a Obs,
+    struct_eqs: &'a [(Var, Lit)],
+    bank: &'a mut PatternBank,
+    /// Pairs proven equal on the initial frame in an earlier round.
+    /// The initial frame is a subgraph disjoint from frame 0, so the
+    /// round's `Q` cannot influence a condition-1 query: once
+    /// unsatisfiable, always unsatisfiable (see [`Worker::init_eq`]).
+    /// Only the batched path consults it — the per-pair path keeps the
+    /// pre-batching query trajectory untouched.
+    init_eq: &'a mut HashSet<(Var, Var)>,
+}
+
+/// Runs one refinement round over every multi-member class: condition-2
+/// queries on frame 1 and condition-1 queries on the initial frame,
+/// splitting on every witness. `ctx.act` carries the incremental
+/// path's activation literal (assumed in every query); `None` is the
+/// monolithic path. With [`Options::batch_pairs`] ≥ 2 the queries run
+/// batched ([`run_round_batched`]); the per-pair sweep below is the
+/// exact pre-batching behaviour.
+fn run_round(
+    aig: &Aig,
+    partition: &mut Partition,
     ticker: &mut ProgressTicker,
+    ctx: &mut RoundCtx,
 ) -> Result<Round, Abort> {
+    if ctx.opts.batch_pairs >= 2 {
+        return run_round_batched(aig, partition, ticker, ctx);
+    }
+    let act = ctx.act;
     let with_act = |d: SatLit| match act {
         Some(a) => vec![a, d],
         None => vec![d],
     };
+    let (opts, round, obs) = (ctx.opts, ctx.round, ctx.obs);
     // Deterministic per-query amplification seeds.
     let mut query_seq = (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let mut changed = false;
     let mut ci = 0;
     while ci < partition.num_classes() {
-        deadline.check()?;
+        ctx.deadline.check()?;
         // Heartbeat from inside the round, so a single long round
         // still reports live progress at the configured interval.
         if ticker.ready() {
@@ -377,7 +572,7 @@ fn run_round(
                 "progress",
                 round = round,
                 classes = partition.num_classes(),
-                conflicts = u.solver.stats().conflicts,
+                conflicts = ctx.u.solver.stats().conflicts,
                 elapsed_ms = ticker.elapsed_ms()
             );
         }
@@ -390,36 +585,53 @@ fn run_round(
                 }
                 query_seq = query_seq.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 // Condition 2: next-frame disagreement under Q?
-                let d1 = u.pair_diff(partition, m, r, false);
-                match query(&mut u.solver, &with_act(d1), obs)? {
+                let d1 = ctx.u.pair_diff(partition, m, r, false);
+                match query(&mut ctx.u.solver, &with_act(d1), obs)? {
                     Query::Budget => return Ok(Round::Budget),
                     Query::Sat => {
-                        let s = u.read_inputs(&u.s_in);
-                        let xt = u.read_inputs(&u.x0_in);
-                        let xt1 = u.read_inputs(&u.x1_in);
+                        let s = ctx.u.read_inputs(&ctx.u.s_in);
+                        let xt = ctx.u.read_inputs(&ctx.u.x0_in);
+                        let xt1 = ctx.u.read_inputs(&ctx.u.x1_in);
                         let seed = opts.seed ^ query_seq;
-                        if !split_by_two_frame_cex(aig, partition, opts, seed, &s, &xt, &xt1, obs) {
+                        if !split_by_two_frame_cex(
+                            aig,
+                            partition,
+                            opts,
+                            seed,
+                            &s,
+                            &xt,
+                            &xt1,
+                            ctx.struct_eqs,
+                            obs,
+                        ) {
                             return Err(Abort::Resource(
                                 "internal inconsistency: SAT counterexample did not split".into(),
                             ));
                         }
+                        ctx.bank.push(BankPattern::TwoFrame {
+                            state: s,
+                            inputs_t: xt,
+                            inputs_t1: xt1,
+                            seed,
+                        });
                         changed = true;
                         continue;
                     }
                     Query::Unsat => {}
                 }
                 // Condition 1: disagreement at the initial state?
-                let d0 = u.pair_diff(partition, m, r, true);
-                match query(&mut u.solver, &with_act(d0), obs)? {
+                let d0 = ctx.u.pair_diff(partition, m, r, true);
+                match query(&mut ctx.u.solver, &with_act(d0), obs)? {
                     Query::Budget => return Ok(Round::Budget),
                     Query::Sat => {
-                        let xi = u.read_inputs(&u.xi_in);
+                        let xi = ctx.u.read_inputs(&ctx.u.xi_in);
                         let seed = opts.seed ^ query_seq.wrapping_add(1);
                         if !split_by_init_cex(aig, partition, opts, seed, &xi, obs) {
                             return Err(Abort::Resource(
                                 "internal inconsistency: init counterexample did not split".into(),
                             ));
                         }
+                        ctx.bank.push(BankPattern::Init { inputs: xi, seed });
                         changed = true;
                     }
                     Query::Unsat => {}
@@ -427,6 +639,225 @@ fn run_round(
             }
         }
         ci += 1;
+    }
+    Ok(if changed {
+        Round::Refined
+    } else {
+        Round::NoSplit
+    })
+}
+
+/// How one flushed batch of candidate pairs ended.
+enum BatchOut {
+    /// Every live pair proven under both conditions (possibly after
+    /// splitting away siblings decoded from earlier models).
+    Done { split: bool },
+    /// A query exhausted the per-query conflict budget.
+    Budget,
+}
+
+/// Resolves one batch of candidate pairs with the batched protocol:
+/// one fresh batch literal `b`, the clause `b → (d₁ ∨ … ∨ d_k)` over
+/// the pairs' cached difference literals, and `b` assumed alongside
+/// the round activation. **Unsat** proves all `k` pairs at once — the
+/// assumption set is the per-pair query's plus `b`, so unsatisfiability
+/// of the disjunction certifies exactly what `k` per-pair Unsat
+/// answers would. **Sat** yields a model in which at least one `dᵢ` is
+/// true (`b` forces the disjunction); decoding the model's `dᵢ` values
+/// names every pair this witness separates, the witness is merged with
+/// the *lowest* decoded pair's canonical seed, and the still-co-classed
+/// remainder re-solves. Each batch literal is retired with the unit
+/// `¬b` so later queries never revisit it. Condition 1 runs the same
+/// way over the condition-2 survivors, behind the cross-round
+/// [`RoundCtx::init_eq`] cache.
+fn flush_pair_batch(
+    aig: &Aig,
+    partition: &mut Partition,
+    ctx: &mut RoundCtx,
+    chunk: &[(u64, Var, Var)],
+) -> Result<BatchOut, Abort> {
+    let act = ctx.act;
+    let with_act = |b: SatLit| match act {
+        Some(a) => vec![a, b],
+        None => vec![b],
+    };
+    let (opts, round, obs) = (ctx.opts, ctx.round, ctx.obs);
+    let co_classed = |partition: &Partition, m: Var, r: Var| {
+        matches!(
+            (partition.class_of(m), partition.class_of(r)),
+            (Some(a), Some(b)) if a == b
+        )
+    };
+    let mut split = false;
+    // Condition 2 to exhaustion over the batch.
+    let mut live: Vec<(u64, Var, Var)> = chunk
+        .iter()
+        .copied()
+        .filter(|&(_, m, r)| co_classed(partition, m, r))
+        .collect();
+    while !live.is_empty() {
+        ctx.deadline.check()?;
+        let ds: Vec<SatLit> = live
+            .iter()
+            .map(|&(_, m, r)| ctx.u.pair_diff(partition, m, r, false))
+            .collect();
+        let b = ctx.u.solver.new_var().positive();
+        let mut clause = vec![!b];
+        clause.extend_from_slice(&ds);
+        ctx.u.solver.add_clause(&clause);
+        obs.add(Counter::BatchedCalls, 1);
+        let q = query(&mut ctx.u.solver, &with_act(b), obs)?;
+        ctx.u.solver.add_clause(&[!b]);
+        match q {
+            Query::Budget => return Ok(BatchOut::Budget),
+            Query::Unsat => break,
+            Query::Sat => {
+                let decoded: Vec<u64> = live
+                    .iter()
+                    .zip(&ds)
+                    .filter(|&(_, &d)| ctx.u.solver.model_value(d))
+                    .map(|(&(seq, _, _), _)| seq)
+                    .collect();
+                obs.add(Counter::BatchPairsDecoded, decoded.len() as u64);
+                let lowest = decoded.iter().copied().min().unwrap_or(live[0].0);
+                let s = ctx.u.read_inputs(&ctx.u.s_in);
+                let xt = ctx.u.read_inputs(&ctx.u.x0_in);
+                let xt1 = ctx.u.read_inputs(&ctx.u.x1_in);
+                let seed = cex_seed(opts.seed, round, lowest, false);
+                if !split_by_two_frame_cex(
+                    aig,
+                    partition,
+                    opts,
+                    seed,
+                    &s,
+                    &xt,
+                    &xt1,
+                    ctx.struct_eqs,
+                    obs,
+                ) {
+                    return Err(Abort::Resource(
+                        "internal inconsistency: batched counterexample did not split".into(),
+                    ));
+                }
+                ctx.bank.push(BankPattern::TwoFrame {
+                    state: s,
+                    inputs_t: xt,
+                    inputs_t1: xt1,
+                    seed,
+                });
+                split = true;
+                live.retain(|&(_, m, r)| co_classed(partition, m, r));
+            }
+        }
+    }
+    // Condition 1 over the condition-2 survivors.
+    let mut live: Vec<(u64, Var, Var)> = live
+        .into_iter()
+        .filter(|&(_, m, r)| co_classed(partition, m, r) && !ctx.init_eq.contains(&(m, r)))
+        .collect();
+    while !live.is_empty() {
+        ctx.deadline.check()?;
+        let ds: Vec<SatLit> = live
+            .iter()
+            .map(|&(_, m, r)| ctx.u.pair_diff(partition, m, r, true))
+            .collect();
+        let b = ctx.u.solver.new_var().positive();
+        let mut clause = vec![!b];
+        clause.extend_from_slice(&ds);
+        ctx.u.solver.add_clause(&clause);
+        obs.add(Counter::BatchedCalls, 1);
+        let q = query(&mut ctx.u.solver, &with_act(b), obs)?;
+        ctx.u.solver.add_clause(&[!b]);
+        match q {
+            Query::Budget => return Ok(BatchOut::Budget),
+            Query::Unsat => {
+                for &(_, m, r) in &live {
+                    ctx.init_eq.insert((m, r));
+                }
+                break;
+            }
+            Query::Sat => {
+                let decoded: Vec<u64> = live
+                    .iter()
+                    .zip(&ds)
+                    .filter(|&(_, &d)| ctx.u.solver.model_value(d))
+                    .map(|(&(seq, _, _), _)| seq)
+                    .collect();
+                obs.add(Counter::BatchPairsDecoded, decoded.len() as u64);
+                let lowest = decoded.iter().copied().min().unwrap_or(live[0].0);
+                let xi = ctx.u.read_inputs(&ctx.u.xi_in);
+                let seed = cex_seed(opts.seed, round, lowest, true);
+                if !split_by_init_cex(aig, partition, opts, seed, &xi, obs) {
+                    return Err(Abort::Resource(
+                        "internal inconsistency: batched init counterexample did not split".into(),
+                    ));
+                }
+                ctx.bank.push(BankPattern::Init { inputs: xi, seed });
+                split = true;
+                live.retain(|&(_, m, r)| co_classed(partition, m, r));
+            }
+        }
+    }
+    Ok(BatchOut::Done { split })
+}
+
+/// The batched serial round: the same canonical pair enumeration as
+/// the per-pair sweep, cut into batches of [`Options::batch_pairs`]
+/// resolved by [`flush_pair_batch`]. Newly created classes are
+/// enumerated within the round, exactly like the per-pair sweep
+/// re-visits them, so a batched no-split round certifies the same
+/// fixed point.
+fn run_round_batched(
+    aig: &Aig,
+    partition: &mut Partition,
+    ticker: &mut ProgressTicker,
+    ctx: &mut RoundCtx,
+) -> Result<Round, Abort> {
+    let batch = ctx.opts.batch_pairs;
+    let mut changed = false;
+    let mut pending: Vec<(u64, Var, Var)> = Vec::new();
+    let mut seq = 0u64;
+    let mut ci = 0;
+    loop {
+        while ci < partition.num_classes() {
+            ctx.deadline.check()?;
+            if ticker.ready() {
+                event!(
+                    ctx.obs,
+                    "progress",
+                    round = ctx.round,
+                    classes = partition.num_classes(),
+                    conflicts = ctx.u.solver.stats().conflicts,
+                    elapsed_ms = ticker.elapsed_ms()
+                );
+            }
+            let members = partition.class(ci);
+            if members.len() >= 2 {
+                let r = members[0];
+                for i in 1..members.len() {
+                    pending.push((seq, partition.class(ci)[i], r));
+                    seq += 1;
+                }
+            }
+            ci += 1;
+            while pending.len() >= batch {
+                let chunk: Vec<(u64, Var, Var)> = pending.drain(..batch).collect();
+                match flush_pair_batch(aig, partition, ctx, &chunk)? {
+                    BatchOut::Budget => return Ok(Round::Budget),
+                    BatchOut::Done { split } => changed |= split,
+                }
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        let chunk: Vec<(u64, Var, Var)> = std::mem::take(&mut pending);
+        match flush_pair_batch(aig, partition, ctx, &chunk)? {
+            BatchOut::Budget => return Ok(Round::Budget),
+            BatchOut::Done { split } => changed |= split,
+        }
+        // Flushing may have split classes into fresh ones past `ci`;
+        // loop to enumerate them before declaring the round done.
     }
     Ok(if changed {
         Round::Refined
@@ -495,23 +926,28 @@ fn close_round(obs: &Obs, sp: &mut sec_obs::Span, partition: &Partition, classes
 /// The incremental driver: one solver for the whole fixed point,
 /// per-round activation literals, learned clauses persisting across
 /// rounds.
+#[allow(clippy::too_many_arguments)]
 fn run_incremental(
     aig: &Aig,
     partition: &mut Partition,
     opts: &Options,
     deadline: &Deadline,
     output_pairs: &[(Lit, Lit)],
+    struct_eqs: &[(Var, Lit)],
+    bank: &mut PatternBank,
     obs: &Obs,
     ticker: &mut ProgressTicker,
 ) -> Result<Incremental, Abort> {
     let mut u = Unrolling::build(aig);
     obs.add(Counter::SatSolverConstructions, 1);
+    u.assert_struct_eqs(struct_eqs);
     // The solver polls the same deadline/token from its search loop,
     // so a long query stops within milliseconds of cancellation.
     u.solver.set_limits(deadline.limits());
     u.solver.set_obs(obs.clone());
     u.solver.set_conflict_budget(opts.sat_conflict_budget);
     let mut meter = SatMeter::new(obs);
+    let mut init_eq: HashSet<(Var, Var)> = HashSet::new();
     let mut round_no = 0usize;
     let result = 'run: {
         loop {
@@ -521,20 +957,26 @@ fn run_incremental(
             deadline.tick();
             round_no += 1;
             let mut sp = open_round(obs, round_no);
+            let classes_before = partition.num_classes();
+            // Banked patterns replay before this round's `Q` is
+            // asserted, so the assertion covers the replayed splits.
+            replay_bank(aig, partition, opts, struct_eqs, bank, obs);
             let act = u.solver.new_var().positive();
             u.assert_q(partition, Some(act));
-            let classes_before = partition.num_classes();
-            let round = run_round(
-                aig,
-                partition,
-                opts,
-                deadline,
-                &mut u,
-                Some(act),
-                round_no,
-                obs,
-                ticker,
-            );
+            let round = {
+                let mut ctx = RoundCtx {
+                    opts,
+                    deadline,
+                    u: &mut u,
+                    act: Some(act),
+                    round: round_no,
+                    obs,
+                    struct_eqs,
+                    bank,
+                    init_eq: &mut init_eq,
+                };
+                run_round(aig, partition, ticker, &mut ctx)
+            };
             close_round(obs, &mut sp, partition, classes_before);
             drop(sp);
             match round {
@@ -883,6 +1325,10 @@ struct WorkerCtx<'a> {
     pool: &'a RoundPool,
     round: usize,
     obs: &'a Obs,
+    /// The collapsed structural equalities ([`Options::strash`]) —
+    /// asserted on the shared base encoding, and folded into every
+    /// published witness signature's validity masks.
+    struct_eqs: &'a [(Var, Lit)],
 }
 
 /// How one worker's sweep over the steal queues ended.
@@ -968,6 +1414,7 @@ fn publish_witness(ctx: &WorkerCtx, seq: u64, kind: &CexKind) {
                 .map(|w| {
                     ctx.partition
                         .valid_word_mask(|v| amp.frame0.var_words(v)[w])
+                        & struct_eq_word_mask(&amp.frame0, ctx.struct_eqs, w)
                 })
                 .collect();
             SharedSig {
@@ -989,12 +1436,145 @@ fn publish_witness(ctx: &WorkerCtx, seq: u64, kind: &CexKind) {
     ctx.pool.sig_count.store(sigs.len(), Ordering::Release);
 }
 
+/// Sweeps one chunk with the batched protocol (see
+/// [`flush_pair_batch`]; this is its worker-side twin): condition-2
+/// sub-batches of up to [`Options::batch_pairs`] pairs, then
+/// condition-1 over the proven survivors behind [`Worker::init_eq`].
+/// A satisfiable batch yields *one* witness, keyed to the lowest
+/// decoded pair's canonical `seq`; every decoded pair drops from the
+/// batch without a proof — sound exactly like witness pruning, since
+/// a dropped pair that somehow survives the merge is re-enumerated
+/// next round, and certification still requires a zero-witness full
+/// sweep. Returns `None` when the chunk was fully processed.
+#[allow(clippy::too_many_arguments)]
+fn batched_chunk_sweep(
+    w: &mut Worker,
+    act: SatLit,
+    ctx: &WorkerCtx,
+    chunk: &[(u64, Var, Var)],
+    sigs: &mut Vec<Arc<SharedSig>>,
+    cexes: &mut Vec<WorkerCex>,
+    queries: &mut u64,
+) -> Option<SweepEnd> {
+    // Witness-prune at chunk intake, as the per-pair sweep does per
+    // pair.
+    let mut live: Vec<(u64, Var, Var)> = Vec::new();
+    for &(seq, m, r) in chunk {
+        if ctx.pool.stop.is_cancelled() {
+            return Some(SweepEnd::Stopped);
+        }
+        if ctx.opts.sat_share_witnesses {
+            refresh_sigs(ctx, sigs);
+            if sigs.iter().any(|sig| sig.separates(ctx.partition, m, r)) {
+                ctx.obs.add(Counter::WitnessPrunedPairs, 1);
+                continue;
+            }
+        }
+        live.push((seq, m, r));
+    }
+    let batch_size = ctx.opts.batch_pairs;
+    for init in [false, true] {
+        // Condition 2 runs over the whole chunk; condition 1 only over
+        // the pairs condition 2 proved, minus the cross-round cache.
+        let todo: Vec<(u64, Var, Var)> = if init {
+            std::mem::take(&mut live)
+                .into_iter()
+                .filter(|&(_, m, r)| !w.init_eq.contains(&(m, r)))
+                .collect()
+        } else {
+            std::mem::take(&mut live)
+        };
+        let mut idx = 0;
+        while idx < todo.len() {
+            let hi = (idx + batch_size).min(todo.len());
+            let mut batch: Vec<(u64, Var, Var)> = todo[idx..hi].to_vec();
+            idx = hi;
+            while !batch.is_empty() {
+                if ctx.pool.stop.is_cancelled() {
+                    return Some(SweepEnd::Stopped);
+                }
+                let ds: Vec<SatLit> = batch
+                    .iter()
+                    .map(|&(_, m, r)| w.u.pair_diff(ctx.partition, m, r, init))
+                    .collect();
+                let b = w.u.solver.new_var().positive();
+                let mut clause = vec![!b];
+                clause.extend_from_slice(&ds);
+                w.u.solver.add_clause(&clause);
+                *queries += 1;
+                ctx.pool.note_query();
+                ctx.obs.add(Counter::BatchedCalls, 1);
+                let q = query(&mut w.u.solver, &[act, b], ctx.obs);
+                w.u.solver.add_clause(&[!b]);
+                match q {
+                    Err(a) => {
+                        return Some(match sibling_or_abort(a, ctx.deadline) {
+                            None => SweepEnd::Stopped,
+                            Some(real) => SweepEnd::Abort(real),
+                        })
+                    }
+                    Ok(Query::Budget) => return Some(SweepEnd::Budget),
+                    Ok(Query::Unsat) => {
+                        if init {
+                            for &(_, m, r) in &batch {
+                                w.init_eq.insert((m, r));
+                            }
+                        } else {
+                            live.append(&mut batch);
+                        }
+                        batch.clear();
+                    }
+                    Ok(Query::Sat) => {
+                        let sep: Vec<bool> =
+                            ds.iter().map(|&d| w.u.solver.model_value(d)).collect();
+                        let decoded = sep.iter().filter(|&&x| x).count() as u64;
+                        ctx.obs.add(Counter::BatchPairsDecoded, decoded);
+                        ctx.obs.add(Counter::WorkerCexes, 1);
+                        let lowest = batch
+                            .iter()
+                            .zip(&sep)
+                            .filter(|&(_, &x)| x)
+                            .map(|(&(seq, _, _), _)| seq)
+                            .min()
+                            .unwrap_or(batch[0].0);
+                        let kind = if init {
+                            CexKind::Init {
+                                xi: w.u.read_inputs(&w.u.xi_in),
+                            }
+                        } else {
+                            CexKind::TwoFrame {
+                                s: w.u.read_inputs(&w.u.s_in),
+                                xt: w.u.read_inputs(&w.u.x0_in),
+                                xt1: w.u.read_inputs(&w.u.x1_in),
+                            }
+                        };
+                        if ctx.opts.sat_share_witnesses {
+                            publish_witness(ctx, lowest, &kind);
+                        }
+                        cexes.push(WorkerCex { seq: lowest, kind });
+                        ctx.pool.note_witness();
+                        let keep: Vec<(u64, Var, Var)> = batch
+                            .iter()
+                            .zip(&sep)
+                            .filter(|&(_, &x)| !x)
+                            .map(|(&p, _)| p)
+                            .collect();
+                        batch = keep;
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Sweeps chunks off the steal queues for one round: per pair, a
 /// witness-prune check against the published signatures, then the
 /// condition-2 and condition-1 queries, collecting every witness found
 /// — the pool's stop rules decide when the round has enough. Clauses
-/// are exchanged at chunk boundaries. The query count lands in the
-/// drain event.
+/// are exchanged at chunk boundaries; with [`Options::batch_pairs`]
+/// ≥ 2 each chunk runs through [`batched_chunk_sweep`] instead of the
+/// per-pair loop. The query count lands in the drain event.
 fn worker_sweep(
     w: &mut Worker,
     wid: usize,
@@ -1021,6 +1601,15 @@ fn worker_sweep(
             if let Err(e) = exchange_clauses(w, wid, ctx, &mut imported_upto) {
                 return SweepEnd::Abort(e);
             }
+        }
+        if ctx.opts.batch_pairs >= 2 {
+            if let Some(end) = batched_chunk_sweep(w, act, ctx, &chunk, &mut sigs, cexes, queries) {
+                return end;
+            }
+            if std::mem::take(&mut first_chunk) {
+                std::thread::yield_now();
+            }
+            continue;
         }
         for &(seq, m, r) in &chunk {
             if ctx.pool.stop.is_cancelled() {
@@ -1170,12 +1759,15 @@ fn worker_round(w: &mut Worker, wid: usize, own_pairs: usize, ctx: &WorkerCtx) -
 /// are discarded and the caller falls back to the monolithic path from
 /// the round-start partition — deterministic regardless of how far the
 /// sibling workers got before the stop flag reached them.
+#[allow(clippy::too_many_arguments)]
 fn run_sharded(
     aig: &Aig,
     partition: &mut Partition,
     opts: &Options,
     deadline: &Deadline,
     output_pairs: &[(Lit, Lit)],
+    struct_eqs: &[(Var, Lit)],
+    bank: &mut PatternBank,
     obs: &Obs,
     ticker: &mut ProgressTicker,
 ) -> Result<Incremental, Abort> {
@@ -1189,8 +1781,13 @@ fn run_sharded(
     let pool_size = jobs.min(initial_pairs.max(1));
     // Encode once, clone per worker: each worker gets its own solver
     // over the shared CNF and keeps it for the whole fixed point, so
-    // clauses it learns about its pairs persist across rounds.
-    let base = Unrolling::build(aig);
+    // clauses it learns about its pairs persist across rounds. The
+    // collapsed structural equalities land on the base encoding before
+    // cloning: they are over frame-0 variables (below the sharing
+    // frontier) and present in every worker, so clause sharing stays
+    // sound with them in the common theory.
+    let mut base = Unrolling::build(aig);
+    base.assert_struct_eqs(struct_eqs);
     let mut workers: Vec<Worker> = (0..pool_size)
         .map(|_| {
             let mut u = base.clone();
@@ -1241,6 +1838,12 @@ fn run_sharded(
                 );
             }
             let mut sp = open_round(obs, round_no);
+            let classes_before = partition.num_classes();
+            // Banked patterns replay before the pair enumeration (and
+            // before the workers assert this round's `Q`), so replayed
+            // splits cost no queries and the round sweeps the already-
+            // refined classes.
+            replay_bank(aig, partition, opts, struct_eqs, bank, obs);
             // Canonical pair enumeration: multi-member classes in
             // ascending order, members against their representative.
             // The global sequence number is the deterministic merge
@@ -1319,7 +1922,6 @@ fn run_sharded(
                 chunks_of[ci % spawned].push(c.to_vec());
                 ci += 1;
             }
-            let classes_before = partition.num_classes();
             let pool = RoundPool::new(spawned * WITNESS_TARGET_PER_WORKER, query_budget);
             let outcomes: Vec<WorkerRound> = {
                 let queues = StealQueues::new(chunks_of, &pool.stop);
@@ -1332,6 +1934,7 @@ fn run_sharded(
                     pool: &pool,
                     round: round_no,
                     obs,
+                    struct_eqs,
                 };
                 std::thread::scope(|s| {
                     let handles: Vec<_> = workers[..spawned]
@@ -1395,24 +1998,28 @@ fn run_sharded(
             let mut changed = false;
             for c in &cexes {
                 changed |= match &c.kind {
-                    CexKind::TwoFrame { s, xt, xt1 } => split_by_two_frame_cex(
-                        aig,
-                        partition,
-                        opts,
-                        cex_seed(opts.seed, round_no, c.seq, false),
-                        s,
-                        xt,
-                        xt1,
-                        obs,
-                    ),
-                    CexKind::Init { xi } => split_by_init_cex(
-                        aig,
-                        partition,
-                        opts,
-                        cex_seed(opts.seed, round_no, c.seq, true),
-                        xi,
-                        obs,
-                    ),
+                    CexKind::TwoFrame { s, xt, xt1 } => {
+                        let seed = cex_seed(opts.seed, round_no, c.seq, false);
+                        let hit = split_by_two_frame_cex(
+                            aig, partition, opts, seed, s, xt, xt1, struct_eqs, obs,
+                        );
+                        bank.push(BankPattern::TwoFrame {
+                            state: s.clone(),
+                            inputs_t: xt.clone(),
+                            inputs_t1: xt1.clone(),
+                            seed,
+                        });
+                        hit
+                    }
+                    CexKind::Init { xi } => {
+                        let seed = cex_seed(opts.seed, round_no, c.seq, true);
+                        let hit = split_by_init_cex(aig, partition, opts, seed, xi, obs);
+                        bank.push(BankPattern::Init {
+                            inputs: xi.clone(),
+                            seed,
+                        });
+                        hit
+                    }
                 };
             }
             // Re-derive the hot sets from what this merge did: every
@@ -1454,31 +2061,53 @@ fn run_sharded(
 /// the `sat_incremental: false` ablation baseline and as the graceful
 /// fall-back when the incremental path exhausts its conflict budget.
 /// Returns the Theorem-1 verdict at the fixed point.
+#[allow(clippy::too_many_arguments)]
 fn run_monolithic(
     aig: &Aig,
     partition: &mut Partition,
     opts: &Options,
     deadline: &Deadline,
     output_pairs: &[(Lit, Lit)],
+    struct_eqs: &[(Var, Lit)],
+    bank: &mut PatternBank,
     obs: &Obs,
     ticker: &mut ProgressTicker,
 ) -> Result<bool, Abort> {
+    // Condition-1 proofs outlive the per-round solvers: the query is
+    // partition-independent (see [`RoundCtx::init_eq`]), so a fresh
+    // solver re-proving it every round would be pure waste.
+    let mut init_eq: HashSet<(Var, Var)> = HashSet::new();
     let mut round_no = 0usize;
     loop {
         deadline.check()?;
         deadline.tick();
         round_no += 1;
         let mut sp = open_round(obs, round_no);
+        let classes_before = partition.num_classes();
+        // Replay before the build, so the fresh solver's hard `Q`
+        // already covers the replayed splits.
+        replay_bank(aig, partition, opts, struct_eqs, bank, obs);
         let mut u = Unrolling::build(aig);
         obs.add(Counter::SatSolverConstructions, 1);
+        u.assert_struct_eqs(struct_eqs);
         u.solver.set_limits(deadline.limits());
         u.solver.set_obs(obs.clone());
         u.assert_q(partition, None);
         let mut meter = SatMeter::new(obs);
-        let classes_before = partition.num_classes();
-        let round = run_round(
-            aig, partition, opts, deadline, &mut u, None, round_no, obs, ticker,
-        );
+        let round = {
+            let mut ctx = RoundCtx {
+                opts,
+                deadline,
+                u: &mut u,
+                act: None,
+                round: round_no,
+                obs,
+                struct_eqs,
+                bank,
+                init_eq: &mut init_eq,
+            };
+            run_round(aig, partition, ticker, &mut ctx)
+        };
         close_round(obs, &mut sp, partition, classes_before);
         drop(sp);
         let outcome = match round {
@@ -1517,6 +2146,8 @@ pub(crate) fn run_fixed_point(
     opts: &Options,
     deadline: &Deadline,
     output_pairs: &[(Lit, Lit)],
+    struct_eqs: &[(Var, Lit)],
+    bank: &mut PatternBank,
 ) -> Result<bool, Abort> {
     let obs = &opts.obs;
     // Heartbeats only make sense with somewhere to send them; gating
@@ -1533,6 +2164,8 @@ pub(crate) fn run_fixed_point(
                 opts,
                 deadline,
                 output_pairs,
+                struct_eqs,
+                bank,
                 obs,
                 &mut ticker,
             )
@@ -1543,6 +2176,8 @@ pub(crate) fn run_fixed_point(
                 opts,
                 deadline,
                 output_pairs,
+                struct_eqs,
+                bank,
                 obs,
                 &mut ticker,
             )
@@ -1558,6 +2193,8 @@ pub(crate) fn run_fixed_point(
         opts,
         deadline,
         output_pairs,
+        struct_eqs,
+        bank,
         obs,
         &mut ticker,
     )

@@ -12,11 +12,12 @@
 //! invariant).
 
 use crate::context::Deadline;
-use crate::engine::seed_partition;
+use crate::engine::{collapse_struct_equiv, reattach_collapsed, seed_partition};
 use crate::options::{Backend, Options};
 use crate::{bdd_backend, sat_backend};
-use sec_netlist::{check as check_circuit, Aig, CheckError, Lit, Node};
+use sec_netlist::{check as check_circuit, Aig, CheckError, Lit, Node, Var};
 use sec_obs::{emit_snapshot, Counter, Recorder};
+use sec_sim::PatternBank;
 use std::sync::Arc;
 
 /// Statistics of a [`sequential_sweep`] run.
@@ -88,12 +89,35 @@ pub fn sequential_sweep(aig: &Aig, opts: &Options) -> Result<(Aig, SweepStats), 
     opts.obs = opts.obs.and_sink(Arc::new(recorder.clone()));
     let opts = &opts;
     let mut partition = seed_partition(aig, opts);
+    let collapsed: Vec<(Var, Lit)> = if opts.backend == Backend::Sat && opts.strash {
+        collapse_struct_equiv(aig, &mut partition, &opts.obs)
+    } else {
+        Vec::new()
+    };
+    let mut bank = PatternBank::new(
+        if opts.backend == Backend::Sat {
+            opts.pattern_bank_words
+        } else {
+            0
+        },
+        opts.sat_amplify_words.max(1),
+    );
+    bank.extend(opts.pattern_bank_seed.iter().cloned());
     let fixed_point = match opts.backend {
         Backend::Bdd => {
             bdd_backend::run_fixed_point(aig, &mut partition, opts, &deadline, None, &[])
         }
-        Backend::Sat => sat_backend::run_fixed_point(aig, &mut partition, opts, &deadline, &[]),
+        Backend::Sat => sat_backend::run_fixed_point(
+            aig,
+            &mut partition,
+            opts,
+            &deadline,
+            &[],
+            &collapsed,
+            &mut bank,
+        ),
     };
+    reattach_collapsed(&mut partition, &collapsed);
     stats.iterations = recorder.counter(Counter::Rounds) as usize;
     // Terminal snapshot so a trace of the sweep is self-contained.
     emit_snapshot(&opts.obs, &recorder, "sweep");

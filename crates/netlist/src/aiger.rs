@@ -435,8 +435,11 @@ pub fn parse_aiger_binary(data: &[u8]) -> Result<Aig, ParseAigerBinError> {
     }
     let mut pos = hdr_end + 1;
 
-    // Inputs are implicit. Latch and output lines are ASCII.
-    let take_line = |pos: &mut usize| -> Result<String, ParseAigerBinError> {
+    // Inputs are implicit. Latch and output lines are ASCII. Returns
+    // the line's *start* offset alongside its text so parse errors can
+    // point at the offending token rather than wherever `pos` has
+    // advanced to.
+    let take_line = |pos: &mut usize| -> Result<(usize, String), ParseAigerBinError> {
         let start = *pos;
         let end = data[start..]
             .iter()
@@ -446,7 +449,11 @@ pub fn parse_aiger_binary(data: &[u8]) -> Result<Aig, ParseAigerBinError> {
             .map_err(|_| err(start, "non-UTF8 line".to_string()))?
             .to_string();
         *pos = start + end + 1;
-        Ok(line)
+        Ok((start, line))
+    };
+    // Byte offset of a token borrowed from its line.
+    let tok_off = |line_start: usize, line: &str, tok: &str| -> usize {
+        line_start + (tok.as_ptr() as usize - line.as_ptr() as usize)
     };
 
     let mut aig = Aig::new();
@@ -456,30 +463,38 @@ pub fn parse_aiger_binary(data: &[u8]) -> Result<Aig, ParseAigerBinError> {
         lits.push(aig.add_input(format!("i{k}")).lit());
     }
     let mut latch_vars = Vec::with_capacity(nl as usize);
-    let mut latch_nexts: Vec<u32> = Vec::with_capacity(nl as usize);
+    let mut latch_nexts: Vec<(u32, usize)> = Vec::with_capacity(nl as usize);
     for _ in 0..nl {
-        let line = take_line(&mut pos)?;
+        let (at, line) = take_line(&mut pos)?;
         let f: Vec<&str> = line.split_whitespace().collect();
         if f.is_empty() || f.len() > 2 {
-            return Err(err(pos, "latch line must be `next [init]`".to_string()));
+            return Err(err(at, "latch line must be `next [init]`".to_string()));
         }
-        let next: u32 = f[0]
-            .parse()
-            .map_err(|_| err(pos, format!("bad latch next `{}`", f[0])))?;
+        let next: u32 = f[0].parse().map_err(|_| {
+            err(
+                tok_off(at, &line, f[0]),
+                format!("bad latch next `{}`", f[0]),
+            )
+        })?;
         let init = f.len() == 2 && f[1] == "1";
         let v = aig.add_latch(init);
         lits.push(v.lit());
         latch_vars.push(v);
-        latch_nexts.push(next);
+        latch_nexts.push((next, tok_off(at, &line, f[0])));
     }
-    let mut output_lits: Vec<u32> = Vec::with_capacity(no as usize);
+    let mut output_lits: Vec<(u32, usize)> = Vec::with_capacity(no as usize);
     for _ in 0..no {
-        let line = take_line(&mut pos)?;
-        output_lits.push(
-            line.trim()
-                .parse()
-                .map_err(|_| err(pos, format!("bad output literal `{line}`")))?,
-        );
+        let (at, line) = take_line(&mut pos)?;
+        let tok = line.trim();
+        output_lits.push((
+            tok.parse().map_err(|_| {
+                err(
+                    tok_off(at, &line, tok),
+                    format!("bad output literal `{line}`"),
+                )
+            })?,
+            tok_off(at, &line, tok),
+        ));
     }
     // AND gates: delta-coded, lhs implicit.
     for k in 0..na {
@@ -496,23 +511,25 @@ pub fn parse_aiger_binary(data: &[u8]) -> Result<Aig, ParseAigerBinError> {
         let lb = lits[(rhs1 >> 1) as usize].complement_if(rhs1 & 1 == 1);
         lits.push(aig.and(la, lb));
     }
-    for (i, &next) in latch_nexts.iter().enumerate() {
+    for (i, &(next, at)) in latch_nexts.iter().enumerate() {
         if (next >> 1) as usize >= lits.len() {
-            return Err(err(pos, format!("latch next literal {next} out of range")));
+            return Err(err(at, format!("latch next literal {next} out of range")));
         }
         let l = lits[(next >> 1) as usize].complement_if(next & 1 == 1);
         aig.set_latch_next(latch_vars[i], l);
     }
-    for (k, &o) in output_lits.iter().enumerate() {
+    for (k, &(o, at)) in output_lits.iter().enumerate() {
         if (o >> 1) as usize >= lits.len() {
-            return Err(err(pos, format!("output literal {o} out of range")));
+            return Err(err(at, format!("output literal {o} out of range")));
         }
         let l = lits[(o >> 1) as usize].complement_if(o & 1 == 1);
         aig.add_output(l, format!("o{k}"));
     }
     // Symbol table (ASCII), same syntax as the aag format.
     while pos < data.len() {
-        let Ok(line) = take_line(&mut pos) else { break };
+        let Ok((_, line)) = take_line(&mut pos) else {
+            break;
+        };
         let mut chars = line.chars();
         let kind = match chars.next() {
             Some(c @ ('i' | 'l' | 'o')) => c,
@@ -648,6 +665,31 @@ mod binary_tests {
             assert_eq!(read_delta(&buf, &mut pos).unwrap(), v);
             assert_eq!(pos, buf.len());
         }
+    }
+
+    /// Regression: parse errors on latch/output lines must point at the
+    /// *start* of the offending token, not at the end of the line that
+    /// `pos` had already advanced past.
+    #[test]
+    fn error_offsets_point_at_token_starts() {
+        // Offsets:       0123456789012345678
+        let bad_output = b"aig 1 1 0 1 0\nboom\n";
+        let e = parse_aiger_binary(bad_output).unwrap_err();
+        assert!(e.message.contains("bad output literal"), "{e}");
+        assert_eq!(e.offset, 14, "{e}");
+
+        //                 01234567890123456789
+        let bad_latch = b"aig 3 1 1 0 1\n  zap 1\n";
+        let e = parse_aiger_binary(bad_latch).unwrap_err();
+        assert!(e.message.contains("bad latch next"), "{e}");
+        assert_eq!(e.offset, 16, "{e}");
+
+        // Out-of-range output literal: the offset is the token's, even
+        // though the range check runs after all lines were consumed.
+        let out_of_range = b"aig 1 1 0 1 0\n99\n";
+        let e = parse_aiger_binary(out_of_range).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+        assert_eq!(e.offset, 14, "{e}");
     }
 
     #[test]

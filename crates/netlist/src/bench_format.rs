@@ -276,12 +276,27 @@ pub fn parse_bench(text: &str) -> Result<Aig, ParseBenchError> {
 /// named `__const_seed` is created when the circuit has none).
 pub fn write_bench(aig: &Aig) -> String {
     let mut out = String::new();
-    let mut names: Vec<String> = (0..aig.num_nodes()).map(|i| format!("n{i}")).collect();
+    // Symbol names first, then index-derived fallbacks for the rest —
+    // steered around the taken set, since a circuit is free to call a
+    // signal `n16` while node 16 is a different, unnamed one.
+    let mut taken: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut names: Vec<String> = vec![String::new(); aig.num_nodes()];
     for v in aig.vars() {
         if let Some(n) = aig.name(v) {
             if v != Var::CONST {
                 names[v.index()] = n.to_string();
+                taken.insert(n.to_string());
             }
+        }
+    }
+    for (i, name) in names.iter_mut().enumerate() {
+        if name.is_empty() {
+            let mut candidate = format!("n{i}");
+            while taken.contains(&candidate) {
+                candidate.push('_');
+            }
+            taken.insert(candidate.clone());
+            *name = candidate;
         }
     }
     for &i in aig.inputs() {

@@ -28,8 +28,10 @@
 //! # Ok::<(), sec_netlist::CheckError>(())
 //! ```
 //!
-//! Netlists can be exchanged in the ISCAS'89 [`.bench`](parse_bench) and
-//! ASCII [AIGER](parse_aiger) formats.
+//! Netlists can be exchanged in the ISCAS'89 [`.bench`](parse_bench),
+//! ASCII [AIGER](parse_aiger) and binary [AIGER](parse_aiger_binary)
+//! formats; [`load_model`] / [`load_model_bytes`] auto-detect the
+//! format and return a single [`ParseError`].
 
 #![warn(missing_docs)]
 
@@ -40,7 +42,9 @@ mod bench_format;
 pub mod dot;
 mod fingerprint;
 mod literal;
+mod load;
 pub mod product;
+mod strash;
 
 pub use aig::{Aig, Node, Output};
 pub use aiger::{
@@ -51,4 +55,6 @@ pub use analysis::{check, stats, AigStats, CheckError};
 pub use bench_format::{parse_bench, write_bench, ParseBenchError};
 pub use fingerprint::{ordered_digest, structural_fingerprint, Fingerprint};
 pub use literal::{Lit, Var};
+pub use load::{load_model, load_model_bytes, ParseError};
 pub use product::{align_interface_by_name, ProductError, ProductMachine, Side};
+pub use strash::structural_repr;

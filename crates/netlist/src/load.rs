@@ -1,0 +1,228 @@
+//! The unified model-loading front door.
+//!
+//! The crate historically exposed three parsers with three error types
+//! (`parse_bench`, `parse_aiger`, `parse_aiger_binary`) that every CLI
+//! re-glued by hand with its own format sniffing. [`load_model`] /
+//! [`load_model_bytes`] centralize that: the format is detected from
+//! the content magic first (`aig ` → binary AIGER, `aag ` → ASCII
+//! AIGER), then from the file extension (`.aig` / `.aag`), and
+//! ISCAS'89 `.bench` — which has no magic — is the fallback for
+//! everything else. Errors come back as one [`ParseError`] enum that
+//! wraps the three existing error types, which stay exported for
+//! compatibility.
+
+use crate::aiger::{parse_aiger, parse_aiger_binary, ParseAigerBinError, ParseAigerError};
+use crate::bench_format::{parse_bench, ParseBenchError};
+use crate::Aig;
+use std::fmt;
+use std::path::Path;
+
+/// Any error from the unified loader: one of the three format parsers
+/// failed, the bytes were not text where text was required, or (for
+/// [`load_model`]) the file could not be read at all.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// ISCAS'89 `.bench` parse failure.
+    Bench(ParseBenchError),
+    /// ASCII AIGER (`aag`) parse failure.
+    Aiger(ParseAigerError),
+    /// Binary AIGER (`aig`) parse failure.
+    AigerBin(ParseAigerBinError),
+    /// The detected format is text-based but the bytes are not UTF-8.
+    NotUtf8 {
+        /// The model name or path the bytes came from.
+        name: String,
+    },
+    /// The file could not be read ([`load_model`] only).
+    Io {
+        /// The path that failed to read.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Bench(e) => e.fmt(f),
+            ParseError::Aiger(e) => e.fmt(f),
+            ParseError::AigerBin(e) => e.fmt(f),
+            ParseError::NotUtf8 { name } => {
+                write!(f, "{name}: not UTF-8 text (and no binary AIGER magic)")
+            }
+            ParseError::Io { path, source } => write!(f, "{path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Bench(e) => Some(e),
+            ParseError::Aiger(e) => Some(e),
+            ParseError::AigerBin(e) => Some(e),
+            ParseError::NotUtf8 { .. } => None,
+            ParseError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<ParseBenchError> for ParseError {
+    fn from(e: ParseBenchError) -> ParseError {
+        ParseError::Bench(e)
+    }
+}
+
+impl From<ParseAigerError> for ParseError {
+    fn from(e: ParseAigerError) -> ParseError {
+        ParseError::Aiger(e)
+    }
+}
+
+impl From<ParseAigerBinError> for ParseError {
+    fn from(e: ParseAigerBinError) -> ParseError {
+        ParseError::AigerBin(e)
+    }
+}
+
+/// The circuit format [`load_model_bytes`] decided to parse as.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Format {
+    Bench,
+    AigerAscii,
+    AigerBinary,
+}
+
+/// Format detection: content magic wins, then the extension, then
+/// `.bench` (which has no magic) as the fallback.
+fn detect(name: &str, bytes: &[u8]) -> Format {
+    if bytes.starts_with(b"aig ") {
+        return Format::AigerBinary;
+    }
+    if bytes.starts_with(b"aag ") {
+        return Format::AigerAscii;
+    }
+    match Path::new(name).extension().and_then(|e| e.to_str()) {
+        Some("aig") => Format::AigerBinary,
+        Some("aag") => Format::AigerAscii,
+        _ => Format::Bench,
+    }
+}
+
+/// Parses a circuit from raw bytes, auto-detecting ISCAS'89 `.bench`,
+/// ASCII AIGER (`aag`) or binary AIGER (`aig`) — by content magic
+/// first, then by the extension of `name`. `name` is only used for
+/// detection and error messages; it does not have to be a real path.
+///
+/// # Errors
+///
+/// Returns the wrapped parser error for the detected format, or
+/// [`ParseError::NotUtf8`] when a text format was detected but the
+/// bytes are not UTF-8.
+///
+/// # Examples
+///
+/// ```
+/// use sec_netlist::load_model_bytes;
+/// let aig = load_model_bytes("t.bench", b"INPUT(a)\nOUTPUT(a)\n").unwrap();
+/// assert_eq!(aig.num_inputs(), 1);
+/// let same = load_model_bytes("t.aag", b"aag 1 1 0 1 0\n2\n2\n").unwrap();
+/// assert_eq!(same.num_inputs(), 1);
+/// ```
+pub fn load_model_bytes(name: &str, bytes: &[u8]) -> Result<Aig, ParseError> {
+    let format = detect(name, bytes);
+    if format == Format::AigerBinary {
+        return Ok(parse_aiger_binary(bytes)?);
+    }
+    let text = std::str::from_utf8(bytes).map_err(|_| ParseError::NotUtf8 {
+        name: name.to_string(),
+    })?;
+    match format {
+        Format::AigerAscii => Ok(parse_aiger(text)?),
+        Format::Bench => Ok(parse_bench(text)?),
+        Format::AigerBinary => unreachable!("handled above"),
+    }
+}
+
+/// Reads and parses a circuit file, auto-detecting the format like
+/// [`load_model_bytes`].
+///
+/// # Errors
+///
+/// [`ParseError::Io`] when the file cannot be read, otherwise as
+/// [`load_model_bytes`].
+pub fn load_model(path: impl AsRef<Path>) -> Result<Aig, ParseError> {
+    let path = path.as_ref();
+    let name = path.to_string_lossy().into_owned();
+    let bytes = std::fs::read(path).map_err(|source| ParseError::Io {
+        path: name.clone(),
+        source,
+    })?;
+    load_model_bytes(&name, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aiger::{write_aiger, write_aiger_binary};
+    use crate::structural_fingerprint;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a").lit();
+        let l = aig.add_latch(true);
+        let g = aig.and(a, !l.lit());
+        aig.set_latch_next(l, g);
+        aig.add_output(g, "out");
+        aig
+    }
+
+    #[test]
+    fn magic_beats_extension() {
+        let aig = sample();
+        let bin = write_aiger_binary(&aig);
+        let ascii = write_aiger(&aig);
+        // Binary bytes under a .bench name: magic wins.
+        let via_bin = load_model_bytes("mislabeled.bench", &bin).unwrap();
+        let via_ascii = load_model_bytes("mislabeled.bench", ascii.as_bytes()).unwrap();
+        assert_eq!(
+            structural_fingerprint(&via_bin),
+            structural_fingerprint(&via_ascii)
+        );
+    }
+
+    #[test]
+    fn extension_decides_without_magic() {
+        // No magic, .bench extension (and unknown extensions) → bench.
+        assert!(load_model_bytes("x.bench", b"INPUT(a)\nOUTPUT(a)\n").is_ok());
+        assert!(load_model_bytes("x", b"INPUT(a)\nOUTPUT(a)\n").is_ok());
+        // A headerless .aag file is an AIGER parse error, not a bench one.
+        let err = load_model_bytes("x.aag", b"INPUT(a)\n").unwrap_err();
+        assert!(matches!(err, ParseError::Aiger(_)), "{err}");
+        let err = load_model_bytes("x.aig", b"\x00\x01\x02").unwrap_err();
+        assert!(matches!(err, ParseError::AigerBin(_)), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_text_is_a_typed_error() {
+        let err = load_model_bytes("x.bench", b"INPUT(\xff)\n").unwrap_err();
+        assert!(matches!(err, ParseError::NotUtf8 { .. }), "{err}");
+        assert!(err.to_string().contains("x.bench"));
+    }
+
+    #[test]
+    fn load_model_reads_files_and_reports_io_errors() {
+        let dir = std::env::temp_dir().join(format!("sec-load-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let aig = sample();
+        let p = dir.join("m.aig");
+        std::fs::write(&p, write_aiger_binary(&aig)).unwrap();
+        let back = load_model(&p).unwrap();
+        assert_eq!(structural_fingerprint(&back), structural_fingerprint(&aig));
+        let err = load_model(dir.join("missing.bench")).unwrap_err();
+        assert!(matches!(err, ParseError::Io { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -231,6 +231,22 @@ counters! {
         /// already separates the pair (the merge will split it without
         /// a solver call).
         WitnessPrunedPairs => "witness_pruned_pairs",
+        /// Candidate signals collapsed onto a structural-bisimulation
+        /// representative before the fixed point started
+        /// (`Options::strash`); they rejoin their representative's
+        /// class at the end without ever costing a solver query.
+        StrashMerged => "strash_merged",
+        /// Partition splits discharged by replaying the persistent
+        /// pattern bank (`Options::pattern_bank_words`) instead of a
+        /// SAT counterexample.
+        BankSplits => "bank_splits",
+        /// Batched pair-equality queries issued
+        /// (`Options::batch_pairs`): one solver call covering several
+        /// candidate pairs under one assumption set.
+        BatchedCalls => "batched_calls",
+        /// Candidate pairs separated by decoding the model of a
+        /// satisfiable batched call.
+        BatchPairsDecoded => "batch_pairs_decoded",
     }
 }
 

@@ -42,7 +42,7 @@ use crate::protocol::{parse_request, CheckRequest, Engine, Request, Source};
 use sec_core::{Backend, Checker, OptionsBuilder, PartitionSnapshot, Verdict};
 use sec_limits::{CancellationToken, SampleTicker};
 use sec_netlist::{
-    check as check_circuit, ordered_digest, parse_aiger, parse_bench, structural_fingerprint, Aig,
+    check as check_circuit, load_model_bytes, ordered_digest, structural_fingerprint, Aig,
     Fingerprint, ProductMachine,
 };
 use sec_obs::{
@@ -50,7 +50,7 @@ use sec_obs::{
     TagSink, Value,
 };
 use sec_portfolio::PortfolioOptions;
-use sec_sim::Trace;
+use sec_sim::{BankPattern, Trace};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -196,6 +196,9 @@ struct Job {
     /// Snapshot to warm-start from (revalidation over an identical
     /// node numbering).
     seed: Option<PartitionSnapshot>,
+    /// Banked simulation patterns to replay before the first solver
+    /// round, under the same node-numbering gate as `seed`.
+    bank_seed: Vec<BankPattern>,
     token: CancellationToken,
     /// When the submission arrived (start of the `total` phase).
     submitted: Instant,
@@ -317,18 +320,14 @@ fn cex_frames(trace: &Trace) -> String {
 }
 
 fn load_circuit(source: &Source) -> Result<Aig, String> {
-    let (text, what): (String, String) = match source {
+    let (bytes, what): (Vec<u8>, String) = match source {
         Source::Path(p) => (
-            std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?,
+            std::fs::read(p).map_err(|e| format!("cannot read {p}: {e}"))?,
             p.clone(),
         ),
-        Source::Inline(text) => (text.clone(), "inline circuit".to_string()),
+        Source::Inline(text) => (text.clone().into_bytes(), "inline circuit".to_string()),
     };
-    let aig = if text.trim_start().starts_with("aag ") {
-        parse_aiger(&text).map_err(|e| format!("{what}: {e}"))?
-    } else {
-        parse_bench(&text).map_err(|e| format!("{what}: {e}"))?
-    };
+    let aig = load_model_bytes(&what, &bytes).map_err(|e| format!("{what}: {e}"))?;
     check_circuit(&aig).map_err(|e| format!("{what}: {e}"))?;
     Ok(aig)
 }
@@ -858,6 +857,7 @@ fn submit(
     let ordered = ordered_digest(&pm.aig);
 
     let mut seed = None;
+    let mut bank_seed = Vec::new();
     let mut cache_hit = false;
     if !req.no_cache {
         let hit = state.lock(&state.cache, "cache").lookup(fingerprint);
@@ -865,9 +865,14 @@ fn submit(
             cache_hit = true;
             if req.revalidate {
                 // Re-run, but warm-start when the snapshot's node
-                // numbering matches this product machine exactly.
-                if entry.ordered_digest == ordered && !entry.snapshot.is_empty() {
-                    seed = Some(entry.snapshot);
+                // numbering matches this product machine exactly. The
+                // banked patterns ride the same gate: their latch and
+                // input orderings index into the producing product.
+                if entry.ordered_digest == ordered {
+                    if !entry.snapshot.is_empty() {
+                        seed = Some(entry.snapshot);
+                    }
+                    bank_seed = entry.patterns;
                 }
             } else {
                 let accept_us = submitted.elapsed().as_micros() as u64;
@@ -932,6 +937,7 @@ fn submit(
         fingerprint,
         ordered,
         seed,
+        bank_seed,
         token: token.clone(),
         submitted,
         accept_us: 0,
@@ -1166,15 +1172,17 @@ fn run_job(state: &Arc<State>, job: &Job, recorder: &Recorder) {
 
     state.running.fetch_add(1, Ordering::SeqCst);
     let running_guard = RunningGuard(state);
-    let (verdict, stats, snapshot) = match job.engine {
+    let (verdict, stats, snapshot, patterns) = match job.engine {
         Engine::Bdd | Engine::Sat => {
-            let backend = if job.engine == Engine::Bdd {
-                Backend::Bdd
+            // The SAT preset enables the candidate-set reduction
+            // pipeline, whose pattern bank the cache persists and
+            // replays on revalidation.
+            let builder = if job.engine == Engine::Bdd {
+                OptionsBuilder::new().backend(Backend::Bdd)
             } else {
-                Backend::Sat
+                OptionsBuilder::sat().pattern_bank_seed(job.bank_seed.clone())
             };
-            let opts = OptionsBuilder::new()
-                .backend(backend)
+            let opts = builder
                 .timeout(job.timeout)
                 .sat_conflict_budget(job.conflict_budget)
                 .jobs(job.jobs)
@@ -1185,7 +1193,12 @@ fn run_job(state: &Arc<State>, job: &Job, recorder: &Recorder) {
             match Checker::new(&job.spec, &job.impl_, opts) {
                 Ok(checker) => {
                     let (result, snapshot) = checker.run_seeded(job.seed.as_ref());
-                    (result.verdict, Some(result.stats), snapshot)
+                    (
+                        result.verdict,
+                        Some(result.stats),
+                        snapshot,
+                        result.patterns,
+                    )
                 }
                 Err(e) => {
                     drop(running_guard);
@@ -1219,11 +1232,12 @@ fn run_job(state: &Arc<State>, job: &Job, recorder: &Recorder) {
                 ..PortfolioOptions::default()
             };
             match sec_portfolio::run(&job.spec, &job.impl_, &popts) {
-                Ok(result) => (result.verdict, None, PartitionSnapshot::empty()),
+                Ok(result) => (result.verdict, None, PartitionSnapshot::empty(), Vec::new()),
                 Err(e) => (
                     Verdict::Unknown(e.to_string()),
                     None,
                     PartitionSnapshot::empty(),
+                    Vec::new(),
                 ),
             }
         }
@@ -1242,6 +1256,7 @@ fn run_job(state: &Arc<State>, job: &Job, recorder: &Recorder) {
             rounds: stats.as_ref().map_or(0, |s| s.iterations),
             ordered_digest: job.ordered,
             snapshot,
+            patterns,
         };
         state
             .lock(&state.cache, "cache")

@@ -1,0 +1,174 @@
+//! A persistent bank of counterexample witnesses.
+//!
+//! The amplification machinery ([`amplify_two_frame`](crate::amplify_two_frame)
+//! / [`amplify_init`](crate::amplify_init)) turns one SAT witness into
+//! 64+ simulation patterns, refines the candidate partition with them —
+//! and then throws them away. That discards real information: a pattern
+//! that was *invalid* for refinement in round `r` (its frame-0 state
+//! violated a class constraint of the then-current partition) can
+//! become valid later, because refinement only ever *removes*
+//! constraints. The [`PatternBank`] keeps the raw witnesses so every
+//! later round can replay them — re-amplified deterministically from
+//! the stored seed — and discharge splits without paying for another
+//! solver call.
+//!
+//! The bank stores raw witnesses rather than amplified words: a
+//! witness is a few bit-vectors, while its amplification is
+//! `words × signals` bits, and replaying through the simulator keeps
+//! the split decisions bit-identical to what the original
+//! counterexample path would have done.
+//!
+//! Capacity is budgeted in amplification *words* (the unit the
+//! engine's replay cost is measured in); insertion beyond the budget
+//! evicts the oldest entry (FIFO). The owner is expected to drop
+//! entries that can never split again — see
+//! [`PatternBank::retain`].
+
+use std::collections::VecDeque;
+
+/// One raw counterexample witness, replayable in any later round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BankPattern {
+    /// A two-frame witness: a state satisfying the partition
+    /// constraints of the round that produced it, plus the input
+    /// vectors of both frames.
+    TwoFrame {
+        /// Frame-0 latch values.
+        state: Vec<bool>,
+        /// Frame-0 primary inputs.
+        inputs_t: Vec<bool>,
+        /// Frame-1 primary inputs.
+        inputs_t1: Vec<bool>,
+        /// Amplification seed of the producing round, so replay
+        /// regenerates the identical perturbed neighbourhood.
+        seed: u64,
+    },
+    /// An initial-frame witness: inputs applied in the initial state.
+    Init {
+        /// Primary inputs in the initial state.
+        inputs: Vec<bool>,
+        /// Amplification seed of the producing round.
+        seed: u64,
+    },
+}
+
+/// A FIFO-bounded store of [`BankPattern`]s. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct PatternBank {
+    entries: VecDeque<BankPattern>,
+    max_entries: usize,
+}
+
+impl PatternBank {
+    /// A bank budgeted at `capacity_words` total amplification words,
+    /// where each stored witness costs `words_per_entry` (the engine's
+    /// amplification width) to replay. A zero `capacity_words`
+    /// disables the bank (nothing is ever stored).
+    pub fn new(capacity_words: usize, words_per_entry: usize) -> PatternBank {
+        PatternBank {
+            entries: VecDeque::new(),
+            max_entries: capacity_words / words_per_entry.max(1),
+        }
+    }
+
+    /// Whether the bank accepts patterns at all.
+    pub fn is_enabled(&self) -> bool {
+        self.max_entries > 0
+    }
+
+    /// Number of stored witnesses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bank holds no witnesses.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stores a witness, evicting the oldest if the budget is full.
+    /// No-op on a disabled bank.
+    pub fn push(&mut self, pattern: BankPattern) {
+        if self.max_entries == 0 {
+            return;
+        }
+        if self.entries.len() >= self.max_entries {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(pattern);
+    }
+
+    /// Replays the bank: calls `keep` on every stored witness, oldest
+    /// first, dropping those for which it returns `false`. The caller
+    /// returns `false` for *exhausted* entries — ones whose
+    /// amplification was fully valid against the current partition yet
+    /// split nothing. Such an entry can never split again (validity
+    /// only widens and surviving co-classed pairs only shrink as the
+    /// partition refines), so keeping it would only slow every later
+    /// round down.
+    pub fn retain(&mut self, keep: impl FnMut(&BankPattern) -> bool) {
+        self.entries.retain(keep);
+    }
+
+    /// The stored witnesses, oldest first (for persistence).
+    pub fn patterns(&self) -> impl Iterator<Item = &BankPattern> {
+        self.entries.iter()
+    }
+
+    /// Bulk-loads witnesses (cache warm-start), respecting the budget.
+    pub fn extend(&mut self, patterns: impl IntoIterator<Item = BankPattern>) {
+        for p in patterns {
+            self.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn init(n: u64) -> BankPattern {
+        BankPattern::Init {
+            inputs: vec![n & 1 == 1],
+            seed: n,
+        }
+    }
+
+    #[test]
+    fn fifo_eviction_respects_word_budget() {
+        // 8 words at 4 words/entry → 2 entries.
+        let mut bank = PatternBank::new(8, 4);
+        assert!(bank.is_enabled());
+        bank.push(init(1));
+        bank.push(init(2));
+        bank.push(init(3));
+        assert_eq!(bank.len(), 2);
+        let seeds: Vec<u64> = bank
+            .patterns()
+            .map(|p| match p {
+                BankPattern::Init { seed, .. } => *seed,
+                BankPattern::TwoFrame { seed, .. } => *seed,
+            })
+            .collect();
+        assert_eq!(seeds, vec![2, 3], "oldest entry was evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut bank = PatternBank::new(0, 1);
+        assert!(!bank.is_enabled());
+        bank.push(init(1));
+        assert!(bank.is_empty());
+        // words_per_entry 0 is treated as 1, not a division by zero.
+        let b = PatternBank::new(3, 0);
+        assert!(b.is_enabled());
+    }
+
+    #[test]
+    fn retain_drops_exhausted_entries() {
+        let mut bank = PatternBank::new(4, 1);
+        bank.extend([init(1), init(2), init(3)]);
+        bank.retain(|p| !matches!(p, BankPattern::Init { seed: 2, .. }));
+        assert_eq!(bank.len(), 2);
+    }
+}

@@ -16,11 +16,14 @@
 //! sec top --addr ADDR                 live daemon telemetry dashboard
 //! ```
 //!
-//! Circuits are read in ISCAS'89 `.bench` or ASCII AIGER `.aag` format
-//! (picked by extension, falling back to content sniffing).
+//! Circuits are read in ISCAS'89 `.bench`, ASCII AIGER `.aag` or binary
+//! AIGER `.aig` format through [`sec::netlist::load_model`], which
+//! detects the format by content magic first, then by extension.
 
 use sec::core::{Backend, Checker, Options, SignalScope, Verdict};
-use sec::netlist::{analysis, dot, parse_aiger, parse_bench, write_aiger, write_bench, Aig};
+use sec::netlist::{
+    analysis, dot, load_model, load_model_bytes, write_aiger, write_aiger_binary, write_bench, Aig,
+};
 use sec::obs::{heartbeat_line, HeartbeatSink, NdjsonSink, Obs, Recorder, Sink};
 use sec::portfolio::{self, EngineKind, PortfolioOptions, ProgressEvent};
 use sec::serve::{
@@ -48,7 +51,8 @@ fn usage() -> ! {
          [--no-sim-seed] [--no-funcdep] [--approx-reach] [--retime-rounds N]\n           \
          [--timeout SECS] [--engine-timeout SECS] [--node-limit N]\n           \
          [--bmc-depth N] [--seed N] [--jobs N] [--chunk-pairs N]\n           \
-         [--no-share-clauses] [--no-share-witnesses] [--json] [--stats]\n           \
+         [--no-share-clauses] [--no-share-witnesses] [--no-strash]\n           \
+         [--bank-words N] [--batch-pairs N] [--json] [--stats]\n           \
          [--trace-json FILE] [--progress[=SECS]]\n  \
          sec info <circuit>\n  \
          sec optimize <in> <out> [--seed N] [--retime-only]\n  \
@@ -72,26 +76,32 @@ fn usage() -> ! {
          sec top --addr ADDR [--interval SECS] [--count N]\n\n\
          check exit codes: 0 equivalent, 1 not equivalent, 2 unknown, 3 error\n\
          trace exit codes: 0 ok, 1 regression/mismatch, 2 parse error, 3 usage\n\
-         circuit formats: ISCAS'89 .bench, ASCII AIGER .aag"
+         circuit formats: ISCAS'89 .bench, ASCII AIGER .aag, binary AIGER .aig"
     );
     exit(EXIT_USAGE)
 }
 
 fn read_circuit(path: &str) -> Aig {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        exit(EXIT_USAGE)
-    });
-    let looks_aiger = path.ends_with(".aag") || text.starts_with("aag ");
-    let result = if looks_aiger {
-        parse_aiger(&text).map_err(|e| e.to_string())
-    } else {
-        parse_bench(&text).map_err(|e| e.to_string())
-    };
-    result.unwrap_or_else(|e| {
-        eprintln!("{path}: {e}");
+    load_model(path).unwrap_or_else(|e| {
+        eprintln!("{e}");
         exit(EXIT_USAGE)
     })
+}
+
+/// Writes a circuit in the format the output extension names: binary
+/// AIGER for `.aig`, ASCII AIGER for `.aag`, ISCAS'89 otherwise.
+fn write_circuit(path: &str, aig: &Aig) {
+    let bytes = if path.ends_with(".aig") {
+        write_aiger_binary(aig)
+    } else if path.ends_with(".aag") {
+        write_aiger(aig).into_bytes()
+    } else {
+        write_bench(aig).into_bytes()
+    };
+    std::fs::write(path, bytes).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1)
+    });
 }
 
 fn main() {
@@ -232,6 +242,12 @@ fn cmd_check(args: &[String]) {
     let mut opts = Options::default();
     let mut engine = CheckEngine::Solo;
     let mut engine_timeout: Option<Duration> = None;
+    // Reduction-pipeline knobs: the SAT preset decides the defaults
+    // after flag parsing (flags may precede `--engine sat`), explicit
+    // flags override the preset.
+    let mut strash_override: Option<bool> = None;
+    let mut bank_words_override: Option<usize> = None;
+    let mut batch_pairs_override: Option<usize> = None;
     let mut json = false;
     let mut show_stats = false;
     let mut trace_path: Option<String> = None;
@@ -335,12 +351,44 @@ fn cmd_check(args: &[String]) {
             }
             "--no-share-clauses" => opts.sat_share_clauses = false,
             "--no-share-witnesses" => opts.sat_share_witnesses = false,
+            "--no-strash" => strash_override = Some(false),
+            "--bank-words" => {
+                bank_words_override = Some(
+                    take_value(args, &mut i, "--bank-words")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--batch-pairs" => {
+                batch_pairs_override = Some(
+                    take_value(args, &mut i, "--batch-pairs")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
             other => {
                 eprintln!("unknown option `{other}`");
                 exit(EXIT_USAGE)
             }
         }
         i += 1;
+    }
+    // The SAT engine runs with the candidate-set reduction pipeline of
+    // `Options::sat()`; explicit knob flags win either way.
+    if opts.backend == Backend::Sat {
+        let sat = Options::sat();
+        opts.strash = sat.strash;
+        opts.pattern_bank_words = sat.pattern_bank_words;
+        opts.batch_pairs = sat.batch_pairs;
+    }
+    if let Some(v) = strash_override {
+        opts.strash = v;
+    }
+    if let Some(v) = bank_words_override {
+        opts.pattern_bank_words = v;
+    }
+    if let Some(v) = batch_pairs_override {
+        opts.batch_pairs = v;
     }
     // Optional observability sinks: an NDJSON event stream on disk and
     // an in-memory recorder for the `--stats` counter dump. Both see
@@ -562,15 +610,7 @@ fn cmd_optimize(args: &[String]) {
         i += 1;
     }
     let out = pipeline(&aig, &po, seed);
-    let text = if args[1].ends_with(".aag") {
-        write_aiger(&out)
-    } else {
-        write_bench(&out)
-    };
-    std::fs::write(&args[1], text).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", args[1]);
-        exit(1)
-    });
+    write_circuit(&args[1], &out);
     println!(
         "{} -> {}: {} regs / {} gates -> {} regs / {} gates",
         args[0],
@@ -613,15 +653,7 @@ fn cmd_sweep(args: &[String]) {
         eprintln!("{e}");
         exit(1)
     });
-    let text = if args[1].ends_with(".aag") {
-        write_aiger(&reduced)
-    } else {
-        write_bench(&reduced)
-    };
-    std::fs::write(&args[1], text).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", args[1]);
-        exit(1)
-    });
+    write_circuit(&args[1], &reduced);
     println!(
         "merged {} signals: {} regs / {} gates -> {} regs / {} gates{}",
         stats.merged,
@@ -942,8 +974,18 @@ fn client_check(batch: bool, args: &[String]) -> ! {
     }
     let source = |p: &str| {
         if inline {
-            let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            let bytes = std::fs::read(p).unwrap_or_else(|e| {
                 eprintln!("cannot read {p}: {e}");
+                exit(EXIT_USAGE)
+            });
+            // Validate locally so a malformed circuit fails fast here
+            // instead of round-tripping to the daemon.
+            if let Err(e) = load_model_bytes(p, &bytes) {
+                eprintln!("{e}");
+                exit(EXIT_USAGE)
+            }
+            let text = String::from_utf8(bytes).unwrap_or_else(|_| {
+                eprintln!("{p}: binary AIGER cannot be sent --inline; pass a path instead");
                 exit(EXIT_USAGE)
             });
             ServeSource::Inline(text)
